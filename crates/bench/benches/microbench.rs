@@ -1,0 +1,162 @@
+//! Criterion micro-benchmarks for the hot paths: HNSW search (pure and
+//! filtered), brute-force fallback, distance kernels, top-k merging, and
+//! the vector-delta vacuum steps. These complement the figure/table
+//! binaries (which regenerate the paper's evaluation) with stable
+//! regression numbers for the core operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tv_common::bitmap::Filter;
+use tv_common::ids::SegmentLayout;
+use tv_common::{merge_topk, Bitmap, DistanceMetric, Neighbor, SplitMix64, Tid, VertexId};
+use tv_embedding::{EmbeddingSegment, EmbeddingTypeDef};
+use tv_hnsw::{DeltaRecord, HnswConfig, HnswIndex, VectorIndex};
+
+const DIM: usize = 64;
+const N: usize = 4_000;
+
+fn dataset(n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| (0..DIM).map(|_| rng.next_f32() * 100.0).collect())
+        .collect()
+}
+
+fn build_index(data: &[Vec<f32>]) -> HnswIndex {
+    let layout = SegmentLayout::with_capacity(1 << 20);
+    let mut idx = HnswIndex::new(HnswConfig::new(DIM, DistanceMetric::L2));
+    for (i, v) in data.iter().enumerate() {
+        idx.insert(layout.vertex_id(i), v).unwrap();
+    }
+    idx
+}
+
+fn bench_distance_kernels(c: &mut Criterion) {
+    let a: Vec<f32> = (0..128).map(|i| i as f32).collect();
+    let b: Vec<f32> = (0..128).map(|i| (i * 2) as f32).collect();
+    let mut g = c.benchmark_group("distance");
+    g.bench_function("l2_128d", |bench| {
+        bench.iter(|| std::hint::black_box(tv_common::metric::l2_sq(&a, &b)));
+    });
+    g.bench_function("cosine_128d", |bench| {
+        bench.iter(|| std::hint::black_box(tv_common::metric::cosine_distance(&a, &b)));
+    });
+    g.finish();
+}
+
+fn bench_hnsw_search(c: &mut Criterion) {
+    let data = dataset(N, 1);
+    let idx = build_index(&data);
+    let queries = dataset(64, 2);
+    let mut g = c.benchmark_group("hnsw_topk");
+    g.sample_size(20);
+    for ef in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(ef), &ef, |bench, &ef| {
+            let mut qi = 0;
+            bench.iter(|| {
+                qi = (qi + 1) % queries.len();
+                std::hint::black_box(idx.top_k(&queries[qi], 10, ef, Filter::All))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_filtered_search(c: &mut Criterion) {
+    let data = dataset(N, 3);
+    let idx = build_index(&data);
+    let q = &data[17];
+    let mut g = c.benchmark_group("filtered_topk");
+    g.sample_size(20);
+    for selectivity in [50usize, 10, 1] {
+        // selectivity% of points valid
+        let bm = Bitmap::from_indices(N, (0..N).filter(|i| i % 100 < selectivity));
+        g.bench_with_input(
+            BenchmarkId::new("index", selectivity),
+            &bm,
+            |bench, bm| {
+                bench.iter(|| std::hint::black_box(idx.top_k(q, 10, 64, Filter::Valid(bm))));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("brute", selectivity),
+            &bm,
+            |bench, bm| {
+                bench.iter(|| {
+                    std::hint::black_box(idx.brute_force_top_k(q, 10, Filter::Valid(bm)))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(5);
+    let lists: Vec<Vec<Neighbor>> = (0..32)
+        .map(|_| {
+            (0..100)
+                .map(|i| Neighbor::new(VertexId(i), rng.next_f32()))
+                .collect()
+        })
+        .collect();
+    c.bench_function("merge_topk_32x100", |bench| {
+        bench.iter(|| std::hint::black_box(merge_topk(lists.clone(), 100)));
+    });
+}
+
+fn bench_vacuum(c: &mut Criterion) {
+    let def = EmbeddingTypeDef::new("e", DIM, "M", DistanceMetric::L2);
+    let data = dataset(2_000, 7);
+    let mut g = c.benchmark_group("vacuum");
+    g.sample_size(10);
+    g.bench_function("delta_merge_2k", |bench| {
+        bench.iter_with_setup(
+            || {
+                let seg = EmbeddingSegment::new(tv_common::SegmentId(0), &def, 1 << 20);
+                let recs: Vec<DeltaRecord> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        DeltaRecord::upsert(VertexId(i as u64), Tid(i as u64 + 1), v.clone())
+                    })
+                    .collect();
+                seg.append_deltas(&recs).unwrap();
+                seg
+            },
+            |seg| {
+                std::hint::black_box(seg.delta_merge(Tid(u64::MAX)));
+            },
+        );
+    });
+    g.bench_function("index_merge_2k", |bench| {
+        bench.iter_with_setup(
+            || {
+                let seg = EmbeddingSegment::new(tv_common::SegmentId(0), &def, 1 << 20);
+                let recs: Vec<DeltaRecord> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        DeltaRecord::upsert(VertexId(i as u64), Tid(i as u64 + 1), v.clone())
+                    })
+                    .collect();
+                seg.append_deltas(&recs).unwrap();
+                seg.delta_merge(Tid(u64::MAX));
+                seg
+            },
+            |seg| {
+                std::hint::black_box(seg.index_merge(Tid(u64::MAX)).unwrap());
+            },
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance_kernels,
+    bench_hnsw_search,
+    bench_filtered_search,
+    bench_merge,
+    bench_vacuum
+);
+criterion_main!(benches);

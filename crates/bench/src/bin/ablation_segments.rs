@@ -1,0 +1,119 @@
+//! **Ablation**: per-segment indexes vs one monolithic index — the §4.2
+//! design choice ("we choose to partition the vector embeddings and build a
+//! separate vector index for each segment").
+//!
+//! Sweeps the segment count for a fixed dataset and measures (a) total
+//! build time, (b) per-query search CPU, (c) recall — showing the trade-off
+//! the paper banks on: segmented builds are cheaper and embarrassingly
+//! parallel, while search pays a small per-segment overhead that the MPP
+//! fan-out absorbs. Also includes the IVF-Flat index behind the same trait
+//! (§4.4's "other vector indexes can be easily integrated").
+//!
+//! Usage: `cargo run --release -p tv-bench --bin ablation_segments -- [--n 20000]`
+
+use std::time::Instant;
+use tv_baselines::recall_at_k;
+use tv_bench::{fmt_duration, print_table, save_json, BenchArgs};
+use tv_common::bitmap::Filter;
+use tv_common::ids::SegmentLayout;
+use tv_common::{merge_topk, Neighbor};
+use tv_datagen::{ground_truth, DatasetShape, VectorDataset};
+use tv_hnsw::{HnswConfig, HnswIndex, IvfConfig, IvfFlatIndex, VectorIndex};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let n = args.get_usize("n", 20_000);
+    let q = args.get_usize("q", 40);
+    let k = args.get_usize("k", 10);
+    let seed = args.get_u64("seed", 1);
+    let ds = VectorDataset::generate_dim(DatasetShape::Sift, 32, n, q, seed);
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for segments in [1usize, 4, 16, 64] {
+        let capacity = n.div_ceil(segments);
+        let layout = SegmentLayout::with_capacity(capacity);
+        let gt = ground_truth(&ds.base, &ds.queries, k, ds.shape.metric(), layout);
+
+        let started = Instant::now();
+        let mut indexes: Vec<HnswIndex> = (0..segments)
+            .map(|_| HnswIndex::new(HnswConfig::new(ds.dim, ds.shape.metric())))
+            .collect();
+        for (i, v) in ds.base.iter().enumerate() {
+            let id = layout.vertex_id(i);
+            indexes[id.segment().0 as usize].insert(id, v).unwrap();
+        }
+        let build = started.elapsed();
+
+        let started = Instant::now();
+        let mut recall_sum = 0.0;
+        for (qv, truth) in ds.queries.iter().zip(&gt) {
+            let merged = merge_topk(
+                indexes.iter().map(|idx| idx.top_k(qv, k, 64, Filter::All).0),
+                k,
+            );
+            recall_sum += recall_at_k(&merged, truth, k);
+        }
+        let search = started.elapsed() / ds.queries.len() as u32;
+        let recall = recall_sum / ds.queries.len() as f64;
+
+        rows.push(vec![
+            format!("HNSW × {segments}"),
+            fmt_duration(build),
+            fmt_duration(search),
+            format!("{recall:.4}"),
+        ]);
+        json.push(serde_json::json!({
+            "index": "hnsw", "segments": segments,
+            "build_s": build.as_secs_f64(), "search_s": search.as_secs_f64(),
+            "recall": recall,
+        }));
+    }
+
+    // IVF-Flat, single partitioned structure, for contrast.
+    {
+        let layout = SegmentLayout::with_capacity(n.max(1));
+        let gt = ground_truth(&ds.base, &ds.queries, k, ds.shape.metric(), layout);
+        let started = Instant::now();
+        let mut ivf = IvfFlatIndex::new(IvfConfig {
+            nlist: 128,
+            nprobe: 16,
+            ..IvfConfig::new(ds.dim, ds.shape.metric())
+        });
+        for (i, v) in ds.base.iter().enumerate() {
+            ivf.insert(layout.vertex_id(i), v).unwrap();
+        }
+        ivf.train();
+        let build = started.elapsed();
+        let started = Instant::now();
+        let mut recall_sum = 0.0;
+        for (qv, truth) in ds.queries.iter().zip(&gt) {
+            let (r, _) = ivf.top_k(qv, k, 0, Filter::All);
+            recall_sum += recall_at_k(&r, truth, k);
+        }
+        let search = started.elapsed() / ds.queries.len() as u32;
+        let recall = recall_sum / ds.queries.len() as f64;
+        rows.push(vec![
+            "IVF-Flat (128/16)".to_string(),
+            fmt_duration(build),
+            fmt_duration(search),
+            format!("{recall:.4}"),
+        ]);
+        json.push(serde_json::json!({
+            "index": "ivf", "segments": 1,
+            "build_s": build.as_secs_f64(), "search_s": search.as_secs_f64(),
+            "recall": recall,
+        }));
+        let _: Vec<Neighbor> = Vec::new();
+    }
+
+    print_table(
+        "Ablation — segmented vs monolithic index (§4.2) + IVF (§4.4)",
+        &["configuration", "build", "search/query", "recall@k"],
+        &rows,
+    );
+    println!("\nexpected shape: build time falls as segmentation grows (smaller graphs");
+    println!("build cheaper and vacuum/rebuild units shrink); per-query CPU rises");
+    println!("mildly with segment count — the cost the MPP fan-out hides.");
+    save_json("ablation_segments", &serde_json::Value::Array(json));
+}

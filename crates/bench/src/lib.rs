@@ -1,0 +1,190 @@
+//! # tv-bench
+//!
+//! The benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§6). Each experiment is a binary under `src/bin/`:
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `fig7_throughput` | Fig. 7 — QPS vs recall, all four systems, both datasets |
+//! | `fig8_latency` | Fig. 8 — single-thread latency vs recall |
+//! | `fig9_node_scalability` | Fig. 9 — QPS vs cluster size at three recall targets |
+//! | `fig10_data_scalability` | Fig. 10 — QPS vs dataset size (100K→1M standing in for 100M→1B) |
+//! | `table2_build_time` | Table 2 — data-load / index-build / end-to-end times |
+//! | `fig11_update` | Fig. 11 — incremental update vs full rebuild crossover |
+//! | `table34_hybrid` | Tables 3–4 — hybrid IC queries (`--sf` selects the scale) |
+//!
+//! Every binary prints a human-readable table and writes machine-readable
+//! JSON under `bench_results/` (EXPERIMENTS.md quotes those numbers).
+//! Measured quantities (per-query CPU, build times, recall, candidate
+//! counts) are real; cluster QPS and per-system service throughput go
+//! through the documented models in `tv-cluster::model` and
+//! `tv-baselines::cost` — see DESIGN.md's substitution table.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use tv_baselines::{recall_at_k, VectorSystem};
+use tv_common::VertexId;
+
+pub use tv_baselines::system::recall_at_k as recall;
+
+/// Simple `--key value` CLI parsing for the bench binaries.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    values: HashMap<String, String>,
+}
+
+impl BenchArgs {
+    /// Parse `std::env::args()`.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut values = HashMap::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if let Some(v) = args.next() {
+                    values.insert(key.to_string(), v);
+                }
+            }
+        }
+        BenchArgs { values }
+    }
+
+    /// Integer argument with default.
+    #[must_use]
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// u64 argument with default.
+    #[must_use]
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// One measured operating point of a system: recall plus timing.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct OperatingPoint {
+    /// `ef` used (0 when untunable).
+    pub ef: usize,
+    /// Mean recall@k against exact ground truth.
+    pub recall: f64,
+    /// Measured mean per-query CPU time (seconds).
+    pub cpu_per_query_s: f64,
+    /// Modeled saturated QPS on the paper's hardware.
+    pub modeled_qps: f64,
+    /// Modeled single-thread latency (ms).
+    pub modeled_latency_ms: f64,
+}
+
+/// Measure a system at one `ef` point: real recall and real per-query CPU,
+/// then model QPS/latency on the paper's 32-core box via the system's
+/// documented cost constants.
+pub fn measure_point(
+    system: &mut dyn VectorSystem,
+    ef: usize,
+    queries: &[Vec<f32>],
+    ground_truth: &[Vec<VertexId>],
+    k: usize,
+    fanout_cores: usize,
+) -> OperatingPoint {
+    let tunable = system.set_ef(ef);
+    let started = Instant::now();
+    let mut recall_sum = 0.0;
+    for (q, truth) in queries.iter().zip(ground_truth) {
+        let got = system.top_k(q, k);
+        recall_sum += recall_at_k(&got, truth, k);
+    }
+    let cpu_per_query = started.elapsed() / queries.len().max(1) as u32;
+    let model = tv_baselines::CostModel {
+        parallel_efficiency: system.parallel_efficiency(),
+        request_overhead: system.request_overhead(),
+        hourly_usd: 0.0,
+    };
+    OperatingPoint {
+        ef: if tunable { ef } else { 0 },
+        recall: recall_sum / queries.len().max(1) as f64,
+        cpu_per_query_s: cpu_per_query.as_secs_f64(),
+        modeled_qps: model.modeled_qps(cpu_per_query),
+        modeled_latency_ms: model
+            .modeled_latency(cpu_per_query, fanout_cores)
+            .as_secs_f64()
+            * 1e3,
+    }
+}
+
+/// Print a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Write a JSON result file under `bench_results/`.
+pub fn save_json(name: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("bench_results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if let Ok(s) = serde_json::to_string_pretty(value) {
+            let _ = std::fs::write(&path, s);
+            println!("[saved {}]", path.display());
+        }
+    }
+}
+
+/// Pretty duration for tables.
+#[must_use]
+pub fn fmt_duration(d: Duration) -> String {
+    if d.as_secs_f64() >= 1.0 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d.as_secs_f64() >= 1e-3 {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1}µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_duration_ranges() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.0µs");
+    }
+
+    #[test]
+    fn args_parse_defaults() {
+        let args = BenchArgs::default();
+        assert_eq!(args.get_usize("n", 42), 42);
+        assert_eq!(args.get_u64("seed", 7), 7);
+    }
+}

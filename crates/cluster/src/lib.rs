@@ -1,0 +1,28 @@
+//! # tv-cluster
+//!
+//! Distributed vector search (Fig. 5 of the paper): a **coordinator**
+//! prepares per-segment top-k requests in a send queue, dispatches them to
+//! **worker servers**, each worker searches its local embedding segments,
+//! and the IDs + distances flow back to the coordinator's response pool for
+//! a global merge.
+//!
+//! The paper runs on 8–32 GCP machines; this container has one core, so the
+//! crate provides two layers (both exercised by the benchmarks):
+//!
+//! * [`runtime`] — a *real* message-passing runtime: one thread per server,
+//!   crossbeam channels as the network, actual scatter-gather execution.
+//!   This validates the architecture (results identical to a centralized
+//!   search, replica failover works) and measures real per-server compute.
+//! * [`model`] — an analytic cost model that turns measured per-query CPU
+//!   work into modeled cluster latency/QPS under a configurable network
+//!   (per-message latency + per-byte cost) and per-server core count. The
+//!   node- and data-scalability figures (Fig. 9/10) are regenerated through
+//!   this model; DESIGN.md documents the substitution.
+
+pub mod model;
+pub mod placement;
+pub mod runtime;
+
+pub use model::{ClusterModel, NetworkModel, QueryWork};
+pub use placement::Placement;
+pub use runtime::{ClusterRuntime, RuntimeConfig};

@@ -1,0 +1,115 @@
+//! Segment placement: which server owns which embedding segments, plus
+//! replica assignment for high availability (§4.2: "ensuring high
+//! availability is simplified with embedding segment replicas distributed
+//! across the cluster").
+
+use tv_common::SegmentId;
+
+/// Round-robin segment→server placement with `replication` copies.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Number of servers.
+    pub servers: usize,
+    /// Copies per segment (1 = no replicas).
+    pub replication: usize,
+}
+
+impl Placement {
+    /// New placement; panics on zero servers (programmer error).
+    #[must_use]
+    pub fn new(servers: usize, replication: usize) -> Self {
+        assert!(servers > 0, "cluster needs at least one server");
+        Placement {
+            servers,
+            replication: replication.clamp(1, servers),
+        }
+    }
+
+    /// Primary owner of a segment.
+    #[must_use]
+    pub fn primary(&self, seg: SegmentId) -> usize {
+        seg.0 as usize % self.servers
+    }
+
+    /// All servers holding a copy of `seg` (primary first).
+    #[must_use]
+    pub fn holders(&self, seg: SegmentId) -> Vec<usize> {
+        (0..self.replication)
+            .map(|r| (seg.0 as usize + r) % self.servers)
+            .collect()
+    }
+
+    /// The server that should serve `seg` when `down` servers are
+    /// unavailable; `None` if every holder is down.
+    #[must_use]
+    pub fn serving(&self, seg: SegmentId, down: &[usize]) -> Option<usize> {
+        self.holders(seg).into_iter().find(|s| !down.contains(s))
+    }
+
+    /// Segments (out of `total`) that server `s` holds a copy of.
+    #[must_use]
+    pub fn segments_of(&self, s: usize, total: usize) -> Vec<SegmentId> {
+        (0..total)
+            .map(|i| SegmentId(i as u32))
+            .filter(|seg| self.holders(*seg).contains(&s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_is_round_robin() {
+        let p = Placement::new(4, 1);
+        assert_eq!(p.primary(SegmentId(0)), 0);
+        assert_eq!(p.primary(SegmentId(5)), 1);
+        assert_eq!(p.holders(SegmentId(5)), vec![1]);
+    }
+
+    #[test]
+    fn replicas_are_distinct_servers() {
+        let p = Placement::new(4, 3);
+        let h = p.holders(SegmentId(2));
+        assert_eq!(h, vec![2, 3, 0]);
+        let mut uniq = h.clone();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3);
+    }
+
+    #[test]
+    fn replication_clamped_to_servers() {
+        let p = Placement::new(2, 5);
+        assert_eq!(p.replication, 2);
+    }
+
+    #[test]
+    fn failover_prefers_primary_then_replicas() {
+        let p = Placement::new(3, 2);
+        let seg = SegmentId(1);
+        assert_eq!(p.serving(seg, &[]), Some(1));
+        assert_eq!(p.serving(seg, &[1]), Some(2));
+        assert_eq!(p.serving(seg, &[1, 2]), None);
+    }
+
+    #[test]
+    fn segments_of_covers_everything() {
+        let p = Placement::new(3, 2);
+        let total = 10;
+        // Every segment is held by exactly `replication` servers.
+        let mut count = vec![0usize; total];
+        for s in 0..3 {
+            for seg in p.segments_of(s, total) {
+                count[seg.0 as usize] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = Placement::new(0, 1);
+    }
+}

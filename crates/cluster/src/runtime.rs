@@ -1,0 +1,381 @@
+//! The coordinator/worker message-passing runtime (Fig. 5).
+//!
+//! One thread per server; crossbeam channels play the network. The
+//! coordinator puts per-server top-k requests in the send queue, workers
+//! search their local embedding segments and push `(id, distance)` lists
+//! into the response pool, and the coordinator performs the global merge.
+//! A coordinator can also function as a worker (the paper notes this);
+//! in the runtime the coordinator is just the caller's thread.
+
+use crate::placement::Placement;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use tv_common::{merge_topk, Bitmap, Neighbor, SegmentId, Tid, TvError, TvResult};
+use tv_embedding::EmbeddingSegment;
+use tv_hnsw::SearchStats;
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Number of worker servers.
+    pub servers: usize,
+    /// Replication factor for segments.
+    pub replication: usize,
+    /// Brute-force threshold forwarded to segment searches.
+    pub brute_force_threshold: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            servers: 4,
+            replication: 1,
+            brute_force_threshold: 64,
+        }
+    }
+}
+
+enum Request {
+    TopK {
+        query: Arc<Vec<f32>>,
+        k: usize,
+        ef: usize,
+        tid: Tid,
+        /// Segments this server must search for this query (failover may
+        /// shift segments between holders).
+        segments: Vec<SegmentId>,
+        /// Optional per-segment filters.
+        filters: Arc<HashMap<SegmentId, Bitmap>>,
+        reply: Sender<(usize, Vec<Neighbor>, SearchStats, Duration)>,
+    },
+    Shutdown,
+}
+
+struct ServerHandle {
+    tx: Sender<Request>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A running cluster: server threads owning embedding segments.
+pub struct ClusterRuntime {
+    /// The configuration the runtime was started with.
+    pub config: RuntimeConfig,
+    placement: Placement,
+    /// Segment stores shared with server threads (server i serves the
+    /// segments placement assigns it).
+    segments: Arc<RwLock<HashMap<SegmentId, Arc<EmbeddingSegment>>>>,
+    servers: Vec<ServerHandle>,
+    down: RwLock<Vec<usize>>,
+}
+
+impl ClusterRuntime {
+    /// Spin up server threads.
+    #[must_use]
+    pub fn start(config: RuntimeConfig) -> Self {
+        let placement = Placement::new(config.servers, config.replication);
+        let segments: Arc<RwLock<HashMap<SegmentId, Arc<EmbeddingSegment>>>> =
+            Arc::new(RwLock::new(HashMap::new()));
+        let mut servers = Vec::with_capacity(config.servers);
+        for server_id in 0..config.servers {
+            let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
+            let segs = Arc::clone(&segments);
+            let threshold = config.brute_force_threshold;
+            let join = std::thread::spawn(move || {
+                while let Ok(req) = rx.recv() {
+                    match req {
+                        Request::TopK {
+                            query,
+                            k,
+                            ef,
+                            tid,
+                            segments,
+                            filters,
+                            reply,
+                        } => {
+                            let started = std::time::Instant::now();
+                            let mut local: Vec<Vec<Neighbor>> = Vec::new();
+                            let mut stats = SearchStats::default();
+                            let map = segs.read();
+                            for seg_id in segments {
+                                if let Some(seg) = map.get(&seg_id) {
+                                    let (r, s) = seg.search(
+                                        &query,
+                                        k,
+                                        ef,
+                                        filters.get(&seg_id),
+                                        tid,
+                                        threshold,
+                                    );
+                                    stats.merge(&s);
+                                    local.push(r);
+                                }
+                            }
+                            drop(map);
+                            let merged = merge_topk(local, k);
+                            // Response pool: ids + distances back to the
+                            // coordinator.
+                            let _ = reply.send((server_id, merged, stats, started.elapsed()));
+                        }
+                        Request::Shutdown => break,
+                    }
+                }
+            });
+            servers.push(ServerHandle {
+                tx,
+                join: Some(join),
+            });
+        }
+        ClusterRuntime {
+            config,
+            placement,
+            segments,
+            servers,
+            down: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Register an embedding segment with the cluster (the owner is derived
+    /// from the placement).
+    pub fn add_segment(&self, segment: Arc<EmbeddingSegment>) {
+        self.segments.write().insert(segment.segment_id, segment);
+    }
+
+    /// Number of registered segments.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segments.read().len()
+    }
+
+    /// The placement map.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Mark a server down (its segments shift to replicas).
+    pub fn fail_server(&self, server: usize) {
+        let mut down = self.down.write();
+        if !down.contains(&server) {
+            down.push(server);
+        }
+    }
+
+    /// Bring a failed server back.
+    pub fn recover_server(&self, server: usize) {
+        self.down.write().retain(|&s| s != server);
+    }
+
+    /// Distributed top-k: scatter per-server requests, gather and globally
+    /// merge. Returns the merged results, per-server compute times, and the
+    /// merged stats.
+    pub fn top_k(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        tid: Tid,
+        filters: Option<&HashMap<SegmentId, Bitmap>>,
+    ) -> TvResult<(Vec<Neighbor>, Vec<Duration>, SearchStats)> {
+        let down = self.down.read().clone();
+        // Route each segment to its serving holder.
+        let mut per_server: HashMap<usize, Vec<SegmentId>> = HashMap::new();
+        for (&seg_id, _) in self.segments.read().iter() {
+            match self.placement.serving(seg_id, &down) {
+                Some(s) => per_server.entry(s).or_default().push(seg_id),
+                None => {
+                    return Err(TvError::Cluster(format!(
+                        "segment {seg_id} has no live holder"
+                    )))
+                }
+            }
+        }
+        let query = Arc::new(query.to_vec());
+        let filters = Arc::new(filters.cloned().unwrap_or_default());
+        let (reply_tx, reply_rx) = unbounded();
+        let mut outstanding = 0;
+        for (server, segments) in per_server {
+            self.servers[server]
+                .tx
+                .send(Request::TopK {
+                    query: Arc::clone(&query),
+                    k,
+                    ef,
+                    tid,
+                    segments,
+                    filters: Arc::clone(&filters),
+                    reply: reply_tx.clone(),
+                })
+                .map_err(|_| TvError::Cluster(format!("server {server} unreachable")))?;
+            outstanding += 1;
+        }
+        drop(reply_tx);
+        let mut lists = Vec::with_capacity(outstanding);
+        let mut times = Vec::with_capacity(outstanding);
+        let mut stats = SearchStats::default();
+        for _ in 0..outstanding {
+            let (_server, list, s, took) = reply_rx
+                .recv()
+                .map_err(|_| TvError::Cluster("response pool closed".into()))?;
+            lists.push(list);
+            times.push(took);
+            stats.merge(&s);
+        }
+        Ok((merge_topk(lists, k), times, stats))
+    }
+}
+
+impl Drop for ClusterRuntime {
+    fn drop(&mut self) {
+        for s in &self.servers {
+            let _ = s.tx.send(Request::Shutdown);
+        }
+        for s in &mut self.servers {
+            if let Some(j) = s.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_common::ids::{LocalId, VertexId};
+    use tv_common::{DistanceMetric, SplitMix64};
+    use tv_embedding::EmbeddingTypeDef;
+    use tv_hnsw::DeltaRecord;
+
+    fn loaded_cluster(
+        servers: usize,
+        replication: usize,
+        segments: usize,
+        per_segment: usize,
+    ) -> (ClusterRuntime, Vec<(VertexId, Vec<f32>)>) {
+        let runtime = ClusterRuntime::start(RuntimeConfig {
+            servers,
+            replication,
+            brute_force_threshold: 4,
+        });
+        let def = EmbeddingTypeDef::new("e", 8, "M", DistanceMetric::L2);
+        let mut rng = SplitMix64::new(31);
+        let mut all = Vec::new();
+        let mut tid = 0u64;
+        for s in 0..segments {
+            let seg = Arc::new(EmbeddingSegment::new(SegmentId(s as u32), &def, 1024));
+            let mut recs = Vec::new();
+            for l in 0..per_segment {
+                tid += 1;
+                let v: Vec<f32> = (0..8).map(|_| rng.next_f32() * 5.0).collect();
+                let id = VertexId::new(SegmentId(s as u32), LocalId(l as u32));
+                recs.push(DeltaRecord::upsert(id, Tid(tid), v.clone()));
+                all.push((id, v));
+            }
+            seg.append_deltas(&recs).unwrap();
+            seg.delta_merge(Tid(tid)).unwrap();
+            seg.index_merge(Tid(tid)).unwrap();
+            runtime.add_segment(seg);
+        }
+        (runtime, all)
+    }
+
+    fn exact_top1(all: &[(VertexId, Vec<f32>)], q: &[f32]) -> VertexId {
+        all.iter()
+            .min_by(|a, b| {
+                tv_common::metric::l2_sq(q, &a.1)
+                    .total_cmp(&tv_common::metric::l2_sq(q, &b.1))
+            })
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn distributed_matches_exact_top1() {
+        let (runtime, all) = loaded_cluster(4, 1, 8, 50);
+        for probe in [0usize, 17, 133, 399] {
+            let q = &all[probe].1;
+            let (r, times, stats) = runtime.top_k(q, 1, 64, Tid::MAX, None).unwrap();
+            assert_eq!(r[0].id, exact_top1(&all, q));
+            assert_eq!(times.len(), 4);
+            assert!(stats.distance_computations > 0);
+        }
+    }
+
+    #[test]
+    fn global_merge_is_sorted_topk() {
+        let (runtime, all) = loaded_cluster(3, 1, 6, 40);
+        let (r, _, _) = runtime.top_k(&all[5].1, 10, 64, Tid::MAX, None).unwrap();
+        assert_eq!(r.len(), 10);
+        assert!(r.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn failover_to_replicas() {
+        let (runtime, all) = loaded_cluster(3, 2, 6, 30);
+        let q = &all[10].1;
+        let (before, _, _) = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
+        runtime.fail_server(0);
+        let (after, _, _) = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
+        assert_eq!(
+            before.iter().map(|n| n.id).collect::<Vec<_>>(),
+            after.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+        runtime.recover_server(0);
+        let (again, _, _) = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
+        assert_eq!(after.len(), again.len());
+    }
+
+    #[test]
+    fn unreplicated_cluster_fails_hard_when_server_down() {
+        let (runtime, all) = loaded_cluster(3, 1, 6, 20);
+        runtime.fail_server(1);
+        let err = runtime.top_k(&all[0].1, 3, 32, Tid::MAX, None).unwrap_err();
+        assert!(matches!(err, TvError::Cluster(_)));
+    }
+
+    #[test]
+    fn filters_apply_per_segment() {
+        let (runtime, all) = loaded_cluster(2, 1, 4, 25);
+        // Only segment 2, locals 0..5 are valid.
+        let mut filters = HashMap::new();
+        let mut bm = Bitmap::new(1024);
+        for l in 0..5 {
+            bm.set(l, true);
+        }
+        filters.insert(SegmentId(2), bm);
+        // Empty bitmaps for other segments exclude them entirely... absent
+        // means unfiltered in the runtime, so pass explicit empties.
+        for s in [0u32, 1, 3] {
+            filters.insert(SegmentId(s), Bitmap::new(1024));
+        }
+        let (r, _, _) = runtime.top_k(&all[0].1, 3, 64, Tid::MAX, Some(&filters)).unwrap();
+        assert!(!r.is_empty());
+        assert!(r
+            .iter()
+            .all(|n| n.id.segment() == SegmentId(2) && n.id.local().0 < 5));
+    }
+
+    #[test]
+    fn concurrent_queries_from_many_client_threads() {
+        let (runtime, all) = loaded_cluster(4, 1, 8, 30);
+        let runtime = Arc::new(runtime);
+        let all = Arc::new(all);
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let rt = Arc::clone(&runtime);
+            let data = Arc::clone(&all);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20 {
+                    let q = &data[(t * 13 + i * 7) % data.len()].1;
+                    let (r, _, _) = rt.top_k(q, 5, 32, Tid::MAX, None).unwrap();
+                    assert!(!r.is_empty());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Result alias used throughout the TigerVector crates.
+pub type TvResult<T> = Result<T, TvError>;
+
+/// Unified error type for schema, storage, index, transaction, and query
+/// failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TvError {
+    /// Schema/catalog violation (duplicate type, unknown attribute, ...).
+    Schema(String),
+    /// Embedding-metadata incompatibility detected by static analysis of a
+    /// query (§4.1: dimensions/model/datatype/metric must match; index type
+    /// may differ).
+    IncompatibleEmbeddings(String),
+    /// Dimension mismatch between a vector value and its declared embedding
+    /// type.
+    DimensionMismatch {
+        /// Dimension declared in the embedding type.
+        expected: usize,
+        /// Dimension of the offending vector.
+        got: usize,
+    },
+    /// Referenced entity (vertex, type, attribute, segment) does not exist.
+    NotFound(String),
+    /// Storage-layer failure (segment full, WAL corruption, ...).
+    Storage(String),
+    /// Transaction aborted (conflict, explicit rollback, ...).
+    TxnAborted(String),
+    /// GSQL parse error with position information.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset in the query text.
+        offset: usize,
+    },
+    /// Semantic error raised during query compilation (the paper's "semantic
+    /// error" for incompatible embedding search, unknown aliases, ...).
+    Semantic(String),
+    /// Query execution failure.
+    Execution(String),
+    /// Cluster-simulation failure (server down, routing error, ...).
+    Cluster(String),
+    /// Invalid argument to a public API.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TvError::Schema(m) => write!(f, "schema error: {m}"),
+            TvError::IncompatibleEmbeddings(m) => {
+                write!(f, "incompatible embedding types: {m}")
+            }
+            TvError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            TvError::NotFound(m) => write!(f, "not found: {m}"),
+            TvError::Storage(m) => write!(f, "storage error: {m}"),
+            TvError::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
+            TvError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            TvError::Semantic(m) => write!(f, "semantic error: {m}"),
+            TvError::Execution(m) => write!(f, "execution error: {m}"),
+            TvError::Cluster(m) => write!(f, "cluster error: {m}"),
+            TvError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TvError::DimensionMismatch {
+            expected: 128,
+            got: 96,
+        };
+        let s = e.to_string();
+        assert!(s.contains("128") && s.contains("96"));
+
+        let p = TvError::Parse {
+            message: "expected LIMIT".into(),
+            offset: 42,
+        };
+        assert!(p.to_string().contains("42"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&TvError::Schema("x".into()));
+    }
+}

@@ -1,0 +1,23 @@
+//! # tv-common
+//!
+//! Shared foundation types for the TigerVector reproduction: identifiers,
+//! distance metrics, validity bitmaps, bounded top-k heaps, errors, and a
+//! deterministic RNG.
+//!
+//! Everything in this crate is dependency-light and usable from every layer
+//! of the system — the storage engine, the HNSW index, the embedding service,
+//! the query engine, and the cluster simulator all speak these types.
+
+pub mod bitmap;
+pub mod error;
+pub mod ids;
+pub mod metric;
+pub mod rng;
+pub mod topk;
+
+pub use bitmap::Bitmap;
+pub use error::{TvError, TvResult};
+pub use ids::{GlobalId, LocalId, SegmentId, Tid, VertexId, SEGMENT_CAPACITY};
+pub use metric::{distance, DistanceMetric};
+pub use rng::SplitMix64;
+pub use topk::{merge_topk, Neighbor, NeighborHeap};

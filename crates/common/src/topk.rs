@@ -1,0 +1,255 @@
+//! Bounded top-k structures for nearest-neighbor search.
+//!
+//! Every layer of TigerVector ends in a top-k merge: the HNSW search keeps a
+//! bounded candidate set, each embedding segment returns its local top-k, and
+//! the coordinator merges per-segment (and per-server) results into the
+//! global answer (§5.1, Fig. 5). [`NeighborHeap`] is that primitive: a
+//! max-heap of at most `k` `(distance, id)` pairs that keeps the k smallest
+//! distances seen.
+
+use crate::ids::VertexId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A search result: a vertex and its distance to the query.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// Distance to the query (smaller = more similar, for every metric).
+    pub dist: f32,
+    /// Global id of the matched vertex.
+    pub id: VertexId,
+}
+
+impl Neighbor {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(id: VertexId, dist: f32) -> Self {
+        Neighbor { dist, id }
+    }
+}
+
+impl PartialEq for Neighbor {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Neighbor {}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Total order: by distance, ties broken by id so results are deterministic.
+/// NaN distances sort last (treated as "infinitely far").
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.dist.is_nan(), other.dist.is_nan()) {
+            (true, true) => self.id.cmp(&other.id),
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self
+                .dist
+                .partial_cmp(&other.dist)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| self.id.cmp(&other.id)),
+        }
+    }
+}
+
+/// Bounded max-heap keeping the `k` nearest neighbors seen so far.
+#[derive(Debug, Clone)]
+pub struct NeighborHeap {
+    k: usize,
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl NeighborHeap {
+    /// A heap that retains at most `k` nearest neighbors. `k == 0` is allowed
+    /// and retains nothing.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        NeighborHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Capacity `k` the heap was created with.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of neighbors currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no neighbors are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offer a candidate; returns true if it entered the top-k.
+    pub fn push(&mut self, n: Neighbor) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(n);
+            true
+        } else if n < *self.heap.peek().expect("non-empty at capacity") {
+            self.heap.pop();
+            self.heap.push(n);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current k-th (worst retained) distance, or `f32::INFINITY` while
+    /// the heap is not yet full. HNSW uses this as its expansion bound.
+    #[must_use]
+    pub fn bound(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap.peek().map_or(f32::INFINITY, |n| n.dist)
+        }
+    }
+
+    /// Merge another heap's contents into this one.
+    pub fn merge(&mut self, other: &NeighborHeap) {
+        for n in &other.heap {
+            self.push(*n);
+        }
+    }
+
+    /// Consume the heap, returning neighbors sorted nearest-first.
+    #[must_use]
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Merge many per-segment top-k lists (each already nearest-first or not)
+/// into a single global top-k, nearest-first. This is the coordinator's
+/// final merge step in distributed query processing (Fig. 5).
+#[must_use]
+pub fn merge_topk(lists: impl IntoIterator<Item = Vec<Neighbor>>, k: usize) -> Vec<Neighbor> {
+    let mut heap = NeighborHeap::new(k);
+    for list in lists {
+        for n in list {
+            heap.push(n);
+        }
+    }
+    heap.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LocalId, SegmentId};
+
+    fn v(n: u64) -> VertexId {
+        VertexId(n)
+    }
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut h = NeighborHeap::new(3);
+        for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0].iter().enumerate() {
+            h.push(Neighbor::new(v(i as u64), *d));
+        }
+        let got: Vec<f32> = h.into_sorted().iter().map(|n| n.dist).collect();
+        assert_eq!(got, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sorted_output_nearest_first_with_id_ties() {
+        let mut h = NeighborHeap::new(4);
+        h.push(Neighbor::new(v(2), 1.0));
+        h.push(Neighbor::new(v(1), 1.0));
+        h.push(Neighbor::new(v(3), 0.5));
+        let got = h.into_sorted();
+        assert_eq!(got[0].id, v(3));
+        assert_eq!(got[1].id, v(1)); // tie broken by smaller id
+        assert_eq!(got[2].id, v(2));
+    }
+
+    #[test]
+    fn bound_is_infinite_until_full() {
+        let mut h = NeighborHeap::new(2);
+        assert_eq!(h.bound(), f32::INFINITY);
+        h.push(Neighbor::new(v(0), 1.0));
+        assert_eq!(h.bound(), f32::INFINITY);
+        h.push(Neighbor::new(v(1), 2.0));
+        assert_eq!(h.bound(), 2.0);
+        h.push(Neighbor::new(v(2), 0.5));
+        assert_eq!(h.bound(), 1.0);
+    }
+
+    #[test]
+    fn zero_k_accepts_nothing() {
+        let mut h = NeighborHeap::new(0);
+        assert!(!h.push(Neighbor::new(v(0), 1.0)));
+        assert!(h.is_empty());
+        assert!(h.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn push_reports_entry() {
+        let mut h = NeighborHeap::new(1);
+        assert!(h.push(Neighbor::new(v(0), 2.0)));
+        assert!(h.push(Neighbor::new(v(1), 1.0)));
+        assert!(!h.push(Neighbor::new(v(2), 3.0)));
+    }
+
+    #[test]
+    fn nan_sorts_last() {
+        let mut h = NeighborHeap::new(2);
+        h.push(Neighbor::new(v(0), f32::NAN));
+        h.push(Neighbor::new(v(1), 1.0));
+        h.push(Neighbor::new(v(2), 2.0));
+        let got = h.into_sorted();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|n| !n.dist.is_nan()));
+    }
+
+    #[test]
+    fn merge_topk_global() {
+        let s0 = vec![Neighbor::new(v(0), 3.0), Neighbor::new(v(1), 1.0)];
+        let s1 = vec![Neighbor::new(v(2), 2.0), Neighbor::new(v(3), 4.0)];
+        let got = merge_topk([s0, s1], 3);
+        let ids: Vec<VertexId> = got.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![v(1), v(2), v(0)]);
+    }
+
+    #[test]
+    fn merge_heaps() {
+        let mut a = NeighborHeap::new(2);
+        a.push(Neighbor::new(v(0), 5.0));
+        let mut b = NeighborHeap::new(2);
+        b.push(Neighbor::new(v(1), 1.0));
+        b.push(Neighbor::new(v(2), 2.0));
+        a.merge(&b);
+        let got = a.into_sorted();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].id, v(1));
+        assert_eq!(got[1].id, v(2));
+    }
+
+    #[test]
+    fn neighbor_uses_vertex_id_ordering() {
+        let a = Neighbor::new(VertexId::new(SegmentId(0), LocalId(5)), 1.0);
+        let b = Neighbor::new(VertexId::new(SegmentId(1), LocalId(0)), 1.0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,244 @@
+//! Clustered vector generation and exact ground truth.
+//!
+//! SIFT and Deep are both strongly clustered — that clustering is what
+//! makes HNSW's recall/ef trade-off non-trivial, so the generator samples
+//! from a mixture of Gaussians: cluster centers uniform in the value range,
+//! points normally distributed around a randomly chosen center. Queries
+//! come from the same mixture (the realistic case: queries look like data).
+
+use tv_common::ids::SegmentLayout;
+use tv_common::metric::{distance, normalize};
+use tv_common::{DistanceMetric, Neighbor, NeighborHeap, SplitMix64, VertexId};
+
+/// Which published dataset's shape to imitate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetShape {
+    /// SIFT: 128-d local descriptors, coordinates in [0, 218), L2.
+    Sift,
+    /// Deep: 96-d CNN descriptors, unit-normalized, L2 (≡ angular).
+    Deep,
+}
+
+impl DatasetShape {
+    /// Dimensionality of the shape.
+    #[must_use]
+    pub fn dim(self) -> usize {
+        match self {
+            DatasetShape::Sift => 128,
+            DatasetShape::Deep => 96,
+        }
+    }
+
+    /// Metric the published benchmark uses.
+    #[must_use]
+    pub fn metric(self) -> DistanceMetric {
+        DistanceMetric::L2
+    }
+
+    /// Display name at reproduction scale (×1000 scale-down documented in
+    /// DESIGN.md — 100K stands in for 100M).
+    #[must_use]
+    pub fn scaled_name(self) -> &'static str {
+        match self {
+            DatasetShape::Sift => "SIFT100K (for SIFT100M)",
+            DatasetShape::Deep => "Deep100K (for Deep100M)",
+        }
+    }
+}
+
+/// A generated dataset: base vectors plus query vectors.
+pub struct VectorDataset {
+    /// Shape generated.
+    pub shape: DatasetShape,
+    /// Dimensionality (may be overridden below the published dim for quick
+    /// tests).
+    pub dim: usize,
+    /// Base vectors, row id = index.
+    pub base: Vec<Vec<f32>>,
+    /// Query vectors.
+    pub queries: Vec<Vec<f32>>,
+}
+
+impl VectorDataset {
+    /// Generate `n` base and `q` query vectors of `shape` at full published
+    /// dimensionality.
+    #[must_use]
+    pub fn generate(shape: DatasetShape, n: usize, q: usize, seed: u64) -> Self {
+        Self::generate_dim(shape, shape.dim(), n, q, seed)
+    }
+
+    /// Generate with an explicit (possibly reduced) dimensionality.
+    #[must_use]
+    pub fn generate_dim(shape: DatasetShape, dim: usize, n: usize, q: usize, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        // Many small clusters whose tails overlap heavily: with per-cluster
+        // spread comparable to inter-center distance, a query's true top-k
+        // straddles several clusters — the regime where HNSW's ef/recall
+        // trade-off is non-trivial (as on real SIFT/Deep).
+        let clusters = (n / 100).clamp(16, 65_536);
+        let centers: Vec<Vec<f32>> = (0..clusters)
+            .map(|_| (0..dim).map(|_| rng.next_f32() * 128.0).collect())
+            .collect();
+        let spread = 48.0f64;
+        let sample = |rng: &mut SplitMix64| -> Vec<f32> {
+            let c = &centers[rng.next_below(clusters as u64) as usize];
+            let mut v: Vec<f32> = c
+                .iter()
+                .map(|&x| x + (rng.next_gaussian() * spread) as f32)
+                .collect();
+            if shape == DatasetShape::Deep {
+                normalize(&mut v);
+            }
+            v
+        };
+        let base: Vec<Vec<f32>> = (0..n).map(|_| sample(&mut rng)).collect();
+        let queries: Vec<Vec<f32>> = (0..q).map(|_| sample(&mut rng)).collect();
+        VectorDataset {
+            shape,
+            dim,
+            base,
+            queries,
+        }
+    }
+
+    /// Base vectors paired with vertex ids under `layout` (the loader
+    /// format).
+    #[must_use]
+    pub fn with_ids(&self, layout: SegmentLayout) -> Vec<(VertexId, Vec<f32>)> {
+        self.base
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (layout.vertex_id(i), v.clone()))
+            .collect()
+    }
+}
+
+/// Exact top-k ground truth (brute force) for every query; rows parallel to
+/// `queries`, ids are dense base-row indices converted through `layout`.
+#[must_use]
+pub fn ground_truth(
+    base: &[Vec<f32>],
+    queries: &[Vec<f32>],
+    k: usize,
+    metric: DistanceMetric,
+    layout: SegmentLayout,
+) -> Vec<Vec<VertexId>> {
+    queries
+        .iter()
+        .map(|q| {
+            let mut heap = NeighborHeap::new(k);
+            for (i, b) in base.iter().enumerate() {
+                heap.push(Neighbor::new(layout.vertex_id(i), distance(metric, q, b)));
+            }
+            heap.into_sorted().into_iter().map(|n| n.id).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = VectorDataset::generate_dim(DatasetShape::Sift, 16, 100, 5, 1);
+        let b = VectorDataset::generate_dim(DatasetShape::Sift, 16, 100, 5, 1);
+        assert_eq!(a.base, b.base);
+        assert_eq!(a.queries, b.queries);
+        let c = VectorDataset::generate_dim(DatasetShape::Sift, 16, 100, 5, 2);
+        assert_ne!(a.base, c.base);
+    }
+
+    #[test]
+    fn shapes_have_published_dims() {
+        assert_eq!(DatasetShape::Sift.dim(), 128);
+        assert_eq!(DatasetShape::Deep.dim(), 96);
+        let d = VectorDataset::generate(DatasetShape::Deep, 10, 2, 3);
+        assert_eq!(d.base[0].len(), 96);
+    }
+
+    #[test]
+    fn deep_is_normalized() {
+        let d = VectorDataset::generate_dim(DatasetShape::Deep, 32, 50, 0, 9);
+        for v in &d.base {
+            let n = tv_common::metric::norm(v);
+            assert!((n - 1.0).abs() < 1e-4, "norm {n}");
+        }
+    }
+
+    #[test]
+    fn sift_is_not_normalized() {
+        let d = VectorDataset::generate_dim(DatasetShape::Sift, 32, 50, 0, 9);
+        let normalized = d
+            .base
+            .iter()
+            .filter(|v| (tv_common::metric::norm(v) - 1.0).abs() < 1e-4)
+            .count();
+        assert!(normalized < d.base.len() / 2);
+    }
+
+    #[test]
+    fn data_is_clustered() {
+        // Mean nearest-neighbor distance must be far below mean pairwise
+        // distance for clustered data.
+        let d = VectorDataset::generate_dim(DatasetShape::Sift, 8, 4000, 0, 7);
+        let sample: Vec<&Vec<f32>> = d.base.iter().step_by(40).collect();
+        let mut nn = 0.0;
+        let mut all = 0.0;
+        let mut all_n = 0;
+        for (i, a) in sample.iter().enumerate() {
+            let mut best = f32::INFINITY;
+            for (j, b) in sample.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let dist = tv_common::metric::l2_sq(a, b);
+                best = best.min(dist);
+                all += f64::from(dist);
+                all_n += 1;
+            }
+            nn += f64::from(best);
+        }
+        let mean_nn = nn / sample.len() as f64;
+        let mean_all = all / f64::from(all_n as u32);
+        assert!(
+            mean_nn < mean_all / 3.0,
+            "mean_nn {mean_nn} vs mean_all {mean_all}"
+        );
+    }
+
+    #[test]
+    fn ground_truth_is_sorted_and_exact() {
+        let d = VectorDataset::generate_dim(DatasetShape::Sift, 8, 200, 4, 11);
+        let layout = SegmentLayout::with_capacity(64);
+        let gt = ground_truth(&d.base, &d.queries, 5, DistanceMetric::L2, layout);
+        assert_eq!(gt.len(), 4);
+        for (q, truth) in d.queries.iter().zip(&gt) {
+            assert_eq!(truth.len(), 5);
+            let dists: Vec<f32> = truth
+                .iter()
+                .map(|id| {
+                    let row = layout.row(*id);
+                    tv_common::metric::l2_sq(q, &d.base[row])
+                })
+                .collect();
+            assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+            // Exactness: top-1 really is the global min.
+            let min = d
+                .base
+                .iter()
+                .map(|b| tv_common::metric::l2_sq(q, b))
+                .fold(f32::INFINITY, f32::min);
+            assert!((dists[0] - min).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn with_ids_follows_layout() {
+        let d = VectorDataset::generate_dim(DatasetShape::Sift, 4, 10, 0, 1);
+        let layout = SegmentLayout::with_capacity(4);
+        let rows = d.with_ids(layout);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[5].0, layout.vertex_id(5));
+    }
+}

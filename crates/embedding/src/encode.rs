@@ -1,0 +1,131 @@
+//! Binary encoding of vector deltas for the shared WAL payload.
+//!
+//! Graph deltas and vector deltas commit under one TID; the graph WAL record
+//! carries the vector deltas in its opaque `extra` field, encoded here. On
+//! recovery the embedding service decodes and replays them, restoring the
+//! in-memory delta stores — the piece that makes graph+vector updates
+//! atomic and durable together.
+
+use tv_common::{Tid, TvError, TvResult, VertexId};
+use tv_hnsw::index::DeltaAction;
+use tv_hnsw::DeltaRecord;
+
+/// Encode `(attr_id, record)` pairs into a WAL `extra` payload.
+#[must_use]
+pub fn encode_vector_deltas(deltas: &[(u32, DeltaRecord)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + deltas.len() * 32);
+    buf.extend_from_slice(&(deltas.len() as u32).to_le_bytes());
+    for (attr_id, rec) in deltas {
+        buf.extend_from_slice(&attr_id.to_le_bytes());
+        buf.push(match rec.action {
+            DeltaAction::Upsert => 0,
+            DeltaAction::Delete => 1,
+        });
+        buf.extend_from_slice(&rec.id.0.to_le_bytes());
+        buf.extend_from_slice(&rec.tid.0.to_le_bytes());
+        buf.extend_from_slice(&(rec.vector.len() as u32).to_le_bytes());
+        for v in &rec.vector {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    buf
+}
+
+/// Decode a WAL `extra` payload back into `(attr_id, record)` pairs.
+pub fn decode_vector_deltas(mut buf: &[u8]) -> TvResult<Vec<(u32, DeltaRecord)>> {
+    let n = take_u32(&mut buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let attr_id = take_u32(&mut buf)?;
+        let action = match take_u8(&mut buf)? {
+            0 => DeltaAction::Upsert,
+            1 => DeltaAction::Delete,
+            t => return Err(TvError::Storage(format!("bad vector delta action {t}"))),
+        };
+        let id = VertexId(take_u64(&mut buf)?);
+        let tid = Tid(take_u64(&mut buf)?);
+        let len = take_u32(&mut buf)? as usize;
+        if buf.len() < len * 4 {
+            return Err(TvError::Storage("vector delta truncated".into()));
+        }
+        let mut vector = Vec::with_capacity(len);
+        for i in 0..len {
+            vector.push(f32::from_le_bytes(buf[i * 4..i * 4 + 4].try_into().unwrap()));
+        }
+        buf = &buf[len * 4..];
+        out.push((
+            attr_id,
+            DeltaRecord {
+                action,
+                id,
+                tid,
+                vector,
+            },
+        ));
+    }
+    Ok(out)
+}
+
+fn take_u8(buf: &mut &[u8]) -> TvResult<u8> {
+    if buf.is_empty() {
+        return Err(TvError::Storage("vector delta truncated".into()));
+    }
+    let v = buf[0];
+    *buf = &buf[1..];
+    Ok(v)
+}
+fn take_u32(buf: &mut &[u8]) -> TvResult<u32> {
+    if buf.len() < 4 {
+        return Err(TvError::Storage("vector delta truncated".into()));
+    }
+    let v = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    *buf = &buf[4..];
+    Ok(v)
+}
+fn take_u64(buf: &mut &[u8]) -> TvResult<u64> {
+    if buf.len() < 8 {
+        return Err(TvError::Storage("vector delta truncated".into()));
+    }
+    let v = u64::from_le_bytes(buf[..8].try_into().unwrap());
+    *buf = &buf[8..];
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let deltas = vec![
+            (0u32, DeltaRecord::upsert(VertexId(42), Tid(7), vec![1.5, -2.0, 3.25])),
+            (3u32, DeltaRecord::delete(VertexId(9), Tid(8))),
+        ];
+        let bytes = encode_vector_deltas(&deltas);
+        let decoded = decode_vector_deltas(&bytes).unwrap();
+        assert_eq!(decoded, deltas);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let bytes = encode_vector_deltas(&[]);
+        assert!(decode_vector_deltas(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let deltas = vec![(1u32, DeltaRecord::upsert(VertexId(1), Tid(1), vec![1.0; 10]))];
+        let bytes = encode_vector_deltas(&deltas);
+        for cut in [0, 3, 8, bytes.len() - 1] {
+            assert!(decode_vector_deltas(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_action_detected() {
+        let deltas = vec![(1u32, DeltaRecord::delete(VertexId(1), Tid(1)))];
+        let mut bytes = encode_vector_deltas(&deltas);
+        bytes[8] = 9; // action byte
+        assert!(decode_vector_deltas(&bytes).is_err());
+    }
+}

@@ -1,0 +1,600 @@
+//! Embedding segments: decoupled vector storage aligned with vertex segments
+//! (§4.2) and the MVCC read/update machinery (§4.3).
+//!
+//! An [`EmbeddingSegment`] holds, for one vertex segment and one embedding
+//! attribute:
+//!
+//! * a list of **index snapshots**, each an HNSW image valid up to a TID —
+//!   multi-versioned so readers keep a consistent view while the vacuum
+//!   swaps in newer snapshots;
+//! * the **in-memory delta store**: committed vector deltas not yet flushed;
+//! * **delta files**: flushed delta batches awaiting the index merge.
+//!
+//! A search at TID `t` picks the newest snapshot with `up_to <= t`, searches
+//! its index, and combines the result with a brute-force pass over the delta
+//! records in `(snapshot.up_to, t]` — exactly the paper's "vector search
+//! queries combine index snapshot search results with brute-force search
+//! results over vector deltas".
+
+use crate::types::EmbeddingTypeDef;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tv_common::bitmap::Filter;
+use tv_common::metric::distance;
+use tv_common::{Bitmap, Neighbor, NeighborHeap, SegmentId, Tid, TvError, TvResult, VertexId};
+use tv_hnsw::index::DeltaAction;
+use tv_hnsw::{DeltaRecord, HnswConfig, HnswIndex, SearchStats, VectorIndex};
+
+/// One immutable index image, valid up to `up_to`.
+pub struct IndexSnapshot {
+    /// Every vector delta with `tid <= up_to` is reflected here.
+    pub up_to: Tid,
+    /// The HNSW index over this segment's vectors.
+    pub index: HnswIndex,
+}
+
+/// A flushed batch of vector deltas covering `(lo, hi]`.
+pub struct DeltaFile {
+    /// Exclusive lower TID bound.
+    pub lo: Tid,
+    /// Inclusive upper TID bound.
+    pub hi: Tid,
+    /// Records in commit order.
+    pub records: Vec<DeltaRecord>,
+}
+
+/// Decoupled vector storage + index for one (vertex segment, embedding
+/// attribute) pair.
+pub struct EmbeddingSegment {
+    /// The vertex segment this embedding segment is aligned with.
+    pub segment_id: SegmentId,
+    capacity: usize,
+    snapshots: RwLock<Vec<Arc<IndexSnapshot>>>,
+    mem_deltas: RwLock<Vec<DeltaRecord>>,
+    delta_files: RwLock<Vec<Arc<DeltaFile>>>,
+}
+
+impl EmbeddingSegment {
+    /// New empty segment. The HNSW seed is perturbed per segment so segment
+    /// indexes are not structurally identical.
+    #[must_use]
+    pub fn new(segment_id: SegmentId, def: &EmbeddingTypeDef, capacity: usize) -> Self {
+        let cfg = HnswConfig::new(def.dimension, def.metric)
+            .with_seed(0xE5EE_D000 ^ u64::from(segment_id.0));
+        EmbeddingSegment {
+            segment_id,
+            capacity,
+            snapshots: RwLock::new(vec![Arc::new(IndexSnapshot {
+                up_to: Tid::ZERO,
+                index: HnswIndex::new(cfg),
+            })]),
+            mem_deltas: RwLock::new(Vec::new()),
+            delta_files: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Segment capacity (same as the vertex segment's).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append committed deltas (TIDs must be non-decreasing and newer than
+    /// everything already stored).
+    pub fn append_deltas(&self, records: &[DeltaRecord]) -> TvResult<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut mem = self.mem_deltas.write();
+        let floor = mem
+            .last()
+            .map(|r| r.tid)
+            .or_else(|| self.delta_files.read().last().map(|f| f.hi))
+            .unwrap_or_else(|| self.newest_snapshot().up_to);
+        let mut prev = floor;
+        for r in records {
+            if r.tid < prev {
+                return Err(TvError::Storage(format!(
+                    "vector delta {} older than {}",
+                    r.tid, prev
+                )));
+            }
+            prev = r.tid;
+        }
+        mem.extend_from_slice(records);
+        Ok(())
+    }
+
+    /// Newest snapshot regardless of TID (the index-merge base).
+    #[must_use]
+    pub fn newest_snapshot(&self) -> Arc<IndexSnapshot> {
+        Arc::clone(self.snapshots.read().last().expect("at least one snapshot"))
+    }
+
+    /// Newest snapshot visible at `read_tid`.
+    #[must_use]
+    pub fn snapshot_for(&self, read_tid: Tid) -> Arc<IndexSnapshot> {
+        let snaps = self.snapshots.read();
+        snaps
+            .iter()
+            .rev()
+            .find(|s| s.up_to <= read_tid)
+            .or_else(|| snaps.first())
+            .map(Arc::clone)
+            .expect("at least one snapshot")
+    }
+
+    /// Collect the overlay of deltas in `(after, read_tid]`: for each vertex
+    /// the latest action — `Some(vector)` for a live upsert, `None` for a
+    /// delete.
+    fn overlay(&self, after: Tid, read_tid: Tid) -> HashMap<VertexId, Option<Vec<f32>>> {
+        let mut map = HashMap::new();
+        let mut absorb = |r: &DeltaRecord| {
+            if r.tid > after && r.tid <= read_tid {
+                match r.action {
+                    DeltaAction::Upsert => map.insert(r.id, Some(r.vector.clone())),
+                    DeltaAction::Delete => map.insert(r.id, None),
+                };
+            }
+        };
+        for file in self.delta_files.read().iter() {
+            if file.hi > after && file.lo < read_tid {
+                for r in &file.records {
+                    absorb(r);
+                }
+            }
+        }
+        for r in self.mem_deltas.read().iter() {
+            absorb(r);
+        }
+        map
+    }
+
+    /// Number of unflushed in-memory deltas.
+    #[must_use]
+    pub fn mem_delta_count(&self) -> usize {
+        self.mem_deltas.read().len()
+    }
+
+    /// Number of delta files awaiting index merge / pruning.
+    #[must_use]
+    pub fn delta_file_count(&self) -> usize {
+        self.delta_files.read().len()
+    }
+
+    /// Number of retained snapshot versions.
+    #[must_use]
+    pub fn snapshot_count(&self) -> usize {
+        self.snapshots.read().len()
+    }
+
+    /// Live vector count at `read_tid`.
+    #[must_use]
+    pub fn live_count(&self, read_tid: Tid) -> usize {
+        let snap = self.snapshot_for(read_tid);
+        let overlay = self.overlay(snap.up_to, read_tid);
+        let mut n = snap.index.len();
+        for (id, action) in &overlay {
+            let in_snap = snap.index.get_embedding(*id).is_some();
+            match (in_snap, action.is_some()) {
+                (false, true) => n += 1,
+                (true, false) => n -= 1,
+                _ => {}
+            }
+        }
+        n
+    }
+
+    /// The stored vector for `id` at `read_tid`.
+    #[must_use]
+    pub fn get_embedding(&self, id: VertexId, read_tid: Tid) -> Option<Vec<f32>> {
+        let snap = self.snapshot_for(read_tid);
+        let overlay = self.overlay(snap.up_to, read_tid);
+        match overlay.get(&id) {
+            Some(Some(v)) => Some(v.clone()),
+            Some(None) => None,
+            None => snap.index.get_embedding(id).map(<[f32]>::to_vec),
+        }
+    }
+
+    /// Top-k search at `read_tid`. `filter` is the validity bitmap over
+    /// local ids from the graph engine's pre-filter (or `None` for pure
+    /// vector search). `brute_threshold` is the valid-point count below
+    /// which the engine scans instead of using the index (§5.1).
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        filter: Option<&Bitmap>,
+        read_tid: Tid,
+        brute_threshold: usize,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let snap = self.snapshot_for(read_tid);
+        let overlay = self.overlay(snap.up_to, read_tid);
+
+        // Build the index-side validity bitmap: caller's filter minus every
+        // overlaid id (their index-resident version is stale).
+        let mut bitmap = match filter {
+            Some(b) => b.clone(),
+            None => Bitmap::full(self.capacity),
+        };
+        for id in overlay.keys() {
+            let l = id.local().0 as usize;
+            if l < bitmap.len() {
+                bitmap.set(l, false);
+            }
+        }
+
+        let valid_estimate = bitmap.count_ones().min(snap.index.len());
+        let (index_results, mut stats) = if valid_estimate < brute_threshold {
+            snap.index
+                .brute_force_top_k(query, k, Filter::Valid(&bitmap))
+        } else {
+            snap.index.top_k(query, k, ef, Filter::Valid(&bitmap))
+        };
+
+        // Brute-force pass over the overlay's live upserts.
+        let metric = snap.index.metric();
+        let mut heap = NeighborHeap::new(k);
+        for n in index_results {
+            heap.push(n);
+        }
+        for (id, action) in &overlay {
+            if let Some(v) = action {
+                let l = id.local().0 as usize;
+                let accepted = match filter {
+                    Some(b) => l < b.len() && b.get(l),
+                    None => true,
+                };
+                if accepted && v.len() == query.len() {
+                    stats.distance_computations += 1;
+                    heap.push(Neighbor::new(*id, distance(metric, query, v)));
+                }
+            }
+        }
+        (heap.into_sorted(), stats)
+    }
+
+    /// Range search at `read_tid` (same combination rule as [`Self::search`]).
+    pub fn range_search(
+        &self,
+        query: &[f32],
+        threshold: f32,
+        ef: usize,
+        filter: Option<&Bitmap>,
+        read_tid: Tid,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let snap = self.snapshot_for(read_tid);
+        let overlay = self.overlay(snap.up_to, read_tid);
+        let mut bitmap = match filter {
+            Some(b) => b.clone(),
+            None => Bitmap::full(self.capacity),
+        };
+        for id in overlay.keys() {
+            let l = id.local().0 as usize;
+            if l < bitmap.len() {
+                bitmap.set(l, false);
+            }
+        }
+        let (mut out, mut stats) =
+            snap.index
+                .range_search(query, threshold, ef, Filter::Valid(&bitmap));
+        let metric = snap.index.metric();
+        for (id, action) in &overlay {
+            if let Some(v) = action {
+                let l = id.local().0 as usize;
+                let accepted = match filter {
+                    Some(b) => l < b.len() && b.get(l),
+                    None => true,
+                };
+                if accepted && v.len() == query.len() {
+                    stats.distance_computations += 1;
+                    let d = distance(metric, query, v);
+                    if d <= threshold {
+                        out.push(Neighbor::new(*id, d));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        (out, stats)
+    }
+
+    /// **Delta-merge vacuum step** (§4.3, right side of Fig. 4): flush
+    /// in-memory deltas with `tid <= up_to` into a new delta file. Fast —
+    /// just moves records. Returns the new file, if any records qualified.
+    pub fn delta_merge(&self, up_to: Tid) -> Option<Arc<DeltaFile>> {
+        let mut mem = self.mem_deltas.write();
+        let split = mem.partition_point(|r| r.tid <= up_to);
+        if split == 0 {
+            return None;
+        }
+        let records: Vec<DeltaRecord> = mem.drain(..split).collect();
+        let mut files = self.delta_files.write();
+        let lo = files
+            .last()
+            .map(|f| f.hi)
+            .unwrap_or_else(|| self.newest_snapshot().up_to);
+        let hi = records.last().expect("non-empty").tid;
+        let file = Arc::new(DeltaFile { lo, hi, records });
+        files.push(Arc::clone(&file));
+        Some(file)
+    }
+
+    /// **Index-merge vacuum step** (left side of Fig. 4): fold delta files
+    /// up to `up_to` into a copy of the newest index and publish it as a new
+    /// snapshot. Slow — this is the 30-seconds-per-million-vectors step the
+    /// paper decouples from the delta merge. Returns the new snapshot TID,
+    /// or `None` if no flushed deltas qualified.
+    pub fn index_merge(&self, up_to: Tid) -> TvResult<Option<Tid>> {
+        let base = self.newest_snapshot();
+        let records: Vec<DeltaRecord> = {
+            let files = self.delta_files.read();
+            files
+                .iter()
+                .flat_map(|f| f.records.iter())
+                .filter(|r| r.tid > base.up_to && r.tid <= up_to)
+                .cloned()
+                .collect()
+        };
+        if records.is_empty() {
+            return Ok(None);
+        }
+        let new_tid = records.last().expect("non-empty").tid;
+        let mut index = base.index.clone();
+        index.update_items(&records)?;
+        let snap = Arc::new(IndexSnapshot {
+            up_to: new_tid,
+            index,
+        });
+        self.snapshots.write().push(snap);
+        Ok(Some(new_tid))
+    }
+
+    /// Rebuild the index from scratch at `read_tid` (live vectors only) and
+    /// publish it — the alternative Fig. 11 compares incremental merging
+    /// against, which wins once >~20% of vectors changed.
+    pub fn rebuild(&self, read_tid: Tid) -> TvResult<Tid> {
+        let snap = self.snapshot_for(read_tid);
+        let overlay = self.overlay(snap.up_to, read_tid);
+        let mut index = HnswIndex::new(*snap.index.config());
+        for (id, vector) in snap.index.scan() {
+            match overlay.get(&id) {
+                Some(_) => {} // superseded; handled below
+                None => index.insert(id, vector)?,
+            }
+        }
+        for (id, action) in &overlay {
+            if let Some(v) = action {
+                index.insert(*id, v)?;
+            }
+        }
+        let up_to = read_tid.max(snap.up_to);
+        self.snapshots.write().push(Arc::new(IndexSnapshot { up_to, index }));
+        Ok(up_to)
+    }
+
+    /// Reclaim snapshots and delta files no running transaction can need:
+    /// keep the newest snapshot with `up_to <= horizon` and everything
+    /// newer; drop delta files fully covered by the oldest retained
+    /// snapshot. ("The old index snapshot and delta files are deleted only
+    /// after the new index snapshot is visible to all running transactions.")
+    pub fn prune(&self, horizon: Tid) -> (usize, usize) {
+        let mut snaps = self.snapshots.write();
+        let keep_from = snaps
+            .iter()
+            .rposition(|s| s.up_to <= horizon)
+            .unwrap_or(0);
+        let dropped_snaps = keep_from;
+        snaps.drain(..keep_from);
+        let floor = snaps.first().expect("at least one snapshot").up_to;
+        drop(snaps);
+        let mut files = self.delta_files.write();
+        let before = files.len();
+        files.retain(|f| f.hi > floor);
+        (dropped_snaps, before - files.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_common::ids::LocalId;
+    use tv_common::{DistanceMetric, SplitMix64};
+
+    fn def() -> EmbeddingTypeDef {
+        EmbeddingTypeDef::new("content_emb", 8, "GPT4", DistanceMetric::L2)
+    }
+
+    fn vid(l: u32) -> VertexId {
+        VertexId::new(SegmentId(0), LocalId(l))
+    }
+
+    fn rand_vec(rng: &mut SplitMix64) -> Vec<f32> {
+        (0..8).map(|_| rng.next_f32() * 4.0).collect()
+    }
+
+    fn seeded_segment(n: usize) -> (EmbeddingSegment, Vec<Vec<f32>>) {
+        let seg = EmbeddingSegment::new(SegmentId(0), &def(), 1024);
+        let mut rng = SplitMix64::new(99);
+        let vecs: Vec<Vec<f32>> = (0..n).map(|_| rand_vec(&mut rng)).collect();
+        let recs: Vec<DeltaRecord> = vecs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| DeltaRecord::upsert(vid(i as u32), Tid(i as u64 + 1), v.clone()))
+            .collect();
+        seg.append_deltas(&recs).unwrap();
+        (seg, vecs)
+    }
+
+    #[test]
+    fn search_sees_unflushed_mem_deltas() {
+        let (seg, vecs) = seeded_segment(50);
+        // Nothing merged yet: snapshot is empty, everything lives in mem.
+        assert_eq!(seg.mem_delta_count(), 50);
+        let (r, _) = seg.search(&vecs[7], 1, 32, None, Tid(50), 0);
+        assert_eq!(r[0].id, vid(7));
+        assert_eq!(seg.live_count(Tid(50)), 50);
+        // At an earlier TID only a prefix is visible.
+        assert_eq!(seg.live_count(Tid(10)), 10);
+    }
+
+    #[test]
+    fn two_stage_vacuum_then_search() {
+        let (seg, vecs) = seeded_segment(60);
+        let file = seg.delta_merge(Tid(40)).expect("records flushed");
+        assert_eq!(file.records.len(), 40);
+        assert_eq!(seg.mem_delta_count(), 20);
+        let merged = seg.index_merge(Tid(40)).unwrap();
+        assert_eq!(merged, Some(Tid(40)));
+        assert_eq!(seg.snapshot_count(), 2);
+        // Reader at 60 combines snapshot(40) + 20 mem deltas.
+        let (r, _) = seg.search(&vecs[55], 1, 32, None, Tid(60), 0);
+        assert_eq!(r[0].id, vid(55));
+        let (r, _) = seg.search(&vecs[10], 1, 32, None, Tid(60), 0);
+        assert_eq!(r[0].id, vid(10));
+        // Reader at 40 must not see tid 41+.
+        assert_eq!(seg.live_count(Tid(40)), 40);
+    }
+
+    #[test]
+    fn old_reader_uses_old_snapshot_after_merge() {
+        let (seg, _vecs) = seeded_segment(30);
+        seg.delta_merge(Tid(30));
+        seg.index_merge(Tid(30)).unwrap();
+        // Reader pinned at tid 10 sees exactly 10 vectors even though the
+        // newest snapshot has 30.
+        assert_eq!(seg.live_count(Tid(10)), 10);
+        assert_eq!(seg.snapshot_for(Tid(10)).up_to, Tid::ZERO);
+        assert_eq!(seg.snapshot_for(Tid(30)).up_to, Tid(30));
+    }
+
+    #[test]
+    fn delete_masks_index_results() {
+        let (seg, vecs) = seeded_segment(40);
+        seg.delta_merge(Tid(40));
+        seg.index_merge(Tid(40)).unwrap();
+        // Delete vertex 3 at tid 41 (still in mem store).
+        seg.append_deltas(&[DeltaRecord::delete(vid(3), Tid(41))])
+            .unwrap();
+        let (r, _) = seg.search(&vecs[3], 1, 32, None, Tid(41), 0);
+        assert_ne!(r[0].id, vid(3));
+        // But a reader at tid 40 still sees it.
+        let (r, _) = seg.search(&vecs[3], 1, 32, None, Tid(40), 0);
+        assert_eq!(r[0].id, vid(3));
+        assert!(seg.get_embedding(vid(3), Tid(41)).is_none());
+        assert!(seg.get_embedding(vid(3), Tid(40)).is_some());
+    }
+
+    #[test]
+    fn upsert_overrides_index_version() {
+        let (seg, _vecs) = seeded_segment(20);
+        seg.delta_merge(Tid(20));
+        seg.index_merge(Tid(20)).unwrap();
+        let newv = vec![50.0; 8];
+        seg.append_deltas(&[DeltaRecord::upsert(vid(4), Tid(21), newv.clone())])
+            .unwrap();
+        let (r, _) = seg.search(&newv, 1, 32, None, Tid(21), 0);
+        assert_eq!(r[0].id, vid(4));
+        assert!((r[0].dist) < 1e-6);
+        assert_eq!(seg.get_embedding(vid(4), Tid(21)).unwrap(), newv);
+        assert_eq!(seg.live_count(Tid(21)), 20);
+    }
+
+    #[test]
+    fn filter_bitmap_respected_with_deltas() {
+        let (seg, vecs) = seeded_segment(30);
+        seg.delta_merge(Tid(15));
+        seg.index_merge(Tid(15)).unwrap();
+        // Valid: only local ids 20..30 (all still in mem deltas).
+        let bm = Bitmap::from_indices(1024, 20..30);
+        let (r, _) = seg.search(&vecs[0], 5, 64, Some(&bm), Tid(30), 0);
+        assert!(r.iter().all(|n| (20..30).contains(&n.id.local().0)));
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn brute_force_threshold_triggers_scan() {
+        let (seg, vecs) = seeded_segment(50);
+        seg.delta_merge(Tid(50));
+        seg.index_merge(Tid(50)).unwrap();
+        let bm = Bitmap::from_indices(1024, [5usize, 6, 7]);
+        // Threshold higher than valid count → brute force.
+        let (_, stats) = seg.search(&vecs[0], 2, 32, Some(&bm), Tid(50), 10);
+        assert!(stats.brute_force);
+        // Threshold of zero → index path.
+        let (_, stats) = seg.search(&vecs[0], 2, 32, None, Tid(50), 0);
+        assert!(!stats.brute_force);
+    }
+
+    #[test]
+    fn range_search_combines_snapshot_and_deltas() {
+        let (seg, _) = seeded_segment(30);
+        seg.delta_merge(Tid(20));
+        seg.index_merge(Tid(20)).unwrap();
+        // Two exact-match points: one in the snapshot (id 0), one in mem.
+        let probe = vec![2.0; 8];
+        seg.append_deltas(&[DeltaRecord::upsert(vid(100), Tid(31), probe.clone())])
+            .unwrap();
+        let (r, _) = seg.range_search(&probe, 0.5, 64, None, Tid(31));
+        assert!(r.iter().any(|n| n.id == vid(100)));
+        assert!(r.iter().all(|n| n.dist <= 0.5));
+    }
+
+    #[test]
+    fn prune_drops_old_versions_only_when_safe() {
+        let (seg, _) = seeded_segment(30);
+        seg.delta_merge(Tid(30));
+        seg.index_merge(Tid(30)).unwrap();
+        assert_eq!(seg.snapshot_count(), 2);
+        // A reader pinned at tid 5 forbids dropping the base snapshot.
+        let (s, f) = seg.prune(Tid(5));
+        assert_eq!((s, f), (0, 0));
+        assert_eq!(seg.snapshot_count(), 2);
+        // Horizon past 30: base snapshot and the delta file go.
+        let (s, f) = seg.prune(Tid(30));
+        assert_eq!((s, f), (1, 1));
+        assert_eq!(seg.snapshot_count(), 1);
+        assert_eq!(seg.delta_file_count(), 0);
+    }
+
+    #[test]
+    fn rebuild_compacts_tombstones() {
+        let (seg, vecs) = seeded_segment(40);
+        seg.delta_merge(Tid(40));
+        seg.index_merge(Tid(40)).unwrap();
+        // Update 30 of 40 vectors (worse than the 20% crossover → rebuild).
+        let mut rng = SplitMix64::new(1234);
+        let updates: Vec<DeltaRecord> = (0..30)
+            .map(|i| DeltaRecord::upsert(vid(i), Tid(41 + u64::from(i)), rand_vec(&mut rng)))
+            .collect();
+        seg.append_deltas(&updates).unwrap();
+        let tid = seg.rebuild(Tid(70)).unwrap();
+        assert_eq!(tid, Tid(70));
+        let newest = seg.newest_snapshot();
+        assert_eq!(newest.index.len(), 40);
+        assert_eq!(newest.index.tombstone_count(), 0);
+        // Updated vector wins; untouched vector intact.
+        let (r, _) = seg.search(&updates[0].vector, 1, 64, None, Tid(70), 0);
+        assert_eq!(r[0].id, vid(0));
+        let (r, _) = seg.search(&vecs[35], 1, 64, None, Tid(70), 0);
+        assert_eq!(r[0].id, vid(35));
+    }
+
+    #[test]
+    fn out_of_order_append_rejected() {
+        let (seg, _) = seeded_segment(5);
+        let err = seg.append_deltas(&[DeltaRecord::delete(vid(0), Tid(2))]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn index_merge_without_flushed_deltas_is_noop() {
+        let (seg, _) = seeded_segment(10);
+        // Nothing flushed yet.
+        assert_eq!(seg.index_merge(Tid(10)).unwrap(), None);
+        assert_eq!(seg.snapshot_count(), 1);
+    }
+}

@@ -1,0 +1,722 @@
+//! The embedding service: attribute registry, delta routing, and the MPP
+//! `EmbeddingAction` — parallel per-segment top-k with a global merge
+//! (§5.1, Fig. 5 at single-machine scope; `tv-cluster` adds the
+//! coordinator/worker layer on top).
+
+use crate::segment::EmbeddingSegment;
+use crate::types::EmbeddingTypeDef;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tv_common::ids::SegmentLayout;
+use tv_common::{Bitmap, Neighbor, NeighborHeap, SegmentId, Tid, TvError, TvResult};
+use tv_hnsw::{DeltaRecord, SearchStats};
+
+/// Service-wide tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Valid-point count below which a segment search scans instead of using
+    /// its index (§5.1's brute-force threshold).
+    pub brute_force_threshold: usize,
+    /// Worker threads for the per-segment search fan-out.
+    pub query_threads: usize,
+    /// Default `ef` when the caller does not specify one.
+    pub default_ef: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            brute_force_threshold: 64,
+            query_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            default_ef: 64,
+        }
+    }
+}
+
+/// All embedding segments of one embedding attribute.
+pub struct EmbeddingAttr {
+    /// Service-assigned id.
+    pub attr_id: u32,
+    /// Owning vertex type (catalog id in `tg-storage`).
+    pub vertex_type: u32,
+    /// Declared metadata.
+    pub def: EmbeddingTypeDef,
+    layout: SegmentLayout,
+    segments: RwLock<Vec<Arc<EmbeddingSegment>>>,
+}
+
+impl EmbeddingAttr {
+    fn ensure_segment(&self, seg: SegmentId) {
+        let want = seg.0 as usize + 1;
+        if self.segments.read().len() >= want {
+            return;
+        }
+        let mut segs = self.segments.write();
+        while segs.len() < want {
+            let sid = SegmentId(segs.len() as u32);
+            segs.push(Arc::new(EmbeddingSegment::new(
+                sid,
+                &self.def,
+                self.layout.capacity,
+            )));
+        }
+    }
+
+    /// Handle to one embedding segment.
+    #[must_use]
+    pub fn segment(&self, seg: SegmentId) -> Option<Arc<EmbeddingSegment>> {
+        self.segments.read().get(seg.0 as usize).cloned()
+    }
+
+    /// All materialized embedding segments.
+    #[must_use]
+    pub fn all_segments(&self) -> Vec<Arc<EmbeddingSegment>> {
+        self.segments.read().clone()
+    }
+
+    /// Number of materialized segments.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segments.read().len()
+    }
+
+    /// Total live vectors at `read_tid`.
+    #[must_use]
+    pub fn live_count(&self, read_tid: Tid) -> usize {
+        self.all_segments()
+            .iter()
+            .map(|s| s.live_count(read_tid))
+            .sum()
+    }
+}
+
+/// Pre-filter bitmaps per `(attr_id, segment)` — the qualified-candidate
+/// hand-off from the graph engine (§5.2). Segments absent from the map have
+/// **no** valid candidates and are skipped entirely.
+pub type SegmentFilters = HashMap<(u32, SegmentId), Bitmap>;
+
+/// A top-k hit tagged with the attribute (and hence vertex type) it came
+/// from — needed because local vertex ids are only unique per type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TypedNeighbor {
+    /// Embedding attribute the hit came from.
+    pub attr_id: u32,
+    /// Vertex type that attribute is attached to.
+    pub vertex_type: u32,
+    /// The vertex and its distance.
+    pub neighbor: Neighbor,
+}
+
+/// The embedding service.
+pub struct EmbeddingService {
+    config: ServiceConfig,
+    attrs: RwLock<Vec<Arc<EmbeddingAttr>>>,
+}
+
+impl EmbeddingService {
+    /// New service.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        EmbeddingService {
+            config,
+            attrs: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Register an embedding attribute on a vertex type (`ALTER VERTEX ...
+    /// ADD EMBEDDING ATTRIBUTE`). Returns the attribute id.
+    pub fn register(
+        &self,
+        vertex_type: u32,
+        def: EmbeddingTypeDef,
+        layout: SegmentLayout,
+    ) -> TvResult<u32> {
+        def.validate()?;
+        let mut attrs = self.attrs.write();
+        if attrs
+            .iter()
+            .any(|a| a.vertex_type == vertex_type && a.def.name == def.name)
+        {
+            return Err(TvError::Schema(format!(
+                "embedding attribute '{}' already exists on vertex type {vertex_type}",
+                def.name
+            )));
+        }
+        let attr_id = attrs.len() as u32;
+        attrs.push(Arc::new(EmbeddingAttr {
+            attr_id,
+            vertex_type,
+            def,
+            layout,
+            segments: RwLock::new(Vec::new()),
+        }));
+        Ok(attr_id)
+    }
+
+    /// Attribute by id.
+    pub fn attr(&self, attr_id: u32) -> TvResult<Arc<EmbeddingAttr>> {
+        self.attrs
+            .read()
+            .get(attr_id as usize)
+            .cloned()
+            .ok_or_else(|| TvError::NotFound(format!("embedding attribute {attr_id}")))
+    }
+
+    /// Attribute by `(vertex type, name)`.
+    pub fn attr_by_name(&self, vertex_type: u32, name: &str) -> TvResult<Arc<EmbeddingAttr>> {
+        self.attrs
+            .read()
+            .iter()
+            .find(|a| a.vertex_type == vertex_type && a.def.name == name)
+            .cloned()
+            .ok_or_else(|| {
+                TvError::NotFound(format!(
+                    "embedding attribute '{name}' on vertex type {vertex_type}"
+                ))
+            })
+    }
+
+    /// Route committed vector deltas to their home embedding segments. The
+    /// records must share one commit's TID ordering (called from inside the
+    /// graph store's atomic commit hook).
+    pub fn apply_deltas(&self, attr_id: u32, records: &[DeltaRecord]) -> TvResult<()> {
+        let attr = self.attr(attr_id)?;
+        // Validate dimensions first (no partial application on error).
+        for r in records {
+            if matches!(r.action, tv_hnsw::index::DeltaAction::Upsert) {
+                attr.def.check_query_vector(&r.vector)?;
+            }
+        }
+        // Group by segment, preserving order.
+        let mut by_segment: HashMap<SegmentId, Vec<DeltaRecord>> = HashMap::new();
+        for r in records {
+            by_segment.entry(r.id.segment()).or_default().push(r.clone());
+        }
+        for (seg, recs) in by_segment {
+            attr.ensure_segment(seg);
+            let segment = attr.segment(seg).expect("ensured above");
+            segment.append_deltas(&recs)?;
+        }
+        Ok(())
+    }
+
+    /// **EmbeddingAction[Top k]**: parallel per-segment top-k over one or
+    /// more *compatible* attributes, with a global merge. Static analysis
+    /// (the compatibility check) runs first and rejects mixed-metadata
+    /// searches with a semantic error (§4.1).
+    pub fn top_k(
+        &self,
+        attr_ids: &[u32],
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        read_tid: Tid,
+        filters: Option<&SegmentFilters>,
+    ) -> TvResult<(Vec<TypedNeighbor>, SearchStats)> {
+        let attrs = self.check_search(attr_ids, query)?;
+        let tasks = self.collect_tasks(&attrs, filters);
+        let threshold = self.config.brute_force_threshold;
+        let results = run_tasks(
+            tasks,
+            self.config.query_threads,
+            move |(attr, seg, bitmap)| {
+                let (neighbors, stats) =
+                    seg.search(query, k, ef, bitmap.as_ref(), read_tid, threshold);
+                (
+                    neighbors
+                        .into_iter()
+                        .map(|n| TypedNeighbor {
+                            attr_id: attr.attr_id,
+                            vertex_type: attr.vertex_type,
+                            neighbor: n,
+                        })
+                        .collect::<Vec<_>>(),
+                    stats,
+                )
+            },
+        );
+        Ok(merge_typed(results, k))
+    }
+
+    /// **EmbeddingAction[Range]**: parallel per-segment range search with a
+    /// global merge.
+    pub fn range_search(
+        &self,
+        attr_ids: &[u32],
+        query: &[f32],
+        threshold: f32,
+        ef: usize,
+        read_tid: Tid,
+        filters: Option<&SegmentFilters>,
+    ) -> TvResult<(Vec<TypedNeighbor>, SearchStats)> {
+        let attrs = self.check_search(attr_ids, query)?;
+        let tasks = self.collect_tasks(&attrs, filters);
+        let results = run_tasks(
+            tasks,
+            self.config.query_threads,
+            move |(attr, seg, bitmap)| {
+                let (neighbors, stats) =
+                    seg.range_search(query, threshold, ef, bitmap.as_ref(), read_tid);
+                (
+                    neighbors
+                        .into_iter()
+                        .map(|n| TypedNeighbor {
+                            attr_id: attr.attr_id,
+                            vertex_type: attr.vertex_type,
+                            neighbor: n,
+                        })
+                        .collect::<Vec<_>>(),
+                    stats,
+                )
+            },
+        );
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        for (neighbors, s) in results {
+            out.extend(neighbors);
+            stats.merge(&s);
+        }
+        out.sort_unstable_by(|a, b| a.neighbor.cmp(&b.neighbor));
+        Ok((out, stats))
+    }
+
+    /// Validate a multi-attribute search: attributes exist, are mutually
+    /// compatible, and the query vector matches their dimension.
+    fn check_search(&self, attr_ids: &[u32], query: &[f32]) -> TvResult<Vec<Arc<EmbeddingAttr>>> {
+        if attr_ids.is_empty() {
+            return Err(TvError::InvalidArgument(
+                "vector search needs at least one embedding attribute".into(),
+            ));
+        }
+        let attrs: Vec<Arc<EmbeddingAttr>> = attr_ids
+            .iter()
+            .map(|&id| self.attr(id))
+            .collect::<TvResult<_>>()?;
+        let defs: Vec<&EmbeddingTypeDef> = attrs.iter().map(|a| &a.def).collect();
+        EmbeddingTypeDef::check_compatible(&defs)?;
+        attrs[0].def.check_query_vector(query)?;
+        Ok(attrs)
+    }
+
+    /// Materialize the per-segment task list, honoring candidate filters
+    /// (filtered mode skips segments with no candidates entirely).
+    fn collect_tasks(
+        &self,
+        attrs: &[Arc<EmbeddingAttr>],
+        filters: Option<&SegmentFilters>,
+    ) -> Vec<SearchTask> {
+        let mut tasks = Vec::new();
+        for attr in attrs {
+            for seg in attr.all_segments() {
+                match filters {
+                    Some(map) => {
+                        if let Some(bm) = map.get(&(attr.attr_id, seg.segment_id)) {
+                            if bm.count_ones() > 0 {
+                                tasks.push((Arc::clone(attr), seg, Some(bm.clone())));
+                            }
+                        }
+                    }
+                    None => tasks.push((Arc::clone(attr), seg, None)),
+                }
+            }
+        }
+        tasks
+    }
+
+    /// Run the delta-merge vacuum across all segments of an attribute;
+    /// returns flushed record count.
+    pub fn delta_merge(&self, attr_id: u32, up_to: Tid) -> TvResult<usize> {
+        let attr = self.attr(attr_id)?;
+        Ok(attr
+            .all_segments()
+            .iter()
+            .filter_map(|s| s.delta_merge(up_to).map(|f| f.records.len()))
+            .sum())
+    }
+
+    /// Run the index-merge vacuum across all segments of an attribute using
+    /// `threads` parallel merge workers (each worker owns whole segments, so
+    /// per-id record order is preserved — §4.4's `UpdateItems` contract).
+    pub fn index_merge(&self, attr_id: u32, up_to: Tid, threads: usize) -> TvResult<usize> {
+        let attr = self.attr(attr_id)?;
+        let segments = attr.all_segments();
+        let merged: Vec<TvResult<Option<Tid>>> = run_tasks(segments, threads.max(1), |seg| {
+            seg.index_merge(up_to)
+        });
+        let mut count = 0;
+        for m in merged {
+            if m?.is_some() {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+
+    /// Prune old snapshots / delta files across every attribute, given the
+    /// transaction manager's vacuum horizon.
+    pub fn prune(&self, horizon: Tid) -> (usize, usize) {
+        let attrs = self.attrs.read().clone();
+        let mut snaps = 0;
+        let mut files = 0;
+        for attr in attrs {
+            for seg in attr.all_segments() {
+                let (s, f) = seg.prune(horizon);
+                snaps += s;
+                files += f;
+            }
+        }
+        (snaps, files)
+    }
+
+    /// Rebuild every segment index of an attribute from scratch at
+    /// `read_tid` (the Fig. 11 alternative to incremental merging).
+    pub fn rebuild(&self, attr_id: u32, read_tid: Tid, threads: usize) -> TvResult<usize> {
+        let attr = self.attr(attr_id)?;
+        let segments = attr.all_segments();
+        let results: Vec<TvResult<Tid>> =
+            run_tasks(segments, threads.max(1), |seg| seg.rebuild(read_tid));
+        let mut n = 0;
+        for r in results {
+            r?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Total unflushed in-memory deltas across every attribute (vacuum
+    /// scheduling signal).
+    #[must_use]
+    pub fn total_mem_deltas(&self) -> usize {
+        self.attrs
+            .read()
+            .iter()
+            .flat_map(|a| a.all_segments())
+            .map(|s| s.mem_delta_count())
+            .sum()
+    }
+
+    /// Total flushed-but-unmerged delta files across every attribute.
+    #[must_use]
+    pub fn total_delta_files(&self) -> usize {
+        self.attrs
+            .read()
+            .iter()
+            .flat_map(|a| a.all_segments())
+            .map(|s| s.delta_file_count())
+            .sum()
+    }
+
+    /// Registered attribute ids (for the vacuum controller).
+    #[must_use]
+    pub fn attr_ids(&self) -> Vec<u32> {
+        (0..self.attrs.read().len() as u32).collect()
+    }
+}
+
+type SearchTask = (Arc<EmbeddingAttr>, Arc<EmbeddingSegment>, Option<Bitmap>);
+
+/// Fan a task list out over up to `threads` workers and collect results in
+/// task order. Falls back to a sequential loop for one worker or one task.
+fn run_tasks<T: Send, R: Send>(
+    tasks: Vec<T>,
+    threads: usize,
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<R> {
+    if threads <= 1 || tasks.len() <= 1 {
+        return tasks.into_iter().map(f).collect();
+    }
+    let n = tasks.len();
+    let workers = threads.min(n);
+    let chunk = n.div_ceil(workers);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let tasks: Vec<Option<T>> = tasks.into_iter().map(Some).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest_slots = &mut slots[..];
+        let mut rest_tasks = tasks;
+        for _ in 0..workers {
+            let take = chunk.min(rest_tasks.len());
+            if take == 0 {
+                break;
+            }
+            let batch: Vec<Option<T>> = rest_tasks.drain(..take).collect();
+            let (head, tail) = rest_slots.split_at_mut(take);
+            rest_slots = tail;
+            scope.spawn(move || {
+                for (slot, task) in head.iter_mut().zip(batch) {
+                    *slot = Some(f(task.expect("task present")));
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("worker filled slot")).collect()
+}
+
+/// Global merge of per-segment typed results into the final top-k.
+fn merge_typed(
+    results: Vec<(Vec<TypedNeighbor>, SearchStats)>,
+    k: usize,
+) -> (Vec<TypedNeighbor>, SearchStats) {
+    let mut stats = SearchStats::default();
+    let mut heap = NeighborHeap::new(k);
+    let mut lookup: HashMap<(u64, u32), TypedNeighbor> = HashMap::new();
+    for (neighbors, s) in results {
+        stats.merge(&s);
+        for tn in neighbors {
+            // Key by (vertex id, attr) — distinct attrs may hit the same
+            // local id legitimately (different vertex types).
+            lookup.insert((tn.neighbor.id.0, tn.attr_id), tn);
+            heap.push(tn.neighbor);
+        }
+    }
+    // NeighborHeap dedupes nothing across attrs with identical ids+distances;
+    // rebuild typed results from the heap order.
+    let mut out = Vec::new();
+    let mut used: HashMap<u64, Vec<u32>> = HashMap::new();
+    for n in heap.into_sorted() {
+        // Find a matching typed entry not yet emitted.
+        let attrs_used = used.entry(n.id.0).or_default();
+        let found = lookup
+            .iter()
+            .find(|((vid, attr), tn)| {
+                *vid == n.id.0
+                    && !attrs_used.contains(attr)
+                    && (tn.neighbor.dist - n.dist).abs() <= f32::EPSILON * 4.0
+            })
+            .map(|((_, attr), tn)| (*attr, *tn));
+        if let Some((attr, tn)) = found {
+            attrs_used.push(attr);
+            out.push(tn);
+        }
+    }
+    out.truncate(k);
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_common::ids::{LocalId, SegmentLayout};
+    use tv_common::{DistanceMetric, SplitMix64, VertexId};
+    use tv_hnsw::DeltaRecord;
+
+    fn vid(seg: u32, l: u32) -> VertexId {
+        VertexId::new(SegmentId(seg), LocalId(l))
+    }
+
+    fn service() -> EmbeddingService {
+        EmbeddingService::new(ServiceConfig {
+            brute_force_threshold: 8,
+            query_threads: 2,
+            default_ef: 64,
+        })
+    }
+
+    fn def(name: &str) -> EmbeddingTypeDef {
+        EmbeddingTypeDef::new(name, 4, "GPT4", DistanceMetric::L2)
+    }
+
+    /// Load `n` vectors across segments of capacity 16.
+    fn load(svc: &EmbeddingService, attr: u32, n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = SplitMix64::new(seed);
+        let layout = SegmentLayout::with_capacity(16);
+        let mut vecs = Vec::new();
+        let mut recs = Vec::new();
+        for i in 0..n {
+            let v: Vec<f32> = (0..4).map(|_| rng.next_f32() * 8.0).collect();
+            let id = layout.vertex_id(i);
+            recs.push(DeltaRecord::upsert(id, Tid(i as u64 + 1), v.clone()));
+            vecs.push(v);
+        }
+        svc.apply_deltas(attr, &recs).unwrap();
+        vecs
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let svc = service();
+        let a = svc
+            .register(0, def("content_emb"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        assert_eq!(a, 0);
+        assert!(svc.attr(0).is_ok());
+        assert!(svc.attr(1).is_err());
+        assert!(svc.attr_by_name(0, "content_emb").is_ok());
+        assert!(svc.attr_by_name(0, "missing").is_err());
+        // Duplicate name on the same type rejected.
+        assert!(svc
+            .register(0, def("content_emb"), SegmentLayout::with_capacity(16))
+            .is_err());
+        // Same name on another type fine.
+        assert!(svc
+            .register(1, def("content_emb"), SegmentLayout::with_capacity(16))
+            .is_ok());
+    }
+
+    #[test]
+    fn multi_segment_search_finds_global_topk() {
+        let svc = service();
+        let a = svc
+            .register(0, def("e"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        let vecs = load(&svc, a, 64, 5); // 4 segments
+        assert_eq!(svc.attr(a).unwrap().segment_count(), 4);
+        let q = &vecs[50];
+        let (r, _) = svc.top_k(&[a], q, 5, 64, Tid(64), None).unwrap();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[0].neighbor.id, SegmentLayout::with_capacity(16).vertex_id(50));
+        assert!(r.windows(2).all(|w| w[0].neighbor.dist <= w[1].neighbor.dist));
+    }
+
+    #[test]
+    fn incompatible_attrs_rejected() {
+        let svc = service();
+        let a = svc
+            .register(0, def("a"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        let b = svc
+            .register(
+                1,
+                EmbeddingTypeDef::new("b", 4, "BERT", DistanceMetric::L2),
+                SegmentLayout::with_capacity(16),
+            )
+            .unwrap();
+        let err = svc.top_k(&[a, b], &[0.0; 4], 3, 32, Tid(10), None).unwrap_err();
+        assert!(matches!(err, TvError::IncompatibleEmbeddings(_)));
+    }
+
+    #[test]
+    fn multi_attr_search_merges_types() {
+        let svc = service();
+        let a = svc
+            .register(0, def("post_emb"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        let b = svc
+            .register(1, def("comment_emb"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        // Same local id space on both types — results must stay distinct.
+        svc.apply_deltas(a, &[DeltaRecord::upsert(vid(0, 0), Tid(1), vec![0.0; 4])])
+            .unwrap();
+        svc.apply_deltas(b, &[DeltaRecord::upsert(vid(0, 0), Tid(2), vec![0.1; 4])])
+            .unwrap();
+        let (r, _) = svc.top_k(&[a, b], &[0.0; 4], 2, 32, Tid(2), None).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].attr_id, a);
+        assert_eq!(r[0].vertex_type, 0);
+        assert_eq!(r[1].attr_id, b);
+        assert_eq!(r[1].vertex_type, 1);
+    }
+
+    #[test]
+    fn filtered_search_skips_absent_segments() {
+        let svc = service();
+        let a = svc
+            .register(0, def("e"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        let vecs = load(&svc, a, 48, 7); // 3 segments
+        // Candidates only in segment 1 (locals 0..16 → rows 16..32).
+        let mut filters = SegmentFilters::new();
+        filters.insert((a, SegmentId(1)), Bitmap::full(16));
+        let q = &vecs[0]; // nearest overall lives in segment 0, but is filtered out
+        let (r, _) = svc.top_k(&[a], q, 4, 64, Tid(48), Some(&filters)).unwrap();
+        assert_eq!(r.len(), 4);
+        assert!(r.iter().all(|tn| tn.neighbor.id.segment() == SegmentId(1)));
+    }
+
+    #[test]
+    fn wrong_query_dimension_rejected() {
+        let svc = service();
+        let a = svc
+            .register(0, def("e"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        assert!(matches!(
+            svc.top_k(&[a], &[0.0; 3], 1, 8, Tid(0), None).unwrap_err(),
+            TvError::DimensionMismatch { .. }
+        ));
+        assert!(svc.top_k(&[], &[0.0; 4], 1, 8, Tid(0), None).is_err());
+    }
+
+    #[test]
+    fn vacuum_pipeline_end_to_end() {
+        let svc = service();
+        let a = svc
+            .register(0, def("e"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        let vecs = load(&svc, a, 48, 11);
+        assert_eq!(svc.total_mem_deltas(), 48);
+        let flushed = svc.delta_merge(a, Tid(48)).unwrap();
+        assert_eq!(flushed, 48);
+        assert_eq!(svc.total_mem_deltas(), 0);
+        assert_eq!(svc.total_delta_files(), 3);
+        let merged = svc.index_merge(a, Tid(48), 2).unwrap();
+        assert_eq!(merged, 3);
+        // Search after merge still correct.
+        let (r, _) = svc.top_k(&[a], &vecs[20], 1, 64, Tid(48), None).unwrap();
+        assert_eq!(
+            r[0].neighbor.id,
+            SegmentLayout::with_capacity(16).vertex_id(20)
+        );
+        // Prune once visible to all.
+        let (snaps, files) = svc.prune(Tid(48));
+        assert_eq!(snaps, 3);
+        assert_eq!(files, 3);
+    }
+
+    #[test]
+    fn range_search_across_segments() {
+        let svc = service();
+        let a = svc
+            .register(0, def("e"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        let vecs = load(&svc, a, 48, 13);
+        let q = &vecs[5];
+        let (r, _) = svc
+            .range_search(&[a], q, 10.0, 64, Tid(48), None)
+            .unwrap();
+        assert!(!r.is_empty());
+        assert!(r.iter().all(|tn| tn.neighbor.dist <= 10.0));
+        assert!(r
+            .windows(2)
+            .all(|w| w[0].neighbor.dist <= w[1].neighbor.dist));
+    }
+
+    #[test]
+    fn rebuild_across_segments() {
+        let svc = service();
+        let a = svc
+            .register(0, def("e"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        let vecs = load(&svc, a, 32, 17);
+        svc.delta_merge(a, Tid(32)).unwrap();
+        svc.index_merge(a, Tid(32), 1).unwrap();
+        let rebuilt = svc.rebuild(a, Tid(32), 2).unwrap();
+        assert_eq!(rebuilt, 2);
+        let (r, _) = svc.top_k(&[a], &vecs[9], 1, 64, Tid(32), None).unwrap();
+        assert_eq!(
+            r[0].neighbor.id,
+            SegmentLayout::with_capacity(16).vertex_id(9)
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_in_deltas_rejected_atomically() {
+        let svc = service();
+        let a = svc
+            .register(0, def("e"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        let recs = vec![
+            DeltaRecord::upsert(vid(0, 0), Tid(1), vec![0.0; 4]),
+            DeltaRecord::upsert(vid(0, 1), Tid(2), vec![0.0; 3]), // bad
+        ];
+        assert!(svc.apply_deltas(a, &recs).is_err());
+        // Nothing applied.
+        assert_eq!(svc.total_mem_deltas(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! MPP parallel primitives: `VertexAction` and `EdgeAction` (§2.1).
+//!
+//! TigerGraph exposes two parallel primitives that run user-defined
+//! functions across segments; the filtered-vector-search pipeline is
+//! literally `VertexAction` (evaluate the predicate, produce bitmaps)
+//! feeding `EmbeddingAction` (per-segment index search) — the query plans
+//! shown in §5.2/§5.3.
+
+use crate::graph::Graph;
+use crate::vertex_set::VertexSet;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tg_storage::segment::SegmentStore;
+use tg_storage::AttrValue;
+use tv_common::ids::{LocalId, SegmentLayout};
+use tv_common::{Bitmap, SegmentId, Tid, TvResult, VertexId};
+
+impl Graph {
+    /// **VertexAction**: run `f` over every segment of `type_id` in
+    /// parallel, collecting per-segment results in segment order. `f`
+    /// receives the segment store and its id.
+    pub fn vertex_action<R: Send>(
+        &self,
+        type_id: u32,
+        f: impl Fn(&SegmentStore, SegmentId) -> R + Sync,
+    ) -> TvResult<Vec<R>> {
+        let store = self.store().vertex_type(type_id)?;
+        let segments = store.all_segments();
+        let threads = self.embeddings().config().query_threads;
+        if threads <= 1 || segments.len() <= 1 {
+            return Ok(segments
+                .iter()
+                .map(|s| {
+                    let guard = s.read();
+                    f(&guard, guard.segment_id)
+                })
+                .collect());
+        }
+        let n = segments.len();
+        let workers = threads.min(n);
+        let chunk = n.div_ceil(workers);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut rest = &mut slots[..];
+            let mut seg_iter = segments.into_iter();
+            for _ in 0..workers {
+                let batch: Vec<Arc<parking_lot::RwLock<SegmentStore>>> =
+                    seg_iter.by_ref().take(chunk).collect();
+                if batch.is_empty() {
+                    break;
+                }
+                let (head, tail) = rest.split_at_mut(batch.len());
+                rest = tail;
+                scope.spawn(move || {
+                    for (slot, seg) in head.iter_mut().zip(batch) {
+                        let guard = seg.read();
+                        *slot = Some(f(&guard, guard.segment_id));
+                    }
+                });
+            }
+        });
+        Ok(slots.into_iter().map(|s| s.expect("slot filled")).collect())
+    }
+
+    /// Evaluate `pred` over every live vertex of `type_id` at `tid` and
+    /// produce per-segment validity bitmaps — the pre-filter stage of
+    /// filtered vector search (§5.2). Segments with no qualifying vertex are
+    /// omitted.
+    pub fn filter_bitmaps(
+        &self,
+        type_id: u32,
+        tid: Tid,
+        pred: impl Fn(VertexId, &dyn Fn(&str) -> Option<AttrValue>) -> bool + Sync,
+    ) -> TvResult<HashMap<SegmentId, Bitmap>> {
+        let store = self.store().vertex_type(type_id)?;
+        let schema = Arc::clone(store.schema());
+        let capacity = store.layout().capacity;
+        let per_segment = self.vertex_action(type_id, |seg, seg_id| {
+            let mut bm = Bitmap::new(capacity);
+            let live = seg.live_bitmap(tid);
+            let mut any = false;
+            for local in live.iter_ones() {
+                let id = VertexId::new(seg_id, LocalId(local as u32));
+                let row = seg.row(local, tid);
+                let get = |name: &str| -> Option<AttrValue> {
+                    let col = schema.index_of(name)?;
+                    row.as_ref().and_then(|r| r.get(col).cloned())
+                };
+                if pred(id, &get) {
+                    bm.set(local, true);
+                    any = true;
+                }
+            }
+            (seg_id, any.then_some(bm))
+        })?;
+        Ok(per_segment
+            .into_iter()
+            .filter_map(|(seg_id, bm)| bm.map(|b| (seg_id, b)))
+            .collect())
+    }
+
+    /// Materialize the vertices of `type_id` satisfying `pred` as a
+    /// [`VertexSet`] — the `SELECT s FROM (s:Type) WHERE ...` block.
+    pub fn select_vertices(
+        &self,
+        type_id: u32,
+        tid: Tid,
+        pred: impl Fn(VertexId, &dyn Fn(&str) -> Option<AttrValue>) -> bool + Sync,
+    ) -> TvResult<VertexSet> {
+        let bitmaps = self.filter_bitmaps(type_id, tid, pred)?;
+        let mut set = VertexSet::new();
+        for (seg, bm) in bitmaps {
+            for local in bm.iter_ones() {
+                set.insert(type_id, VertexId::new(seg, LocalId(local as u32)));
+            }
+        }
+        Ok(set)
+    }
+
+    /// All live vertices of a type at `tid`.
+    pub fn all_vertices(&self, type_id: u32, tid: Tid) -> TvResult<VertexSet> {
+        self.select_vertices(type_id, tid, |_, _| true)
+    }
+
+    /// **EdgeAction**: run `f` over every live out-edge of `etype` whose
+    /// source has type `from_type`, in segment-parallel fashion. Results are
+    /// concatenated in segment order.
+    pub fn edge_action<R: Send>(
+        &self,
+        from_type: u32,
+        etype: u32,
+        tid: Tid,
+        f: impl Fn(VertexId, VertexId) -> R + Sync,
+    ) -> TvResult<Vec<R>> {
+        let per_segment = self.vertex_action(from_type, |seg, seg_id| {
+            let mut out = Vec::new();
+            let live = seg.live_bitmap(tid);
+            for local in live.iter_ones() {
+                let from = VertexId::new(seg_id, LocalId(local as u32));
+                for to in seg.edges(local, etype, tid) {
+                    out.push(f(from, to));
+                }
+            }
+            out
+        })?;
+        Ok(per_segment.into_iter().flatten().collect())
+    }
+
+    /// Expand a frontier one hop along `etype` (source type `from_type`,
+    /// targets of the edge type's target type). Returns the target set.
+    pub fn expand(
+        &self,
+        frontier: &VertexSet,
+        from_type: u32,
+        etype: u32,
+        to_type: u32,
+        tid: Tid,
+    ) -> TvResult<VertexSet> {
+        let store = self.store().vertex_type(from_type)?;
+        let mut out = VertexSet::new();
+        for id in frontier.of_type(from_type) {
+            for target in store.edges(id, etype, tid) {
+                out.insert(to_type, target);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The layout of a vertex type (for bitmap capacity decisions).
+    pub fn type_layout(&self, type_id: u32) -> TvResult<SegmentLayout> {
+        Ok(self.store().vertex_type(type_id)?.layout())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_storage::AttrType;
+    use tv_embedding::ServiceConfig;
+
+    fn graph() -> (Graph, u32, u32) {
+        let g = Graph::with_config(
+            SegmentLayout::with_capacity(4),
+            ServiceConfig {
+                brute_force_threshold: 4,
+                query_threads: 2,
+                default_ef: 32,
+            },
+        );
+        let person = g
+            .create_vertex_type(
+                "Person",
+                &[("name", AttrType::Str), ("age", AttrType::Int)],
+            )
+            .unwrap();
+        let knows = g.create_edge_type("knows", "Person", "Person").unwrap();
+        (g, person, knows)
+    }
+
+    fn load_people(g: &Graph, person: u32, n: usize) -> Vec<VertexId> {
+        let ids = g.allocate_many(person, n).unwrap();
+        let mut txn = g.txn();
+        for (i, &id) in ids.iter().enumerate() {
+            txn = txn.upsert_vertex(
+                person,
+                id,
+                vec![AttrValue::Str(format!("p{i}")), AttrValue::Int(i as i64)],
+            );
+        }
+        txn.commit().unwrap();
+        ids
+    }
+
+    #[test]
+    fn vertex_action_covers_all_segments() {
+        let (g, person, _) = graph();
+        load_people(&g, person, 10); // 3 segments at capacity 4
+        let counts = g
+            .vertex_action(person, |seg, _| seg.live_bitmap(g.read_tid()).count_ones())
+            .unwrap();
+        assert_eq!(counts, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn filter_bitmaps_prefilter() {
+        let (g, person, _) = graph();
+        load_people(&g, person, 10);
+        let tid = g.read_tid();
+        let bitmaps = g
+            .filter_bitmaps(person, tid, |_, get| {
+                get("age").and_then(|v| v.as_int()).is_some_and(|a| a >= 8)
+            })
+            .unwrap();
+        // Only ages 8, 9 qualify — both in segment 2.
+        assert_eq!(bitmaps.len(), 1);
+        assert_eq!(bitmaps[&SegmentId(2)].count_ones(), 2);
+    }
+
+    #[test]
+    fn select_vertices_builds_set() {
+        let (g, person, _) = graph();
+        let ids = load_people(&g, person, 6);
+        let tid = g.read_tid();
+        let evens = g
+            .select_vertices(person, tid, |_, get| {
+                get("age").and_then(|v| v.as_int()).is_some_and(|a| a % 2 == 0)
+            })
+            .unwrap();
+        assert_eq!(evens.len(), 3);
+        assert!(evens.contains(person, ids[0]));
+        assert!(!evens.contains(person, ids[1]));
+        let all = g.all_vertices(person, tid).unwrap();
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn edge_action_and_expand() {
+        let (g, person, knows) = graph();
+        let ids = load_people(&g, person, 5);
+        g.txn()
+            .add_edge(knows, person, ids[0], ids[1])
+            .add_edge(knows, person, ids[0], ids[2])
+            .add_edge(knows, person, ids[1], ids[3])
+            .commit()
+            .unwrap();
+        let tid = g.read_tid();
+        let pairs = g
+            .edge_action(person, knows, tid, |from, to| (from, to))
+            .unwrap();
+        assert_eq!(pairs.len(), 3);
+
+        let frontier = VertexSet::from_iter_typed(person, [ids[0]]);
+        let hop1 = g.expand(&frontier, person, knows, person, tid).unwrap();
+        assert_eq!(hop1.len(), 2);
+        let hop2 = g.expand(&hop1, person, knows, person, tid).unwrap();
+        assert_eq!(hop2.of_type(person), vec![ids[3]]);
+    }
+
+    #[test]
+    fn deleted_vertices_excluded_from_actions() {
+        let (g, person, _) = graph();
+        let ids = load_people(&g, person, 4);
+        g.txn().delete_vertex(person, ids[1]).commit().unwrap();
+        let tid = g.read_tid();
+        let all = g.all_vertices(person, tid).unwrap();
+        assert_eq!(all.len(), 3);
+        assert!(!all.contains(person, ids[1]));
+    }
+}

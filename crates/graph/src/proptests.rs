@@ -1,0 +1,82 @@
+//! Property-based tests for vertex set algebra (GSQL's `UNION` /
+//! `INTERSECT` / `MINUS` must behave like real set algebra) and the
+//! pre-filter bitmap conversion.
+
+use crate::vertex_set::VertexSet;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tv_common::ids::{LocalId, SegmentId};
+use tv_common::VertexId;
+
+fn member_strategy() -> impl Strategy<Value = (u32, VertexId)> {
+    (0u32..3, 0u32..4, 0u32..16)
+        .prop_map(|(t, seg, l)| (t, VertexId::new(SegmentId(seg), LocalId(l))))
+}
+
+fn set_strategy() -> impl Strategy<Value = VertexSet> {
+    prop::collection::vec(member_strategy(), 0..24)
+        .prop_map(|members| members.into_iter().collect())
+}
+
+fn as_hashset(s: &VertexSet) -> HashSet<(u32, VertexId)> {
+    s.iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn union_matches_hashset(a in set_strategy(), b in set_strategy()) {
+        let got = as_hashset(&a.union(&b));
+        let want: HashSet<_> = as_hashset(&a).union(&as_hashset(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn intersect_matches_hashset(a in set_strategy(), b in set_strategy()) {
+        let got = as_hashset(&a.intersect(&b));
+        let want: HashSet<_> = as_hashset(&a).intersection(&as_hashset(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn minus_matches_hashset(a in set_strategy(), b in set_strategy()) {
+        let got = as_hashset(&a.minus(&b));
+        let want: HashSet<_> = as_hashset(&a).difference(&as_hashset(&b)).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn algebra_identities(a in set_strategy(), b in set_strategy()) {
+        // A = (A ∩ B) ∪ (A \ B)
+        let rebuilt = a.intersect(&b).union(&a.minus(&b));
+        prop_assert_eq!(as_hashset(&rebuilt), as_hashset(&a));
+        // (A ∪ B) \ B ⊆ A
+        let diff = a.union(&b).minus(&b);
+        prop_assert!(as_hashset(&diff).is_subset(&as_hashset(&a)));
+        // |A ∪ B| = |A| + |B| - |A ∩ B|
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersect(&b).len(),
+            a.len() + b.len()
+        );
+    }
+
+    /// Bitmap conversion: every member of the requested type is set, nothing
+    /// else, capped by capacity.
+    #[test]
+    fn segment_bitmaps_are_exact(a in set_strategy(), type_id in 0u32..3) {
+        let capacity = 16;
+        let maps = a.to_segment_bitmaps(type_id, capacity);
+        // Every member of the type appears.
+        for (t, id) in a.iter() {
+            if t == type_id {
+                let bm = maps.get(&id.segment());
+                prop_assert!(bm.is_some(), "missing segment {:?}", id.segment());
+                prop_assert!(bm.unwrap().get(id.local().0 as usize));
+            }
+        }
+        // Total set bits equal the member count of that type.
+        let total: usize = maps.values().map(|b| b.count_ones()).sum();
+        prop_assert_eq!(total, a.of_type(type_id).len());
+    }
+}

@@ -1,0 +1,364 @@
+//! Role-based access control over graph and vector data.
+//!
+//! One of the paper's four arguments for a unified system (§1): "it
+//! supports efficient data governance by providing a single set of access
+//! controls (e.g., role-based access control) for both vector data and
+//! graph data". And §5.1's search path enforces it in the same bitmap that
+//! masks deletions: "a filter function, based on a bitmap (marking all
+//! deleted and **unauthorized** vectors as invalid)".
+//!
+//! The model is deliberately small: roles grant read access per vertex
+//! type, optionally restricted by a row predicate (attribute-based row
+//! security). Because vector attributes hang off vertices, one grant
+//! governs both the attributes *and* the embeddings of a type — there is no
+//! separate vector ACL to drift out of sync, which is the governance point
+//! the paper makes against the two-system architecture.
+
+use crate::graph::Graph;
+use crate::vertex_set::VertexSet;
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use tg_storage::AttrValue;
+use tv_common::{Tid, TvError, TvResult};
+use tv_embedding::service::TypedNeighbor;
+use tv_hnsw::SearchStats;
+
+/// Row-level predicate: vertex attribute `attr` must equal `value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowRule {
+    /// Attribute name on the granted vertex type.
+    pub attr: String,
+    /// Required value.
+    pub value: AttrValue,
+}
+
+/// A grant: read access to one vertex type, optionally row-restricted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grant {
+    /// Granted vertex type id.
+    pub vertex_type: u32,
+    /// Optional row-security rule (None = whole type).
+    pub rule: Option<RowRule>,
+}
+
+/// A named role: a set of grants.
+#[derive(Debug, Clone, Default)]
+pub struct Role {
+    grants: Vec<Grant>,
+}
+
+impl Role {
+    /// Grant unrestricted read on a vertex type.
+    #[must_use]
+    pub fn allow_type(mut self, vertex_type: u32) -> Self {
+        self.grants.push(Grant {
+            vertex_type,
+            rule: None,
+        });
+        self
+    }
+
+    /// Grant row-restricted read on a vertex type.
+    #[must_use]
+    pub fn allow_rows(mut self, vertex_type: u32, attr: &str, value: AttrValue) -> Self {
+        self.grants.push(Grant {
+            vertex_type,
+            rule: Some(RowRule {
+                attr: attr.to_string(),
+                value,
+            }),
+        });
+        self
+    }
+
+    fn covers_type(&self, vertex_type: u32) -> bool {
+        self.grants.iter().any(|g| g.vertex_type == vertex_type)
+    }
+}
+
+/// The access-control registry: roles and user→role assignments.
+#[derive(Default)]
+pub struct AccessControl {
+    roles: RwLock<HashMap<String, Arc<Role>>>,
+    users: RwLock<HashMap<String, HashSet<String>>>,
+}
+
+impl AccessControl {
+    /// Empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        AccessControl::default()
+    }
+
+    /// Define (or replace) a role.
+    pub fn define_role(&self, name: &str, role: Role) {
+        self.roles.write().insert(name.to_string(), Arc::new(role));
+    }
+
+    /// Assign a role to a user.
+    pub fn assign(&self, user: &str, role: &str) -> TvResult<()> {
+        if !self.roles.read().contains_key(role) {
+            return Err(TvError::NotFound(format!("role '{role}'")));
+        }
+        self.users
+            .write()
+            .entry(user.to_string())
+            .or_default()
+            .insert(role.to_string());
+        Ok(())
+    }
+
+    /// Revoke a role from a user.
+    pub fn revoke(&self, user: &str, role: &str) {
+        if let Some(set) = self.users.write().get_mut(user) {
+            set.remove(role);
+        }
+    }
+
+    fn roles_of(&self, user: &str) -> Vec<Arc<Role>> {
+        let users = self.users.read();
+        let roles = self.roles.read();
+        users
+            .get(user)
+            .map(|names| names.iter().filter_map(|n| roles.get(n).cloned()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether `user` may read any rows of `vertex_type`.
+    #[must_use]
+    pub fn can_read_type(&self, user: &str, vertex_type: u32) -> bool {
+        self.roles_of(user).iter().any(|r| r.covers_type(vertex_type))
+    }
+
+    /// Materialize the set of vertices of `vertex_type` that `user` may
+    /// read at `tid` — the "authorized" side of the §5.1 validity bitmap.
+    /// Returns `None` when the user has *unrestricted* access to the type
+    /// (no bitmap needed — the engine reuses the liveness structure).
+    pub fn authorized_vertices(
+        &self,
+        graph: &Graph,
+        user: &str,
+        vertex_type: u32,
+        tid: Tid,
+    ) -> TvResult<Option<VertexSet>> {
+        let roles = self.roles_of(user);
+        let grants: Vec<&Grant> = roles
+            .iter()
+            .flat_map(|r| r.grants.iter())
+            .filter(|g| g.vertex_type == vertex_type)
+            .collect();
+        if grants.is_empty() {
+            return Err(TvError::InvalidArgument(format!(
+                "user '{user}' has no grant on vertex type {vertex_type}"
+            )));
+        }
+        if grants.iter().any(|g| g.rule.is_none()) {
+            return Ok(None); // unrestricted
+        }
+        // Union of all row-restricted grants.
+        let rules: Vec<RowRule> = grants.iter().filter_map(|g| g.rule.clone()).collect();
+        let set = graph.select_vertices(vertex_type, tid, |_, get| {
+            rules
+                .iter()
+                .any(|rule| get(&rule.attr).as_ref() == Some(&rule.value))
+        })?;
+        Ok(Some(set))
+    }
+}
+
+impl Graph {
+    /// Vector search **as a user**: the single access-control surface the
+    /// paper advocates — the same grants govern graph rows and their
+    /// vectors, enforced through the validity-bitmap hand-off of §5.1.
+    /// Unauthorized vertex types are rejected outright; row-restricted
+    /// grants become pre-filter bitmaps intersected with any caller filter.
+    pub fn vector_search_as(
+        &self,
+        acl: &AccessControl,
+        user: &str,
+        attr_ids: &[u32],
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        filter: Option<&VertexSet>,
+        tid: Tid,
+    ) -> TvResult<(Vec<TypedNeighbor>, SearchStats)> {
+        // Reject types without any grant.
+        for &attr_id in attr_ids {
+            let vt = self.embeddings().attr(attr_id)?.vertex_type;
+            if !acl.can_read_type(user, vt) {
+                return Err(TvError::InvalidArgument(format!(
+                    "user '{user}' is not authorized for vertex type {vt}"
+                )));
+            }
+        }
+        // Combine row-security sets across the searched types.
+        let mut restriction: Option<VertexSet> = None;
+        let mut unrestricted_everywhere = true;
+        for &attr_id in attr_ids {
+            let vt = self.embeddings().attr(attr_id)?.vertex_type;
+            match acl.authorized_vertices(self, user, vt, tid)? {
+                None => {
+                    // Unrestricted on this type: authorize its full live set
+                    // only if some other type is restricted (computed below).
+                }
+                Some(set) => {
+                    unrestricted_everywhere = false;
+                    restriction = Some(match restriction {
+                        Some(acc) => acc.union(&set),
+                        None => set,
+                    });
+                }
+            }
+        }
+        let authorized = if unrestricted_everywhere {
+            None
+        } else {
+            // Mixed case: add the full live sets of unrestricted types so
+            // they are not accidentally filtered out.
+            let mut acc = restriction.unwrap_or_default();
+            for &attr_id in attr_ids {
+                let vt = self.embeddings().attr(attr_id)?.vertex_type;
+                if acl.authorized_vertices(self, user, vt, tid)?.is_none() {
+                    acc = acc.union(&self.all_vertices(vt, tid)?);
+                }
+            }
+            Some(acc)
+        };
+
+        // Intersect with the caller's filter (both are candidate sets).
+        let effective = match (authorized, filter) {
+            (None, None) => None,
+            (None, Some(f)) => Some(f.clone()),
+            (Some(a), None) => Some(a),
+            (Some(a), Some(f)) => Some(a.intersect(f)),
+        };
+        self.vector_search(attr_ids, query, k, ef, effective.as_ref(), tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_storage::AttrType;
+    use tv_common::ids::SegmentLayout;
+    use tv_common::DistanceMetric;
+    use tv_embedding::{EmbeddingTypeDef, ServiceConfig};
+
+    fn secured_graph() -> (Graph, AccessControl, Vec<tv_common::VertexId>) {
+        let g = Graph::with_config(
+            SegmentLayout::with_capacity(8),
+            ServiceConfig {
+                brute_force_threshold: 4,
+                query_threads: 1,
+                default_ef: 32,
+            },
+        );
+        g.create_vertex_type(
+            "Doc",
+            &[("classification", AttrType::Str)],
+        )
+        .unwrap();
+        g.add_embedding_attribute(
+            "Doc",
+            EmbeddingTypeDef::new("emb", 4, "M", DistanceMetric::L2),
+        )
+        .unwrap();
+        let ids = g.allocate_many(0, 10).unwrap();
+        let mut txn = g.txn();
+        for (i, &id) in ids.iter().enumerate() {
+            let class = if i % 2 == 0 { "public" } else { "secret" };
+            txn = txn
+                .upsert_vertex(0, id, vec![AttrValue::Str(class.into())])
+                .set_vector(0, id, vec![i as f32; 4]);
+        }
+        txn.commit().unwrap();
+
+        let acl = AccessControl::new();
+        acl.define_role("admin", Role::default().allow_type(0));
+        acl.define_role(
+            "analyst",
+            Role::default().allow_rows(0, "classification", AttrValue::Str("public".into())),
+        );
+        acl.assign("alice", "admin").unwrap();
+        acl.assign("bob", "analyst").unwrap();
+        (g, acl, ids)
+    }
+
+    #[test]
+    fn admin_sees_everything() {
+        let (g, acl, ids) = secured_graph();
+        let tid = g.read_tid();
+        let (r, _) = g
+            .vector_search_as(&acl, "alice", &[0], &[1.0; 4], 1, 32, None, tid)
+            .unwrap();
+        assert_eq!(r[0].neighbor.id, ids[1]); // the secret doc nearest to 1.0
+    }
+
+    #[test]
+    fn analyst_only_sees_public_rows() {
+        let (g, acl, ids) = secured_graph();
+        let tid = g.read_tid();
+        // Nearest to 1.0 overall is secret doc 1; bob must get public doc 0
+        // or 2 instead.
+        let (r, _) = g
+            .vector_search_as(&acl, "bob", &[0], &[1.0; 4], 3, 32, None, tid)
+            .unwrap();
+        assert!(!r.is_empty());
+        for hit in &r {
+            let i = ids.iter().position(|&x| x == hit.neighbor.id).unwrap();
+            assert_eq!(i % 2, 0, "doc {i} is secret but bob saw it");
+        }
+    }
+
+    #[test]
+    fn stranger_is_rejected() {
+        let (g, acl, _) = secured_graph();
+        let tid = g.read_tid();
+        let err = g
+            .vector_search_as(&acl, "mallory", &[0], &[1.0; 4], 1, 32, None, tid)
+            .unwrap_err();
+        assert!(matches!(err, TvError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn caller_filter_intersects_with_grants() {
+        let (g, acl, ids) = secured_graph();
+        let tid = g.read_tid();
+        // Bob (public only) filtered to {0, 1}: only 0 remains visible.
+        let filter = VertexSet::from_iter_typed(0, [ids[0], ids[1]]);
+        let (r, _) = g
+            .vector_search_as(&acl, "bob", &[0], &[1.0; 4], 5, 32, Some(&filter), tid)
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].neighbor.id, ids[0]);
+    }
+
+    #[test]
+    fn revoke_removes_access() {
+        let (g, acl, _) = secured_graph();
+        let tid = g.read_tid();
+        acl.revoke("alice", "admin");
+        assert!(g
+            .vector_search_as(&acl, "alice", &[0], &[1.0; 4], 1, 32, None, tid)
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_role_assignment_fails() {
+        let acl = AccessControl::new();
+        assert!(acl.assign("x", "ghost").is_err());
+    }
+
+    #[test]
+    fn grants_cover_vectors_and_rows_together() {
+        // The governance argument: one grant controls both attribute reads
+        // (select_vertices) and vector search.
+        let (g, acl, _) = secured_graph();
+        let tid = g.read_tid();
+        let set = acl.authorized_vertices(&g, "bob", 0, tid).unwrap().unwrap();
+        assert_eq!(set.len(), 5); // the five public docs
+        assert!(acl.authorized_vertices(&g, "alice", 0, tid).unwrap().is_none());
+    }
+}

@@ -1,0 +1,222 @@
+//! Vertex set variables — GSQL's composition currency.
+//!
+//! Each query block produces a vertex set; later blocks consume it in their
+//! `FROM` clause, and `VectorSearch()` both accepts one as a candidate
+//! filter and returns one (§5.5). Sets are typed: members are grouped by
+//! vertex type, because local ids are only unique within a type.
+
+use std::collections::{BTreeSet, HashMap};
+use tv_common::{Bitmap, SegmentId, VertexId};
+
+/// A set of vertices, grouped by vertex type.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VertexSet {
+    members: HashMap<u32, BTreeSet<VertexId>>,
+}
+
+impl VertexSet {
+    /// Empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        VertexSet::default()
+    }
+
+    /// Set with the given members of one type.
+    #[must_use]
+    pub fn from_iter_typed(type_id: u32, ids: impl IntoIterator<Item = VertexId>) -> Self {
+        let mut s = VertexSet::new();
+        for id in ids {
+            s.insert(type_id, id);
+        }
+        s
+    }
+
+    /// Add a vertex.
+    pub fn insert(&mut self, type_id: u32, id: VertexId) {
+        self.members.entry(type_id).or_default().insert(id);
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, type_id: u32, id: VertexId) -> bool {
+        self.members.get(&type_id).is_some_and(|s| s.contains(&id))
+    }
+
+    /// Total member count across types.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.values().map(BTreeSet::len).sum()
+    }
+
+    /// True if no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vertex types present in the set.
+    #[must_use]
+    pub fn types(&self) -> Vec<u32> {
+        let mut t: Vec<u32> = self
+            .members
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(&t, _)| t)
+            .collect();
+        t.sort_unstable();
+        t
+    }
+
+    /// Members of one type, ascending.
+    #[must_use]
+    pub fn of_type(&self, type_id: u32) -> Vec<VertexId> {
+        self.members
+            .get(&type_id)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Iterate `(type_id, vertex)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, VertexId)> + '_ {
+        self.members
+            .iter()
+            .flat_map(|(&t, s)| s.iter().map(move |&v| (t, v)))
+    }
+
+    /// GSQL `UNION`.
+    #[must_use]
+    pub fn union(&self, other: &VertexSet) -> VertexSet {
+        let mut out = self.clone();
+        for (t, ids) in &other.members {
+            out.members.entry(*t).or_default().extend(ids.iter().copied());
+        }
+        out
+    }
+
+    /// GSQL `INTERSECT`.
+    #[must_use]
+    pub fn intersect(&self, other: &VertexSet) -> VertexSet {
+        let mut out = VertexSet::new();
+        for (t, ids) in &self.members {
+            if let Some(theirs) = other.members.get(t) {
+                let common: BTreeSet<VertexId> = ids.intersection(theirs).copied().collect();
+                if !common.is_empty() {
+                    out.members.insert(*t, common);
+                }
+            }
+        }
+        out
+    }
+
+    /// GSQL `MINUS`.
+    #[must_use]
+    pub fn minus(&self, other: &VertexSet) -> VertexSet {
+        let mut out = VertexSet::new();
+        for (t, ids) in &self.members {
+            let remaining: BTreeSet<VertexId> = match other.members.get(t) {
+                Some(theirs) => ids.difference(theirs).copied().collect(),
+                None => ids.clone(),
+            };
+            if !remaining.is_empty() {
+                out.members.insert(*t, remaining);
+            }
+        }
+        out
+    }
+
+    /// Convert the members of `type_id` into per-segment validity bitmaps —
+    /// the pre-filter hand-off to the vector index (§5.2). `capacity` is the
+    /// segment capacity of that type's layout.
+    #[must_use]
+    pub fn to_segment_bitmaps(&self, type_id: u32, capacity: usize) -> HashMap<SegmentId, Bitmap> {
+        let mut out: HashMap<SegmentId, Bitmap> = HashMap::new();
+        if let Some(ids) = self.members.get(&type_id) {
+            for id in ids {
+                let bm = out
+                    .entry(id.segment())
+                    .or_insert_with(|| Bitmap::new(capacity));
+                let l = id.local().0 as usize;
+                if l < capacity {
+                    bm.set(l, true);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<(u32, VertexId)> for VertexSet {
+    fn from_iter<I: IntoIterator<Item = (u32, VertexId)>>(iter: I) -> Self {
+        let mut s = VertexSet::new();
+        for (t, v) in iter {
+            s.insert(t, v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_common::ids::{LocalId, SegmentId};
+
+    fn vid(seg: u32, l: u32) -> VertexId {
+        VertexId::new(SegmentId(seg), LocalId(l))
+    }
+
+    #[test]
+    fn insert_contains_len() {
+        let mut s = VertexSet::new();
+        s.insert(0, vid(0, 1));
+        s.insert(0, vid(0, 1)); // dedup
+        s.insert(1, vid(0, 1)); // different type, same id
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0, vid(0, 1)));
+        assert!(!s.contains(0, vid(0, 2)));
+        assert_eq!(s.types(), vec![0, 1]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = VertexSet::from_iter_typed(0, [vid(0, 1), vid(0, 2), vid(0, 3)]);
+        let b = VertexSet::from_iter_typed(0, [vid(0, 2), vid(0, 3), vid(0, 4)]);
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersect(&b).len(), 2);
+        assert_eq!(a.minus(&b).of_type(0), vec![vid(0, 1)]);
+    }
+
+    #[test]
+    fn algebra_respects_types() {
+        let a = VertexSet::from_iter_typed(0, [vid(0, 1)]);
+        let b = VertexSet::from_iter_typed(1, [vid(0, 1)]);
+        assert!(a.intersect(&b).is_empty());
+        assert_eq!(a.union(&b).len(), 2);
+        assert_eq!(a.minus(&b), a);
+    }
+
+    #[test]
+    fn segment_bitmaps_group_by_segment() {
+        let s = VertexSet::from_iter_typed(0, [vid(0, 1), vid(0, 5), vid(2, 3)]);
+        let maps = s.to_segment_bitmaps(0, 8);
+        assert_eq!(maps.len(), 2);
+        let s0 = &maps[&SegmentId(0)];
+        assert!(s0.get(1) && s0.get(5) && !s0.get(0));
+        assert_eq!(maps[&SegmentId(2)].count_ones(), 1);
+        // Absent type → empty map.
+        assert!(s.to_segment_bitmaps(9, 8).is_empty());
+    }
+
+    #[test]
+    fn iter_and_collect() {
+        let s: VertexSet = [(0u32, vid(0, 1)), (1u32, vid(0, 2))].into_iter().collect();
+        let mut pairs: Vec<(u32, VertexId)> = s.iter().collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(0, vid(0, 1)), (1, vid(0, 2))]);
+    }
+
+    #[test]
+    fn of_type_sorted() {
+        let s = VertexSet::from_iter_typed(0, [vid(1, 0), vid(0, 5), vid(0, 1)]);
+        assert_eq!(s.of_type(0), vec![vid(0, 1), vid(0, 5), vid(1, 0)]);
+    }
+}

@@ -1,0 +1,830 @@
+//! Query execution.
+//!
+//! Execution follows the paper's plans bottom-up: per-node predicates run as
+//! `VertexAction`s producing candidate sets (pre-filter, §5.2), pattern
+//! edges are evaluated as semi-join chain expansions (§5.3), and the final
+//! vector operation runs as an `EmbeddingAction` over the candidate bitmaps
+//! (§5.1). Similarity joins enumerate matched paths and keep the global
+//! top-k pairs in a heap accumulator with brute-force distances (§5.4).
+
+use crate::ast::{CmpOp, Expr, Value};
+use crate::parser::parse;
+use crate::sema::{pushdown_predicates, resolve, QueryKind, Resolved};
+use std::collections::{HashMap, HashSet};
+use tg_graph::accum::PairHeapAccum;
+use tg_graph::{Graph, VertexSet};
+use tg_storage::AttrValue;
+use tv_common::metric::distance;
+use tv_common::{Tid, TvError, TvResult, VertexId};
+
+/// Named parameter bindings (`$qv`, `$k`, ...).
+pub type Params = HashMap<String, Value>;
+
+/// One result vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    /// Vertex type id.
+    pub vertex_type: u32,
+    /// Vertex id.
+    pub id: VertexId,
+    /// Distance to the query (vector queries only).
+    pub dist: Option<f32>,
+}
+
+/// Query output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// Vertex results (ordered by distance for vector queries).
+    Vertices(Vec<ResultRow>),
+    /// Similarity-join pairs, nearest first.
+    Pairs(Vec<(ResultRow, ResultRow, f32)>),
+}
+
+impl QueryOutput {
+    /// Vertex rows (panics on pair output — test convenience).
+    #[must_use]
+    pub fn rows(&self) -> &[ResultRow] {
+        match self {
+            QueryOutput::Vertices(v) => v,
+            QueryOutput::Pairs(_) => panic!("pair output"),
+        }
+    }
+}
+
+/// Parse, resolve, and execute `src` at the latest committed snapshot.
+pub fn execute(graph: &Graph, src: &str, params: &Params) -> TvResult<QueryOutput> {
+    execute_at(graph, src, params, graph.read_tid())
+}
+
+/// Parse, resolve, and execute `src` at a pinned TID.
+pub fn execute_at(graph: &Graph, src: &str, params: &Params, tid: Tid) -> TvResult<QueryOutput> {
+    let query = parse(src)?;
+    let resolved = resolve(graph, query)?;
+    run(graph, &resolved, params, tid)
+}
+
+/// Execute an already-resolved query.
+pub fn run(graph: &Graph, r: &Resolved, params: &Params, tid: Tid) -> TvResult<QueryOutput> {
+    match r.kind {
+        QueryKind::TopK => run_topk(graph, r, params, tid),
+        QueryKind::Range => run_range(graph, r, params, tid),
+        QueryKind::SimilarityJoin => run_join(graph, r, params, tid),
+        QueryKind::GraphOnly => run_graph_only(graph, r, params, tid),
+    }
+}
+
+fn limit_of(r: &Resolved, params: &Params) -> TvResult<usize> {
+    match &r.query.limit {
+        Some(expr) => {
+            let v = eval_const(expr, params)?;
+            match v {
+                Value::Int(n) if n >= 0 => Ok(n as usize),
+                other => Err(TvError::Execution(format!("bad LIMIT {other:?}"))),
+            }
+        }
+        None => Ok(usize::MAX),
+    }
+}
+
+fn query_vector<'p>(r: &Resolved, params: &'p Params) -> TvResult<&'p [f32]> {
+    let vd = r
+        .query
+        .order_by
+        .as_ref()
+        .map(|vd| (&vd.lhs, &vd.rhs))
+        .or_else(|| {
+            // Range search: the VECTOR_DIST was stripped into range_threshold;
+            // recover the param side from the original WHERE clause.
+            None
+        });
+    let param_name = match vd {
+        Some((crate::ast::VecRef::Param(p), _)) | Some((_, crate::ast::VecRef::Param(p))) => {
+            p.clone()
+        }
+        _ => {
+            // Range path: find the parameter inside the original where clause.
+            find_range_param(r).ok_or_else(|| {
+                TvError::Execution("query vector parameter not found".into())
+            })?
+        }
+    };
+    params
+        .get(&param_name)
+        .and_then(Value::as_vector)
+        .ok_or_else(|| TvError::Execution(format!("parameter '${param_name}' must be a vector")))
+}
+
+fn find_range_param(r: &Resolved) -> Option<String> {
+    fn walk(e: &Expr) -> Option<String> {
+        match e {
+            Expr::VectorDist(vd) => match (&vd.lhs, &vd.rhs) {
+                (crate::ast::VecRef::Param(p), _) | (_, crate::ast::VecRef::Param(p)) => {
+                    Some(p.clone())
+                }
+                _ => None,
+            },
+            Expr::Cmp(l, _, rr) | Expr::And(l, rr) | Expr::Or(l, rr) => {
+                walk(l).or_else(|| walk(rr))
+            }
+            Expr::Not(inner) => walk(inner),
+            _ => None,
+        }
+    }
+    r.query.where_clause.as_ref().and_then(walk)
+}
+
+/// Candidate sets per pattern node via predicate pushdown + semi-join chain
+/// expansion. Returns `None` for a node when it is unconstrained (single-
+/// node pattern with no predicate — the pure-search fast path that reuses
+/// the engine's liveness status instead of materializing a bitmap, §5.1).
+fn node_candidates(
+    graph: &Graph,
+    r: &Resolved,
+    params: &Params,
+    tid: Tid,
+) -> TvResult<Vec<Option<HashSet<VertexId>>>> {
+    let n = r.query.pattern.nodes.len();
+    let (per_node, residual) = pushdown_predicates(r.graph_filter.as_ref(), &r.alias_of, n);
+    if !residual.is_empty() && r.kind != QueryKind::SimilarityJoin {
+        return Err(TvError::Execution(
+            "cross-alias predicates are only supported in similarity joins".into(),
+        ));
+    }
+
+    // Fast path: single unconstrained node.
+    if n == 1 && per_node[0].is_empty() {
+        return Ok(vec![None]);
+    }
+
+    let mut sets: Vec<Option<HashSet<VertexId>>> = vec![None; n];
+    // Node 0: all vertices of the type passing its predicates.
+    sets[0] = Some(materialize(graph, r, params, 0, &per_node[0], None, tid)?);
+
+    for (i, edge) in r.edges.iter().enumerate() {
+        let left = sets[i].as_ref().expect("left set materialized");
+        let right_type = r.node_types[i + 1];
+        let mut right: HashSet<VertexId> = HashSet::new();
+        if edge.forward {
+            // Left is the stored source: expand its out-edges.
+            let store = graph.store().vertex_type(r.node_types[i])?;
+            for &v in left {
+                for t in store.edges(v, edge.etype, tid) {
+                    right.insert(t);
+                }
+            }
+            // Apply the right node's predicates + liveness.
+            right = restrict(graph, r, params, i + 1, &per_node[i + 1], right, tid)?;
+        } else {
+            // Right is the stored source: scan right candidates whose
+            // out-edges hit the left set.
+            let candidates =
+                materialize(graph, r, params, i + 1, &per_node[i + 1], None, tid)?;
+            let store = graph.store().vertex_type(right_type)?;
+            for v in candidates {
+                if store.edges(v, edge.etype, tid).iter().any(|t| left.contains(t)) {
+                    right.insert(v);
+                }
+            }
+        }
+        sets[i + 1] = Some(right);
+    }
+    Ok(sets)
+}
+
+/// All vertices of node `idx`'s type passing its predicates (VertexAction).
+fn materialize(
+    graph: &Graph,
+    r: &Resolved,
+    params: &Params,
+    idx: usize,
+    preds: &[Expr],
+    within: Option<&HashSet<VertexId>>,
+    tid: Tid,
+) -> TvResult<HashSet<VertexId>> {
+    let type_id = r.node_types[idx];
+    let set = graph.select_vertices(type_id, tid, |id, get| {
+        if let Some(w) = within {
+            if !w.contains(&id) {
+                return false;
+            }
+        }
+        preds.iter().all(|p| {
+            eval_pred(p, get, params).unwrap_or(false)
+        })
+    })?;
+    Ok(set.of_type(type_id).into_iter().collect())
+}
+
+/// Keep only members of `ids` that are live and pass `preds`.
+fn restrict(
+    graph: &Graph,
+    r: &Resolved,
+    params: &Params,
+    idx: usize,
+    preds: &[Expr],
+    ids: HashSet<VertexId>,
+    tid: Tid,
+) -> TvResult<HashSet<VertexId>> {
+    let type_id = r.node_types[idx];
+    let store = graph.store().vertex_type(type_id)?;
+    let schema = store.schema().clone();
+    let mut out = HashSet::with_capacity(ids.len());
+    for id in ids {
+        if !store.is_live(id, tid) {
+            continue;
+        }
+        let row = store.row(id, tid);
+        let get = |name: &str| -> Option<AttrValue> {
+            let col = schema.index_of(name)?;
+            row.as_ref().and_then(|r| r.get(col).cloned())
+        };
+        if preds.iter().all(|p| eval_pred(p, &get, params).unwrap_or(false)) {
+            out.insert(id);
+        }
+    }
+    Ok(out)
+}
+
+fn run_topk(graph: &Graph, r: &Resolved, params: &Params, tid: Tid) -> TvResult<QueryOutput> {
+    let (target_node, attr_id) = r.target.expect("topk target");
+    let k = limit_of(r, params)?;
+    let qv = query_vector(r, params)?;
+    let sets = node_candidates(graph, r, params, tid)?;
+    let filter_set = sets[target_node].as_ref().map(|ids| {
+        VertexSet::from_iter_typed(r.node_types[target_node], ids.iter().copied())
+    });
+    // Early out: a filtered search whose candidate set is empty.
+    if let Some(fs) = &filter_set {
+        if fs.is_empty() {
+            return Ok(QueryOutput::Vertices(Vec::new()));
+        }
+    }
+    let ef = graph.embeddings().config().default_ef.max(k);
+    let (hits, _stats) =
+        graph.vector_search(&[attr_id], qv, k, ef, filter_set.as_ref(), tid)?;
+    Ok(QueryOutput::Vertices(
+        hits.into_iter()
+            .map(|tn| ResultRow {
+                vertex_type: tn.vertex_type,
+                id: tn.neighbor.id,
+                dist: Some(tn.neighbor.dist),
+            })
+            .collect(),
+    ))
+}
+
+fn run_range(graph: &Graph, r: &Resolved, params: &Params, tid: Tid) -> TvResult<QueryOutput> {
+    let (target_node, attr_id) = r.target.expect("range target");
+    let threshold = match eval_const(r.range_threshold.as_ref().expect("threshold"), params)? {
+        v => v
+            .as_f64()
+            .ok_or_else(|| TvError::Execution("range threshold must be numeric".into()))?,
+    };
+    let qv = query_vector(r, params)?;
+    let sets = node_candidates(graph, r, params, tid)?;
+    let filter_set = sets[target_node].as_ref().map(|ids| {
+        VertexSet::from_iter_typed(r.node_types[target_node], ids.iter().copied())
+    });
+    if let Some(fs) = &filter_set {
+        if fs.is_empty() {
+            return Ok(QueryOutput::Vertices(Vec::new()));
+        }
+    }
+    let ef = graph.embeddings().config().default_ef;
+    let (hits, _stats) = graph.vector_range_search(
+        &[attr_id],
+        qv,
+        threshold as f32,
+        ef,
+        filter_set.as_ref(),
+        tid,
+    )?;
+    Ok(QueryOutput::Vertices(
+        hits.into_iter()
+            .map(|tn| ResultRow {
+                vertex_type: tn.vertex_type,
+                id: tn.neighbor.id,
+                dist: Some(tn.neighbor.dist),
+            })
+            .collect(),
+    ))
+}
+
+fn run_graph_only(graph: &Graph, r: &Resolved, params: &Params, tid: Tid) -> TvResult<QueryOutput> {
+    let sets = node_candidates(graph, r, params, tid)?;
+    let sel = &r.query.select[0];
+    let node = r.alias_of[sel];
+    let type_id = r.node_types[node];
+    let ids: Vec<VertexId> = match &sets[node] {
+        Some(ids) => {
+            let mut v: Vec<VertexId> = ids.iter().copied().collect();
+            v.sort_unstable();
+            v
+        }
+        None => graph.all_vertices(type_id, tid)?.of_type(type_id),
+    };
+    let k = limit_of(r, params)?;
+    Ok(QueryOutput::Vertices(
+        ids.into_iter()
+            .take(k)
+            .map(|id| ResultRow {
+                vertex_type: type_id,
+                id,
+                dist: None,
+            })
+            .collect(),
+    ))
+}
+
+fn run_join(graph: &Graph, r: &Resolved, params: &Params, tid: Tid) -> TvResult<QueryOutput> {
+    let ((s_node, s_attr), (t_node, t_attr)) = r.join.expect("join endpoints");
+    let k = limit_of(r, params)?;
+    let sets = node_candidates(graph, r, params, tid)?;
+
+    // Enumerate matched paths with a DFS along the chain, collecting the
+    // distinct (s, t) pairs. Matched paths are typically sparse (§5.4), so
+    // brute force over pairs is the paper's choice too.
+    let n = r.query.pattern.nodes.len();
+    let materialized: Vec<Vec<VertexId>> = (0..n)
+        .map(|i| match &sets[i] {
+            Some(ids) => {
+                let mut v: Vec<VertexId> = ids.iter().copied().collect();
+                v.sort_unstable();
+                v
+            }
+            None => Vec::new(),
+        })
+        .collect();
+
+    let mut pairs: HashSet<(VertexId, VertexId)> = HashSet::new();
+    let mut path: Vec<VertexId> = Vec::with_capacity(n);
+    for &start in &materialized[0] {
+        path.push(start);
+        dfs_pairs(graph, r, &materialized, &mut path, 0, s_node, t_node, &mut pairs, tid)?;
+        path.pop();
+    }
+
+    // Compute distances with an embedding cache, keep the global top-k in a
+    // heap accumulator.
+    let s_attr_ref = graph.embeddings().attr(s_attr)?;
+    let t_attr_ref = graph.embeddings().attr(t_attr)?;
+    let metric = s_attr_ref.def.metric;
+    let mut cache: HashMap<(u32, VertexId), Option<Vec<f32>>> = HashMap::new();
+    let mut heap = PairHeapAccum::new(k);
+    for (s, t) in pairs {
+        let sv = cache
+            .entry((s_attr, s))
+            .or_insert_with(|| s_attr_ref.segment(s.segment()).and_then(|seg| seg.get_embedding(s, tid)))
+            .clone();
+        let tv = cache
+            .entry((t_attr, t))
+            .or_insert_with(|| t_attr_ref.segment(t.segment()).and_then(|seg| seg.get_embedding(t, tid)))
+            .clone();
+        if let (Some(sv), Some(tv)) = (sv, tv) {
+            if s == t {
+                continue; // a vertex is trivially closest to itself
+            }
+            heap.add(s, t, distance(metric, &sv, &tv));
+        }
+    }
+    let s_type = r.node_types[s_node];
+    let t_type = r.node_types[t_node];
+    Ok(QueryOutput::Pairs(
+        heap.into_sorted()
+            .into_iter()
+            .map(|(s, t, d)| {
+                (
+                    ResultRow { vertex_type: s_type, id: s, dist: None },
+                    ResultRow { vertex_type: t_type, id: t, dist: None },
+                    d,
+                )
+            })
+            .collect(),
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_pairs(
+    graph: &Graph,
+    r: &Resolved,
+    sets: &[Vec<VertexId>],
+    path: &mut Vec<VertexId>,
+    edge_idx: usize,
+    s_node: usize,
+    t_node: usize,
+    pairs: &mut HashSet<(VertexId, VertexId)>,
+    tid: Tid,
+) -> TvResult<()> {
+    if edge_idx == r.edges.len() {
+        let (mut s, mut t) = (path[s_node], path[t_node]);
+        // Symmetric patterns match every pair in both orders; canonicalize
+        // same-type pairs so (a, b) and (b, a) count once.
+        if r.node_types[s_node] == r.node_types[t_node] && t < s {
+            std::mem::swap(&mut s, &mut t);
+        }
+        pairs.insert((s, t));
+        return Ok(());
+    }
+    let edge = r.edges[edge_idx];
+    let cur = path[edge_idx];
+    let next_allowed: HashSet<VertexId> = sets[edge_idx + 1].iter().copied().collect();
+    let nexts: Vec<VertexId> = if edge.forward {
+        let store = graph.store().vertex_type(r.node_types[edge_idx])?;
+        store
+            .edges(cur, edge.etype, tid)
+            .into_iter()
+            .filter(|t| next_allowed.contains(t))
+            .collect()
+    } else {
+        // Reverse traversal: scan allowed right candidates pointing at cur.
+        let store = graph.store().vertex_type(r.node_types[edge_idx + 1])?;
+        sets[edge_idx + 1]
+            .iter()
+            .copied()
+            .filter(|&v| store.edges(v, edge.etype, tid).contains(&cur))
+            .collect()
+    };
+    for next in nexts {
+        path.push(next);
+        dfs_pairs(graph, r, sets, path, edge_idx + 1, s_node, t_node, pairs, tid)?;
+        path.pop();
+    }
+    Ok(())
+}
+
+/// Evaluate a constant expression (literals and parameters only).
+fn eval_const(expr: &Expr, params: &Params) -> TvResult<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Param(p) => params
+            .get(p)
+            .cloned()
+            .ok_or_else(|| TvError::Execution(format!("unbound parameter '${p}'"))),
+        other => Err(TvError::Execution(format!("not a constant: {other:?}"))),
+    }
+}
+
+/// Evaluate a boolean predicate against one vertex's attributes.
+fn eval_pred(
+    expr: &Expr,
+    get: &dyn Fn(&str) -> Option<AttrValue>,
+    params: &Params,
+) -> TvResult<bool> {
+    match expr {
+        Expr::Cmp(l, op, r) => {
+            let lv = eval_scalar(l, get, params)?;
+            let rv = eval_scalar(r, get, params)?;
+            compare(&lv, *op, &rv)
+        }
+        Expr::And(l, r) => Ok(eval_pred(l, get, params)? && eval_pred(r, get, params)?),
+        Expr::Or(l, r) => Ok(eval_pred(l, get, params)? || eval_pred(r, get, params)?),
+        Expr::Not(inner) => Ok(!eval_pred(inner, get, params)?),
+        Expr::Attr(_, name) => match get(name) {
+            Some(AttrValue::Bool(b)) => Ok(b),
+            _ => Ok(false),
+        },
+        other => Err(TvError::Execution(format!("not a predicate: {other:?}"))),
+    }
+}
+
+fn eval_scalar(
+    expr: &Expr,
+    get: &dyn Fn(&str) -> Option<AttrValue>,
+    params: &Params,
+) -> TvResult<Value> {
+    match expr {
+        Expr::Attr(_, name) => match get(name) {
+            Some(AttrValue::Int(i)) => Ok(Value::Int(i)),
+            Some(AttrValue::Double(d)) => Ok(Value::Double(d)),
+            Some(AttrValue::Str(s)) => Ok(Value::Str(s)),
+            Some(AttrValue::Bool(b)) => Ok(Value::Bool(b)),
+            None => Ok(Value::Bool(false)), // missing attr never matches
+        },
+        other => eval_const(other, params),
+    }
+}
+
+fn compare(l: &Value, op: CmpOp, r: &Value) -> TvResult<bool> {
+    use std::cmp::Ordering;
+    let ord: Option<Ordering> = match (l, r) {
+        (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+        (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+        _ => match (l.as_f64(), r.as_f64()) {
+            (Some(a), Some(b)) => a.partial_cmp(&b),
+            _ => None,
+        },
+    };
+    let Some(ord) = ord else {
+        // Incomparable types never match (except !=).
+        return Ok(op == CmpOp::Neq);
+    };
+    Ok(match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Neq => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tg_storage::AttrType;
+    use tv_common::ids::SegmentLayout;
+    use tv_common::{DistanceMetric, SplitMix64};
+    use tv_embedding::{EmbeddingTypeDef, ServiceConfig};
+
+    /// LDBC-flavoured fixture: people who know each other, posts/comments
+    /// with embeddings and creators.
+    struct Fixture {
+        graph: Graph,
+        people: Vec<VertexId>,
+        posts: Vec<VertexId>,
+        post_vecs: Vec<Vec<f32>>,
+    }
+
+    fn fixture() -> Fixture {
+        let graph = Graph::with_config(
+            SegmentLayout::with_capacity(8),
+            ServiceConfig {
+                brute_force_threshold: 2,
+                query_threads: 1,
+                default_ef: 64,
+            },
+        );
+        graph
+            .create_vertex_type("Person", &[("firstName", AttrType::Str)])
+            .unwrap();
+        graph
+            .create_vertex_type(
+                "Post",
+                &[("language", AttrType::Str), ("length", AttrType::Int)],
+            )
+            .unwrap();
+        graph.create_edge_type("knows", "Person", "Person").unwrap();
+        graph.create_edge_type("hasCreator", "Post", "Person").unwrap();
+        graph
+            .add_embedding_attribute(
+                "Post",
+                EmbeddingTypeDef::new("content_emb", 4, "GPT4", DistanceMetric::L2),
+            )
+            .unwrap();
+
+        let person = 0u32;
+        let post = 1u32;
+        let knows = 0u32;
+        let has_creator = 1u32;
+        let emb = 0u32;
+
+        let people = graph.allocate_many(person, 4).unwrap();
+        let posts = graph.allocate_many(post, 12).unwrap();
+        let names = ["Alice", "Bob", "Carol", "Dave"];
+        let mut txn = graph.txn();
+        for (i, &p) in people.iter().enumerate() {
+            txn = txn.upsert_vertex(person, p, vec![AttrValue::Str(names[i].into())]);
+        }
+        // Alice knows Bob and Carol; Bob knows Dave.
+        txn = txn
+            .add_edge(knows, person, people[0], people[1])
+            .add_edge(knows, person, people[0], people[2])
+            .add_edge(knows, person, people[1], people[3]);
+        let mut rng = SplitMix64::new(42);
+        let mut post_vecs = Vec::new();
+        for (i, &m) in posts.iter().enumerate() {
+            let v: Vec<f32> = (0..4).map(|_| rng.next_f32() * 10.0).collect();
+            let lang = if i % 2 == 0 { "English" } else { "Spanish" };
+            let creator = people[i % 4];
+            txn = txn
+                .upsert_vertex(
+                    post,
+                    m,
+                    vec![AttrValue::Str(lang.into()), AttrValue::Int((i * 250) as i64)],
+                )
+                .set_vector(emb, m, v.clone())
+                .add_edge(has_creator, post, m, creator);
+            post_vecs.push(v);
+        }
+        txn.commit().unwrap();
+        Fixture {
+            graph,
+            people,
+            posts,
+            post_vecs,
+        }
+    }
+
+    fn params_with_vec(qv: &[f32]) -> Params {
+        let mut p = Params::new();
+        p.insert("qv".into(), Value::Vector(qv.to_vec()));
+        p
+    }
+
+    #[test]
+    fn pure_topk() {
+        let f = fixture();
+        let out = execute(
+            &f.graph,
+            "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 3",
+            &params_with_vec(&f.post_vecs[7]),
+        )
+        .unwrap();
+        let rows = out.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].id, f.posts[7]);
+        assert!(rows[0].dist.unwrap() < 1e-6);
+        assert!(rows.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn filtered_topk_respects_predicate() {
+        let f = fixture();
+        // Nearest overall is post 7 (Spanish); filtered to English it can't
+        // appear.
+        let out = execute(
+            &f.graph,
+            "SELECT s FROM (s:Post) WHERE s.language = \"English\" \
+             ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 6",
+            &params_with_vec(&f.post_vecs[7]),
+        )
+        .unwrap();
+        let rows = out.rows();
+        assert_eq!(rows.len(), 6); // exactly the English posts
+        assert!(rows.iter().all(|r| r.id.0 % 2 == f.posts[0].0 % 2));
+        assert!(!rows.iter().any(|r| r.id == f.posts[7]));
+    }
+
+    #[test]
+    fn range_search_with_filter() {
+        let f = fixture();
+        let out = execute(
+            &f.graph,
+            "SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.content_emb, $qv) < 1e9",
+            &params_with_vec(&f.post_vecs[0]),
+        )
+        .unwrap();
+        assert_eq!(out.rows().len(), 12); // everything within a huge radius
+        let out = execute(
+            &f.graph,
+            "SELECT s FROM (s:Post) WHERE s.language = \"Spanish\" AND \
+             VECTOR_DIST(s.content_emb, $qv) < 1e9",
+            &params_with_vec(&f.post_vecs[0]),
+        )
+        .unwrap();
+        assert_eq!(out.rows().len(), 6);
+    }
+
+    #[test]
+    fn pattern_topk_alice_posts() {
+        let f = fixture();
+        // Posts created by people Alice knows (Bob=idx1, Carol=idx2):
+        // posts with i % 4 ∈ {1, 2}.
+        let out = execute(
+            &f.graph,
+            "SELECT t FROM (s:Person) -[:knows]-> (:Person) <-[:hasCreator]- (t:Post) \
+             WHERE s.firstName = \"Alice\" \
+             ORDER BY VECTOR_DIST(t.content_emb, $qv) LIMIT 12",
+            &params_with_vec(&f.post_vecs[0]),
+        )
+        .unwrap();
+        let rows = out.rows();
+        assert_eq!(rows.len(), 6);
+        for r in rows {
+            let idx = f.posts.iter().position(|&p| p == r.id).unwrap();
+            assert!(idx % 4 == 1 || idx % 4 == 2, "post {idx} not by Alice's friends");
+        }
+    }
+
+    #[test]
+    fn pattern_with_attribute_filter_on_target() {
+        let f = fixture();
+        let out = execute(
+            &f.graph,
+            "SELECT t FROM (s:Person) -[:knows]-> (:Person) <-[:hasCreator]- (t:Post) \
+             WHERE s.firstName = \"Alice\" AND t.length > 1000 \
+             ORDER BY VECTOR_DIST(t.content_emb, $qv) LIMIT 12",
+            &params_with_vec(&f.post_vecs[0]),
+        )
+        .unwrap();
+        for r in out.rows() {
+            let idx = f.posts.iter().position(|&p| p == r.id).unwrap();
+            assert!(idx * 250 > 1000);
+        }
+    }
+
+    #[test]
+    fn empty_candidate_set_returns_nothing() {
+        let f = fixture();
+        let out = execute(
+            &f.graph,
+            "SELECT t FROM (s:Person) -[:knows]-> (:Person) <-[:hasCreator]- (t:Post) \
+             WHERE s.firstName = \"Nobody\" \
+             ORDER BY VECTOR_DIST(t.content_emb, $qv) LIMIT 5",
+            &params_with_vec(&f.post_vecs[0]),
+        )
+        .unwrap();
+        assert!(out.rows().is_empty());
+    }
+
+    #[test]
+    fn similarity_join_pairs() {
+        let f = fixture();
+        // Pairs of posts created by Alice's direct friends... use a 3-hop:
+        // (s:Post) -[:hasCreator]-> (u) <-[:knows]- (a) ... keep it simple:
+        // posts whose creators know each other.
+        let out = execute(
+            &f.graph,
+            "SELECT s, t FROM (s:Post) -[:hasCreator]-> (u:Person) \
+             -[:knows]-> (v:Person) <-[:hasCreator]- (t:Post) \
+             ORDER BY VECTOR_DIST(s.content_emb, t.content_emb) LIMIT 4",
+            &Params::new(),
+        )
+        .unwrap();
+        match out {
+            QueryOutput::Pairs(pairs) => {
+                assert_eq!(pairs.len(), 4);
+                assert!(pairs.windows(2).all(|w| w[0].2 <= w[1].2));
+                // Every pair's creators must be connected by knows.
+                for (s, t, _) in &pairs {
+                    let si = f.posts.iter().position(|&p| p == s.id).unwrap();
+                    let ti = f.posts.iter().position(|&p| p == t.id).unwrap();
+                    let s_creator = si % 4;
+                    let t_creator = ti % 4;
+                    // Pairs are canonicalized by vertex id, so accept the
+                    // knows edge in either direction.
+                    let knows_pairs = [(0, 1), (0, 2), (1, 3)];
+                    assert!(
+                        knows_pairs.contains(&(s_creator, t_creator))
+                            || knows_pairs.contains(&(t_creator, s_creator)),
+                        "creators {s_creator}->{t_creator} not connected"
+                    );
+                }
+            }
+            other => panic!("expected pairs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_only_query() {
+        let f = fixture();
+        let out = execute(
+            &f.graph,
+            "SELECT s FROM (s:Person) WHERE s.firstName = \"Bob\"",
+            &Params::new(),
+        )
+        .unwrap();
+        assert_eq!(out.rows().len(), 1);
+        assert_eq!(out.rows()[0].id, f.people[1]);
+        assert_eq!(out.rows()[0].dist, None);
+    }
+
+    #[test]
+    fn unbound_parameter_is_execution_error() {
+        let f = fixture();
+        let err = execute(
+            &f.graph,
+            "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $missing) LIMIT 1",
+            &Params::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TvError::Execution(_)));
+    }
+
+    #[test]
+    fn param_limit_binds() {
+        let f = fixture();
+        let mut p = params_with_vec(&f.post_vecs[0]);
+        p.insert("k".into(), Value::Int(2));
+        let out = execute(
+            &f.graph,
+            "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT $k",
+            &p,
+        )
+        .unwrap();
+        assert_eq!(out.rows().len(), 2);
+    }
+
+    #[test]
+    fn results_respect_mvcc_snapshot() {
+        let f = fixture();
+        let old_tid = f.graph.read_tid();
+        // Delete the exact-match post after the snapshot.
+        f.graph.txn().delete_vertex(1, f.posts[7]).commit().unwrap();
+        let out_old = execute_at(
+            &f.graph,
+            "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 1",
+            &params_with_vec(&f.post_vecs[7]),
+            old_tid,
+        )
+        .unwrap();
+        assert_eq!(out_old.rows()[0].id, f.posts[7]);
+        let out_new = execute(
+            &f.graph,
+            "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 1",
+            &params_with_vec(&f.post_vecs[7]),
+        )
+        .unwrap();
+        assert_ne!(out_new.rows()[0].id, f.posts[7]);
+    }
+}

@@ -1,0 +1,433 @@
+//! Recursive-descent parser for the GSQL vector-search subset.
+
+use crate::ast::*;
+use crate::token::{tokenize, Token, TokenKind};
+use tv_common::{TvError, TvResult};
+
+/// Parse one query (a trailing `;` is optional).
+pub fn parse(src: &str) -> TvResult<Query> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.eat_if(&TokenKind::Semicolon);
+    if !p.at_end() {
+        return Err(p.error("trailing tokens after query"));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |t| t.offset)
+    }
+
+    fn error(&self, msg: &str) -> TvError {
+        TvError::Parse {
+            message: msg.to_string(),
+            offset: self.offset(),
+        }
+    }
+
+    fn next(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> TvResult<()> {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {what}")))
+        }
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> TvResult<String> {
+        match self.next() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error(&format!("expected {what}")))
+            }
+        }
+    }
+
+    fn query(&mut self) -> TvResult<Query> {
+        self.expect(&TokenKind::Select, "SELECT")?;
+        let mut select = vec![self.ident("result alias")?];
+        while self.eat_if(&TokenKind::Comma) {
+            select.push(self.ident("result alias")?);
+        }
+        self.expect(&TokenKind::From, "FROM")?;
+        let pattern = self.pattern()?;
+
+        let where_clause = if self.eat_if(&TokenKind::Where) {
+            Some(self.or_expr()?)
+        } else {
+            None
+        };
+
+        let mut order_by = None;
+        if self.eat_if(&TokenKind::Order) {
+            self.expect(&TokenKind::By, "BY after ORDER")?;
+            self.expect(&TokenKind::VectorDist, "VECTOR_DIST in ORDER BY")?;
+            order_by = Some(self.vector_dist_args()?);
+        }
+
+        let limit = if self.eat_if(&TokenKind::Limit) {
+            Some(match self.next() {
+                Some(TokenKind::Int(n)) => Expr::Literal(Value::Int(n)),
+                Some(TokenKind::Param(p)) => Expr::Param(p),
+                _ => return Err(self.error("expected LIMIT count")),
+            })
+        } else {
+            None
+        };
+
+        if order_by.is_some() && limit.is_none() {
+            return Err(self.error("ORDER BY VECTOR_DIST requires LIMIT"));
+        }
+
+        Ok(Query {
+            select,
+            pattern,
+            where_clause,
+            order_by,
+            limit,
+        })
+    }
+
+    fn pattern(&mut self) -> TvResult<Pattern> {
+        let mut nodes = vec![self.node_pattern()?];
+        let mut edges = Vec::new();
+        loop {
+            match self.peek() {
+                // `-[:t]->`  or  `-[:t]-` (treated as Out)
+                Some(TokenKind::Dash) => {
+                    self.pos += 1;
+                    let etype = self.edge_body()?;
+                    if self.eat_if(&TokenKind::ArrowRight) {
+                        edges.push(EdgePattern {
+                            etype,
+                            direction: Direction::Out,
+                        });
+                    } else if self.eat_if(&TokenKind::Dash) {
+                        edges.push(EdgePattern {
+                            etype,
+                            direction: Direction::Out,
+                        });
+                    } else {
+                        return Err(self.error("expected -> or - after edge"));
+                    }
+                    nodes.push(self.node_pattern()?);
+                }
+                // `<-[:t]-`
+                Some(TokenKind::ArrowLeft) => {
+                    self.pos += 1;
+                    let etype = self.edge_body()?;
+                    self.expect(&TokenKind::Dash, "- closing <-[:t]-")?;
+                    edges.push(EdgePattern {
+                        etype,
+                        direction: Direction::In,
+                    });
+                    nodes.push(self.node_pattern()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(Pattern { nodes, edges })
+    }
+
+    fn edge_body(&mut self) -> TvResult<String> {
+        self.expect(&TokenKind::LBracket, "[ in edge pattern")?;
+        self.expect(&TokenKind::Colon, ": in edge pattern")?;
+        let etype = self.ident("edge type")?;
+        self.expect(&TokenKind::RBracket, "] in edge pattern")?;
+        Ok(etype)
+    }
+
+    fn node_pattern(&mut self) -> TvResult<NodePattern> {
+        self.expect(&TokenKind::LParen, "( in node pattern")?;
+        let mut alias = None;
+        let mut label = None;
+        match self.peek() {
+            Some(TokenKind::Ident(_)) => {
+                let name = self.ident("alias")?;
+                if self.eat_if(&TokenKind::Colon) {
+                    alias = Some(name);
+                    label = Some(self.ident("vertex label")?);
+                } else {
+                    alias = Some(name);
+                }
+            }
+            Some(TokenKind::Colon) => {
+                self.pos += 1;
+                label = Some(self.ident("vertex label")?);
+            }
+            _ => {}
+        }
+        self.expect(&TokenKind::RParen, ") in node pattern")?;
+        Ok(NodePattern { alias, label })
+    }
+
+    fn vector_dist_args(&mut self) -> TvResult<VectorDist> {
+        self.expect(&TokenKind::LParen, "( after VECTOR_DIST")?;
+        let lhs = self.vec_ref()?;
+        self.expect(&TokenKind::Comma, ", between VECTOR_DIST args")?;
+        let rhs = self.vec_ref()?;
+        self.expect(&TokenKind::RParen, ") after VECTOR_DIST args")?;
+        Ok(VectorDist { lhs, rhs })
+    }
+
+    fn vec_ref(&mut self) -> TvResult<VecRef> {
+        match self.next() {
+            Some(TokenKind::Ident(alias)) => {
+                self.expect(&TokenKind::Dot, ". in embedding reference")?;
+                let attr = self.ident("embedding attribute")?;
+                Ok(VecRef::Attr(alias, attr))
+            }
+            Some(TokenKind::Param(p)) => Ok(VecRef::Param(p)),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected alias.attr or $param in VECTOR_DIST"))
+            }
+        }
+    }
+
+    // Precedence: OR < AND < NOT < comparison.
+    fn or_expr(&mut self) -> TvResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_if(&TokenKind::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> TvResult<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_if(&TokenKind::And) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> TvResult<Expr> {
+        if self.eat_if(&TokenKind::Not) {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> TvResult<Expr> {
+        if self.eat_if(&TokenKind::LParen) {
+            let inner = self.or_expr()?;
+            self.expect(&TokenKind::RParen, ") closing group")?;
+            return Ok(inner);
+        }
+        let lhs = self.operand()?;
+        let op = match self.peek() {
+            Some(TokenKind::Eq) => CmpOp::Eq,
+            Some(TokenKind::Neq) => CmpOp::Neq,
+            Some(TokenKind::Lt) => CmpOp::Lt,
+            Some(TokenKind::Le) => CmpOp::Le,
+            Some(TokenKind::Gt) => CmpOp::Gt,
+            Some(TokenKind::Ge) => CmpOp::Ge,
+            _ => return Ok(lhs), // bare operand (e.g. boolean attribute)
+        };
+        self.pos += 1;
+        let rhs = self.operand()?;
+        Ok(Expr::Cmp(Box::new(lhs), op, Box::new(rhs)))
+    }
+
+    fn operand(&mut self) -> TvResult<Expr> {
+        match self.next() {
+            Some(TokenKind::Ident(alias)) => {
+                self.expect(&TokenKind::Dot, ". after alias")?;
+                let attr = self.ident("attribute name")?;
+                Ok(Expr::Attr(alias, attr))
+            }
+            Some(TokenKind::VectorDist) => Ok(Expr::VectorDist(self.vector_dist_args()?)),
+            Some(TokenKind::Int(n)) => Ok(Expr::Literal(Value::Int(n))),
+            Some(TokenKind::Float(f)) => Ok(Expr::Literal(Value::Double(f))),
+            Some(TokenKind::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
+            Some(TokenKind::Param(p)) => Ok(Expr::Param(p)),
+            Some(TokenKind::Dash) => match self.next() {
+                Some(TokenKind::Int(n)) => Ok(Expr::Literal(Value::Int(-n))),
+                Some(TokenKind::Float(f)) => Ok(Expr::Literal(Value::Double(-f))),
+                _ => Err(self.error("expected number after unary -")),
+            },
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected operand"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pure_topk() {
+        let q = parse(
+            "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 10;",
+        )
+        .unwrap();
+        assert_eq!(q.select, vec!["s"]);
+        assert_eq!(q.pattern.nodes.len(), 1);
+        assert_eq!(q.pattern.nodes[0].label.as_deref(), Some("Post"));
+        let ob = q.order_by.unwrap();
+        assert_eq!(ob.lhs, VecRef::Attr("s".into(), "content_emb".into()));
+        assert_eq!(ob.rhs, VecRef::Param("qv".into()));
+        assert_eq!(q.limit, Some(Expr::Literal(Value::Int(10))));
+    }
+
+    #[test]
+    fn parses_range_search() {
+        let q = parse(
+            "SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.content_emb, $qv) < 0.5",
+        )
+        .unwrap();
+        assert!(q.order_by.is_none());
+        match q.where_clause.unwrap() {
+            Expr::Cmp(lhs, CmpOp::Lt, rhs) => {
+                assert!(matches!(*lhs, Expr::VectorDist(_)));
+                assert_eq!(*rhs, Expr::Literal(Value::Double(0.5)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_filtered_search() {
+        let q = parse(
+            "SELECT s FROM (s:Post) WHERE s.language = \"English\" \
+             ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 5",
+        )
+        .unwrap();
+        assert!(matches!(q.where_clause, Some(Expr::Cmp(_, CmpOp::Eq, _))));
+        assert!(q.order_by.is_some());
+    }
+
+    #[test]
+    fn parses_multi_hop_pattern() {
+        let q = parse(
+            "SELECT t FROM (s:Person) -[:knows]-> (:Person) <-[:hasCreator]- (t:Post) \
+             WHERE s.firstName = \"Alice\" AND t.length > 1000 \
+             ORDER BY VECTOR_DIST(t.content_emb, $qv) LIMIT 3",
+        )
+        .unwrap();
+        assert_eq!(q.pattern.nodes.len(), 3);
+        assert_eq!(q.pattern.edges.len(), 2);
+        assert_eq!(q.pattern.edges[0].direction, Direction::Out);
+        assert_eq!(q.pattern.edges[1].direction, Direction::In);
+        assert_eq!(q.pattern.nodes[1].alias, None);
+        assert!(matches!(q.where_clause, Some(Expr::And(_, _))));
+    }
+
+    #[test]
+    fn parses_similarity_join() {
+        let q = parse(
+            "SELECT s, t FROM (s:Comment) -[:hasCreator]-> (u:Person) \
+             -[:knows]-> (v:Person) <-[:hasCreator]- (t:Comment) \
+             WHERE u.firstName = \"Alice\" \
+             ORDER BY VECTOR_DIST(s.content_emb, t.content_emb) LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.select, vec!["s", "t"]);
+        assert_eq!(q.pattern.nodes.len(), 4);
+        let ob = q.order_by.unwrap();
+        assert!(matches!(ob.lhs, VecRef::Attr(_, _)));
+        assert!(matches!(ob.rhs, VecRef::Attr(_, _)));
+    }
+
+    #[test]
+    fn rejects_order_by_without_limit() {
+        assert!(parse("SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.e, $q)").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_patterns() {
+        assert!(parse("SELECT s FROM s:Post").is_err());
+        assert!(parse("SELECT s FROM (s:Post) -[knows]-> (t:Post)").is_err());
+        assert!(parse("SELECT s FROM (s:Post) extra").is_err());
+        assert!(parse("FROM (s:Post)").is_err());
+    }
+
+    #[test]
+    fn parse_errors_have_offsets() {
+        match parse("SELECT s FROM (s:Post) WHERE s.x <") {
+            Err(TvError::Parse { offset, .. }) => assert!(offset > 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_precedence() {
+        let q = parse(
+            "SELECT s FROM (s:P) WHERE s.a = 1 OR s.b = 2 AND NOT s.c = 3",
+        )
+        .unwrap();
+        // OR is outermost.
+        assert!(matches!(q.where_clause, Some(Expr::Or(_, _))));
+    }
+
+    #[test]
+    fn parenthesized_groups() {
+        let q = parse("SELECT s FROM (s:P) WHERE (s.a = 1 OR s.b = 2) AND s.c = 3").unwrap();
+        assert!(matches!(q.where_clause, Some(Expr::And(_, _))));
+    }
+
+    #[test]
+    fn negative_literals() {
+        let q = parse("SELECT s FROM (s:P) WHERE s.a > -5").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Cmp(_, _, rhs) => assert_eq!(*rhs, Expr::Literal(Value::Int(-5))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn param_limit() {
+        let q = parse("SELECT s FROM (s:P) ORDER BY VECTOR_DIST(s.e, $q) LIMIT $k").unwrap();
+        assert_eq!(q.limit, Some(Expr::Param("k".into())));
+    }
+
+    #[test]
+    fn undirected_edge_defaults_out() {
+        let q = parse("SELECT s FROM (s:P) -[:likes]- (t:Q)").unwrap();
+        assert_eq!(q.pattern.edges[0].direction, Direction::Out);
+    }
+}

@@ -1,0 +1,1069 @@
+//! Core HNSW index.
+//!
+//! Layout: node `slot` (a dense `u32`) owns a vector (`dim` floats in a
+//! slot-major arena), an external key ([`VertexId`]), a top level, a deleted
+//! flag, and per-level neighbor lists. External keys map to slots through a
+//! hash map so upserts and deletes address vectors by id, as the embedding
+//! service's delta records do (§4.3).
+//!
+//! Upserts of live keys update **in place** with neighborhood repair
+//! (hnswlib's `updatePoint`): the old neighbors' lists are re-selected from
+//! their two-hop pools and the moved node is re-linked — several times the
+//! cost of a fresh insert, which is why incremental updating loses to a
+//! full rebuild beyond a ~20% update ratio (the paper's Fig. 11 crossover).
+//! Deletes are soft (tombstones stay navigable, like hnswlib); the vacuum's
+//! rebuild path compacts them away.
+
+use crate::config::HnswConfig;
+use crate::select::{select_neighbors, Scored};
+use crate::stats::SearchStats;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use tv_common::bitmap::Filter;
+use tv_common::metric::distance;
+use tv_common::{DistanceMetric, Neighbor, NeighborHeap, SplitMix64, Tid, TvError, TvResult, VertexId};
+
+/// Upsert/delete action flag of a vector delta (§4.3: the delta schema is
+/// `Action Flag, ID, TID, Vector Value`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaAction {
+    /// Insert or replace the vector for an id.
+    Upsert,
+    /// Remove the vector for an id.
+    Delete,
+}
+
+/// One vector delta record, as accumulated in the in-memory delta store and
+/// flushed to delta files by the delta-merge vacuum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaRecord {
+    /// Upsert or delete.
+    pub action: DeltaAction,
+    /// The vertex whose vector changes.
+    pub id: VertexId,
+    /// Committing transaction.
+    pub tid: Tid,
+    /// New vector value (empty for deletes).
+    pub vector: Vec<f32>,
+}
+
+impl DeltaRecord {
+    /// An upsert record.
+    #[must_use]
+    pub fn upsert(id: VertexId, tid: Tid, vector: Vec<f32>) -> Self {
+        DeltaRecord {
+            action: DeltaAction::Upsert,
+            id,
+            tid,
+            vector,
+        }
+    }
+
+    /// A delete record.
+    #[must_use]
+    pub fn delete(id: VertexId, tid: Tid) -> Self {
+        DeltaRecord {
+            action: DeltaAction::Delete,
+            id,
+            tid,
+            vector: Vec::new(),
+        }
+    }
+}
+
+/// The interface TigerVector requires of any vector index (§4.4). Implemented
+/// by [`HnswIndex`] and [`crate::BruteForceIndex`]; quantization-based
+/// indexes would slot in behind the same four functions.
+pub trait VectorIndex: Send + Sync {
+    /// Declared dimensionality.
+    fn dim(&self) -> usize;
+    /// Distance metric.
+    fn metric(&self) -> DistanceMetric;
+    /// Number of live (non-deleted) vectors.
+    fn len(&self) -> usize;
+    /// True if no live vectors are present.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// `GetEmbedding`: the stored vector for `id`, if present and live.
+    fn get_embedding(&self, id: VertexId) -> Option<&[f32]>;
+    /// `TopKSearch`: the `k` nearest valid neighbors of `query`. `ef` bounds
+    /// the search beam (clamped up to `k`); `filter` restricts validity by
+    /// *local id* within this segment.
+    fn top_k(&self, query: &[f32], k: usize, ef: usize, filter: Filter<'_>)
+        -> (Vec<Neighbor>, SearchStats);
+    /// `RangeSearch`: all valid neighbors within `threshold` distance.
+    fn range_search(
+        &self,
+        query: &[f32],
+        threshold: f32,
+        ef: usize,
+        filter: Filter<'_>,
+    ) -> (Vec<Neighbor>, SearchStats);
+    /// `UpdateItems`: apply delta records in order; returns how many were
+    /// applied.
+    fn update_items(&mut self, records: &[DeltaRecord]) -> TvResult<usize>;
+    /// Iterate over `(key, vector)` pairs of live entries (brute-force scans
+    /// and ground-truth computation).
+    fn scan(&self) -> Box<dyn Iterator<Item = (VertexId, &[f32])> + '_>;
+}
+
+/// Hierarchical Navigable Small World index over one embedding segment.
+#[derive(Clone)]
+pub struct HnswIndex {
+    cfg: HnswConfig,
+    /// Slot-major vector arena: slot `s` occupies `s*dim .. (s+1)*dim`.
+    vectors: Vec<f32>,
+    /// External key per slot.
+    keys: Vec<VertexId>,
+    /// Key → live slot.
+    slot_of: HashMap<VertexId, u32>,
+    /// Per-slot, per-level adjacency.
+    links: Vec<Vec<Vec<u32>>>,
+    /// Top level per slot.
+    levels: Vec<u8>,
+    /// Tombstones.
+    deleted: Vec<bool>,
+    deleted_count: usize,
+    /// Entry slot and the highest level in the graph.
+    entry: Option<(u32, u8)>,
+    rng: SplitMix64,
+}
+
+impl HnswIndex {
+    /// New empty index. Panics on invalid config (programmer error).
+    #[must_use]
+    pub fn new(cfg: HnswConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid HNSW config: {e}");
+        }
+        let rng = SplitMix64::new(cfg.seed);
+        HnswIndex {
+            cfg,
+            vectors: Vec::new(),
+            keys: Vec::new(),
+            slot_of: HashMap::new(),
+            links: Vec::new(),
+            levels: Vec::new(),
+            deleted: Vec::new(),
+            deleted_count: 0,
+            entry: None,
+            rng,
+        }
+    }
+
+    /// The construction configuration.
+    #[must_use]
+    pub fn config(&self) -> &HnswConfig {
+        &self.cfg
+    }
+
+    /// Total slots, including tombstones (capacity metric for vacuum
+    /// decisions).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of tombstoned slots. The vacuum compares this against
+    /// [`Self::slot_count`] to decide between incremental update and full
+    /// rebuild (Fig. 11's crossover).
+    #[must_use]
+    pub fn tombstone_count(&self) -> usize {
+        self.deleted_count
+    }
+
+    /// Approximate resident bytes (vectors + links), for memory accounting.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let vec_bytes = self.vectors.len() * std::mem::size_of::<f32>();
+        let link_bytes: usize = self
+            .links
+            .iter()
+            .map(|per_node| {
+                per_node
+                    .iter()
+                    .map(|l| l.len() * std::mem::size_of::<u32>())
+                    .sum::<usize>()
+            })
+            .sum();
+        vec_bytes + link_bytes
+    }
+
+    fn vec_of(&self, slot: u32) -> &[f32] {
+        let d = self.cfg.dim;
+        let s = slot as usize;
+        &self.vectors[s * d..(s + 1) * d]
+    }
+
+    fn sample_level(&mut self) -> u8 {
+        let ml = self.cfg.level_norm();
+        let lvl = (self.rng.next_exp() * ml).floor();
+        // Cap pathological samples; 32 levels covers > 10^14 points at M=16.
+        lvl.min(32.0) as u8
+    }
+
+    /// Insert or replace the vector for `key`. Returns an error on dimension
+    /// mismatch.
+    pub fn insert(&mut self, key: VertexId, vector: &[f32]) -> TvResult<()> {
+        if vector.len() != self.cfg.dim {
+            return Err(TvError::DimensionMismatch {
+                expected: self.cfg.dim,
+                got: vector.len(),
+            });
+        }
+        // Upsert of a live key: in-place update with neighborhood repair
+        // (hnswlib's updatePoint) — the expensive path whose cost Fig. 11
+        // compares against a full rebuild.
+        if let Some(&old) = self.slot_of.get(&key) {
+            if !self.deleted[old as usize] {
+                self.update_in_place(old, vector);
+                return Ok(());
+            }
+        }
+
+        let slot = self.keys.len() as u32;
+        let level = self.sample_level();
+        self.vectors.extend_from_slice(vector);
+        self.keys.push(key);
+        self.levels.push(level);
+        self.deleted.push(false);
+        self.links
+            .push((0..=level).map(|_| Vec::new()).collect::<Vec<_>>());
+        self.slot_of.insert(key, slot);
+
+        let Some((mut cur, top)) = self.entry else {
+            self.entry = Some((slot, level));
+            return Ok(());
+        };
+
+        let q = vector;
+        // Greedy descent through layers above the new node's level.
+        let mut stats = SearchStats::default();
+        for lvl in ((level + 1)..=top).rev() {
+            cur = self.greedy_closest(q, cur, lvl, &mut stats);
+        }
+
+        // Connect on each layer from min(level, top) down to 0.
+        let mut entry_points = vec![cur];
+        for lvl in (0..=level.min(top)).rev() {
+            let found = self.search_layer(
+                q,
+                &entry_points,
+                self.cfg.ef_construction,
+                lvl,
+                &mut stats,
+            );
+            let max_deg = if lvl == 0 { self.cfg.m0 } else { self.cfg.m };
+            let chosen = {
+                let vectors = &self.vectors;
+                let d = self.cfg.dim;
+                select_neighbors(self.cfg.metric, &found, self.cfg.m, true, |s| {
+                    &vectors[s as usize * d..(s as usize + 1) * d]
+                })
+            };
+            for &nb in &chosen {
+                self.links[slot as usize][lvl as usize].push(nb);
+                self.links[nb as usize][lvl as usize].push(slot);
+                self.shrink_links(nb, lvl, max_deg);
+            }
+            entry_points = found.iter().map(|&(_, s)| s).collect();
+            if entry_points.is_empty() {
+                entry_points = vec![cur];
+            }
+        }
+
+        if level > top {
+            self.entry = Some((slot, level));
+        }
+        Ok(())
+    }
+
+    /// Replace a live node's vector and repair the surrounding graph:
+    /// re-select the neighbor lists of the node's old neighbors from their
+    /// two-hop candidate pool (the moved node invalidated their diversity
+    /// choices), then re-link the node itself at every level. This costs
+    /// several times a fresh insert — which is exactly why incremental
+    /// updating loses to rebuilding beyond a ~20% update ratio (Fig. 11).
+    fn update_in_place(&mut self, slot: u32, vector: &[f32]) {
+        let d = self.cfg.dim;
+        self.vectors[slot as usize * d..(slot as usize + 1) * d].copy_from_slice(vector);
+        let Some((entry, top)) = self.entry else {
+            return;
+        };
+        let level = self.levels[slot as usize];
+
+        // Phase 1: repair old neighbors' lists from their 2-hop pools.
+        for lvl in 0..=level.min(top) {
+            let old_neighbors = self.links[slot as usize][lvl as usize].clone();
+            if old_neighbors.is_empty() {
+                continue;
+            }
+            let max_deg = if lvl == 0 { self.cfg.m0 } else { self.cfg.m };
+            for &nb in &old_neighbors {
+                // Candidate pool for this neighbor: its own links plus the
+                // moved node's old neighborhood (hnswlib's repair set).
+                let mut pool: Vec<u32> = self.links[nb as usize][lvl as usize].clone();
+                pool.extend(old_neighbors.iter().copied());
+                pool.sort_unstable();
+                pool.dedup();
+                let mut scored: Vec<Scored> = pool
+                    .iter()
+                    .filter(|&&c| c != nb)
+                    .map(|&c| {
+                        (
+                            distance(self.cfg.metric, self.vec_of(nb), self.vec_of(c)),
+                            c,
+                        )
+                    })
+                    .collect();
+                scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                let vectors = &self.vectors;
+                let kept = select_neighbors(self.cfg.metric, &scored, max_deg, true, |s| {
+                    &vectors[s as usize * d..(s as usize + 1) * d]
+                });
+                self.links[nb as usize][lvl as usize] = kept;
+            }
+        }
+
+        // Phase 2: re-link the moved node like a fresh insert.
+        let mut stats = SearchStats::default();
+        let mut cur = entry;
+        for lvl in ((level + 1)..=top).rev() {
+            cur = self.greedy_closest(vector, cur, lvl, &mut stats);
+        }
+        let mut entry_points = vec![cur];
+        for lvl in (0..=level.min(top)).rev() {
+            let mut found = self.search_layer(
+                vector,
+                &entry_points,
+                self.cfg.ef_construction,
+                lvl,
+                &mut stats,
+            );
+            found.retain(|&(_, s)| s != slot);
+            let max_deg = if lvl == 0 { self.cfg.m0 } else { self.cfg.m };
+            let chosen = {
+                let vectors = &self.vectors;
+                select_neighbors(self.cfg.metric, &found, self.cfg.m, true, |s| {
+                    &vectors[s as usize * d..(s as usize + 1) * d]
+                })
+            };
+            self.links[slot as usize][lvl as usize] = chosen.clone();
+            for &nb in &chosen {
+                if !self.links[nb as usize][lvl as usize].contains(&slot) {
+                    self.links[nb as usize][lvl as usize].push(slot);
+                    self.shrink_links(nb, lvl, max_deg);
+                }
+            }
+            entry_points = found.iter().map(|&(_, s)| s).collect();
+            if entry_points.is_empty() {
+                entry_points = vec![cur];
+            }
+        }
+    }
+
+    /// Mark the vector for `key` deleted. Returns true if a live entry was
+    /// removed.
+    pub fn remove(&mut self, key: VertexId) -> bool {
+        if let Some(&slot) = self.slot_of.get(&key) {
+            if !self.deleted[slot as usize] {
+                self.deleted[slot as usize] = true;
+                self.deleted_count += 1;
+                self.slot_of.remove(&key);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Prune a node's neighbor list back to `max_deg` using the diversity
+    /// heuristic.
+    fn shrink_links(&mut self, node: u32, lvl: u8, max_deg: usize) {
+        let list = &self.links[node as usize][lvl as usize];
+        if list.len() <= max_deg {
+            return;
+        }
+        let base = node;
+        let mut scored: Vec<Scored> = list
+            .iter()
+            .map(|&nb| (distance(self.cfg.metric, self.vec_of(base), self.vec_of(nb)), nb))
+            .collect();
+        scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        let vectors = &self.vectors;
+        let d = self.cfg.dim;
+        let kept = select_neighbors(self.cfg.metric, &scored, max_deg, true, |s| {
+            &vectors[s as usize * d..(s as usize + 1) * d]
+        });
+        self.links[node as usize][lvl as usize] = kept;
+    }
+
+    /// Greedy walk to the locally-closest node on one layer (the ef=1 upper-
+    /// layer descent of the HNSW search).
+    fn greedy_closest(&self, q: &[f32], start: u32, lvl: u8, stats: &mut SearchStats) -> u32 {
+        let mut cur = start;
+        let mut cur_dist = distance(self.cfg.metric, q, self.vec_of(cur));
+        stats.distance_computations += 1;
+        loop {
+            let mut improved = false;
+            for &nb in &self.links[cur as usize][lvl as usize] {
+                let d = distance(self.cfg.metric, q, self.vec_of(nb));
+                stats.distance_computations += 1;
+                stats.hops += 1;
+                if d < cur_dist {
+                    cur = nb;
+                    cur_dist = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// Beam search on one layer. Returns up to `ef` candidates sorted by
+    /// ascending distance. Deleted nodes participate in navigation and in
+    /// the returned candidate list (construction links through them), so
+    /// callers that produce user-visible results must filter afterwards.
+    fn search_layer(
+        &self,
+        q: &[f32],
+        entries: &[u32],
+        ef: usize,
+        lvl: u8,
+        stats: &mut SearchStats,
+    ) -> Vec<Scored> {
+        let n = self.keys.len();
+        let mut visited = vec![false; n];
+        // Min-heap of frontier candidates; max-heap (via NeighborHeap-like
+        // bound) of the best `ef` found.
+        let mut frontier: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
+        let mut best: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
+
+        for &e in entries {
+            if visited[e as usize] {
+                continue;
+            }
+            visited[e as usize] = true;
+            let d = distance(self.cfg.metric, q, self.vec_of(e));
+            stats.distance_computations += 1;
+            frontier.push(Reverse((OrdF32(d), e)));
+            best.push((OrdF32(d), e));
+            if best.len() > ef {
+                best.pop();
+            }
+        }
+
+        while let Some(Reverse((OrdF32(d), node))) = frontier.pop() {
+            let bound = best.peek().map_or(f32::INFINITY, |&(OrdF32(b), _)| b);
+            if d > bound && best.len() >= ef {
+                break;
+            }
+            for &nb in &self.links[node as usize][lvl as usize] {
+                if visited[nb as usize] {
+                    continue;
+                }
+                visited[nb as usize] = true;
+                stats.hops += 1;
+                let nd = distance(self.cfg.metric, q, self.vec_of(nb));
+                stats.distance_computations += 1;
+                let bound = best.peek().map_or(f32::INFINITY, |&(OrdF32(b), _)| b);
+                if nd < bound || best.len() < ef {
+                    frontier.push(Reverse((OrdF32(nd), nb)));
+                    best.push((OrdF32(nd), nb));
+                    if best.len() > ef {
+                        best.pop();
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<Scored> = best.into_iter().map(|(OrdF32(d), s)| (d, s)).collect();
+        out.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        out
+    }
+
+    /// Layer-0 beam search that only admits *valid* (live + filter-passing)
+    /// points into the result set, while still navigating through invalid
+    /// ones — the filter-function semantics the paper passes to the index so
+    /// "a single call to the vector index returns the valid top-k" (§5.1).
+    fn search_layer0_filtered(
+        &self,
+        q: &[f32],
+        entries: &[u32],
+        ef: usize,
+        filter: Filter<'_>,
+        stats: &mut SearchStats,
+    ) -> Vec<Scored> {
+        let n = self.keys.len();
+        let mut visited = vec![false; n];
+        let mut frontier: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
+        let mut best: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
+
+        let accepts = |slot: u32| -> bool {
+            !self.deleted[slot as usize]
+                && filter.accepts(self.keys[slot as usize].local().0 as usize)
+        };
+
+        for &e in entries {
+            if visited[e as usize] {
+                continue;
+            }
+            visited[e as usize] = true;
+            let d = distance(self.cfg.metric, q, self.vec_of(e));
+            stats.distance_computations += 1;
+            frontier.push(Reverse((OrdF32(d), e)));
+            if accepts(e) {
+                best.push((OrdF32(d), e));
+                if best.len() > ef {
+                    best.pop();
+                }
+            } else {
+                stats.filtered_out += 1;
+            }
+        }
+
+        while let Some(Reverse((OrdF32(d), node))) = frontier.pop() {
+            let bound = best.peek().map_or(f32::INFINITY, |&(OrdF32(b), _)| b);
+            if d > bound && best.len() >= ef {
+                break;
+            }
+            for &nb in &self.links[node as usize][0] {
+                if visited[nb as usize] {
+                    continue;
+                }
+                visited[nb as usize] = true;
+                stats.hops += 1;
+                let nd = distance(self.cfg.metric, q, self.vec_of(nb));
+                stats.distance_computations += 1;
+                let bound = best.peek().map_or(f32::INFINITY, |&(OrdF32(b), _)| b);
+                if nd < bound || best.len() < ef {
+                    frontier.push(Reverse((OrdF32(nd), nb)));
+                    if accepts(nb) {
+                        best.push((OrdF32(nd), nb));
+                        if best.len() > ef {
+                            best.pop();
+                        }
+                    } else {
+                        stats.filtered_out += 1;
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<Scored> = best.into_iter().map(|(OrdF32(d), s)| (d, s)).collect();
+        out.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        out
+    }
+
+    /// Exact linear scan over live, filter-passing entries — the planner's
+    /// fallback when too few points are valid for graph search to pay off.
+    pub fn brute_force_top_k(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: Filter<'_>,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let mut stats = SearchStats {
+            brute_force: true,
+            ..SearchStats::default()
+        };
+        let mut heap = NeighborHeap::new(k);
+        for (slot, &key) in self.keys.iter().enumerate() {
+            if self.deleted[slot] {
+                continue;
+            }
+            // Skip stale slots whose key now maps elsewhere (tombstoned by
+            // upsert but flag not yet set — defensive; should not happen).
+            if !filter.accepts(key.local().0 as usize) {
+                stats.filtered_out += 1;
+                continue;
+            }
+            let d = distance(self.cfg.metric, query, self.vec_of(slot as u32));
+            stats.distance_computations += 1;
+            heap.push(Neighbor::new(key, d));
+        }
+        (heap.into_sorted(), stats)
+    }
+
+    /// Fraction of live points among all slots; used with the valid-point
+    /// threshold to pick brute force vs. index search.
+    #[must_use]
+    pub fn live_fraction(&self) -> f64 {
+        if self.keys.is_empty() {
+            1.0
+        } else {
+            1.0 - self.deleted_count as f64 / self.keys.len() as f64
+        }
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    fn metric(&self) -> DistanceMetric {
+        self.cfg.metric
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len() - self.deleted_count
+    }
+
+    fn get_embedding(&self, id: VertexId) -> Option<&[f32]> {
+        let &slot = self.slot_of.get(&id)?;
+        if self.deleted[slot as usize] {
+            None
+        } else {
+            Some(self.vec_of(slot))
+        }
+    }
+
+    fn top_k(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        filter: Filter<'_>,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let mut stats = SearchStats::default();
+        if k == 0 || query.len() != self.cfg.dim {
+            return (Vec::new(), stats);
+        }
+        let Some((entry, top)) = self.entry else {
+            return (Vec::new(), stats);
+        };
+        let ef = ef.max(k);
+        let mut cur = entry;
+        for lvl in (1..=top).rev() {
+            cur = self.greedy_closest(query, cur, lvl, &mut stats);
+        }
+        let found = self.search_layer0_filtered(query, &[cur], ef, filter, &mut stats);
+        let out = found
+            .into_iter()
+            .take(k)
+            .map(|(d, s)| Neighbor::new(self.keys[s as usize], d))
+            .collect();
+        (out, stats)
+    }
+
+    fn range_search(
+        &self,
+        query: &[f32],
+        threshold: f32,
+        ef: usize,
+        filter: Filter<'_>,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        // DiskANN-style adaptation (§4.4): repeat TopKSearch with doubling k
+        // until the threshold is smaller than the median returned distance
+        // (i.e. at least half the beam already lies outside the range) or
+        // the whole valid set has been fetched.
+        let mut stats = SearchStats::default();
+        let live = match filter {
+            Filter::All => self.len(),
+            Filter::Valid(b) => self.len().min(b.count_ones()),
+        };
+        let mut k = 16usize;
+        loop {
+            let (results, s) = self.top_k(query, k, ef.max(k), filter);
+            stats.merge(&s);
+            let exhausted = results.len() < k || results.len() >= live;
+            let median = if results.is_empty() {
+                f32::INFINITY
+            } else {
+                results[results.len() / 2].dist
+            };
+            if exhausted || threshold < median {
+                let out = results
+                    .into_iter()
+                    .filter(|n| n.dist <= threshold)
+                    .collect();
+                return (out, stats);
+            }
+            k *= 2;
+        }
+    }
+
+    fn update_items(&mut self, records: &[DeltaRecord]) -> TvResult<usize> {
+        let mut applied = 0;
+        for rec in records {
+            match rec.action {
+                DeltaAction::Upsert => {
+                    self.insert(rec.id, &rec.vector)?;
+                    applied += 1;
+                }
+                DeltaAction::Delete => {
+                    self.remove(rec.id);
+                    applied += 1;
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    fn scan(&self) -> Box<dyn Iterator<Item = (VertexId, &[f32])> + '_> {
+        Box::new(
+            self.keys
+                .iter()
+                .enumerate()
+                .filter(move |&(slot, key)| {
+                    !self.deleted[slot] && self.slot_of.get(key) == Some(&(slot as u32))
+                })
+                .map(move |(slot, &key)| (key, self.vec_of(slot as u32))),
+        )
+    }
+}
+
+/// Total-ordered f32 wrapper for heap use (NaN sorts greatest).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF32(pub f32);
+
+impl Eq for OrdF32 {}
+impl PartialOrd for OrdF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF32 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+// Internal accessors for snapshot serialization.
+impl HnswIndex {
+    pub(crate) fn parts(
+        &self,
+    ) -> (
+        &HnswConfig,
+        &[f32],
+        &[VertexId],
+        &[Vec<Vec<u32>>],
+        &[u8],
+        &[bool],
+        Option<(u32, u8)>,
+    ) {
+        (
+            &self.cfg,
+            &self.vectors,
+            &self.keys,
+            &self.links,
+            &self.levels,
+            &self.deleted,
+            self.entry,
+        )
+    }
+
+    pub(crate) fn from_parts(
+        cfg: HnswConfig,
+        vectors: Vec<f32>,
+        keys: Vec<VertexId>,
+        links: Vec<Vec<Vec<u32>>>,
+        levels: Vec<u8>,
+        deleted: Vec<bool>,
+        entry: Option<(u32, u8)>,
+    ) -> TvResult<Self> {
+        let n = keys.len();
+        if vectors.len() != n * cfg.dim || links.len() != n || levels.len() != n || deleted.len() != n
+        {
+            return Err(TvError::Storage("inconsistent snapshot parts".into()));
+        }
+        let mut slot_of = HashMap::with_capacity(n);
+        let mut deleted_count = 0;
+        for (slot, (&key, &dead)) in keys.iter().zip(&deleted).enumerate() {
+            if dead {
+                deleted_count += 1;
+            } else {
+                slot_of.insert(key, slot as u32);
+            }
+        }
+        let rng = SplitMix64::new(cfg.seed ^ n as u64);
+        Ok(HnswIndex {
+            cfg,
+            vectors,
+            keys,
+            slot_of,
+            links,
+            levels,
+            deleted,
+            deleted_count,
+            entry,
+            rng,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_common::ids::{LocalId, SegmentId};
+    use tv_common::Bitmap;
+
+    fn key(i: u32) -> VertexId {
+        VertexId::new(SegmentId(0), LocalId(i))
+    }
+
+    /// Deterministic clustered test vectors.
+    fn make_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.next_f32() * 10.0).collect())
+            .collect()
+    }
+
+    fn build_index(vecs: &[Vec<f32>]) -> HnswIndex {
+        let mut idx = HnswIndex::new(HnswConfig::new(vecs[0].len(), DistanceMetric::L2));
+        for (i, v) in vecs.iter().enumerate() {
+            idx.insert(key(i as u32), v).unwrap();
+        }
+        idx
+    }
+
+    fn exact_top_k(vecs: &[Vec<f32>], q: &[f32], k: usize) -> Vec<u32> {
+        let mut scored: Vec<(f32, u32)> = vecs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (tv_common::metric::l2_sq(q, v), i as u32))
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        scored.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = HnswIndex::new(HnswConfig::new(4, DistanceMetric::L2));
+        let (r, _) = idx.top_k(&[0.0; 4], 5, 50, Filter::All);
+        assert!(r.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let mut idx = HnswIndex::new(HnswConfig::new(2, DistanceMetric::L2));
+        idx.insert(key(0), &[1.0, 2.0]).unwrap();
+        let (r, _) = idx.top_k(&[1.0, 2.0], 1, 10, Filter::All);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, key(0));
+        assert!(r[0].dist < 1e-6);
+    }
+
+    #[test]
+    fn insert_rejects_wrong_dimension() {
+        let mut idx = HnswIndex::new(HnswConfig::new(4, DistanceMetric::L2));
+        let err = idx.insert(key(0), &[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, TvError::DimensionMismatch { expected: 4, got: 2 }));
+    }
+
+    #[test]
+    fn recall_at_10_is_high() {
+        let vecs = make_vectors(2000, 16, 7);
+        let idx = build_index(&vecs);
+        let queries = make_vectors(20, 16, 99);
+        let mut hits = 0;
+        let mut total = 0;
+        for q in &queries {
+            let exact = exact_top_k(&vecs, q, 10);
+            let (approx, _) = idx.top_k(q, 10, 100, Filter::All);
+            let got: Vec<u32> = approx.iter().map(|n| n.id.local().0).collect();
+            total += exact.len();
+            hits += exact.iter().filter(|e| got.contains(e)).count();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall > 0.9, "recall {recall}");
+    }
+
+    #[test]
+    fn higher_ef_does_not_reduce_quality() {
+        let vecs = make_vectors(1000, 8, 3);
+        let idx = build_index(&vecs);
+        let q = &vecs[123];
+        let (lo, _) = idx.top_k(q, 10, 10, Filter::All);
+        let (hi, _) = idx.top_k(q, 10, 200, Filter::All);
+        // Sum of distances with larger beam must be <= with smaller beam.
+        let sum = |v: &Vec<Neighbor>| v.iter().map(|n| n.dist as f64).sum::<f64>();
+        assert!(sum(&hi) <= sum(&lo) + 1e-6);
+    }
+
+    #[test]
+    fn delete_excludes_from_results() {
+        let vecs = make_vectors(200, 8, 5);
+        let mut idx = build_index(&vecs);
+        let q = vecs[0].clone();
+        let (before, _) = idx.top_k(&q, 1, 50, Filter::All);
+        assert_eq!(before[0].id, key(0));
+        assert!(idx.remove(key(0)));
+        let (after, _) = idx.top_k(&q, 1, 50, Filter::All);
+        assert_ne!(after[0].id, key(0));
+        assert_eq!(idx.len(), 199);
+        assert!(idx.get_embedding(key(0)).is_none());
+        // Double-remove reports false.
+        assert!(!idx.remove(key(0)));
+    }
+
+    #[test]
+    fn upsert_replaces_vector() {
+        let vecs = make_vectors(100, 4, 11);
+        let mut idx = build_index(&vecs);
+        let newv = vec![100.0, 100.0, 100.0, 100.0];
+        idx.insert(key(5), &newv).unwrap();
+        assert_eq!(idx.get_embedding(key(5)).unwrap(), newv.as_slice());
+        assert_eq!(idx.len(), 100); // still 100 live
+        // In-place update: no tombstone, no slot growth.
+        assert_eq!(idx.tombstone_count(), 0);
+        assert_eq!(idx.slot_count(), 100);
+        let (r, _) = idx.top_k(&newv, 1, 50, Filter::All);
+        assert_eq!(r[0].id, key(5));
+    }
+
+    #[test]
+    fn filtered_search_respects_bitmap() {
+        let vecs = make_vectors(500, 8, 13);
+        let idx = build_index(&vecs);
+        // Only even local ids valid.
+        let bm = Bitmap::from_indices(500, (0..500).step_by(2));
+        let (r, stats) = idx.top_k(&vecs[3], 10, 100, Filter::Valid(&bm));
+        assert_eq!(r.len(), 10);
+        assert!(r.iter().all(|n| n.id.local().0 % 2 == 0));
+        assert!(stats.filtered_out > 0);
+    }
+
+    #[test]
+    fn filtered_search_with_tiny_valid_set_finds_them() {
+        let vecs = make_vectors(500, 8, 17);
+        let idx = build_index(&vecs);
+        let bm = Bitmap::from_indices(500, [42usize, 99]);
+        let (r, _) = idx.top_k(&vecs[0], 10, 400, Filter::Valid(&bm));
+        // May find fewer than requested, but only valid ones.
+        assert!(!r.is_empty());
+        assert!(r.iter().all(|n| n.id.local().0 == 42 || n.id.local().0 == 99));
+    }
+
+    #[test]
+    fn brute_force_matches_exact() {
+        let vecs = make_vectors(300, 8, 19);
+        let idx = build_index(&vecs);
+        let q = &vecs[7];
+        let exact = exact_top_k(&vecs, q, 5);
+        let (bf, stats) = idx.brute_force_top_k(q, 5, Filter::All);
+        let got: Vec<u32> = bf.iter().map(|n| n.id.local().0).collect();
+        assert_eq!(got, exact);
+        assert!(stats.brute_force);
+        assert_eq!(stats.distance_computations, 300);
+    }
+
+    #[test]
+    fn range_search_returns_only_within_threshold() {
+        let vecs = make_vectors(400, 8, 23);
+        let idx = build_index(&vecs);
+        let q = &vecs[11];
+        let threshold = 30.0f32;
+        let (r, _) = idx.range_search(q, threshold, 100, Filter::All);
+        assert!(r.iter().all(|n| n.dist <= threshold));
+        // Compare against exact count (allow small ANN slack).
+        let exact = vecs
+            .iter()
+            .filter(|v| tv_common::metric::l2_sq(q, v) <= threshold)
+            .count();
+        assert!(
+            r.len() as f64 >= exact as f64 * 0.8,
+            "range recall too low: {} vs {exact}",
+            r.len()
+        );
+    }
+
+    #[test]
+    fn range_search_zero_threshold_finds_self() {
+        let vecs = make_vectors(100, 8, 29);
+        let idx = build_index(&vecs);
+        let (r, _) = idx.range_search(&vecs[5], 1e-9, 50, Filter::All);
+        assert!(r.iter().any(|n| n.id == key(5)));
+    }
+
+    #[test]
+    fn update_items_applies_in_order() {
+        let mut idx = HnswIndex::new(HnswConfig::new(2, DistanceMetric::L2));
+        let recs = vec![
+            DeltaRecord::upsert(key(0), Tid(1), vec![0.0, 0.0]),
+            DeltaRecord::upsert(key(1), Tid(2), vec![1.0, 1.0]),
+            DeltaRecord::upsert(key(0), Tid(3), vec![5.0, 5.0]), // update
+            DeltaRecord::delete(key(1), Tid(4)),
+        ];
+        let n = idx.update_items(&recs).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get_embedding(key(0)).unwrap(), &[5.0, 5.0]);
+        assert!(idx.get_embedding(key(1)).is_none());
+    }
+
+    #[test]
+    fn scan_yields_live_entries_once() {
+        let vecs = make_vectors(50, 4, 31);
+        let mut idx = build_index(&vecs);
+        idx.insert(key(3), &[9.0, 9.0, 9.0, 9.0]).unwrap(); // upsert
+        idx.remove(key(7));
+        let entries: Vec<VertexId> = idx.scan().map(|(k, _)| k).collect();
+        assert_eq!(entries.len(), 49);
+        let mut uniq = entries.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 49);
+        assert!(!entries.contains(&key(7)));
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let vecs = make_vectors(500, 8, 37);
+        let idx = build_index(&vecs);
+        let (_, stats) = idx.top_k(&vecs[0], 10, 50, Filter::All);
+        assert!(stats.distance_computations > 10);
+        assert!(stats.hops > 0);
+        assert!(!stats.brute_force);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let vecs = make_vectors(300, 8, 41);
+        let a = build_index(&vecs);
+        let b = build_index(&vecs);
+        let (ra, _) = a.top_k(&vecs[9], 10, 60, Filter::All);
+        let (rb, _) = b.top_k(&vecs[9], 10, 60, Filter::All);
+        assert_eq!(
+            ra.iter().map(|n| n.id).collect::<Vec<_>>(),
+            rb.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn cosine_metric_search() {
+        let mut idx = HnswIndex::new(HnswConfig::new(3, DistanceMetric::Cosine));
+        idx.insert(key(0), &[1.0, 0.0, 0.0]).unwrap();
+        idx.insert(key(1), &[0.0, 1.0, 0.0]).unwrap();
+        idx.insert(key(2), &[0.9, 0.1, 0.0]).unwrap();
+        let (r, _) = idx.top_k(&[1.0, 0.0, 0.0], 2, 10, Filter::All);
+        assert_eq!(r[0].id, key(0));
+        assert_eq!(r[1].id, key(2));
+    }
+
+    #[test]
+    fn memory_bytes_grows_with_content() {
+        let vecs = make_vectors(100, 16, 43);
+        let idx = build_index(&vecs);
+        assert!(idx.memory_bytes() >= 100 * 16 * 4);
+    }
+
+    #[test]
+    fn live_fraction_tracks_deletes() {
+        let vecs = make_vectors(100, 4, 47);
+        let mut idx = build_index(&vecs);
+        assert!((idx.live_fraction() - 1.0).abs() < 1e-9);
+        for i in 0..50 {
+            idx.remove(key(i));
+        }
+        assert!((idx.live_fraction() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! # tv-hnsw
+//!
+//! A from-scratch HNSW (Hierarchical Navigable Small World, Malkov &
+//! Yashunin 2020) approximate-nearest-neighbor index, plus a brute-force
+//! exact index, implementing the four generic functions TigerVector requires
+//! of a vector index (§4.4 of the paper):
+//!
+//! * **GetEmbedding** — fetch the stored vector for an id,
+//! * **TopKSearch** — ef-controlled top-k search with an optional validity
+//!   filter (the paper's bitmap hand-off, §5.1/§5.2),
+//! * **RangeSearch** — threshold search implemented DiskANN-style as repeated
+//!   top-k searches until the threshold falls below the median distance,
+//! * **UpdateItems** — incremental upsert/delete application from delta
+//!   records, preserving per-id record order.
+//!
+//! One `HnswIndex` instance serves one *embedding segment*; TigerVector's
+//! MPP layer builds one index per segment and merges per-segment top-k
+//! results (§4.2). Searches take `&self` and may run concurrently from many
+//! threads; mutation takes `&mut self` (segment indexes are single-writer —
+//! the embedding service's vacuum assigns each segment to one merge thread).
+
+pub mod brute;
+pub mod config;
+pub mod index;
+pub mod ivf;
+pub mod select;
+pub mod snapshot;
+pub mod stats;
+
+pub use brute::BruteForceIndex;
+pub use config::HnswConfig;
+pub use index::{DeltaRecord, HnswIndex, VectorIndex};
+pub use ivf::{IvfConfig, IvfFlatIndex};
+pub use stats::SearchStats;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,144 @@
+//! Property-based tests over the index invariants.
+
+use crate::brute::BruteForceIndex;
+use crate::config::HnswConfig;
+use crate::index::{DeltaRecord, HnswIndex, VectorIndex};
+use proptest::prelude::*;
+use tv_common::bitmap::Filter;
+use tv_common::ids::{LocalId, SegmentId};
+use tv_common::{DistanceMetric, Tid, VertexId};
+
+fn key(i: u32) -> VertexId {
+    VertexId::new(SegmentId(0), LocalId(i))
+}
+
+/// Arbitrary small vector with bounded coordinates.
+fn vec_strategy(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, dim)
+}
+
+/// An arbitrary sequence of upsert/delete operations over a small key space.
+#[derive(Debug, Clone)]
+enum Op {
+    Upsert(u32, Vec<f32>),
+    Delete(u32),
+}
+
+fn op_strategy(dim: usize, keyspace: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..keyspace, vec_strategy(dim)).prop_map(|(k, v)| Op::Upsert(k, v)),
+        (0..keyspace).prop_map(Op::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// After any operation sequence, the HNSW index and the brute-force
+    /// index agree on the live set and on every stored vector.
+    #[test]
+    fn hnsw_and_brute_agree_on_live_set(
+        ops in prop::collection::vec(op_strategy(4, 16), 1..60)
+    ) {
+        let mut hnsw = HnswIndex::new(HnswConfig::new(4, DistanceMetric::L2).with_m(4));
+        let mut brute = BruteForceIndex::new(4, DistanceMetric::L2);
+        for op in &ops {
+            match op {
+                Op::Upsert(k, v) => {
+                    hnsw.insert(key(*k), v).unwrap();
+                    brute.insert(key(*k), v).unwrap();
+                }
+                Op::Delete(k) => {
+                    hnsw.remove(key(*k));
+                    brute.remove(key(*k));
+                }
+            }
+        }
+        prop_assert_eq!(hnsw.len(), brute.len());
+        let mut hnsw_live: Vec<VertexId> = hnsw.scan().map(|(k, _)| k).collect();
+        let mut brute_live: Vec<VertexId> = brute.scan().map(|(k, _)| k).collect();
+        hnsw_live.sort_unstable();
+        brute_live.sort_unstable();
+        prop_assert_eq!(&hnsw_live, &brute_live);
+        for id in hnsw_live {
+            prop_assert_eq!(hnsw.get_embedding(id), brute.get_embedding(id));
+        }
+    }
+
+    /// Top-k results are sorted by ascending distance, contain no duplicates,
+    /// and never exceed k.
+    #[test]
+    fn topk_results_sorted_unique_bounded(
+        vectors in prop::collection::vec(vec_strategy(4), 5..80),
+        query in vec_strategy(4),
+        k in 1usize..12,
+    ) {
+        let mut idx = HnswIndex::new(HnswConfig::new(4, DistanceMetric::L2).with_m(4));
+        for (i, v) in vectors.iter().enumerate() {
+            idx.insert(key(i as u32), v).unwrap();
+        }
+        let (r, _) = idx.top_k(&query, k, 64, Filter::All);
+        prop_assert!(r.len() <= k);
+        prop_assert!(r.windows(2).all(|w| w[0].dist <= w[1].dist));
+        let mut ids: Vec<_> = r.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), r.len());
+    }
+
+    /// With ef covering the whole dataset, HNSW top-1 matches exact top-1.
+    #[test]
+    fn top1_exact_with_full_beam(
+        vectors in prop::collection::vec(vec_strategy(3), 2..50),
+        query in vec_strategy(3),
+    ) {
+        let mut idx = HnswIndex::new(HnswConfig::new(3, DistanceMetric::L2).with_m(8));
+        let mut brute = BruteForceIndex::new(3, DistanceMetric::L2);
+        for (i, v) in vectors.iter().enumerate() {
+            idx.insert(key(i as u32), v).unwrap();
+            brute.insert(key(i as u32), v).unwrap();
+        }
+        let n = vectors.len();
+        let (h, _) = idx.top_k(&query, 1, n * 2, Filter::All);
+        let (b, _) = brute.top_k(&query, 1, 0, Filter::All);
+        prop_assert_eq!(h.len(), 1);
+        // Equal distance (ties may pick different ids).
+        prop_assert!((h[0].dist - b[0].dist).abs() <= 1e-4 * (1.0 + b[0].dist.abs()));
+    }
+
+    /// Range search never returns a point outside the threshold, under any
+    /// metric.
+    #[test]
+    fn range_search_respects_threshold(
+        vectors in prop::collection::vec(vec_strategy(3), 5..60),
+        query in vec_strategy(3),
+        threshold in 0.0f32..500.0,
+    ) {
+        let mut idx = HnswIndex::new(HnswConfig::new(3, DistanceMetric::L2).with_m(4));
+        for (i, v) in vectors.iter().enumerate() {
+            idx.insert(key(i as u32), v).unwrap();
+        }
+        let (r, _) = idx.range_search(&query, threshold, 32, Filter::All);
+        prop_assert!(r.iter().all(|n| n.dist <= threshold));
+    }
+
+    /// Snapshot roundtrip preserves the live set exactly.
+    #[test]
+    fn snapshot_roundtrip_preserves_live_set(
+        ops in prop::collection::vec(op_strategy(3, 12), 1..40)
+    ) {
+        let mut idx = HnswIndex::new(HnswConfig::new(3, DistanceMetric::L2).with_m(4));
+        let recs: Vec<DeltaRecord> = ops.iter().enumerate().map(|(i, op)| match op {
+            Op::Upsert(k, v) => DeltaRecord::upsert(key(*k), Tid(i as u64), v.clone()),
+            Op::Delete(k) => DeltaRecord::delete(key(*k), Tid(i as u64)),
+        }).collect();
+        idx.update_items(&recs).unwrap();
+        let restored = crate::snapshot::from_bytes(&crate::snapshot::to_bytes(&idx)).unwrap();
+        prop_assert_eq!(restored.len(), idx.len());
+        let mut a: Vec<VertexId> = idx.scan().map(|(k, _)| k).collect();
+        let mut b: Vec<VertexId> = restored.scan().map(|(k, _)| k).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

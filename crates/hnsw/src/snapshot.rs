@@ -1,0 +1,269 @@
+//! Binary snapshot serialization for HNSW indexes.
+//!
+//! The index-merge vacuum produces *index snapshots* that the engine switches
+//! to atomically (§4.3, Fig. 4). A snapshot is a self-contained byte image:
+//! config, keys, vectors, levels, tombstones, adjacency, and entry point.
+//! The format is a simple length-prefixed little-endian layout — versioned,
+//! with a magic header, so corrupt or foreign files fail loudly instead of
+//! deserializing garbage.
+
+use crate::config::HnswConfig;
+use crate::index::HnswIndex;
+use tv_common::{DistanceMetric, TvError, TvResult, VertexId};
+
+const MAGIC: &[u8; 8] = b"TVHNSW01";
+
+/// Serialize an index into a byte buffer.
+#[must_use]
+pub fn to_bytes(index: &HnswIndex) -> Vec<u8> {
+    let (cfg, vectors, keys, links, levels, deleted, entry) = index.parts();
+    let mut buf = Vec::with_capacity(64 + vectors.len() * 4 + keys.len() * 16);
+    buf.extend_from_slice(MAGIC);
+    // Config.
+    put_u64(&mut buf, cfg.dim as u64);
+    buf.push(metric_tag(cfg.metric));
+    put_u64(&mut buf, cfg.m as u64);
+    put_u64(&mut buf, cfg.m0 as u64);
+    put_u64(&mut buf, cfg.ef_construction as u64);
+    put_f64(&mut buf, cfg.ml.unwrap_or(f64::NAN));
+    put_u64(&mut buf, cfg.seed);
+    // Node count.
+    put_u64(&mut buf, keys.len() as u64);
+    // Keys.
+    for k in keys {
+        put_u64(&mut buf, k.0);
+    }
+    // Levels + deleted flags.
+    buf.extend(levels.iter().copied());
+    buf.extend(deleted.iter().map(|&d| u8::from(d)));
+    // Vectors.
+    for v in vectors {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    // Links: per node, level count then per-level neighbor lists.
+    for per_node in links {
+        put_u32(&mut buf, per_node.len() as u32);
+        for level_links in per_node {
+            put_u32(&mut buf, level_links.len() as u32);
+            for &nb in level_links {
+                put_u32(&mut buf, nb);
+            }
+        }
+    }
+    // Entry point.
+    match entry {
+        Some((slot, lvl)) => {
+            buf.push(1);
+            put_u32(&mut buf, slot);
+            buf.push(lvl);
+        }
+        None => buf.push(0),
+    }
+    buf
+}
+
+/// Deserialize an index from a snapshot buffer.
+pub fn from_bytes(data: &[u8]) -> TvResult<HnswIndex> {
+    let mut r = Reader { data, pos: 0 };
+    let magic = r.take(8)?;
+    if magic != MAGIC {
+        return Err(TvError::Storage("bad snapshot magic".into()));
+    }
+    let dim = r.u64()? as usize;
+    let metric = metric_from_tag(r.u8()?)?;
+    let m = r.u64()? as usize;
+    let m0 = r.u64()? as usize;
+    let ef_construction = r.u64()? as usize;
+    let ml_raw = r.f64()?;
+    let seed = r.u64()?;
+    let cfg = HnswConfig {
+        dim,
+        metric,
+        m,
+        m0,
+        ef_construction,
+        ml: if ml_raw.is_nan() { None } else { Some(ml_raw) },
+        seed,
+    };
+    let n = r.u64()? as usize;
+    if n > (u32::MAX as usize) {
+        return Err(TvError::Storage("snapshot too large".into()));
+    }
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        keys.push(VertexId(r.u64()?));
+    }
+    let levels = r.take(n)?.to_vec();
+    let deleted: Vec<bool> = r.take(n)?.iter().map(|&b| b != 0).collect();
+    let mut vectors = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        vectors.push(r.f32()?);
+    }
+    let mut links = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lc = r.u32()? as usize;
+        if lc > 64 {
+            return Err(TvError::Storage("corrupt snapshot: level count".into()));
+        }
+        let mut per_node = Vec::with_capacity(lc);
+        for _ in 0..lc {
+            let cnt = r.u32()? as usize;
+            if cnt > n {
+                return Err(TvError::Storage("corrupt snapshot: neighbor count".into()));
+            }
+            let mut l = Vec::with_capacity(cnt);
+            for _ in 0..cnt {
+                let nb = r.u32()?;
+                if nb as usize >= n {
+                    return Err(TvError::Storage("corrupt snapshot: neighbor id".into()));
+                }
+                l.push(nb);
+            }
+            per_node.push(l);
+        }
+        links.push(per_node);
+    }
+    let entry = match r.u8()? {
+        0 => None,
+        1 => {
+            let slot = r.u32()?;
+            let lvl = r.u8()?;
+            Some((slot, lvl))
+        }
+        _ => return Err(TvError::Storage("corrupt snapshot: entry tag".into())),
+    };
+    HnswIndex::from_parts(cfg, vectors, keys, links, levels, deleted, entry)
+}
+
+fn metric_tag(m: DistanceMetric) -> u8 {
+    match m {
+        DistanceMetric::L2 => 0,
+        DistanceMetric::Cosine => 1,
+        DistanceMetric::InnerProduct => 2,
+    }
+}
+
+fn metric_from_tag(t: u8) -> TvResult<DistanceMetric> {
+    match t {
+        0 => Ok(DistanceMetric::L2),
+        1 => Ok(DistanceMetric::Cosine),
+        2 => Ok(DistanceMetric::InnerProduct),
+        _ => Err(TvError::Storage("corrupt snapshot: metric tag".into())),
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> TvResult<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(TvError::Storage("truncated snapshot".into()));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> TvResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> TvResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> TvResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> TvResult<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> TvResult<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::VectorIndex;
+    use tv_common::bitmap::Filter;
+    use tv_common::ids::{LocalId, SegmentId};
+    use tv_common::SplitMix64;
+
+    fn key(i: u32) -> VertexId {
+        VertexId::new(SegmentId(3), LocalId(i))
+    }
+
+    fn sample_index(n: usize) -> HnswIndex {
+        let mut rng = SplitMix64::new(77);
+        let mut idx = HnswIndex::new(HnswConfig::new(8, DistanceMetric::L2));
+        for i in 0..n {
+            let v: Vec<f32> = (0..8).map(|_| rng.next_f32()).collect();
+            idx.insert(key(i as u32), &v).unwrap();
+        }
+        idx
+    }
+
+    #[test]
+    fn roundtrip_preserves_results() {
+        let mut idx = sample_index(300);
+        idx.remove(key(5));
+        let q: Vec<f32> = vec![0.5; 8];
+        let (before, _) = idx.top_k(&q, 10, 64, Filter::All);
+
+        let bytes = to_bytes(&idx);
+        let restored = from_bytes(&bytes).unwrap();
+        let (after, _) = restored.top_k(&q, 10, 64, Filter::All);
+
+        assert_eq!(
+            before.iter().map(|n| n.id).collect::<Vec<_>>(),
+            after.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+        assert_eq!(restored.len(), idx.len());
+        assert_eq!(restored.tombstone_count(), idx.tombstone_count());
+    }
+
+    #[test]
+    fn roundtrip_empty_index() {
+        let idx = HnswIndex::new(HnswConfig::new(4, DistanceMetric::Cosine));
+        let restored = from_bytes(&to_bytes(&idx)).unwrap();
+        assert_eq!(restored.len(), 0);
+        assert_eq!(restored.metric(), DistanceMetric::Cosine);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = to_bytes(&sample_index(10));
+        bytes[0] = b'X';
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = to_bytes(&sample_index(10));
+        assert!(from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        assert!(from_bytes(&bytes[..4]).is_err());
+        assert!(from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn restored_index_accepts_updates() {
+        let idx = sample_index(50);
+        let mut restored = from_bytes(&to_bytes(&idx)).unwrap();
+        restored.insert(key(1000), &[0.1; 8]).unwrap();
+        assert_eq!(restored.len(), 51);
+        let (r, _) = restored.top_k(&[0.1; 8], 1, 32, Filter::All);
+        assert_eq!(r[0].id, key(1000));
+    }
+}

@@ -1,0 +1,58 @@
+//! Search statistics.
+//!
+//! The paper notes TigerVector "enhance[s] the indexes to report relevant
+//! statistics for measuring its performance" (§4.4). Benchmarks use these to
+//! explain *why* a configuration is fast or slow (e.g. the Table 3/4 analysis
+//! of brute-force vs. index search per segment).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated during one search call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Number of distance computations performed.
+    pub distance_computations: u64,
+    /// Number of graph edges traversed (candidate expansions).
+    pub hops: u64,
+    /// Number of candidates rejected by the validity filter.
+    pub filtered_out: u64,
+    /// Whether the engine chose brute force over the index for this call.
+    pub brute_force: bool,
+}
+
+impl SearchStats {
+    /// Accumulate another search's counters into this one (used when a
+    /// query fans out over many segments).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.distance_computations += other.distance_computations;
+        self.hops += other.hops;
+        self.filtered_out += other.filtered_out;
+        self.brute_force |= other.brute_force;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SearchStats {
+            distance_computations: 10,
+            hops: 5,
+            filtered_out: 1,
+            brute_force: false,
+        };
+        let b = SearchStats {
+            distance_computations: 7,
+            hops: 2,
+            filtered_out: 0,
+            brute_force: true,
+        };
+        a.merge(&b);
+        assert_eq!(a.distance_computations, 17);
+        assert_eq!(a.hops, 7);
+        assert_eq!(a.filtered_out, 1);
+        assert!(a.brute_force);
+    }
+}

@@ -1,0 +1,606 @@
+//! Vertex segments: snapshot + delta read path and the vacuum fold.
+//!
+//! A [`SegmentStore`] owns one segment's state as an immutable
+//! [`SegmentSnapshot`] (valid up to some TID) plus an ordered list of newer
+//! committed deltas. Readers at TID `t` see the snapshot corrected by the
+//! deltas with `tid <= t`; the vacuum folds deltas into a fresh snapshot and
+//! atomically swaps it in (§4.3). Snapshots are kept behind `Arc` so queries
+//! running against an old snapshot stay valid during a swap — the multi-
+//! version behaviour the paper describes for vertex segments (§4.2).
+
+use crate::delta::GraphDelta;
+use crate::value::{AttrSchema, AttrValue};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tv_common::{Bitmap, SegmentId, Tid, TvError, TvResult, VertexId};
+
+/// Immutable image of a segment at a point in TID time.
+#[derive(Debug, Clone)]
+pub struct SegmentSnapshot {
+    /// Every committed delta with `tid <= up_to` is folded in.
+    pub up_to: Tid,
+    /// Liveness per local id (index < capacity).
+    live: Vec<bool>,
+    /// Attribute rows per local id (empty row = never written).
+    attrs: Vec<Vec<AttrValue>>,
+    /// Outgoing adjacency: edge type → per-local target lists.
+    edges: HashMap<u32, Vec<Vec<VertexId>>>,
+}
+
+impl SegmentSnapshot {
+    /// An empty snapshot at TID zero.
+    #[must_use]
+    pub fn empty(capacity: usize) -> Self {
+        SegmentSnapshot {
+            up_to: Tid::ZERO,
+            live: vec![false; capacity],
+            attrs: vec![Vec::new(); capacity],
+            edges: HashMap::new(),
+        }
+    }
+
+    /// Capacity in vertices.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of live vertices.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    fn apply(&mut self, delta: &GraphDelta) {
+        match delta {
+            GraphDelta::UpsertVertex { id, attrs } => {
+                let l = id.local().0 as usize;
+                self.live[l] = true;
+                self.attrs[l] = attrs.clone();
+            }
+            GraphDelta::DeleteVertex { id } => {
+                let l = id.local().0 as usize;
+                self.live[l] = false;
+                self.attrs[l].clear();
+                for per_local in self.edges.values_mut() {
+                    per_local[l].clear();
+                }
+            }
+            GraphDelta::SetAttr { id, col, value } => {
+                let l = id.local().0 as usize;
+                if self.live[l] && *col < self.attrs[l].len() {
+                    self.attrs[l][*col] = value.clone();
+                }
+            }
+            GraphDelta::AddEdge { etype, from, to } => {
+                let l = from.local().0 as usize;
+                let cap = self.live.len();
+                let per_local = self
+                    .edges
+                    .entry(*etype)
+                    .or_insert_with(|| vec![Vec::new(); cap]);
+                if !per_local[l].contains(to) {
+                    per_local[l].push(*to);
+                }
+            }
+            GraphDelta::RemoveEdge { etype, from, to } => {
+                if let Some(per_local) = self.edges.get_mut(etype) {
+                    per_local[from.local().0 as usize].retain(|t| t != to);
+                }
+            }
+        }
+    }
+}
+
+/// One segment's mutable store: current snapshot + newer committed deltas.
+pub struct SegmentStore {
+    /// This segment's id.
+    pub segment_id: SegmentId,
+    schema: Arc<AttrSchema>,
+    snapshot: Arc<SegmentSnapshot>,
+    /// Committed deltas newer than the snapshot, in commit (TID) order.
+    deltas: Vec<(Tid, GraphDelta)>,
+}
+
+impl SegmentStore {
+    /// New empty segment with the given schema and capacity.
+    #[must_use]
+    pub fn new(segment_id: SegmentId, schema: Arc<AttrSchema>, capacity: usize) -> Self {
+        SegmentStore {
+            segment_id,
+            schema,
+            snapshot: Arc::new(SegmentSnapshot::empty(capacity)),
+            deltas: Vec::new(),
+        }
+    }
+
+    /// The segment's attribute schema.
+    #[must_use]
+    pub fn schema(&self) -> &AttrSchema {
+        &self.schema
+    }
+
+    /// Capacity in vertices.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.snapshot.capacity()
+    }
+
+    /// Number of pending (un-vacuumed) deltas.
+    #[must_use]
+    pub fn pending_deltas(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Current snapshot handle (readers clone the `Arc` and stay consistent
+    /// across a concurrent vacuum swap).
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<SegmentSnapshot> {
+        Arc::clone(&self.snapshot)
+    }
+
+    /// Append a committed delta. `tid`s must arrive in non-decreasing order
+    /// (the transaction manager serializes commits).
+    pub fn append_delta(&mut self, tid: Tid, delta: GraphDelta) -> TvResult<()> {
+        if let Some(&(last, _)) = self.deltas.last() {
+            if tid < last {
+                return Err(TvError::Storage(format!(
+                    "out-of-order delta: {tid} after {last}"
+                )));
+            }
+        }
+        if tid <= self.snapshot.up_to {
+            return Err(TvError::Storage(format!(
+                "delta {tid} not newer than snapshot {}",
+                self.snapshot.up_to
+            )));
+        }
+        let local = delta.home_vertex().local().0 as usize;
+        if local >= self.capacity() {
+            return Err(TvError::Storage(format!(
+                "local id {local} exceeds segment capacity {}",
+                self.capacity()
+            )));
+        }
+        self.deltas.push((tid, delta));
+        Ok(())
+    }
+
+    /// Whether `local` is live as of `read_tid`.
+    #[must_use]
+    pub fn is_live(&self, local: usize, read_tid: Tid) -> bool {
+        let mut live = self.snapshot.live.get(local).copied().unwrap_or(false);
+        for (tid, d) in &self.deltas {
+            if *tid > read_tid {
+                break;
+            }
+            match d {
+                GraphDelta::UpsertVertex { id, .. } if id.local().0 as usize == local => {
+                    live = true;
+                }
+                GraphDelta::DeleteVertex { id } if id.local().0 as usize == local => {
+                    live = false;
+                }
+                _ => {}
+            }
+        }
+        live
+    }
+
+    /// Attribute `col` of `local` as of `read_tid`.
+    #[must_use]
+    pub fn attr(&self, local: usize, col: usize, read_tid: Tid) -> Option<AttrValue> {
+        if !self.is_live(local, read_tid) {
+            return None;
+        }
+        let mut value = self.snapshot.attrs.get(local)?.get(col).cloned();
+        for (tid, d) in &self.deltas {
+            if *tid > read_tid {
+                break;
+            }
+            match d {
+                GraphDelta::UpsertVertex { id, attrs } if id.local().0 as usize == local => {
+                    value = attrs.get(col).cloned();
+                }
+                GraphDelta::SetAttr { id, col: c, value: v }
+                    if id.local().0 as usize == local && *c == col =>
+                {
+                    value = Some(v.clone());
+                }
+                GraphDelta::DeleteVertex { id } if id.local().0 as usize == local => {
+                    value = None;
+                }
+                _ => {}
+            }
+        }
+        value
+    }
+
+    /// Full attribute row of `local` as of `read_tid`.
+    #[must_use]
+    pub fn row(&self, local: usize, read_tid: Tid) -> Option<Vec<AttrValue>> {
+        if !self.is_live(local, read_tid) {
+            return None;
+        }
+        let mut row = self.snapshot.attrs.get(local)?.clone();
+        for (tid, d) in &self.deltas {
+            if *tid > read_tid {
+                break;
+            }
+            match d {
+                GraphDelta::UpsertVertex { id, attrs } if id.local().0 as usize == local => {
+                    row = attrs.clone();
+                }
+                GraphDelta::SetAttr { id, col, value } if id.local().0 as usize == local => {
+                    if *col < row.len() {
+                        row[*col] = value.clone();
+                    }
+                }
+                GraphDelta::DeleteVertex { id } if id.local().0 as usize == local => {
+                    row.clear();
+                }
+                _ => {}
+            }
+        }
+        if row.is_empty() {
+            None
+        } else {
+            Some(row)
+        }
+    }
+
+    /// Outgoing edges of `local` under `etype` as of `read_tid`.
+    #[must_use]
+    pub fn edges(&self, local: usize, etype: u32, read_tid: Tid) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = self
+            .snapshot
+            .edges
+            .get(&etype)
+            .and_then(|per_local| per_local.get(local))
+            .cloned()
+            .unwrap_or_default();
+        for (tid, d) in &self.deltas {
+            if *tid > read_tid {
+                break;
+            }
+            match d {
+                GraphDelta::AddEdge { etype: e, from, to }
+                    if *e == etype && from.local().0 as usize == local =>
+                {
+                    if !out.contains(to) {
+                        out.push(*to);
+                    }
+                }
+                GraphDelta::RemoveEdge { etype: e, from, to }
+                    if *e == etype && from.local().0 as usize == local =>
+                {
+                    out.retain(|t| t != to);
+                }
+                GraphDelta::DeleteVertex { id } if id.local().0 as usize == local => {
+                    out.clear();
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Liveness bitmap over local ids as of `read_tid`. This is the structure
+    /// TigerVector wraps as the validity filter for pure vector search
+    /// instead of materializing a fresh bitmap (§5.1).
+    #[must_use]
+    pub fn live_bitmap(&self, read_tid: Tid) -> Bitmap {
+        let cap = self.capacity();
+        let mut bm = Bitmap::new(cap);
+        for (l, &alive) in self.snapshot.live.iter().enumerate() {
+            if alive {
+                bm.set(l, true);
+            }
+        }
+        for (tid, d) in &self.deltas {
+            if *tid > read_tid {
+                break;
+            }
+            match d {
+                GraphDelta::UpsertVertex { id, .. } => bm.set(id.local().0 as usize, true),
+                GraphDelta::DeleteVertex { id } => bm.set(id.local().0 as usize, false),
+                _ => {}
+            }
+        }
+        bm
+    }
+
+    /// Fold deltas with `tid <= up_to` into a fresh snapshot and swap it in.
+    /// Returns how many deltas were folded. Deltas newer than `up_to` are
+    /// retained (they belong to transactions that may still be invisible to
+    /// running readers).
+    pub fn vacuum(&mut self, up_to: Tid) -> usize {
+        let split = self.deltas.partition_point(|(tid, _)| *tid <= up_to);
+        if split == 0 {
+            return 0;
+        }
+        let mut snap = (*self.snapshot).clone();
+        for (tid, d) in self.deltas.drain(..split) {
+            snap.apply(&d);
+            snap.up_to = tid;
+        }
+        // up_to may exceed the last folded tid; record the full horizon so
+        // later appends below it are rejected.
+        if up_to > snap.up_to {
+            snap.up_to = up_to;
+        }
+        self.snapshot = Arc::new(snap);
+        split
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AttrType;
+    use tv_common::ids::LocalId;
+
+    fn schema() -> Arc<AttrSchema> {
+        Arc::new(
+            AttrSchema::new([
+                ("name".to_string(), AttrType::Str),
+                ("age".to_string(), AttrType::Int),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn vid(seg: u32, local: u32) -> VertexId {
+        VertexId::new(SegmentId(seg), LocalId(local))
+    }
+
+    fn row(name: &str, age: i64) -> Vec<AttrValue> {
+        vec![AttrValue::Str(name.into()), AttrValue::Int(age)]
+    }
+
+    #[test]
+    fn upsert_visible_at_and_after_tid() {
+        let mut s = SegmentStore::new(SegmentId(0), schema(), 16);
+        s.append_delta(
+            Tid(5),
+            GraphDelta::UpsertVertex {
+                id: vid(0, 3),
+                attrs: row("alice", 30),
+            },
+        )
+        .unwrap();
+        assert!(!s.is_live(3, Tid(4)));
+        assert!(s.is_live(3, Tid(5)));
+        assert!(s.is_live(3, Tid(100)));
+        assert_eq!(s.attr(3, 1, Tid(5)), Some(AttrValue::Int(30)));
+        assert_eq!(s.attr(3, 1, Tid(4)), None);
+    }
+
+    #[test]
+    fn set_attr_then_delete() {
+        let mut s = SegmentStore::new(SegmentId(0), schema(), 16);
+        s.append_delta(
+            Tid(1),
+            GraphDelta::UpsertVertex {
+                id: vid(0, 0),
+                attrs: row("bob", 20),
+            },
+        )
+        .unwrap();
+        s.append_delta(
+            Tid(2),
+            GraphDelta::SetAttr {
+                id: vid(0, 0),
+                col: 1,
+                value: AttrValue::Int(21),
+            },
+        )
+        .unwrap();
+        s.append_delta(Tid(3), GraphDelta::DeleteVertex { id: vid(0, 0) })
+            .unwrap();
+        assert_eq!(s.attr(0, 1, Tid(1)), Some(AttrValue::Int(20)));
+        assert_eq!(s.attr(0, 1, Tid(2)), Some(AttrValue::Int(21)));
+        assert_eq!(s.attr(0, 1, Tid(3)), None);
+        assert_eq!(s.row(0, Tid(2)).unwrap()[0], AttrValue::Str("bob".into()));
+    }
+
+    #[test]
+    fn edges_combine_snapshot_and_deltas() {
+        let mut s = SegmentStore::new(SegmentId(0), schema(), 16);
+        s.append_delta(
+            Tid(1),
+            GraphDelta::AddEdge {
+                etype: 0,
+                from: vid(0, 1),
+                to: vid(1, 2),
+            },
+        )
+        .unwrap();
+        s.vacuum(Tid(1));
+        s.append_delta(
+            Tid(2),
+            GraphDelta::AddEdge {
+                etype: 0,
+                from: vid(0, 1),
+                to: vid(1, 3),
+            },
+        )
+        .unwrap();
+        s.append_delta(
+            Tid(3),
+            GraphDelta::RemoveEdge {
+                etype: 0,
+                from: vid(0, 1),
+                to: vid(1, 2),
+            },
+        )
+        .unwrap();
+        assert_eq!(s.edges(1, 0, Tid(1)), vec![vid(1, 2)]);
+        assert_eq!(s.edges(1, 0, Tid(2)), vec![vid(1, 2), vid(1, 3)]);
+        assert_eq!(s.edges(1, 0, Tid(3)), vec![vid(1, 3)]);
+        // Unknown edge type yields nothing.
+        assert!(s.edges(1, 9, Tid(3)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_edge_not_added_twice() {
+        let mut s = SegmentStore::new(SegmentId(0), schema(), 8);
+        for tid in 1..=2 {
+            s.append_delta(
+                Tid(tid),
+                GraphDelta::AddEdge {
+                    etype: 0,
+                    from: vid(0, 0),
+                    to: vid(0, 1),
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(s.edges(0, 0, Tid(2)).len(), 1);
+    }
+
+    #[test]
+    fn vacuum_folds_and_preserves_reads() {
+        let mut s = SegmentStore::new(SegmentId(0), schema(), 16);
+        for i in 0..10u64 {
+            s.append_delta(
+                Tid(i + 1),
+                GraphDelta::UpsertVertex {
+                    id: vid(0, i as u32),
+                    attrs: row("v", i as i64),
+                },
+            )
+            .unwrap();
+        }
+        let folded = s.vacuum(Tid(5));
+        assert_eq!(folded, 5);
+        assert_eq!(s.pending_deltas(), 5);
+        // Reads unchanged across the fold.
+        assert_eq!(s.attr(2, 1, Tid(10)), Some(AttrValue::Int(2)));
+        assert_eq!(s.attr(7, 1, Tid(10)), Some(AttrValue::Int(7)));
+        assert!(!s.is_live(7, Tid(5)));
+        // Vacuuming everything empties the delta list.
+        assert_eq!(s.vacuum(Tid(100)), 5);
+        assert_eq!(s.pending_deltas(), 0);
+        assert_eq!(s.snapshot().live_count(), 10);
+    }
+
+    #[test]
+    fn vacuum_rejects_stale_appends() {
+        let mut s = SegmentStore::new(SegmentId(0), schema(), 8);
+        s.append_delta(
+            Tid(1),
+            GraphDelta::UpsertVertex {
+                id: vid(0, 0),
+                attrs: row("a", 1),
+            },
+        )
+        .unwrap();
+        s.vacuum(Tid(5));
+        let err = s.append_delta(
+            Tid(4),
+            GraphDelta::UpsertVertex {
+                id: vid(0, 1),
+                attrs: row("b", 2),
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn out_of_order_delta_rejected() {
+        let mut s = SegmentStore::new(SegmentId(0), schema(), 8);
+        s.append_delta(
+            Tid(5),
+            GraphDelta::UpsertVertex {
+                id: vid(0, 0),
+                attrs: row("a", 1),
+            },
+        )
+        .unwrap();
+        assert!(s
+            .append_delta(
+                Tid(3),
+                GraphDelta::UpsertVertex {
+                    id: vid(0, 1),
+                    attrs: row("b", 2),
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn capacity_overflow_rejected() {
+        let mut s = SegmentStore::new(SegmentId(0), schema(), 4);
+        assert!(s
+            .append_delta(
+                Tid(1),
+                GraphDelta::UpsertVertex {
+                    id: vid(0, 4),
+                    attrs: row("x", 0),
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn live_bitmap_reflects_tid() {
+        let mut s = SegmentStore::new(SegmentId(0), schema(), 8);
+        s.append_delta(
+            Tid(1),
+            GraphDelta::UpsertVertex {
+                id: vid(0, 2),
+                attrs: row("a", 1),
+            },
+        )
+        .unwrap();
+        s.append_delta(Tid(2), GraphDelta::DeleteVertex { id: vid(0, 2) })
+            .unwrap();
+        assert_eq!(s.live_bitmap(Tid(1)).count_ones(), 1);
+        assert_eq!(s.live_bitmap(Tid(2)).count_ones(), 0);
+    }
+
+    #[test]
+    fn snapshot_arc_stable_across_vacuum() {
+        let mut s = SegmentStore::new(SegmentId(0), schema(), 8);
+        s.append_delta(
+            Tid(1),
+            GraphDelta::UpsertVertex {
+                id: vid(0, 0),
+                attrs: row("a", 1),
+            },
+        )
+        .unwrap();
+        let old = s.snapshot();
+        s.vacuum(Tid(1));
+        // The old handle still reflects the pre-vacuum (empty) image.
+        assert_eq!(old.live_count(), 0);
+        assert_eq!(s.snapshot().live_count(), 1);
+    }
+
+    #[test]
+    fn delete_clears_outgoing_edges() {
+        let mut s = SegmentStore::new(SegmentId(0), schema(), 8);
+        s.append_delta(
+            Tid(1),
+            GraphDelta::UpsertVertex {
+                id: vid(0, 0),
+                attrs: row("a", 1),
+            },
+        )
+        .unwrap();
+        s.append_delta(
+            Tid(2),
+            GraphDelta::AddEdge {
+                etype: 0,
+                from: vid(0, 0),
+                to: vid(0, 1),
+            },
+        )
+        .unwrap();
+        s.append_delta(Tid(3), GraphDelta::DeleteVertex { id: vid(0, 0) })
+            .unwrap();
+        assert!(s.edges(0, 0, Tid(3)).is_empty());
+        assert_eq!(s.edges(0, 0, Tid(2)), vec![vid(0, 1)]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Query Q4 from the paper (§5.5, Fig. 6): combine Louvain community
+//! detection with per-community top-k vector search — "demonstrating the
+//! flexibility of combining vector search with advanced graph analytics."
+//!
+//! The GSQL procedure being reproduced:
+//!
+//! ```text
+//! CREATE QUERY Q4(List<FLOAT> topic_emb, INT k) {
+//!   C_num = tg_louvain(["Person"], ["knows"]);
+//!   FOREACH i IN RANGE[0, C_num] DO
+//!     CommunityPosts = SELECT t FROM (s:Person)<-[e:hasCreator]-(t:Post)
+//!                      WHERE s.cid = i;
+//!     TopKPosts = VectorSearch({Post.content_emb}, topic_emb, k,
+//!                              {filter: CommunityPosts});
+//!     PRINT TopKPosts;
+//!   END;
+//! }
+//! ```
+//!
+//! Run with: `cargo run --release --example community_search`
+
+use tigervector::datagen::{DatasetShape, SnbConfig, SnbGraph, VectorDataset};
+use tigervector::gsql::community_topk;
+
+fn main() {
+    println!("generating SNB-like graph...");
+    let snb = SnbGraph::generate(SnbConfig {
+        sf: 2,
+        dim: 16,
+        seed: 11,
+        segment_capacity: 512,
+        avg_knows: 10,
+    })
+    .unwrap();
+    let g = &snb.graph;
+
+    // The topic embedding ("attitudes toward AI development" in Fig. 6).
+    let topic_emb =
+        VectorDataset::generate_dim(DatasetShape::Sift, 16, 1, 1, 99).queries[0].clone();
+
+    // Q4 in one call: Louvain over (Person, knows), then per-community
+    // filtered VectorSearch over Posts.
+    let per_community = community_topk(
+        g,
+        "Person",
+        "knows",
+        "Post",
+        "postHasCreator",
+        "content_emb",
+        &topic_emb,
+        2,
+    )
+    .unwrap();
+
+    println!(
+        "Louvain found {} communities with posts; top-2 posts per community:",
+        per_community.len()
+    );
+    let mut communities: Vec<_> = per_community.iter().collect();
+    communities.sort_by_key(|(c, _)| **c);
+    let tid = g.read_tid();
+    for (community, posts) in communities.iter().take(10) {
+        println!("  community {community}:");
+        for (_, post) in posts.iter() {
+            let date = g
+                .attr(snb.post_t, post, "creationDate", tid)
+                .unwrap()
+                .and_then(|v| v.as_int())
+                .unwrap_or(-1);
+            println!("    {post} (creationDate {date})");
+        }
+    }
+    if per_community.len() > 10 {
+        println!("  ... and {} more communities", per_community.len() - 10);
+    }
+}

@@ -1,0 +1,106 @@
+//! Distributed vector search (Fig. 5, §6.3): the coordinator/worker
+//! scatter-gather over a simulated cluster, replica failover, and the
+//! scalability model the Fig. 9/10 benchmarks use.
+//!
+//! Run with: `cargo run --release --example distributed`
+
+use std::sync::Arc;
+use std::time::Duration;
+use tigervector::cluster::{ClusterModel, ClusterRuntime, QueryWork, RuntimeConfig};
+use tigervector::common::ids::{LocalId, SegmentLayout};
+use tigervector::common::{DistanceMetric, SegmentId, Tid, VertexId};
+use tigervector::datagen::{DatasetShape, VectorDataset};
+use tigervector::embedding::{EmbeddingSegment, EmbeddingTypeDef};
+use tigervector::hnsw::DeltaRecord;
+
+fn main() {
+    let servers = 4;
+    let segments = 16;
+    let per_segment = 500;
+    println!("starting {servers}-server cluster runtime (replication=2)...");
+    let runtime = ClusterRuntime::start(RuntimeConfig {
+        servers,
+        replication: 2,
+        brute_force_threshold: 64,
+    });
+
+    // Build per-segment HNSW indexes and register them.
+    let dim = 32;
+    let def = EmbeddingTypeDef::new("e", dim, "SIFT", DistanceMetric::L2);
+    let ds = VectorDataset::generate_dim(DatasetShape::Sift, dim, segments * per_segment, 8, 3);
+    let layout = SegmentLayout::with_capacity(per_segment);
+    let mut tid = 0u64;
+    for s in 0..segments {
+        let seg = Arc::new(EmbeddingSegment::new(SegmentId(s as u32), &def, per_segment));
+        let recs: Vec<DeltaRecord> = (0..per_segment)
+            .map(|l| {
+                tid += 1;
+                DeltaRecord::upsert(
+                    VertexId::new(SegmentId(s as u32), LocalId(l as u32)),
+                    Tid(tid),
+                    ds.base[s * per_segment + l].clone(),
+                )
+            })
+            .collect();
+        seg.append_deltas(&recs).unwrap();
+        seg.delta_merge(Tid(tid));
+        seg.index_merge(Tid(tid)).unwrap();
+        runtime.add_segment(seg);
+    }
+    println!(
+        "loaded {} vectors into {} segments across {} servers\n",
+        segments * per_segment,
+        segments,
+        servers
+    );
+
+    // Scatter-gather query.
+    let q = &ds.queries[0];
+    let (results, per_server, stats) = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
+    println!("top-5 (coordinator global merge):");
+    for n in &results {
+        println!("  {} dist {:.2}", n.id, n.dist);
+    }
+    println!(
+        "per-server compute: {:?}; distance computations: {}",
+        per_server, stats.distance_computations
+    );
+    let expected_id = {
+        let gt = tigervector::datagen::ground_truth(
+            &ds.base,
+            std::slice::from_ref(q),
+            1,
+            DistanceMetric::L2,
+            layout,
+        );
+        gt[0][0]
+    };
+    assert_eq!(results[0].id, expected_id, "distributed top-1 must be exact-ish");
+
+    // Failover: kill a server, results stay identical thanks to replicas.
+    println!("\nfailing server 0 — replicas take over...");
+    runtime.fail_server(0);
+    let (after, _, _) = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
+    assert_eq!(
+        results.iter().map(|n| n.id).collect::<Vec<_>>(),
+        after.iter().map(|n| n.id).collect::<Vec<_>>()
+    );
+    println!("results identical after failover ✓");
+    runtime.recover_server(0);
+
+    // The analytic model used for the paper-scale figures.
+    println!("\nmodeled cluster QPS (measured CPU + modeled 32-core servers):");
+    let work = QueryWork {
+        total_cpu: Duration::from_millis(4),
+        merge_cpu: Duration::from_micros(30),
+        response_bytes: 100 * 12,
+        request_bytes: dim * 4 + 16,
+    };
+    let mut prev: Option<f64> = None;
+    for s in [8usize, 16, 32] {
+        let qps = ClusterModel::paper_default(s).qps(&work);
+        let gain = prev.map_or(String::new(), |p| format!("  ({:.2}× vs previous)", qps / p));
+        println!("  {s:>2} servers: {qps:>10.0} QPS{gain}");
+        prev = Some(qps);
+    }
+}

@@ -1,0 +1,100 @@
+//! Quickstart: the paper's §4.1/§5.1 flow end to end — define a vertex type,
+//! add an embedding attribute, load attributes and vectors from two
+//! separate sources, and run declarative GSQL vector searches (top-k,
+//! filtered, range).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tigervector::common::DistanceMetric;
+use tigervector::embedding::EmbeddingTypeDef;
+use tigervector::graph::loader::LoadingJob;
+use tigervector::graph::Graph;
+use tigervector::gsql::{execute, explain, Value};
+use tigervector::storage::AttrType;
+use std::collections::HashMap;
+
+fn main() {
+    let g = Graph::new();
+
+    // -- CREATE VERTEX Post (id INT PRIMARY KEY, author STRING, ...)
+    g.create_vertex_type(
+        "Post",
+        &[
+            ("author", AttrType::Str),
+            ("content", AttrType::Str),
+            ("language", AttrType::Str),
+        ],
+    )
+    .unwrap();
+
+    // -- ALTER VERTEX Post ADD EMBEDDING ATTRIBUTE content_emb
+    //      (DIMENSION = 4, MODEL = GPT4, INDEX = HNSW, METRIC = COSINE);
+    g.add_embedding_attribute(
+        "Post",
+        EmbeddingTypeDef::new("content_emb", 4, "GPT4", DistanceMetric::Cosine),
+    )
+    .unwrap();
+
+    // -- CREATE loading job j1: attributes from f1, vectors from f2
+    //    (vector components separated by ':', as in the paper).
+    let mut job = LoadingJob::new(&g);
+    job.load_vertices(
+        "Post",
+        &[
+            "1,alice,the future of AI,English",
+            "2,bob,cooking with cast iron,English",
+            "3,carol,el futuro de la IA,Spanish",
+            "4,dave,market update,English",
+        ],
+    )
+    .unwrap();
+    job.load_embeddings(
+        "Post",
+        "content_emb",
+        &[
+            "1,0.9:0.1:0.0:0.1",  // AI-ish direction
+            "2,0.0:0.9:0.3:0.0",  // cooking
+            "3,0.85:0.15:0.0:0.1", // AI-ish, Spanish
+            "4,0.1:0.0:0.9:0.2",  // finance
+        ],
+    )
+    .unwrap();
+    println!("loaded {} posts (graph attrs + vectors from separate files)\n", 4);
+
+    // A query embedding for "artificial intelligence".
+    let mut params = HashMap::new();
+    params.insert("qv".to_string(), Value::Vector(vec![1.0, 0.0, 0.0, 0.0]));
+
+    // -- §5.1 pure top-k.
+    let src = "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 2";
+    println!("query: {src}");
+    println!("plan:\n{}", explain(&g, src).unwrap());
+    let out = execute(&g, src, &params).unwrap();
+    for row in out.rows() {
+        let author = g.attr(0, row.id, "author", g.read_tid()).unwrap().unwrap();
+        println!("  {} (dist {:.4})", author, row.dist.unwrap());
+    }
+
+    // -- §5.2 filtered vector search.
+    let src = "SELECT s FROM (s:Post) WHERE s.language = \"English\" \
+               ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 2";
+    println!("\nquery: {src}");
+    println!("plan:\n{}", explain(&g, src).unwrap());
+    let out = execute(&g, src, &params).unwrap();
+    for row in out.rows() {
+        let author = g.attr(0, row.id, "author", g.read_tid()).unwrap().unwrap();
+        println!("  {} (dist {:.4})", author, row.dist.unwrap());
+    }
+
+    // -- §5.1 range search.
+    let src = "SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.content_emb, $qv) < 0.1";
+    println!("\nquery: {src}");
+    let out = execute(&g, src, &params).unwrap();
+    println!("  {} posts within cosine distance 0.1", out.rows().len());
+
+    // Updates are transactional: delete a post, its vector disappears too.
+    let victim = out.rows()[0].id;
+    g.txn().delete_vertex(0, victim).commit().unwrap();
+    let out = execute(&g, src, &params).unwrap();
+    println!("  after deleting one: {} posts in range", out.rows().len());
+}

@@ -1,0 +1,69 @@
+//! Vector similarity join on graph patterns (§5.4) — the Case Law use case:
+//! "identify similar cases for legal research by finding top-k case pairs
+//! (source, target) connected by Case → Cites → Statute → Cites → Case,
+//! where the embedding of each Case represents the text of legal arguments."
+//!
+//! Run with: `cargo run --release --example similarity_join`
+
+use tigervector::common::{DistanceMetric, SplitMix64};
+use tigervector::embedding::EmbeddingTypeDef;
+use tigervector::graph::Graph;
+use tigervector::gsql::{execute, explain};
+use tigervector::storage::{AttrType, AttrValue};
+use std::collections::HashMap;
+
+fn main() {
+    let g = Graph::new();
+    g.create_vertex_type("Case", &[("title", AttrType::Str)]).unwrap();
+    g.create_vertex_type("Statute", &[("code", AttrType::Str)]).unwrap();
+    // Case -[:cites]-> Statute and the reverse citation index.
+    g.create_edge_type("cites", "Case", "Statute").unwrap();
+    g.add_embedding_attribute(
+        "Case",
+        EmbeddingTypeDef::new("argument_emb", 8, "LEGAL-BERT", DistanceMetric::Cosine),
+    )
+    .unwrap();
+
+    // 60 cases citing 12 statutes; argument embeddings clustered by legal
+    // area so some cross-citing pairs are semantically close.
+    let mut rng = SplitMix64::new(2024);
+    let cases = g.allocate_many(0, 60).unwrap();
+    let statutes = g.allocate_many(1, 12).unwrap();
+    let mut txn = g.txn();
+    for (i, &s) in statutes.iter().enumerate() {
+        txn = txn.upsert_vertex(1, s, vec![AttrValue::Str(format!("§{i}"))]);
+    }
+    for (i, &c) in cases.iter().enumerate() {
+        let area = i % 4; // four legal areas
+        let mut emb: Vec<f32> = (0..8).map(|_| rng.next_f32() * 0.2).collect();
+        emb[area] += 1.0; // area-aligned direction
+        txn = txn
+            .upsert_vertex(0, c, vec![AttrValue::Str(format!("Case {i}"))])
+            .set_vector(0, c, emb)
+            // Each case cites 2 statutes, biased to its area.
+            .add_edge(0, 0, c, statutes[area * 3])
+            .add_edge(0, 0, c, statutes[(area * 3 + rng.next_below(3) as usize) % 12]);
+    }
+    txn.commit().unwrap();
+    println!("loaded 60 cases citing 12 statutes\n");
+
+    // The 2-hop similarity join: cases citing the same statute.
+    let src = "SELECT s, t FROM (s:Case) -[:cites]-> (u:Statute) <-[:cites]- (t:Case) \
+               ORDER BY VECTOR_DIST(s.argument_emb, t.argument_emb) LIMIT 5";
+    println!("query: {src}\n");
+    println!("plan:\n{}", explain(&g, src).unwrap());
+
+    let out = execute(&g, src, &HashMap::new()).unwrap();
+    match out {
+        tigervector::gsql::QueryOutput::Pairs(pairs) => {
+            println!("top-{} most similar co-citing case pairs:", pairs.len());
+            let tid = g.read_tid();
+            for (s, t, d) in pairs {
+                let ts = g.attr(0, s.id, "title", tid).unwrap().unwrap();
+                let tt = g.attr(0, t.id, "title", tid).unwrap().unwrap();
+                println!("  {ts} ↔ {tt}  (cosine distance {d:.4})");
+            }
+        }
+        other => println!("unexpected output {other:?}"),
+    }
+}
