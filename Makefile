@@ -1,0 +1,29 @@
+# Development shortcuts; `make verify` mirrors the CI pipeline exactly.
+
+.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load
+
+verify: fmt-check build clippy test test-all
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+test-all:
+	cargo test --workspace -q
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+fmt:
+	cargo fmt
+
+fmt-check:
+	cargo fmt --check
+
+bench:
+	cargo bench --workspace
+
+serve-load:
+	cargo run --release -p tv-bench --bin serve_load

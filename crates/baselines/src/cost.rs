@@ -142,7 +142,10 @@ mod tests {
         let tv = CostModel::tigervector().modeled_qps(cpu);
         let mv = CostModel::milvus().modeled_qps(cpu);
         let ratio = tv / mv;
-        assert!(ratio > 1.0 && ratio < 2.0, "TigerVector/Milvus ratio {ratio}");
+        assert!(
+            ratio > 1.0 && ratio < 2.0,
+            "TigerVector/Milvus ratio {ratio}"
+        );
     }
 
     #[test]

@@ -107,8 +107,7 @@ impl VectorSystem for MilvusLike {
             .iter()
             .enumerate()
             .map(|(si, binlog)| {
-                let mut idx =
-                    HnswIndex::new(self.cfg.with_seed(self.cfg.seed ^ (si as u64) << 8));
+                let mut idx = HnswIndex::new(self.cfg.with_seed(self.cfg.seed ^ (si as u64) << 8));
                 // Index nodes read rows back out of binlogs.
                 for row in binlog.chunks_exact(row_bytes) {
                     let id = VertexId(u64::from_le_bytes(row[..8].try_into().unwrap()));

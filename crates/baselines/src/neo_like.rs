@@ -82,12 +82,7 @@ impl NeoLike {
     /// Lucene-document-like byte form (quantized), checksummed, and parsed
     /// back before insertion (a faithful stand-in for the JVM/Lucene
     /// indexing path — including its lossy vector storage).
-    fn document_roundtrip(
-        dim: usize,
-        step: f32,
-        id: VertexId,
-        v: &[f32],
-    ) -> (VertexId, Vec<f32>) {
+    fn document_roundtrip(dim: usize, step: f32, id: VertexId, v: &[f32]) -> (VertexId, Vec<f32>) {
         let mut doc = Vec::with_capacity(16 + dim * 4);
         doc.extend_from_slice(&id.0.to_be_bytes());
         for x in v {

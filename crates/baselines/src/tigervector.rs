@@ -80,8 +80,7 @@ impl VectorSystem for TigerVectorSystem {
             .iter()
             .enumerate()
             .map(|(si, rows)| {
-                let mut idx =
-                    HnswIndex::new(self.cfg.with_seed(self.cfg.seed ^ si as u64));
+                let mut idx = HnswIndex::new(self.cfg.with_seed(self.cfg.seed ^ si as u64));
                 for (id, v) in rows {
                     idx.insert(*id, v).expect("staged dimensions are valid");
                 }

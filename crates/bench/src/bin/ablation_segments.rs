@@ -49,7 +49,9 @@ fn main() {
         let mut recall_sum = 0.0;
         for (qv, truth) in ds.queries.iter().zip(&gt) {
             let merged = merge_topk(
-                indexes.iter().map(|idx| idx.top_k(qv, k, 64, Filter::All).0),
+                indexes
+                    .iter()
+                    .map(|idx| idx.top_k(qv, k, 64, Filter::All).0),
                 k,
             );
             recall_sum += recall_at_k(&merged, truth, k);

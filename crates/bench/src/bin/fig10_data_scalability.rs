@@ -35,7 +35,10 @@ fn main() {
     let mut json = Vec::new();
     let mut small_points: Vec<(usize, f64)> = Vec::new();
 
-    for (scale_label, n) in [("100K (for 100M)", n_small), ("1M (for 1B)", n_small * factor)] {
+    for (scale_label, n) in [
+        ("100K (for 100M)", n_small),
+        ("1M (for 1B)", n_small * factor),
+    ] {
         println!("building {scale_label}: n={n} ...");
         let ds = VectorDataset::generate(shape, n, q, seed);
         let data = ds.with_ids(layout);
@@ -90,7 +93,13 @@ fn main() {
     }
     print_table(
         "Fig. 10 — data-size scalability (8 modeled servers)",
-        &["scale", "ef", "recall@k", "modeled QPS", "QPS retained vs small"],
+        &[
+            "scale",
+            "ef",
+            "recall@k",
+            "modeled QPS",
+            "QPS retained vs small",
+        ],
         &rows,
     );
     println!("\npaper targets: high-recall points retain ~10% QPS at 10× data;");

@@ -82,7 +82,12 @@ fn main() {
             format!("{ratio_pct}%"),
             fmt_duration(incremental),
             fmt_duration(rebuild_time),
-            if incremental > rebuild_time { "rebuild" } else { "incremental" }.to_string(),
+            if incremental > rebuild_time {
+                "rebuild"
+            } else {
+                "incremental"
+            }
+            .to_string(),
         ]);
         json.push(serde_json::json!({
             "update_ratio_pct": ratio_pct,

@@ -85,13 +85,16 @@ fn main() {
 
         print_table(
             &format!("Fig. 7 — {}", shape.scaled_name()),
-            &["system", "ef", "recall@k", "modeled QPS", "measured CPU ms/q"],
+            &[
+                "system",
+                "ef",
+                "recall@k",
+                "modeled QPS",
+                "measured CPU ms/q",
+            ],
             &rows,
         );
-        all.insert(
-            format!("{shape:?}"),
-            serde_json::Value::Array(shape_json),
-        );
+        all.insert(format!("{shape:?}"), serde_json::Value::Array(shape_json));
     }
 
     // Headline ratios at comparable recall (the paper's summary sentences).

@@ -40,7 +40,9 @@ fn main() {
     let mut json = Vec::new();
     for (target, label) in targets {
         let mut chosen = None;
-        for ef in [8usize, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768] {
+        for ef in [
+            8usize, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768,
+        ] {
             sys.set_ef(ef);
             let mut recall_sum = 0.0;
             let started = Instant::now();
@@ -61,9 +63,8 @@ fn main() {
         };
         // Measure the merge cost: k results per segment merged globally.
         let merge_cpu = {
-            let lists: Vec<Vec<tv_common::Neighbor>> = (0..32)
-                .map(|_| sys.top_k(&ds.queries[0], k))
-                .collect();
+            let lists: Vec<Vec<tv_common::Neighbor>> =
+                (0..32).map(|_| sys.top_k(&ds.queries[0], k)).collect();
             let started = Instant::now();
             for _ in 0..64 {
                 let _ = merge_topk(lists.clone(), k);

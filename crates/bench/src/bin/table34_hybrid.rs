@@ -11,8 +11,8 @@
 //! Usage: `cargo run --release -p tv-bench --bin table34_hybrid -- --sf 10 [--dim 16]`
 
 use tv_bench::{fmt_duration, print_table, save_json, BenchArgs};
-use tv_datagen::{run_ic, IcQuery, SnbConfig, SnbGraph, VectorDataset};
 use tv_datagen::vectors::DatasetShape;
+use tv_datagen::{run_ic, IcQuery, SnbConfig, SnbGraph, VectorDataset};
 
 fn main() {
     let args = BenchArgs::from_env();
@@ -43,9 +43,8 @@ fn main() {
     snb.graph.embeddings().prune(tid);
 
     // Query vector: SIFT-shape sample, same generator family as the data.
-    let qv = VectorDataset::generate_dim(DatasetShape::Sift, dim, 1, 1, seed ^ 0xBEEF).queries
-        [0]
-    .clone();
+    let qv = VectorDataset::generate_dim(DatasetShape::Sift, dim, 1, 1, seed ^ 0xBEEF).queries[0]
+        .clone();
     // Seed person: a well-connected one (hub authors are low indices).
     let seed_person = snb.persons[0];
 
@@ -75,7 +74,10 @@ fn main() {
             rows.push(row);
         }
         print_table(
-            &format!("Table {} — hybrid search SF{sf}, {hops} hops", if sf >= 30 { 4 } else { 3 }),
+            &format!(
+                "Table {} — hybrid search SF{sf}, {hops} hops",
+                if sf >= 30 { 4 } else { 3 }
+            ),
             &["Measure", "IC3", "IC5", "IC6", "IC9", "IC11"],
             &rows,
         );
@@ -83,5 +85,8 @@ fn main() {
     println!("\npaper targets: IC5 collects the most candidates (millions at paper scale),");
     println!("IC6/IC11 moderate, IC3/IC9 tiny; vector search completes in milliseconds;");
     println!("end-to-end grows (sub)linearly with hops.");
-    save_json(&format!("table{}_hybrid_sf{sf}", if sf >= 30 { 4 } else { 3 }), &serde_json::Value::Array(json));
+    save_json(
+        &format!("table{}_hybrid_sf{sf}", if sf >= 30 { 4 } else { 3 }),
+        &serde_json::Value::Array(json),
+    );
 }

@@ -13,7 +13,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
-use tv_common::{merge_topk, Bitmap, Neighbor, SegmentId, Tid, TvError, TvResult};
+use tv_common::{merge_topk, Bitmap, Deadline, Neighbor, SegmentId, Tid, TvError, TvResult};
 use tv_embedding::EmbeddingSegment;
 use tv_hnsw::SearchStats;
 
@@ -33,7 +33,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             servers: 4,
             replication: 1,
-            brute_force_threshold: 64,
+            brute_force_threshold: tv_common::TuningDefaults::default().brute_force_threshold,
         }
     }
 }
@@ -49,7 +49,10 @@ enum Request {
         segments: Vec<SegmentId>,
         /// Optional per-segment filters.
         filters: Arc<HashMap<SegmentId, Bitmap>>,
-        reply: Sender<(usize, Vec<Neighbor>, SearchStats, Duration)>,
+        /// Abandon the scatter-gather mid-flight once this expires (checked
+        /// at every segment-search boundary in the worker loop).
+        deadline: Deadline,
+        reply: Sender<(usize, Vec<Neighbor>, SearchStats, Duration, bool)>,
     },
     Shutdown,
 }
@@ -93,13 +96,19 @@ impl ClusterRuntime {
                             tid,
                             segments,
                             filters,
+                            deadline,
                             reply,
                         } => {
                             let started = std::time::Instant::now();
                             let mut local: Vec<Vec<Neighbor>> = Vec::new();
                             let mut stats = SearchStats::default();
+                            let mut timed_out = false;
                             let map = segs.read();
                             for seg_id in segments {
+                                if deadline.expired() {
+                                    timed_out = true;
+                                    break;
+                                }
                                 if let Some(seg) = map.get(&seg_id) {
                                     let (r, s) = seg.search(
                                         &query,
@@ -117,7 +126,13 @@ impl ClusterRuntime {
                             let merged = merge_topk(local, k);
                             // Response pool: ids + distances back to the
                             // coordinator.
-                            let _ = reply.send((server_id, merged, stats, started.elapsed()));
+                            let _ = reply.send((
+                                server_id,
+                                merged,
+                                stats,
+                                started.elapsed(),
+                                timed_out,
+                            ));
                         }
                         Request::Shutdown => break,
                     }
@@ -179,6 +194,22 @@ impl ClusterRuntime {
         tid: Tid,
         filters: Option<&HashMap<SegmentId, Bitmap>>,
     ) -> TvResult<(Vec<Neighbor>, Vec<Duration>, SearchStats)> {
+        self.top_k_deadline(query, k, ef, tid, filters, Deadline::none())
+    }
+
+    /// Distributed top-k with a deadline: workers check it before every
+    /// segment search, so an expired deadline abandons the scatter-gather
+    /// mid-flight and the call fails with [`TvError::Timeout`].
+    pub fn top_k_deadline(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        tid: Tid,
+        filters: Option<&HashMap<SegmentId, Bitmap>>,
+        deadline: Deadline,
+    ) -> TvResult<(Vec<Neighbor>, Vec<Duration>, SearchStats)> {
+        deadline.check("cluster top-k scatter")?;
         let down = self.down.read().clone();
         // Route each segment to its serving holder.
         let mut per_server: HashMap<usize, Vec<SegmentId>> = HashMap::new();
@@ -206,6 +237,7 @@ impl ClusterRuntime {
                     tid,
                     segments,
                     filters: Arc::clone(&filters),
+                    deadline,
                     reply: reply_tx.clone(),
                 })
                 .map_err(|_| TvError::Cluster(format!("server {server} unreachable")))?;
@@ -215,13 +247,20 @@ impl ClusterRuntime {
         let mut lists = Vec::with_capacity(outstanding);
         let mut times = Vec::with_capacity(outstanding);
         let mut stats = SearchStats::default();
+        let mut timed_out = false;
         for _ in 0..outstanding {
-            let (_server, list, s, took) = reply_rx
+            let (_server, list, s, took, worker_timed_out) = reply_rx
                 .recv()
                 .map_err(|_| TvError::Cluster("response pool closed".into()))?;
             lists.push(list);
             times.push(took);
             stats.merge(&s);
+            timed_out |= worker_timed_out;
+        }
+        if timed_out {
+            return Err(TvError::Timeout(
+                "deadline exceeded in cluster worker segment search".into(),
+            ));
         }
         Ok((merge_topk(lists, k), times, stats))
     }
@@ -284,8 +323,7 @@ mod tests {
     fn exact_top1(all: &[(VertexId, Vec<f32>)], q: &[f32]) -> VertexId {
         all.iter()
             .min_by(|a, b| {
-                tv_common::metric::l2_sq(q, &a.1)
-                    .total_cmp(&tv_common::metric::l2_sq(q, &b.1))
+                tv_common::metric::l2_sq(q, &a.1).total_cmp(&tv_common::metric::l2_sq(q, &b.1))
             })
             .unwrap()
             .0
@@ -350,11 +388,38 @@ mod tests {
         for s in [0u32, 1, 3] {
             filters.insert(SegmentId(s), Bitmap::new(1024));
         }
-        let (r, _, _) = runtime.top_k(&all[0].1, 3, 64, Tid::MAX, Some(&filters)).unwrap();
+        let (r, _, _) = runtime
+            .top_k(&all[0].1, 3, 64, Tid::MAX, Some(&filters))
+            .unwrap();
         assert!(!r.is_empty());
         assert!(r
             .iter()
             .all(|n| n.id.segment() == SegmentId(2) && n.id.local().0 < 5));
+    }
+
+    #[test]
+    fn expired_deadline_rejected_before_scatter() {
+        let (runtime, all) = loaded_cluster(2, 1, 4, 20);
+        let err = runtime
+            .top_k_deadline(&all[0].1, 3, 32, Tid::MAX, None, Deadline::expired_now())
+            .unwrap_err();
+        assert!(matches!(err, TvError::Timeout(_)));
+        // A generous deadline behaves exactly like no deadline.
+        let (r, _, _) = runtime
+            .top_k_deadline(
+                &all[0].1,
+                3,
+                32,
+                Tid::MAX,
+                None,
+                Deadline::after(Duration::from_secs(60)),
+            )
+            .unwrap();
+        let (r2, _, _) = runtime.top_k(&all[0].1, 3, 32, Tid::MAX, None).unwrap();
+        assert_eq!(
+            r.iter().map(|n| n.id).collect::<Vec<_>>(),
+            r2.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
     }
 
     #[test]

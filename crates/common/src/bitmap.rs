@@ -62,13 +62,21 @@ impl Bitmap {
     /// Bit at `idx` (panics if out of range).
     #[must_use]
     pub fn get(&self, idx: usize) -> bool {
-        assert!(idx < self.len, "bitmap index {idx} out of range {}", self.len);
+        assert!(
+            idx < self.len,
+            "bitmap index {idx} out of range {}",
+            self.len
+        );
         self.words[idx / 64] & (1u64 << (idx % 64)) != 0
     }
 
     /// Set bit `idx` to `value` (panics if out of range).
     pub fn set(&mut self, idx: usize, value: bool) {
-        assert!(idx < self.len, "bitmap index {idx} out of range {}", self.len);
+        assert!(
+            idx < self.len,
+            "bitmap index {idx} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (idx % 64);
         if value {
             self.words[idx / 64] |= mask;

@@ -1,0 +1,39 @@
+//! Shared tuning defaults.
+//!
+//! `tv-embedding::ServiceConfig` and `tv-cluster::RuntimeConfig` both carry
+//! a brute-force threshold (and the embedding service a default `ef`);
+//! before this module each crate independently hard-coded the same numbers,
+//! which is exactly how defaults drift apart. Both configs now build from
+//! [`TuningDefaults`], the single source of truth.
+
+/// Engine-wide tuning knobs shared by the single-machine embedding service
+/// and the cluster runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuningDefaults {
+    /// Valid-point count below which a segment search scans instead of
+    /// using its index (§5.1's brute-force threshold).
+    pub brute_force_threshold: usize,
+    /// Default `ef` (search beam width) when the caller does not specify.
+    pub default_ef: usize,
+}
+
+impl Default for TuningDefaults {
+    fn default() -> Self {
+        TuningDefaults {
+            brute_force_threshold: 64,
+            default_ef: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_documented_values() {
+        let d = TuningDefaults::default();
+        assert_eq!(d.brute_force_threshold, 64);
+        assert_eq!(d.default_ef, 64);
+    }
+}

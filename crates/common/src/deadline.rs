@@ -1,0 +1,108 @@
+//! Request deadlines.
+//!
+//! Every serving-layer request carries a [`Deadline`]; long scatter-gather
+//! operations (the per-segment search fan-out in `tv-embedding`, the worker
+//! loop in `tv-cluster`) check it at segment-search boundaries so a slow
+//! query can be abandoned mid-flight instead of holding an executor slot
+//! until completion.
+
+use crate::{TvError, TvResult};
+use std::time::{Duration, Instant};
+
+/// An optional absolute deadline. `Deadline::none()` never expires, so
+/// existing call paths that predate the serving layer keep their behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline: never expires.
+    #[must_use]
+    pub const fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// Deadline `timeout` from now.
+    #[must_use]
+    pub fn after(timeout: Duration) -> Self {
+        Deadline {
+            at: Some(Instant::now() + timeout),
+        }
+    }
+
+    /// Deadline at an absolute instant.
+    #[must_use]
+    pub const fn at(instant: Instant) -> Self {
+        Deadline { at: Some(instant) }
+    }
+
+    /// An already-expired deadline (tests and fail-fast paths).
+    #[must_use]
+    pub fn expired_now() -> Self {
+        Deadline {
+            at: Some(Instant::now()),
+        }
+    }
+
+    /// Whether the deadline has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Time remaining; `None` when unbounded, `Some(ZERO)` when expired.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// Error out when expired — the check placed at segment-search
+    /// boundaries.
+    pub fn check(&self, what: &str) -> TvResult<()> {
+        if self.expired() {
+            Err(TvError::Timeout(format!("deadline exceeded in {what}")))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert!(d.remaining().is_none());
+        assert!(d.check("x").is_ok());
+    }
+
+    #[test]
+    fn expired_now_fails_check() {
+        let d = Deadline::expired_now();
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        assert!(matches!(
+            d.check("segment search"),
+            Err(TvError::Timeout(_))
+        ));
+    }
+
+    #[test]
+    fn future_deadline_passes_then_expires() {
+        let d = Deadline::after(Duration::from_millis(20));
+        assert!(!d.expired());
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(d.expired());
+    }
+}

@@ -45,6 +45,13 @@ pub enum TvError {
     Cluster(String),
     /// Invalid argument to a public API.
     InvalidArgument(String),
+    /// The serving layer refused admission (queue full, rate limit, or
+    /// executor saturation). Clients should back off and retry.
+    Overloaded(String),
+    /// A request deadline expired before (or while) the work ran.
+    Timeout(String),
+    /// The caller's session is not authorized for the touched data.
+    PermissionDenied(String),
 }
 
 impl fmt::Display for TvError {
@@ -67,6 +74,9 @@ impl fmt::Display for TvError {
             TvError::Execution(m) => write!(f, "execution error: {m}"),
             TvError::Cluster(m) => write!(f, "cluster error: {m}"),
             TvError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            TvError::Overloaded(m) => write!(f, "overloaded: {m}"),
+            TvError::Timeout(m) => write!(f, "deadline exceeded: {m}"),
+            TvError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
         }
     }
 }

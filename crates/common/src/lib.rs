@@ -9,14 +9,20 @@
 //! the query engine, and the cluster simulator all speak these types.
 
 pub mod bitmap;
+pub mod config;
+pub mod deadline;
 pub mod error;
+pub mod histogram;
 pub mod ids;
 pub mod metric;
 pub mod rng;
 pub mod topk;
 
 pub use bitmap::Bitmap;
+pub use config::TuningDefaults;
+pub use deadline::Deadline;
 pub use error::{TvError, TvResult};
+pub use histogram::LatencyHistogram;
 pub use ids::{GlobalId, LocalId, SegmentId, Tid, VertexId, SEGMENT_CAPACITY};
 pub use metric::{distance, DistanceMetric};
 pub use rng::SplitMix64;

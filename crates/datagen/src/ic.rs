@@ -155,7 +155,10 @@ pub fn run_ic(
         for (t, id) in accum.iter() {
             let store = g.store().vertex_type(t)?;
             let col = store.schema().index_of("creationDate").expect("date");
-            let date = store.attr(id, col, tid).and_then(|v| v.as_int()).unwrap_or(0);
+            let date = store
+                .attr(id, col, tid)
+                .and_then(|v| v.as_int())
+                .unwrap_or(0);
             dated.push((date, t, id));
         }
         dated.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.2.cmp(&b.2)));

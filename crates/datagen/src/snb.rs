@@ -139,8 +139,7 @@ impl SnbGraph {
         let country_t = graph.create_vertex_type("Country", &[("name", AttrType::Str)])?;
         let knows_e = graph.create_edge_type("knows", "Person", "Person")?;
         let post_creator_e = graph.create_edge_type("postHasCreator", "Post", "Person")?;
-        let comment_creator_e =
-            graph.create_edge_type("commentHasCreator", "Comment", "Person")?;
+        let comment_creator_e = graph.create_edge_type("commentHasCreator", "Comment", "Person")?;
         let located_e = graph.create_edge_type("isLocatedIn", "Person", "Country")?;
         let reply_e = graph.create_edge_type("replyOf", "Comment", "Post")?;
 
@@ -180,10 +179,7 @@ impl SnbGraph {
                     .upsert_vertex(
                         person_t,
                         p,
-                        vec![
-                            AttrValue::Str(format!("p{i}")),
-                            AttrValue::Int(c as i64),
-                        ],
+                        vec![AttrValue::Str(format!("p{i}")), AttrValue::Int(c as i64)],
                     )
                     .add_edge(located_e, person_t, p, countries[c]);
             }
@@ -403,8 +399,7 @@ mod tests {
         let es = g
             .graph
             .select_vertices(g.post_t, tid, |_, get| {
-                get("language").and_then(|v| v.as_str().map(String::from))
-                    == Some("es".to_string())
+                get("language").and_then(|v| v.as_str().map(String::from)) == Some("es".to_string())
             })
             .unwrap();
         let frac = es.len() as f64 / g.posts.len() as f64;

@@ -50,7 +50,9 @@ pub fn decode_vector_deltas(mut buf: &[u8]) -> TvResult<Vec<(u32, DeltaRecord)>>
         }
         let mut vector = Vec::with_capacity(len);
         for i in 0..len {
-            vector.push(f32::from_le_bytes(buf[i * 4..i * 4 + 4].try_into().unwrap()));
+            vector.push(f32::from_le_bytes(
+                buf[i * 4..i * 4 + 4].try_into().unwrap(),
+            ));
         }
         buf = &buf[len * 4..];
         out.push((
@@ -98,7 +100,10 @@ mod tests {
     #[test]
     fn roundtrip() {
         let deltas = vec![
-            (0u32, DeltaRecord::upsert(VertexId(42), Tid(7), vec![1.5, -2.0, 3.25])),
+            (
+                0u32,
+                DeltaRecord::upsert(VertexId(42), Tid(7), vec![1.5, -2.0, 3.25]),
+            ),
             (3u32, DeltaRecord::delete(VertexId(9), Tid(8))),
         ];
         let bytes = encode_vector_deltas(&deltas);
@@ -114,7 +119,10 @@ mod tests {
 
     #[test]
     fn truncation_detected() {
-        let deltas = vec![(1u32, DeltaRecord::upsert(VertexId(1), Tid(1), vec![1.0; 10]))];
+        let deltas = vec![(
+            1u32,
+            DeltaRecord::upsert(VertexId(1), Tid(1), vec![1.0; 10]),
+        )];
         let bytes = encode_vector_deltas(&deltas);
         for cut in [0, 3, 8, bytes.len() - 1] {
             assert!(decode_vector_deltas(&bytes[..cut]).is_err(), "cut {cut}");

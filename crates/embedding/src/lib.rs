@@ -24,6 +24,6 @@ pub mod types;
 pub mod vacuum;
 
 pub use segment::EmbeddingSegment;
-pub use service::{EmbeddingService, SegmentFilters, ServiceConfig};
+pub use service::{BatchQuery, EmbeddingService, SegmentFilters, ServiceConfig, TypedNeighbor};
 pub use types::{EmbeddingSpace, EmbeddingTypeDef, IndexKind, VectorDataType};
 pub use vacuum::{BackgroundVacuum, ThreadTuner, VacuumConfig};

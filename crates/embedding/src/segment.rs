@@ -372,7 +372,9 @@ impl EmbeddingSegment {
             }
         }
         let up_to = read_tid.max(snap.up_to);
-        self.snapshots.write().push(Arc::new(IndexSnapshot { up_to, index }));
+        self.snapshots
+            .write()
+            .push(Arc::new(IndexSnapshot { up_to, index }));
         Ok(up_to)
     }
 
@@ -383,10 +385,7 @@ impl EmbeddingSegment {
     /// after the new index snapshot is visible to all running transactions.")
     pub fn prune(&self, horizon: Tid) -> (usize, usize) {
         let mut snaps = self.snapshots.write();
-        let keep_from = snaps
-            .iter()
-            .rposition(|s| s.up_to <= horizon)
-            .unwrap_or(0);
+        let keep_from = snaps.iter().rposition(|s| s.up_to <= horizon).unwrap_or(0);
         let dropped_snaps = keep_from;
         snaps.drain(..keep_from);
         let floor = snaps.first().expect("at least one snapshot").up_to;

@@ -7,9 +7,10 @@ use crate::segment::EmbeddingSegment;
 use crate::types::EmbeddingTypeDef;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use tv_common::ids::SegmentLayout;
-use tv_common::{Bitmap, Neighbor, NeighborHeap, SegmentId, Tid, TvError, TvResult};
+use tv_common::{Bitmap, Deadline, Neighbor, NeighborHeap, SegmentId, Tid, TvError, TvResult};
 use tv_hnsw::{DeltaRecord, SearchStats};
 
 /// Service-wide tuning knobs.
@@ -26,10 +27,20 @@ pub struct ServiceConfig {
 
 impl Default for ServiceConfig {
     fn default() -> Self {
+        ServiceConfig::from_tuning(tv_common::TuningDefaults::default())
+    }
+}
+
+impl ServiceConfig {
+    /// Build a config from the workspace-shared tuning defaults (the single
+    /// source of truth for `brute_force_threshold` / `default_ef`, shared
+    /// with `tv-cluster::RuntimeConfig`).
+    #[must_use]
+    pub fn from_tuning(tuning: tv_common::TuningDefaults) -> Self {
         ServiceConfig {
-            brute_force_threshold: 64,
+            brute_force_threshold: tuning.brute_force_threshold,
             query_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-            default_ef: 64,
+            default_ef: tuning.default_ef,
         }
     }
 }
@@ -106,6 +117,18 @@ pub struct TypedNeighbor {
     pub vertex_type: u32,
     /// The vertex and its distance.
     pub neighbor: Neighbor,
+}
+
+/// One query of a batched multi-query top-k (see
+/// [`EmbeddingService::top_k_many`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchQuery {
+    /// Query vector.
+    pub query: Vec<f32>,
+    /// Result count.
+    pub k: usize,
+    /// Search beam width.
+    pub ef: usize,
 }
 
 /// The embedding service.
@@ -197,7 +220,10 @@ impl EmbeddingService {
         // Group by segment, preserving order.
         let mut by_segment: HashMap<SegmentId, Vec<DeltaRecord>> = HashMap::new();
         for r in records {
-            by_segment.entry(r.id.segment()).or_default().push(r.clone());
+            by_segment
+                .entry(r.id.segment())
+                .or_default()
+                .push(r.clone());
         }
         for (seg, recs) in by_segment {
             attr.ensure_segment(seg);
@@ -245,6 +271,93 @@ impl EmbeddingService {
         Ok(merge_typed(results, k))
     }
 
+    /// **EmbeddingAction[Top k, batched]**: several queries against the same
+    /// attribute set share one per-segment fan-out — the serving layer's
+    /// batcher uses this to amortize segment dispatch across tenants. Each
+    /// `(segment, query)` search is the *same call* the single-query
+    /// [`EmbeddingService::top_k`] path makes, and each query's per-segment
+    /// results are merged in the same segment order, so batched results are
+    /// bit-identical to issuing the queries one by one.
+    ///
+    /// The `deadline` is checked before every segment search; when it
+    /// expires the whole batch fails with [`TvError::Timeout`]. Statistics
+    /// for whatever work *was* performed accumulate into `stats_out` even on
+    /// the timeout path (an already-expired deadline therefore reports zero
+    /// distance computations).
+    pub fn top_k_many(
+        &self,
+        attr_ids: &[u32],
+        queries: &[BatchQuery],
+        read_tid: Tid,
+        filters: Option<&SegmentFilters>,
+        deadline: Deadline,
+        stats_out: &mut SearchStats,
+    ) -> TvResult<Vec<Vec<TypedNeighbor>>> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let attrs = self.check_search(attr_ids, &queries[0].query)?;
+        for q in &queries[1..] {
+            attrs[0].def.check_query_vector(&q.query)?;
+        }
+        deadline.check("batched top-k admission")?;
+        let tasks = self.collect_tasks(&attrs, filters);
+        let threshold = self.config.brute_force_threshold;
+        // Task-major unit order: query `qi` sees its per-segment results in
+        // exactly the segment order the single-query path uses.
+        let mut units = Vec::with_capacity(tasks.len() * queries.len());
+        for ti in 0..tasks.len() {
+            for qi in 0..queries.len() {
+                units.push((ti, qi));
+            }
+        }
+        let expired = AtomicBool::new(false);
+        let tasks_ref = &tasks;
+        let expired_ref = &expired;
+        let results = run_tasks(units, self.config.query_threads, move |(ti, qi)| {
+            if deadline.expired() {
+                expired_ref.store(true, Ordering::Relaxed);
+                return None;
+            }
+            let (attr, seg, bitmap) = &tasks_ref[ti];
+            let q = &queries[qi];
+            let (neighbors, stats) =
+                seg.search(&q.query, q.k, q.ef, bitmap.as_ref(), read_tid, threshold);
+            let typed = neighbors
+                .into_iter()
+                .map(|n| TypedNeighbor {
+                    attr_id: attr.attr_id,
+                    vertex_type: attr.vertex_type,
+                    neighbor: n,
+                })
+                .collect::<Vec<_>>();
+            Some((qi, typed, stats))
+        });
+        let mut per_query: Vec<Vec<(Vec<TypedNeighbor>, SearchStats)>> =
+            (0..queries.len()).map(|_| Vec::new()).collect();
+        for r in results.into_iter().flatten() {
+            let (qi, typed, stats) = r;
+            per_query[qi].push((typed, stats));
+        }
+        if expired.load(Ordering::Relaxed) {
+            for results_q in per_query {
+                for (_, s) in results_q {
+                    stats_out.merge(&s);
+                }
+            }
+            return Err(TvError::Timeout(
+                "deadline exceeded during batched top-k segment fan-out".into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(queries.len());
+        for (qi, results_q) in per_query.into_iter().enumerate() {
+            let (merged, stats) = merge_typed(results_q, queries[qi].k);
+            stats_out.merge(&stats);
+            out.push(merged);
+        }
+        Ok(out)
+    }
+
     /// **EmbeddingAction[Range]**: parallel per-segment range search with a
     /// global merge.
     pub fn range_search(
@@ -283,7 +396,7 @@ impl EmbeddingService {
             out.extend(neighbors);
             stats.merge(&s);
         }
-        out.sort_unstable_by(|a, b| a.neighbor.cmp(&b.neighbor));
+        out.sort_unstable_by_key(|a| a.neighbor);
         Ok((out, stats))
     }
 
@@ -347,9 +460,8 @@ impl EmbeddingService {
     pub fn index_merge(&self, attr_id: u32, up_to: Tid, threads: usize) -> TvResult<usize> {
         let attr = self.attr(attr_id)?;
         let segments = attr.all_segments();
-        let merged: Vec<TvResult<Option<Tid>>> = run_tasks(segments, threads.max(1), |seg| {
-            seg.index_merge(up_to)
-        });
+        let merged: Vec<TvResult<Option<Tid>>> =
+            run_tasks(segments, threads.max(1), |seg| seg.index_merge(up_to));
         let mut count = 0;
         for m in merged {
             if m?.is_some() {
@@ -424,11 +536,7 @@ type SearchTask = (Arc<EmbeddingAttr>, Arc<EmbeddingSegment>, Option<Bitmap>);
 
 /// Fan a task list out over up to `threads` workers and collect results in
 /// task order. Falls back to a sequential loop for one worker or one task.
-fn run_tasks<T: Send, R: Send>(
-    tasks: Vec<T>,
-    threads: usize,
-    f: impl Fn(T) -> R + Sync,
-) -> Vec<R> {
+fn run_tasks<T: Send, R: Send>(tasks: Vec<T>, threads: usize, f: impl Fn(T) -> R + Sync) -> Vec<R> {
     if threads <= 1 || tasks.len() <= 1 {
         return tasks.into_iter().map(f).collect();
     }
@@ -456,7 +564,10 @@ fn run_tasks<T: Send, R: Send>(
             });
         }
     });
-    slots.into_iter().map(|s| s.expect("worker filled slot")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled slot"))
+        .collect()
 }
 
 /// Global merge of per-segment typed results into the final top-k.
@@ -571,8 +682,13 @@ mod tests {
         let q = &vecs[50];
         let (r, _) = svc.top_k(&[a], q, 5, 64, Tid(64), None).unwrap();
         assert_eq!(r.len(), 5);
-        assert_eq!(r[0].neighbor.id, SegmentLayout::with_capacity(16).vertex_id(50));
-        assert!(r.windows(2).all(|w| w[0].neighbor.dist <= w[1].neighbor.dist));
+        assert_eq!(
+            r[0].neighbor.id,
+            SegmentLayout::with_capacity(16).vertex_id(50)
+        );
+        assert!(r
+            .windows(2)
+            .all(|w| w[0].neighbor.dist <= w[1].neighbor.dist));
     }
 
     #[test]
@@ -588,7 +704,9 @@ mod tests {
                 SegmentLayout::with_capacity(16),
             )
             .unwrap();
-        let err = svc.top_k(&[a, b], &[0.0; 4], 3, 32, Tid(10), None).unwrap_err();
+        let err = svc
+            .top_k(&[a, b], &[0.0; 4], 3, 32, Tid(10), None)
+            .unwrap_err();
         assert!(matches!(err, TvError::IncompatibleEmbeddings(_)));
     }
 
@@ -621,7 +739,7 @@ mod tests {
             .register(0, def("e"), SegmentLayout::with_capacity(16))
             .unwrap();
         let vecs = load(&svc, a, 48, 7); // 3 segments
-        // Candidates only in segment 1 (locals 0..16 → rows 16..32).
+                                         // Candidates only in segment 1 (locals 0..16 → rows 16..32).
         let mut filters = SegmentFilters::new();
         filters.insert((a, SegmentId(1)), Bitmap::full(16));
         let q = &vecs[0]; // nearest overall lives in segment 0, but is filtered out
@@ -677,9 +795,7 @@ mod tests {
             .unwrap();
         let vecs = load(&svc, a, 48, 13);
         let q = &vecs[5];
-        let (r, _) = svc
-            .range_search(&[a], q, 10.0, 64, Tid(48), None)
-            .unwrap();
+        let (r, _) = svc.range_search(&[a], q, 10.0, 64, Tid(48), None).unwrap();
         assert!(!r.is_empty());
         assert!(r.iter().all(|tn| tn.neighbor.dist <= 10.0));
         assert!(r
@@ -703,6 +819,75 @@ mod tests {
             r[0].neighbor.id,
             SegmentLayout::with_capacity(16).vertex_id(9)
         );
+    }
+
+    #[test]
+    fn batched_topk_matches_one_by_one() {
+        let svc = service();
+        let a = svc
+            .register(0, def("e"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        let vecs = load(&svc, a, 64, 23); // 4 segments
+        let queries: Vec<BatchQuery> = [3usize, 19, 40, 61]
+            .iter()
+            .map(|&i| BatchQuery {
+                query: vecs[i].clone(),
+                k: 5,
+                ef: 64,
+            })
+            .collect();
+        let mut stats = SearchStats::default();
+        let batched = svc
+            .top_k_many(&[a], &queries, Tid(64), None, Deadline::none(), &mut stats)
+            .unwrap();
+        assert!(stats.distance_computations > 0);
+        for (bq, batch_result) in queries.iter().zip(&batched) {
+            let (solo, _) = svc
+                .top_k(&[a], &bq.query, bq.k, bq.ef, Tid(64), None)
+                .unwrap();
+            assert_eq!(batch_result, &solo);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_skips_all_segment_searches() {
+        let svc = service();
+        let a = svc
+            .register(0, def("e"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        let vecs = load(&svc, a, 48, 29);
+        let queries = [BatchQuery {
+            query: vecs[0].clone(),
+            k: 3,
+            ef: 64,
+        }];
+        let mut stats = SearchStats::default();
+        let err = svc
+            .top_k_many(
+                &[a],
+                &queries,
+                Tid(48),
+                None,
+                Deadline::expired_now(),
+                &mut stats,
+            )
+            .unwrap_err();
+        assert!(matches!(err, TvError::Timeout(_)));
+        assert_eq!(stats.distance_computations, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let svc = service();
+        let a = svc
+            .register(0, def("e"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        let _ = a;
+        let mut stats = SearchStats::default();
+        let out = svc
+            .top_k_many(&[a], &[], Tid(0), None, Deadline::none(), &mut stats)
+            .unwrap();
+        assert!(out.is_empty());
     }
 
     #[test]

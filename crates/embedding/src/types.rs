@@ -256,7 +256,13 @@ mod tests {
         let a = gpt4("a");
         assert!(a.check_query_vector(&vec![0.0; 1024]).is_ok());
         let err = a.check_query_vector(&[0.0; 3]).unwrap_err();
-        assert!(matches!(err, TvError::DimensionMismatch { expected: 1024, got: 3 }));
+        assert!(matches!(
+            err,
+            TvError::DimensionMismatch {
+                expected: 1024,
+                got: 3
+            }
+        ));
     }
 
     #[test]

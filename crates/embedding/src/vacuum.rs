@@ -90,11 +90,7 @@ pub struct VacuumHooks {
 impl BackgroundVacuum {
     /// Spawn the delta-merge and index-merge threads.
     #[must_use]
-    pub fn start(
-        service: Arc<EmbeddingService>,
-        hooks: VacuumHooks,
-        config: VacuumConfig,
-    ) -> Self {
+    pub fn start(service: Arc<EmbeddingService>, hooks: VacuumHooks, config: VacuumConfig) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let delta_merges = Arc::new(AtomicU64::new(0));
         let index_merges = Arc::new(AtomicU64::new(0));
@@ -280,9 +276,7 @@ mod tests {
         assert_eq!(svc.total_mem_deltas(), 0, "mem deltas not flushed");
         assert_eq!(svc.total_delta_files(), 0, "delta files not merged+pruned");
         // Data still searchable after the full pipeline.
-        let (r, _) = svc
-            .top_k(&[attr], &[5.0; 4], 1, 32, Tid(32), None)
-            .unwrap();
+        let (r, _) = svc.top_k(&[attr], &[5.0; 4], 1, 32, Tid(32), None).unwrap();
         assert_eq!(
             r[0].neighbor.id,
             SegmentLayout::with_capacity(64).vertex_id(5)

@@ -29,15 +29,9 @@ impl SumAccum {
 }
 
 /// `MaxAccum<DOUBLE>`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MaxAccum {
     value: Option<f64>,
-}
-
-impl Default for MaxAccum {
-    fn default() -> Self {
-        MaxAccum { value: None }
-    }
 }
 
 impl MaxAccum {
@@ -159,8 +153,13 @@ impl PairHeapAccum {
             self.pairs.insert(key, (source, target));
             // Opportunistic GC once the side table doubles the heap size.
             if self.pairs.len() > 2 * self.heap.k().max(1) {
-                let live: std::collections::HashSet<u64> =
-                    self.heap.clone().into_sorted().iter().map(|n| n.id.0).collect();
+                let live: std::collections::HashSet<u64> = self
+                    .heap
+                    .clone()
+                    .into_sorted()
+                    .iter()
+                    .map(|n| n.id.0)
+                    .collect();
                 self.pairs.retain(|k, _| live.contains(k));
             }
         }

@@ -189,10 +189,7 @@ mod tests {
             },
         );
         let person = g
-            .create_vertex_type(
-                "Person",
-                &[("name", AttrType::Str), ("age", AttrType::Int)],
-            )
+            .create_vertex_type("Person", &[("name", AttrType::Str), ("age", AttrType::Int)])
             .unwrap();
         let knows = g.create_edge_type("knows", "Person", "Person").unwrap();
         (g, person, knows)
@@ -244,7 +241,9 @@ mod tests {
         let tid = g.read_tid();
         let evens = g
             .select_vertices(person, tid, |_, get| {
-                get("age").and_then(|v| v.as_int()).is_some_and(|a| a % 2 == 0)
+                get("age")
+                    .and_then(|v| v.as_int())
+                    .is_some_and(|a| a % 2 == 0)
             })
             .unwrap();
         assert_eq!(evens.len(), 3);

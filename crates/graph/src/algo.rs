@@ -93,11 +93,13 @@ impl Graph {
                 for (&cand, &k_in) in &links {
                     // Modularity gain of joining `cand`.
                     let gain = k_in as f64 / m2f
-                        - (community_degree[cand] as f64 * degree[v] as f64) / (m2f * m2f / 2.0)
+                        - (community_degree[cand] as f64 * degree[v] as f64)
+                            / (m2f * m2f / 2.0)
                             / 2.0;
                     let base_links = links.get(&cur).copied().unwrap_or(0);
                     let base_gain = base_links as f64 / m2f
-                        - (community_degree[cur] as f64 * degree[v] as f64) / (m2f * m2f / 2.0)
+                        - (community_degree[cur] as f64 * degree[v] as f64)
+                            / (m2f * m2f / 2.0)
                             / 2.0;
                     if gain > base_gain + 1e-12 && gain > best_gain {
                         best_gain = gain;

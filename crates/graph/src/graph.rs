@@ -81,7 +81,9 @@ impl Graph {
     pub fn create_vertex_type(&self, name: &str, fields: &[(&str, AttrType)]) -> TvResult<u32> {
         let schema = AttrSchema::new(fields.iter().map(|(n, t)| ((*n).to_string(), *t)))?;
         let mut catalog = self.catalog.write();
-        let type_id = self.store.create_vertex_type(schema.clone(), self.default_layout);
+        let type_id = self
+            .store
+            .create_vertex_type(schema.clone(), self.default_layout);
         catalog.add_vertex_type(name, type_id, schema)?;
         Ok(type_id)
     }
@@ -249,6 +251,42 @@ impl Graph {
             .top_k(attr_ids, query, k, ef, tid, filters.as_ref())
     }
 
+    /// Deadline-aware top-k vector search: the serving layer's entry point.
+    /// The deadline is checked before every segment search (inside
+    /// [`EmbeddingService::top_k_many`]); statistics for the work actually
+    /// performed accumulate into `stats_out` even when the call times out.
+    #[allow(clippy::too_many_arguments)]
+    pub fn vector_search_deadline(
+        &self,
+        attr_ids: &[u32],
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        filter: Option<&VertexSet>,
+        tid: Tid,
+        deadline: tv_common::Deadline,
+        stats_out: &mut SearchStats,
+    ) -> TvResult<Vec<TypedNeighbor>> {
+        let filters = match filter {
+            Some(set) => Some(self.segment_filters(attr_ids, set)?),
+            None => None,
+        };
+        let batch = [tv_embedding::BatchQuery {
+            query: query.to_vec(),
+            k,
+            ef,
+        }];
+        let mut out = self.embeddings.top_k_many(
+            attr_ids,
+            &batch,
+            tid,
+            filters.as_ref(),
+            deadline,
+            stats_out,
+        )?;
+        Ok(out.pop().unwrap_or_default())
+    }
+
     /// Range vector search (`WHERE VECTOR_DIST(...) < threshold`).
     pub fn vector_range_search(
         &self,
@@ -304,13 +342,15 @@ pub struct TxnBuilder<'g> {
 impl TxnBuilder<'_> {
     /// Insert/replace a vertex.
     pub fn upsert_vertex(mut self, type_id: u32, id: VertexId, attrs: Vec<AttrValue>) -> Self {
-        self.deltas.push((type_id, GraphDelta::UpsertVertex { id, attrs }));
+        self.deltas
+            .push((type_id, GraphDelta::UpsertVertex { id, attrs }));
         self
     }
 
     /// Overwrite one attribute by column index.
     pub fn set_attr(mut self, type_id: u32, id: VertexId, col: usize, value: AttrValue) -> Self {
-        self.deltas.push((type_id, GraphDelta::SetAttr { id, col, value }));
+        self.deltas
+            .push((type_id, GraphDelta::SetAttr { id, col, value }));
         self
     }
 
@@ -330,7 +370,8 @@ impl TxnBuilder<'_> {
 
     /// Add a directed edge.
     pub fn add_edge(mut self, etype: u32, from_type: u32, from: VertexId, to: VertexId) -> Self {
-        self.deltas.push((from_type, GraphDelta::AddEdge { etype, from, to }));
+        self.deltas
+            .push((from_type, GraphDelta::AddEdge { etype, from, to }));
         self
     }
 
@@ -434,7 +475,10 @@ mod tests {
 
     fn setup_post_graph(g: &Graph) -> (u32, u32) {
         let post = g
-            .create_vertex_type("Post", &[("author", AttrType::Str), ("length", AttrType::Int)])
+            .create_vertex_type(
+                "Post",
+                &[("author", AttrType::Str), ("length", AttrType::Int)],
+            )
             .unwrap();
         let emb = g
             .add_embedding_attribute(
@@ -450,13 +494,19 @@ mod tests {
         let g = small_graph();
         let (post, emb) = setup_post_graph(&g);
         let _ = emb;
-        let person = g.create_vertex_type("Person", &[("name", AttrType::Str)]).unwrap();
+        let person = g
+            .create_vertex_type("Person", &[("name", AttrType::Str)])
+            .unwrap();
         let knows = g.create_edge_type("knows", "Person", "Person").unwrap();
         let has_creator = g.create_edge_type("hasCreator", "Post", "Person").unwrap();
         assert_eq!((post, person), (0, 1));
         assert_eq!((knows, has_creator), (0, 1));
         let catalog = g.catalog();
-        assert!(catalog.vertex_type("Post").unwrap().embedding("content_emb").is_some());
+        assert!(catalog
+            .vertex_type("Post")
+            .unwrap()
+            .embedding("content_emb")
+            .is_some());
         // Duplicate vertex type name is rejected.
         drop(catalog);
         assert!(g.create_vertex_type("Post", &[]).is_err());
@@ -497,7 +547,11 @@ mod tests {
         let id = g.allocate(post).unwrap();
         let err = g
             .txn()
-            .upsert_vertex(post, id, vec![AttrValue::Str("x".into()), AttrValue::Int(1)])
+            .upsert_vertex(
+                post,
+                id,
+                vec![AttrValue::Str("x".into()), AttrValue::Int(1)],
+            )
             .set_vector(emb, id, vec![1.0]) // wrong dim
             .commit();
         assert!(err.is_err());
@@ -512,7 +566,11 @@ mod tests {
         let (post, emb) = setup_post_graph(&g);
         let id = g.allocate(post).unwrap();
         g.txn()
-            .upsert_vertex(post, id, vec![AttrValue::Str("x".into()), AttrValue::Int(1)])
+            .upsert_vertex(
+                post,
+                id,
+                vec![AttrValue::Str("x".into()), AttrValue::Int(1)],
+            )
             .set_vector(emb, id, vec![0.0; 4])
             .commit()
             .unwrap();
@@ -520,7 +578,9 @@ mod tests {
         assert!(!g.is_live(post, id, tid).unwrap());
         assert!(g.embedding_of(emb, id, tid).unwrap().is_none());
         // Pure vector search no longer returns it.
-        let (r, _) = g.vector_search(&[emb], &[0.0; 4], 1, 16, None, tid).unwrap();
+        let (r, _) = g
+            .vector_search(&[emb], &[0.0; 4], 1, 16, None, tid)
+            .unwrap();
         assert!(r.is_empty());
     }
 
@@ -541,7 +601,9 @@ mod tests {
         }
         let tid = txn.commit().unwrap();
         // Unfiltered: nearest to 0 is id 0.
-        let (r, _) = g.vector_search(&[emb], &[0.0; 4], 1, 32, None, tid).unwrap();
+        let (r, _) = g
+            .vector_search(&[emb], &[0.0; 4], 1, 32, None, tid)
+            .unwrap();
         assert_eq!(r[0].neighbor.id, ids[0]);
         // Filtered to {10, 15}: nearest becomes 10.
         let set = VertexSet::from_iter_typed(post, [ids[10], ids[15]]);
@@ -562,7 +624,9 @@ mod tests {
     #[test]
     fn edges_and_neighbors() {
         let g = small_graph();
-        let person = g.create_vertex_type("Person", &[("name", AttrType::Str)]).unwrap();
+        let person = g
+            .create_vertex_type("Person", &[("name", AttrType::Str)])
+            .unwrap();
         let knows = g.create_edge_type("knows", "Person", "Person").unwrap();
         let ids = g.allocate_many(person, 3).unwrap();
         let mut txn = g.txn();
@@ -581,7 +645,10 @@ mod tests {
             .remove_edge(knows, person, ids[0], ids[1])
             .commit()
             .unwrap();
-        assert_eq!(g.out_neighbors(person, ids[0], knows, tid2).unwrap(), vec![ids[2]]);
+        assert_eq!(
+            g.out_neighbors(person, ids[0], knows, tid2).unwrap(),
+            vec![ids[2]]
+        );
     }
 
     #[test]
@@ -601,7 +668,10 @@ mod tests {
         {
             let g = Graph::with_wal(&path, layout, cfg).unwrap();
             post = g
-                .create_vertex_type("Post", &[("author", AttrType::Str), ("length", AttrType::Int)])
+                .create_vertex_type(
+                    "Post",
+                    &[("author", AttrType::Str), ("length", AttrType::Int)],
+                )
                 .unwrap();
             emb = g
                 .add_embedding_attribute(
@@ -611,15 +681,22 @@ mod tests {
                 .unwrap();
             id = g.allocate(post).unwrap();
             g.txn()
-                .upsert_vertex(post, id, vec![AttrValue::Str("a".into()), AttrValue::Int(5)])
+                .upsert_vertex(
+                    post,
+                    id,
+                    vec![AttrValue::Str("a".into()), AttrValue::Int(5)],
+                )
                 .set_vector(emb, id, vec![9.0, 8.0, 7.0, 6.0])
                 .commit()
                 .unwrap();
         }
         // Recreate schema, replay.
         let g = Graph::with_wal(&path, layout, cfg).unwrap();
-        g.create_vertex_type("Post", &[("author", AttrType::Str), ("length", AttrType::Int)])
-            .unwrap();
+        g.create_vertex_type(
+            "Post",
+            &[("author", AttrType::Str), ("length", AttrType::Int)],
+        )
+        .unwrap();
         g.add_embedding_attribute(
             "Post",
             EmbeddingTypeDef::new("content_emb", 4, "GPT4", DistanceMetric::L2),
@@ -642,7 +719,11 @@ mod tests {
         let (post, emb) = setup_post_graph(&g);
         let id = g.allocate(post).unwrap();
         g.txn()
-            .upsert_vertex(post, id, vec![AttrValue::Str("x".into()), AttrValue::Int(1)])
+            .upsert_vertex(
+                post,
+                id,
+                vec![AttrValue::Str("x".into()), AttrValue::Int(1)],
+            )
             .set_vector(emb, id, vec![1.0; 4])
             .commit()
             .unwrap();

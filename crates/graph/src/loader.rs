@@ -121,9 +121,10 @@ impl<'g> LoadingJob<'g> {
                 let (key_str, vec_str) = line.split_once(',').ok_or_else(|| {
                     TvError::InvalidArgument(format!("bad embedding line '{line}'"))
                 })?;
-                let key: i64 = key_str.trim().parse().map_err(|_| {
-                    TvError::InvalidArgument(format!("bad key in '{line}'"))
-                })?;
+                let key: i64 = key_str
+                    .trim()
+                    .parse()
+                    .map_err(|_| TvError::InvalidArgument(format!("bad key in '{line}'")))?;
                 let vector = split_vector(vec_str)?;
                 if vector.len() != dim {
                     return Err(TvError::DimensionMismatch {
@@ -152,15 +153,17 @@ impl<'g> LoadingJob<'g> {
         for chunk in lines.chunks(self.batch_size) {
             let mut txn = self.graph.txn();
             for line in chunk {
-                let (a, b) = line.split_once(',').ok_or_else(|| {
-                    TvError::InvalidArgument(format!("bad edge line '{line}'"))
-                })?;
-                let from_key: i64 = a.trim().parse().map_err(|_| {
-                    TvError::InvalidArgument(format!("bad from-key in '{line}'"))
-                })?;
-                let to_key: i64 = b.trim().parse().map_err(|_| {
-                    TvError::InvalidArgument(format!("bad to-key in '{line}'"))
-                })?;
+                let (a, b) = line
+                    .split_once(',')
+                    .ok_or_else(|| TvError::InvalidArgument(format!("bad edge line '{line}'")))?;
+                let from_key: i64 = a
+                    .trim()
+                    .parse()
+                    .map_err(|_| TvError::InvalidArgument(format!("bad from-key in '{line}'")))?;
+                let to_key: i64 = b
+                    .trim()
+                    .parse()
+                    .map_err(|_| TvError::InvalidArgument(format!("bad to-key in '{line}'")))?;
                 let from = self.id_for(from_type, from_key)?;
                 let to = self.id_for(to_type, to_key)?;
                 txn = txn.add_edge(etype, from_type, from, to);
@@ -188,12 +191,16 @@ impl<'g> LoadingJob<'g> {
 /// Parse one attribute field.
 fn parse_value(ty: AttrType, field: &str) -> TvResult<AttrValue> {
     Ok(match ty {
-        AttrType::Int => AttrValue::Int(field.parse().map_err(|_| {
-            TvError::InvalidArgument(format!("bad INT '{field}'"))
-        })?),
-        AttrType::Double => AttrValue::Double(field.parse().map_err(|_| {
-            TvError::InvalidArgument(format!("bad DOUBLE '{field}'"))
-        })?),
+        AttrType::Int => AttrValue::Int(
+            field
+                .parse()
+                .map_err(|_| TvError::InvalidArgument(format!("bad INT '{field}'")))?,
+        ),
+        AttrType::Double => AttrValue::Double(
+            field
+                .parse()
+                .map_err(|_| TvError::InvalidArgument(format!("bad DOUBLE '{field}'")))?,
+        ),
         AttrType::Str => AttrValue::Str(field.to_string()),
         AttrType::Bool => AttrValue::Bool(matches!(field, "true" | "TRUE" | "1")),
     })
@@ -256,7 +263,11 @@ mod tests {
 
         let catalog = g.catalog();
         let post = catalog.vertex_type("Post").unwrap().type_id;
-        let (attr_id, _) = catalog.vertex_type("Post").unwrap().embedding("content_emb").unwrap();
+        let (attr_id, _) = catalog
+            .vertex_type("Post")
+            .unwrap()
+            .embedding("content_emb")
+            .unwrap();
         drop(catalog);
         let tid = g.read_tid();
         let id1 = job.key_map()[&(post, 1)];
@@ -274,7 +285,8 @@ mod tests {
     fn embeddings_can_load_before_vertices() {
         let g = graph();
         let mut job = LoadingJob::new(&g);
-        job.load_embeddings("Post", "content_emb", &["7,1:1:1"]).unwrap();
+        job.load_embeddings("Post", "content_emb", &["7,1:1:1"])
+            .unwrap();
         job.load_vertices("Post", &["7,carol,text"]).unwrap();
         let catalog = g.catalog();
         let post = catalog.vertex_type("Post").unwrap().type_id;
@@ -302,7 +314,9 @@ mod tests {
         assert!(job
             .load_embeddings("Post", "content_emb", &["1,1:x:3"])
             .is_err());
-        assert!(job.load_embeddings("Post", "content_emb", &["nocomma"]).is_err());
+        assert!(job
+            .load_embeddings("Post", "content_emb", &["nocomma"])
+            .is_err());
         assert!(job.load_vertices("Nope", &["1,a,b"]).is_err());
         assert!(job.load_embeddings("Post", "nope", &["1,1:2:3"]).is_err());
     }
@@ -310,7 +324,8 @@ mod tests {
     #[test]
     fn edge_loading() {
         let g = graph();
-        g.create_vertex_type("Person", &[("name", AttrType::Str)]).unwrap();
+        g.create_vertex_type("Person", &[("name", AttrType::Str)])
+            .unwrap();
         g.create_edge_type("hasCreator", "Post", "Person").unwrap();
         let mut job = LoadingJob::new(&g);
         job.load_vertices("Post", &["1,a,t1", "2,b,t2"]).unwrap();

@@ -128,7 +128,9 @@ impl AccessControl {
     /// Whether `user` may read any rows of `vertex_type`.
     #[must_use]
     pub fn can_read_type(&self, user: &str, vertex_type: u32) -> bool {
-        self.roles_of(user).iter().any(|r| r.covers_type(vertex_type))
+        self.roles_of(user)
+            .iter()
+            .any(|r| r.covers_type(vertex_type))
     }
 
     /// Materialize the set of vertices of `vertex_type` that `user` may
@@ -149,7 +151,7 @@ impl AccessControl {
             .filter(|g| g.vertex_type == vertex_type)
             .collect();
         if grants.is_empty() {
-            return Err(TvError::InvalidArgument(format!(
+            return Err(TvError::PermissionDenied(format!(
                 "user '{user}' has no grant on vertex type {vertex_type}"
             )));
         }
@@ -165,6 +167,61 @@ impl AccessControl {
         })?;
         Ok(Some(set))
     }
+
+    /// The candidate-set restriction a vector search over `attr_ids` must
+    /// respect for `user`: `None` when every touched type is unrestricted,
+    /// otherwise the union of authorized vertices across the searched types.
+    /// Rejects outright (with [`TvError::PermissionDenied`]) when any type
+    /// lacks a grant.
+    pub fn restriction_for_attrs(
+        &self,
+        graph: &Graph,
+        user: &str,
+        attr_ids: &[u32],
+        tid: Tid,
+    ) -> TvResult<Option<VertexSet>> {
+        // Reject types without any grant.
+        for &attr_id in attr_ids {
+            let vt = graph.embeddings().attr(attr_id)?.vertex_type;
+            if !self.can_read_type(user, vt) {
+                return Err(TvError::PermissionDenied(format!(
+                    "user '{user}' is not authorized for vertex type {vt}"
+                )));
+            }
+        }
+        // Combine row-security sets across the searched types.
+        let mut restriction: Option<VertexSet> = None;
+        let mut unrestricted_everywhere = true;
+        for &attr_id in attr_ids {
+            let vt = graph.embeddings().attr(attr_id)?.vertex_type;
+            match self.authorized_vertices(graph, user, vt, tid)? {
+                None => {
+                    // Unrestricted on this type: its full live set is added
+                    // below only if some other type is restricted.
+                }
+                Some(set) => {
+                    unrestricted_everywhere = false;
+                    restriction = Some(match restriction {
+                        Some(acc) => acc.union(&set),
+                        None => set,
+                    });
+                }
+            }
+        }
+        if unrestricted_everywhere {
+            return Ok(None);
+        }
+        // Mixed case: add the full live sets of unrestricted types so they
+        // are not accidentally filtered out.
+        let mut acc = restriction.unwrap_or_default();
+        for &attr_id in attr_ids {
+            let vt = graph.embeddings().attr(attr_id)?.vertex_type;
+            if self.authorized_vertices(graph, user, vt, tid)?.is_none() {
+                acc = acc.union(&graph.all_vertices(vt, tid)?);
+            }
+        }
+        Ok(Some(acc))
+    }
 }
 
 impl Graph {
@@ -173,6 +230,7 @@ impl Graph {
     /// vectors, enforced through the validity-bitmap hand-off of §5.1.
     /// Unauthorized vertex types are rejected outright; row-restricted
     /// grants become pre-filter bitmaps intersected with any caller filter.
+    #[allow(clippy::too_many_arguments)]
     pub fn vector_search_as(
         &self,
         acl: &AccessControl,
@@ -184,48 +242,7 @@ impl Graph {
         filter: Option<&VertexSet>,
         tid: Tid,
     ) -> TvResult<(Vec<TypedNeighbor>, SearchStats)> {
-        // Reject types without any grant.
-        for &attr_id in attr_ids {
-            let vt = self.embeddings().attr(attr_id)?.vertex_type;
-            if !acl.can_read_type(user, vt) {
-                return Err(TvError::InvalidArgument(format!(
-                    "user '{user}' is not authorized for vertex type {vt}"
-                )));
-            }
-        }
-        // Combine row-security sets across the searched types.
-        let mut restriction: Option<VertexSet> = None;
-        let mut unrestricted_everywhere = true;
-        for &attr_id in attr_ids {
-            let vt = self.embeddings().attr(attr_id)?.vertex_type;
-            match acl.authorized_vertices(self, user, vt, tid)? {
-                None => {
-                    // Unrestricted on this type: authorize its full live set
-                    // only if some other type is restricted (computed below).
-                }
-                Some(set) => {
-                    unrestricted_everywhere = false;
-                    restriction = Some(match restriction {
-                        Some(acc) => acc.union(&set),
-                        None => set,
-                    });
-                }
-            }
-        }
-        let authorized = if unrestricted_everywhere {
-            None
-        } else {
-            // Mixed case: add the full live sets of unrestricted types so
-            // they are not accidentally filtered out.
-            let mut acc = restriction.unwrap_or_default();
-            for &attr_id in attr_ids {
-                let vt = self.embeddings().attr(attr_id)?.vertex_type;
-                if acl.authorized_vertices(self, user, vt, tid)?.is_none() {
-                    acc = acc.union(&self.all_vertices(vt, tid)?);
-                }
-            }
-            Some(acc)
-        };
+        let authorized = acl.restriction_for_attrs(self, user, attr_ids, tid)?;
 
         // Intersect with the caller's filter (both are candidate sets).
         let effective = match (authorized, filter) {
@@ -255,11 +272,8 @@ mod tests {
                 default_ef: 32,
             },
         );
-        g.create_vertex_type(
-            "Doc",
-            &[("classification", AttrType::Str)],
-        )
-        .unwrap();
+        g.create_vertex_type("Doc", &[("classification", AttrType::Str)])
+            .unwrap();
         g.add_embedding_attribute(
             "Doc",
             EmbeddingTypeDef::new("emb", 4, "M", DistanceMetric::L2),
@@ -319,7 +333,7 @@ mod tests {
         let err = g
             .vector_search_as(&acl, "mallory", &[0], &[1.0; 4], 1, 32, None, tid)
             .unwrap_err();
-        assert!(matches!(err, TvError::InvalidArgument(_)));
+        assert!(matches!(err, TvError::PermissionDenied(_)));
     }
 
     #[test]
@@ -359,6 +373,9 @@ mod tests {
         let tid = g.read_tid();
         let set = acl.authorized_vertices(&g, "bob", 0, tid).unwrap().unwrap();
         assert_eq!(set.len(), 5); // the five public docs
-        assert!(acl.authorized_vertices(&g, "alice", 0, tid).unwrap().is_none());
+        assert!(acl
+            .authorized_vertices(&g, "alice", 0, tid)
+            .unwrap()
+            .is_none());
     }
 }

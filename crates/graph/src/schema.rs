@@ -56,7 +56,12 @@ pub struct Catalog {
 
 impl Catalog {
     /// Register a vertex type (store id must match registration order).
-    pub fn add_vertex_type(&mut self, name: &str, type_id: u32, schema: AttrSchema) -> TvResult<()> {
+    pub fn add_vertex_type(
+        &mut self,
+        name: &str,
+        type_id: u32,
+        schema: AttrSchema,
+    ) -> TvResult<()> {
         if self.vertex_by_name.contains_key(name) {
             return Err(TvError::Schema(format!("vertex type '{name}' exists")));
         }

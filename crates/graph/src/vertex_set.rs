@@ -88,7 +88,10 @@ impl VertexSet {
     pub fn union(&self, other: &VertexSet) -> VertexSet {
         let mut out = self.clone();
         for (t, ids) in &other.members {
-            out.members.entry(*t).or_default().extend(ids.iter().copied());
+            out.members
+                .entry(*t)
+                .or_default()
+                .extend(ids.iter().copied());
         }
         out
     }

@@ -12,10 +12,11 @@ use crate::parser::parse;
 use crate::sema::{pushdown_predicates, resolve, QueryKind, Resolved};
 use std::collections::{HashMap, HashSet};
 use tg_graph::accum::PairHeapAccum;
-use tg_graph::{Graph, VertexSet};
+use tg_graph::{AccessControl, Graph, VertexSet};
 use tg_storage::AttrValue;
 use tv_common::metric::distance;
-use tv_common::{Tid, TvError, TvResult, VertexId};
+use tv_common::{Deadline, Tid, TvError, TvResult, VertexId};
+use tv_hnsw::SearchStats;
 
 /// Named parameter bindings (`$qv`, `$k`, ...).
 pub type Params = HashMap<String, Value>;
@@ -63,13 +64,107 @@ pub fn execute_at(graph: &Graph, src: &str, params: &Params, tid: Tid) -> TvResu
     run(graph, &resolved, params, tid)
 }
 
+/// Parse, resolve, and execute `src` **as a user** at the latest committed
+/// snapshot. See [`execute_at_as`].
+pub fn execute_as(
+    graph: &Graph,
+    acl: &AccessControl,
+    user: &str,
+    src: &str,
+    params: &Params,
+) -> TvResult<QueryOutput> {
+    execute_at_as(
+        graph,
+        acl,
+        user,
+        src,
+        params,
+        graph.read_tid(),
+        Deadline::none(),
+    )
+}
+
+/// Parse, resolve, and execute `src` as a user at a pinned TID with a
+/// deadline — the serving layer's entry point.
+///
+/// Access control is the paper's single-surface model (§1): every vertex
+/// type in the pattern needs a type grant (rejected with
+/// [`TvError::PermissionDenied`] otherwise), and for vector queries a
+/// row-restricted grant becomes a candidate set intersected into the §5.2
+/// pre-filter bitmaps, so row security and deletions ride the same validity
+/// mask. The deadline is threaded down to the per-segment searches.
+pub fn execute_at_as(
+    graph: &Graph,
+    acl: &AccessControl,
+    user: &str,
+    src: &str,
+    params: &Params,
+    tid: Tid,
+    deadline: Deadline,
+) -> TvResult<QueryOutput> {
+    let query = parse(src)?;
+    let resolved = resolve(graph, query)?;
+    for &vt in &resolved.node_types {
+        if !acl.can_read_type(user, vt) {
+            return Err(TvError::PermissionDenied(format!(
+                "user '{user}' may not read vertex type {vt}"
+            )));
+        }
+    }
+    let restriction = match resolved.kind {
+        QueryKind::TopK | QueryKind::Range => {
+            let (target_node, _) = resolved.target.expect("vector target");
+            acl.authorized_vertices(graph, user, resolved.node_types[target_node], tid)?
+        }
+        // Graph-only/join output is drawn from pattern nodes, all of which
+        // passed the type-grant check above.
+        _ => None,
+    };
+    run_opts(
+        graph,
+        &resolved,
+        params,
+        tid,
+        restriction.as_ref(),
+        deadline,
+    )
+}
+
 /// Execute an already-resolved query.
 pub fn run(graph: &Graph, r: &Resolved, params: &Params, tid: Tid) -> TvResult<QueryOutput> {
+    run_opts(graph, r, params, tid, None, Deadline::none())
+}
+
+/// Execute an already-resolved query with serving-layer options: an extra
+/// candidate restriction (row security) and a deadline.
+pub fn run_opts(
+    graph: &Graph,
+    r: &Resolved,
+    params: &Params,
+    tid: Tid,
+    restriction: Option<&VertexSet>,
+    deadline: Deadline,
+) -> TvResult<QueryOutput> {
+    deadline.check("query admission")?;
     match r.kind {
-        QueryKind::TopK => run_topk(graph, r, params, tid),
-        QueryKind::Range => run_range(graph, r, params, tid),
+        QueryKind::TopK => run_topk(graph, r, params, tid, restriction, deadline),
+        QueryKind::Range => run_range(graph, r, params, tid, restriction),
         QueryKind::SimilarityJoin => run_join(graph, r, params, tid),
         QueryKind::GraphOnly => run_graph_only(graph, r, params, tid),
+    }
+}
+
+/// Intersect the pattern-derived candidate set with the rbac restriction.
+/// `None` on both sides means unconstrained (the pure-search fast path).
+fn apply_restriction(
+    candidates: Option<VertexSet>,
+    restriction: Option<&VertexSet>,
+) -> Option<VertexSet> {
+    match (candidates, restriction) {
+        (None, None) => None,
+        (Some(c), None) => Some(c),
+        (None, Some(rst)) => Some(rst.clone()),
+        (Some(c), Some(rst)) => Some(c.intersect(rst)),
     }
 }
 
@@ -87,25 +182,18 @@ fn limit_of(r: &Resolved, params: &Params) -> TvResult<usize> {
 }
 
 fn query_vector<'p>(r: &Resolved, params: &'p Params) -> TvResult<&'p [f32]> {
-    let vd = r
-        .query
-        .order_by
-        .as_ref()
-        .map(|vd| (&vd.lhs, &vd.rhs))
-        .or_else(|| {
-            // Range search: the VECTOR_DIST was stripped into range_threshold;
-            // recover the param side from the original WHERE clause.
-            None
-        });
+    // For range search the VECTOR_DIST was stripped into range_threshold, so
+    // order_by is None and the param side is recovered from the WHERE clause
+    // in the fallback arm below.
+    let vd = r.query.order_by.as_ref().map(|vd| (&vd.lhs, &vd.rhs));
     let param_name = match vd {
         Some((crate::ast::VecRef::Param(p), _)) | Some((_, crate::ast::VecRef::Param(p))) => {
             p.clone()
         }
         _ => {
             // Range path: find the parameter inside the original where clause.
-            find_range_param(r).ok_or_else(|| {
-                TvError::Execution("query vector parameter not found".into())
-            })?
+            find_range_param(r)
+                .ok_or_else(|| TvError::Execution("query vector parameter not found".into()))?
         }
     };
     params
@@ -177,11 +265,14 @@ fn node_candidates(
         } else {
             // Right is the stored source: scan right candidates whose
             // out-edges hit the left set.
-            let candidates =
-                materialize(graph, r, params, i + 1, &per_node[i + 1], None, tid)?;
+            let candidates = materialize(graph, r, params, i + 1, &per_node[i + 1], None, tid)?;
             let store = graph.store().vertex_type(right_type)?;
             for v in candidates {
-                if store.edges(v, edge.etype, tid).iter().any(|t| left.contains(t)) {
+                if store
+                    .edges(v, edge.etype, tid)
+                    .iter()
+                    .any(|t| left.contains(t))
+                {
                     right.insert(v);
                 }
             }
@@ -208,9 +299,9 @@ fn materialize(
                 return false;
             }
         }
-        preds.iter().all(|p| {
-            eval_pred(p, get, params).unwrap_or(false)
-        })
+        preds
+            .iter()
+            .all(|p| eval_pred(p, get, params).unwrap_or(false))
     })?;
     Ok(set.of_type(type_id).into_iter().collect())
 }
@@ -238,21 +329,32 @@ fn restrict(
             let col = schema.index_of(name)?;
             row.as_ref().and_then(|r| r.get(col).cloned())
         };
-        if preds.iter().all(|p| eval_pred(p, &get, params).unwrap_or(false)) {
+        if preds
+            .iter()
+            .all(|p| eval_pred(p, &get, params).unwrap_or(false))
+        {
             out.insert(id);
         }
     }
     Ok(out)
 }
 
-fn run_topk(graph: &Graph, r: &Resolved, params: &Params, tid: Tid) -> TvResult<QueryOutput> {
+fn run_topk(
+    graph: &Graph,
+    r: &Resolved,
+    params: &Params,
+    tid: Tid,
+    restriction: Option<&VertexSet>,
+    deadline: Deadline,
+) -> TvResult<QueryOutput> {
     let (target_node, attr_id) = r.target.expect("topk target");
     let k = limit_of(r, params)?;
     let qv = query_vector(r, params)?;
     let sets = node_candidates(graph, r, params, tid)?;
-    let filter_set = sets[target_node].as_ref().map(|ids| {
-        VertexSet::from_iter_typed(r.node_types[target_node], ids.iter().copied())
-    });
+    let candidates = sets[target_node]
+        .as_ref()
+        .map(|ids| VertexSet::from_iter_typed(r.node_types[target_node], ids.iter().copied()));
+    let filter_set = apply_restriction(candidates, restriction);
     // Early out: a filtered search whose candidate set is empty.
     if let Some(fs) = &filter_set {
         if fs.is_empty() {
@@ -260,8 +362,17 @@ fn run_topk(graph: &Graph, r: &Resolved, params: &Params, tid: Tid) -> TvResult<
         }
     }
     let ef = graph.embeddings().config().default_ef.max(k);
-    let (hits, _stats) =
-        graph.vector_search(&[attr_id], qv, k, ef, filter_set.as_ref(), tid)?;
+    let mut stats = SearchStats::default();
+    let hits = graph.vector_search_deadline(
+        &[attr_id],
+        qv,
+        k,
+        ef,
+        filter_set.as_ref(),
+        tid,
+        deadline,
+        &mut stats,
+    )?;
     Ok(QueryOutput::Vertices(
         hits.into_iter()
             .map(|tn| ResultRow {
@@ -273,18 +384,23 @@ fn run_topk(graph: &Graph, r: &Resolved, params: &Params, tid: Tid) -> TvResult<
     ))
 }
 
-fn run_range(graph: &Graph, r: &Resolved, params: &Params, tid: Tid) -> TvResult<QueryOutput> {
+fn run_range(
+    graph: &Graph,
+    r: &Resolved,
+    params: &Params,
+    tid: Tid,
+    restriction: Option<&VertexSet>,
+) -> TvResult<QueryOutput> {
     let (target_node, attr_id) = r.target.expect("range target");
-    let threshold = match eval_const(r.range_threshold.as_ref().expect("threshold"), params)? {
-        v => v
-            .as_f64()
-            .ok_or_else(|| TvError::Execution("range threshold must be numeric".into()))?,
-    };
+    let threshold = eval_const(r.range_threshold.as_ref().expect("threshold"), params)?
+        .as_f64()
+        .ok_or_else(|| TvError::Execution("range threshold must be numeric".into()))?;
     let qv = query_vector(r, params)?;
     let sets = node_candidates(graph, r, params, tid)?;
-    let filter_set = sets[target_node].as_ref().map(|ids| {
-        VertexSet::from_iter_typed(r.node_types[target_node], ids.iter().copied())
-    });
+    let candidates = sets[target_node]
+        .as_ref()
+        .map(|ids| VertexSet::from_iter_typed(r.node_types[target_node], ids.iter().copied()));
+    let filter_set = apply_restriction(candidates, restriction);
     if let Some(fs) = &filter_set {
         if fs.is_empty() {
             return Ok(QueryOutput::Vertices(Vec::new()));
@@ -360,7 +476,17 @@ fn run_join(graph: &Graph, r: &Resolved, params: &Params, tid: Tid) -> TvResult<
     let mut path: Vec<VertexId> = Vec::with_capacity(n);
     for &start in &materialized[0] {
         path.push(start);
-        dfs_pairs(graph, r, &materialized, &mut path, 0, s_node, t_node, &mut pairs, tid)?;
+        dfs_pairs(
+            graph,
+            r,
+            &materialized,
+            &mut path,
+            0,
+            s_node,
+            t_node,
+            &mut pairs,
+            tid,
+        )?;
         path.pop();
     }
 
@@ -374,11 +500,19 @@ fn run_join(graph: &Graph, r: &Resolved, params: &Params, tid: Tid) -> TvResult<
     for (s, t) in pairs {
         let sv = cache
             .entry((s_attr, s))
-            .or_insert_with(|| s_attr_ref.segment(s.segment()).and_then(|seg| seg.get_embedding(s, tid)))
+            .or_insert_with(|| {
+                s_attr_ref
+                    .segment(s.segment())
+                    .and_then(|seg| seg.get_embedding(s, tid))
+            })
             .clone();
         let tv = cache
             .entry((t_attr, t))
-            .or_insert_with(|| t_attr_ref.segment(t.segment()).and_then(|seg| seg.get_embedding(t, tid)))
+            .or_insert_with(|| {
+                t_attr_ref
+                    .segment(t.segment())
+                    .and_then(|seg| seg.get_embedding(t, tid))
+            })
             .clone();
         if let (Some(sv), Some(tv)) = (sv, tv) {
             if s == t {
@@ -394,8 +528,16 @@ fn run_join(graph: &Graph, r: &Resolved, params: &Params, tid: Tid) -> TvResult<
             .into_iter()
             .map(|(s, t, d)| {
                 (
-                    ResultRow { vertex_type: s_type, id: s, dist: None },
-                    ResultRow { vertex_type: t_type, id: t, dist: None },
+                    ResultRow {
+                        vertex_type: s_type,
+                        id: s,
+                        dist: None,
+                    },
+                    ResultRow {
+                        vertex_type: t_type,
+                        id: t,
+                        dist: None,
+                    },
                     d,
                 )
             })
@@ -446,7 +588,17 @@ fn dfs_pairs(
     };
     for next in nexts {
         path.push(next);
-        dfs_pairs(graph, r, sets, path, edge_idx + 1, s_node, t_node, pairs, tid)?;
+        dfs_pairs(
+            graph,
+            r,
+            sets,
+            path,
+            edge_idx + 1,
+            s_node,
+            t_node,
+            pairs,
+            tid,
+        )?;
         path.pop();
     }
     Ok(())
@@ -564,7 +716,9 @@ mod tests {
             )
             .unwrap();
         graph.create_edge_type("knows", "Person", "Person").unwrap();
-        graph.create_edge_type("hasCreator", "Post", "Person").unwrap();
+        graph
+            .create_edge_type("hasCreator", "Post", "Person")
+            .unwrap();
         graph
             .add_embedding_attribute(
                 "Post",
@@ -600,7 +754,10 @@ mod tests {
                 .upsert_vertex(
                     post,
                     m,
-                    vec![AttrValue::Str(lang.into()), AttrValue::Int((i * 250) as i64)],
+                    vec![
+                        AttrValue::Str(lang.into()),
+                        AttrValue::Int((i * 250) as i64),
+                    ],
                 )
                 .set_vector(emb, m, v.clone())
                 .add_edge(has_creator, post, m, creator);
@@ -692,7 +849,10 @@ mod tests {
         assert_eq!(rows.len(), 6);
         for r in rows {
             let idx = f.posts.iter().position(|&p| p == r.id).unwrap();
-            assert!(idx % 4 == 1 || idx % 4 == 2, "post {idx} not by Alice's friends");
+            assert!(
+                idx % 4 == 1 || idx % 4 == 2,
+                "post {idx} not by Alice's friends"
+            );
         }
     }
 
@@ -803,6 +963,105 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.rows().len(), 2);
+    }
+
+    #[test]
+    fn execute_as_enforces_type_grants() {
+        use tg_graph::Role;
+        let f = fixture();
+        let acl = AccessControl::new();
+        acl.define_role("reader", Role::default().allow_type(1)); // Post only
+        acl.assign("tenant-a", "reader").unwrap();
+        // Pure vector search on Post: allowed.
+        let out = execute_as(
+            &f.graph,
+            &acl,
+            "tenant-a",
+            "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 2",
+            &params_with_vec(&f.post_vecs[0]),
+        )
+        .unwrap();
+        assert_eq!(out.rows().len(), 2);
+        // A pattern touching Person is denied — the grant covers Post only.
+        let err = execute_as(
+            &f.graph,
+            &acl,
+            "tenant-a",
+            "SELECT t FROM (s:Person) -[:knows]-> (:Person) <-[:hasCreator]- (t:Post) \
+             ORDER BY VECTOR_DIST(t.content_emb, $qv) LIMIT 2",
+            &params_with_vec(&f.post_vecs[0]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TvError::PermissionDenied(_)));
+        // An unknown user is denied outright.
+        let err = execute_as(
+            &f.graph,
+            &acl,
+            "nobody",
+            "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 2",
+            &params_with_vec(&f.post_vecs[0]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TvError::PermissionDenied(_)));
+    }
+
+    #[test]
+    fn execute_as_applies_row_security_to_vector_search() {
+        use tg_graph::Role;
+        let f = fixture();
+        let acl = AccessControl::new();
+        acl.define_role(
+            "english-only",
+            Role::default().allow_rows(1, "language", AttrValue::Str("English".into())),
+        );
+        acl.assign("tenant-b", "english-only").unwrap();
+        // Nearest overall is Spanish post 7; tenant-b can never see it.
+        let out = execute_as(
+            &f.graph,
+            &acl,
+            "tenant-b",
+            "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 12",
+            &params_with_vec(&f.post_vecs[7]),
+        )
+        .unwrap();
+        let rows = out.rows();
+        assert_eq!(rows.len(), 6); // exactly the English posts
+        assert!(!rows.iter().any(|r| r.id == f.posts[7]));
+        // Row security composes with a query predicate (intersection).
+        let out = execute_as(
+            &f.graph,
+            &acl,
+            "tenant-b",
+            "SELECT s FROM (s:Post) WHERE s.length > 1000 \
+             ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 12",
+            &params_with_vec(&f.post_vecs[7]),
+        )
+        .unwrap();
+        for r in out.rows() {
+            let idx = f.posts.iter().position(|&p| p == r.id).unwrap();
+            assert_eq!(idx % 2, 0, "post {idx} is not English");
+            assert!(idx * 250 > 1000);
+        }
+    }
+
+    #[test]
+    fn execute_as_expired_deadline_times_out() {
+        use tg_graph::Role;
+        let f = fixture();
+        let acl = AccessControl::new();
+        acl.define_role("reader", Role::default().allow_type(1));
+        acl.assign("tenant-a", "reader").unwrap();
+        let err = execute_at_as(
+            &f.graph,
+            &acl,
+            "tenant-a",
+            "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 2",
+            &params_with_vec(&f.post_vecs[0]),
+            f.graph.read_tid(),
+            Deadline::expired_now(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TvError::Timeout(_)));
     }
 
     #[test]

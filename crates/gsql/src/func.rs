@@ -39,7 +39,8 @@ pub fn vector_search(
     k: usize,
     mut options: VectorSearchOptions<'_>,
 ) -> TvResult<VertexSet> {
-    let (set, _stats) = vector_search_with_stats(graph, vector_attributes, query_vector, k, &mut options)?;
+    let (set, _stats) =
+        vector_search_with_stats(graph, vector_attributes, query_vector, k, &mut options)?;
     Ok(set)
 }
 
@@ -59,20 +60,20 @@ pub fn vector_search_with_stats(
             .iter()
             .map(|(vt, attr)| {
                 let def = catalog.vertex_type(vt)?;
-                def.embedding(attr)
-                    .map(|(id, _)| id)
-                    .ok_or_else(|| {
-                        tv_common::TvError::NotFound(format!(
-                            "embedding '{attr}' on vertex type '{vt}'"
-                        ))
-                    })
+                def.embedding(attr).map(|(id, _)| id).ok_or_else(|| {
+                    tv_common::TvError::NotFound(format!(
+                        "embedding '{attr}' on vertex type '{vt}'"
+                    ))
+                })
             })
             .collect::<TvResult<_>>()?
     };
     let tid = options.tid.unwrap_or_else(|| graph.read_tid());
-    let ef = options.ef.unwrap_or(graph.embeddings().config().default_ef).max(k);
-    let (hits, stats) =
-        graph.vector_search(&attr_ids, query_vector, k, ef, options.filter, tid)?;
+    let ef = options
+        .ef
+        .unwrap_or(graph.embeddings().config().default_ef)
+        .max(k);
+    let (hits, stats) = graph.vector_search(&attr_ids, query_vector, k, ef, options.filter, tid)?;
 
     let mut out = VertexSet::new();
     for tn in &hits {
@@ -161,8 +162,10 @@ mod tests {
                 default_ef: 64,
             },
         );
-        g.create_vertex_type("Post", &[("length", AttrType::Int)]).unwrap();
-        g.create_vertex_type("Comment", &[("length", AttrType::Int)]).unwrap();
+        g.create_vertex_type("Post", &[("length", AttrType::Int)])
+            .unwrap();
+        g.create_vertex_type("Comment", &[("length", AttrType::Int)])
+            .unwrap();
         g.add_embedding_attribute(
             "Post",
             EmbeddingTypeDef::new("content_emb", 4, "GPT4", DistanceMetric::L2),
@@ -244,7 +247,9 @@ mod tests {
         let tid = g.read_tid();
         let candidates = g
             .select_vertices(0, tid, |_, get| {
-                get("length").and_then(|v| v.as_int()).is_some_and(|l| l >= 4)
+                get("length")
+                    .and_then(|v| v.as_int())
+                    .is_some_and(|l| l >= 4)
             })
             .unwrap();
         // Second block: VectorSearch with the candidate filter.
@@ -306,7 +311,8 @@ mod tests {
     fn community_topk_q4() {
         let (g, ids, _) = graph();
         // Add Person + knows + hasCreator so Q4's shape works.
-        g.create_vertex_type("Person", &[("name", AttrType::Str)]).unwrap();
+        g.create_vertex_type("Person", &[("name", AttrType::Str)])
+            .unwrap();
         g.create_edge_type("knows", "Person", "Person").unwrap();
         g.create_edge_type("hasCreator", "Post", "Person").unwrap();
         let people = g.allocate_many(2, 4).unwrap();
@@ -321,14 +327,21 @@ mod tests {
             .add_edge(0, 2, people[2], people[3])
             .add_edge(0, 2, people[3], people[2]);
         // Posts 0..3 by community A, posts 4..5 by community B.
-        for i in 0..6 {
+        for (i, &id) in ids.iter().enumerate().take(6) {
             let creator = if i < 4 { people[0] } else { people[2] };
-            txn = txn.add_edge(1, 0, ids[i], creator);
+            txn = txn.add_edge(1, 0, id, creator);
         }
         txn.commit().unwrap();
 
         let result = community_topk(
-            &g, "Person", "knows", "Post", "hasCreator", "content_emb", &[0.0; 4], 2,
+            &g,
+            "Person",
+            "knows",
+            "Post",
+            "hasCreator",
+            "content_emb",
+            &[0.0; 4],
+            2,
         )
         .unwrap();
         assert_eq!(result.len(), 2);

@@ -134,12 +134,7 @@ impl Parser {
                 Some(TokenKind::Dash) => {
                     self.pos += 1;
                     let etype = self.edge_body()?;
-                    if self.eat_if(&TokenKind::ArrowRight) {
-                        edges.push(EdgePattern {
-                            etype,
-                            direction: Direction::Out,
-                        });
-                    } else if self.eat_if(&TokenKind::Dash) {
+                    if self.eat_if(&TokenKind::ArrowRight) || self.eat_if(&TokenKind::Dash) {
                         edges.push(EdgePattern {
                             etype,
                             direction: Direction::Out,
@@ -301,10 +296,8 @@ mod tests {
 
     #[test]
     fn parses_pure_topk() {
-        let q = parse(
-            "SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 10;",
-        )
-        .unwrap();
+        let q = parse("SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 10;")
+            .unwrap();
         assert_eq!(q.select, vec!["s"]);
         assert_eq!(q.pattern.nodes.len(), 1);
         assert_eq!(q.pattern.nodes[0].label.as_deref(), Some("Post"));
@@ -316,10 +309,8 @@ mod tests {
 
     #[test]
     fn parses_range_search() {
-        let q = parse(
-            "SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.content_emb, $qv) < 0.5",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.content_emb, $qv) < 0.5").unwrap();
         assert!(q.order_by.is_none());
         match q.where_clause.unwrap() {
             Expr::Cmp(lhs, CmpOp::Lt, rhs) => {
@@ -396,10 +387,7 @@ mod tests {
 
     #[test]
     fn boolean_precedence() {
-        let q = parse(
-            "SELECT s FROM (s:P) WHERE s.a = 1 OR s.b = 2 AND NOT s.c = 3",
-        )
-        .unwrap();
+        let q = parse("SELECT s FROM (s:P) WHERE s.a = 1 OR s.b = 2 AND NOT s.c = 3").unwrap();
         // OR is outermost.
         assert!(matches!(q.where_clause, Some(Expr::Or(_, _))));
     }

@@ -200,12 +200,16 @@ mod tests {
     use tv_embedding::{EmbeddingTypeDef, ServiceConfig};
 
     fn graph() -> Graph {
-        let g = Graph::with_config(SegmentLayout::with_capacity(8), ServiceConfig {
-            brute_force_threshold: 2,
-            query_threads: 1,
-            default_ef: 32,
-        });
-        g.create_vertex_type("Person", &[("firstName", AttrType::Str)]).unwrap();
+        let g = Graph::with_config(
+            SegmentLayout::with_capacity(8),
+            ServiceConfig {
+                brute_force_threshold: 2,
+                query_threads: 1,
+                default_ef: 32,
+            },
+        );
+        g.create_vertex_type("Person", &[("firstName", AttrType::Str)])
+            .unwrap();
         g.create_vertex_type(
             "Post",
             &[("language", AttrType::Str), ("length", AttrType::Int)],
@@ -299,8 +303,9 @@ mod tests {
     fn graph_only_plan_is_vertex_action() {
         let g = graph();
         let p = explain(&g, "SELECT s FROM (s:Person) WHERE s.firstName = \"Bob\"").unwrap();
-        assert_eq!(p.lines, vec![
-            "VertexAction[Person:s {s.firstName = \"Bob\"}]".to_string()
-        ]);
+        assert_eq!(
+            p.lines,
+            vec!["VertexAction[Person:s {s.firstName = \"Bob\"}]".to_string()]
+        );
     }
 }

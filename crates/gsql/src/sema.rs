@@ -227,11 +227,11 @@ fn split_vector_range(
                 ));
             }
             if found.is_some() {
-                return Err(TvError::Semantic(
-                    "multiple VECTOR_DIST range terms".into(),
-                ));
+                return Err(TvError::Semantic("multiple VECTOR_DIST range terms".into()));
             }
-            let Expr::VectorDist(vd) = *lhs else { unreachable!() };
+            let Expr::VectorDist(vd) = *lhs else {
+                unreachable!()
+            };
             *found = Some((vd, *rhs));
             Ok(None)
         }
@@ -318,7 +318,10 @@ pub fn pushdown_predicates(
     for term in stack {
         let mut aliases = Vec::new();
         term.aliases(&mut aliases);
-        let nodes: Vec<usize> = aliases.iter().filter_map(|a| alias_of.get(a).copied()).collect();
+        let nodes: Vec<usize> = aliases
+            .iter()
+            .filter_map(|a| alias_of.get(a).copied())
+            .collect();
         if nodes.len() == 1 {
             per_node[nodes[0]].push(term);
         } else {
@@ -356,16 +359,19 @@ mod tests {
                 default_ef: 32,
             },
         );
-        g.create_vertex_type("Person", &[("firstName", AttrType::Str)]).unwrap();
+        g.create_vertex_type("Person", &[("firstName", AttrType::Str)])
+            .unwrap();
         g.create_vertex_type(
             "Post",
             &[("language", AttrType::Str), ("length", AttrType::Int)],
         )
         .unwrap();
-        g.create_vertex_type("Comment", &[("length", AttrType::Int)]).unwrap();
+        g.create_vertex_type("Comment", &[("length", AttrType::Int)])
+            .unwrap();
         g.create_edge_type("knows", "Person", "Person").unwrap();
         g.create_edge_type("hasCreator", "Post", "Person").unwrap();
-        g.create_edge_type("commentHasCreator", "Comment", "Person").unwrap();
+        g.create_edge_type("commentHasCreator", "Comment", "Person")
+            .unwrap();
         g.add_embedding_attribute(
             "Post",
             EmbeddingTypeDef::new("content_emb", 4, "GPT4", DistanceMetric::L2),
@@ -382,7 +388,8 @@ mod tests {
     #[test]
     fn classifies_pure_topk() {
         let g = ldbc_graph();
-        let q = parse("SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 5").unwrap();
+        let q = parse("SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 5")
+            .unwrap();
         let r = resolve(&g, q).unwrap();
         assert_eq!(r.kind, QueryKind::TopK);
         assert_eq!(r.target.unwrap().0, 0);
@@ -392,7 +399,8 @@ mod tests {
     #[test]
     fn classifies_range() {
         let g = ldbc_graph();
-        let q = parse("SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.content_emb, $qv) < 0.5").unwrap();
+        let q =
+            parse("SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.content_emb, $qv) < 0.5").unwrap();
         let r = resolve(&g, q).unwrap();
         assert_eq!(r.kind, QueryKind::Range);
         assert!(r.range_threshold.is_some());
@@ -421,7 +429,7 @@ mod tests {
         .unwrap();
         let r = resolve(&g, q).unwrap();
         assert_eq!(r.node_types, vec![0, 0, 1]);
-        assert!(!r.edges[0].forward == false); // first edge forward
+        assert!(r.edges[0].forward); // first edge forward
         assert!(!r.edges[1].forward); // second edge reversed
     }
 
@@ -435,7 +443,8 @@ mod tests {
     #[test]
     fn rejects_unknown_embedding() {
         let g = ldbc_graph();
-        let q = parse("SELECT s FROM (s:Person) ORDER BY VECTOR_DIST(s.face_emb, $q) LIMIT 1").unwrap();
+        let q =
+            parse("SELECT s FROM (s:Person) ORDER BY VECTOR_DIST(s.face_emb, $q) LIMIT 1").unwrap();
         assert!(matches!(resolve(&g, q), Err(TvError::Semantic(_))));
     }
 
@@ -508,8 +517,7 @@ mod tests {
         )
         .unwrap();
         let r = resolve(&g, q).unwrap();
-        let (per_node, residual) =
-            pushdown_predicates(r.graph_filter.as_ref(), &r.alias_of, 2);
+        let (per_node, residual) = pushdown_predicates(r.graph_filter.as_ref(), &r.alias_of, 2);
         assert_eq!(per_node[0].len(), 1);
         assert_eq!(per_node[1].len(), 1);
         assert!(residual.is_empty());

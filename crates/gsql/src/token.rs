@@ -70,75 +70,129 @@ pub fn tokenize(src: &str) -> TvResult<Vec<Token>> {
                 }
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, offset: start });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, offset: start });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Token { kind: TokenKind::LBracket, offset: start });
+                out.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Token { kind: TokenKind::RBracket, offset: start });
+                out.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { kind: TokenKind::Dot, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Token { kind: TokenKind::Colon, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Colon,
+                    offset: start,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Token { kind: TokenKind::Semicolon, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' if bytes.get(i + 1) == Some(&b'>') => {
-                out.push(Token { kind: TokenKind::ArrowRight, offset: start });
+                out.push(Token {
+                    kind: TokenKind::ArrowRight,
+                    offset: start,
+                });
                 i += 2;
             }
             '-' => {
-                out.push(Token { kind: TokenKind::Dash, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Dash,
+                    offset: start,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'-') {
-                    out.push(Token { kind: TokenKind::ArrowLeft, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::ArrowLeft,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Le, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Token { kind: TokenKind::Neq, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Neq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Lt, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Ge, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Gt, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '=' => {
-                out.push(Token { kind: TokenKind::Eq, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                out.push(Token { kind: TokenKind::Neq, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Neq,
+                    offset: start,
+                });
                 i += 2;
             }
             '"' | '\'' => {
@@ -160,7 +214,10 @@ pub fn tokenize(src: &str) -> TvResult<Vec<Token>> {
                         offset: start,
                     })?
                     .to_string();
-                out.push(Token { kind: TokenKind::Str(text), offset: start });
+                out.push(Token {
+                    kind: TokenKind::Str(text),
+                    offset: start,
+                });
                 i += 1;
             }
             '$' => {
@@ -184,7 +241,9 @@ pub fn tokenize(src: &str) -> TvResult<Vec<Token>> {
                 let s0 = i;
                 let mut is_float = false;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
                         || bytes[i] == b'E'
                         || ((bytes[i] == b'+' || bytes[i] == b'-')
                             && matches!(bytes[i - 1], b'e' | b'E')))
@@ -206,7 +265,10 @@ pub fn tokenize(src: &str) -> TvResult<Vec<Token>> {
                         offset: start,
                     })?)
                 };
-                out.push(Token { kind, offset: start });
+                out.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let s0 = i;
@@ -335,6 +397,9 @@ mod tests {
 
     #[test]
     fn vector_dist_keyword() {
-        assert_eq!(kinds("VECTOR_DIST vector_dist"), vec![TokenKind::VectorDist; 2]);
+        assert_eq!(
+            kinds("VECTOR_DIST vector_dist"),
+            vec![TokenKind::VectorDist; 2]
+        );
     }
 }

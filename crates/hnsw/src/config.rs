@@ -68,8 +68,7 @@ impl HnswConfig {
     /// Effective level-normalization factor.
     #[must_use]
     pub fn level_norm(&self) -> f64 {
-        self.ml
-            .unwrap_or_else(|| 1.0 / (self.m.max(2) as f64).ln())
+        self.ml.unwrap_or_else(|| 1.0 / (self.m.max(2) as f64).ln())
     }
 
     /// Validate invariants; called by the index constructor.

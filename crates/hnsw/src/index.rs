@@ -23,7 +23,9 @@ use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use tv_common::bitmap::Filter;
 use tv_common::metric::distance;
-use tv_common::{DistanceMetric, Neighbor, NeighborHeap, SplitMix64, Tid, TvError, TvResult, VertexId};
+use tv_common::{
+    DistanceMetric, Neighbor, NeighborHeap, SplitMix64, Tid, TvError, TvResult, VertexId,
+};
 
 /// Upsert/delete action flag of a vector delta (§4.3: the delta schema is
 /// `Action Flag, ID, TID, Vector Value`).
@@ -92,8 +94,13 @@ pub trait VectorIndex: Send + Sync {
     /// `TopKSearch`: the `k` nearest valid neighbors of `query`. `ef` bounds
     /// the search beam (clamped up to `k`); `filter` restricts validity by
     /// *local id* within this segment.
-    fn top_k(&self, query: &[f32], k: usize, ef: usize, filter: Filter<'_>)
-        -> (Vec<Neighbor>, SearchStats);
+    fn top_k(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        filter: Filter<'_>,
+    ) -> (Vec<Neighbor>, SearchStats);
     /// `RangeSearch`: all valid neighbors within `threshold` distance.
     fn range_search(
         &self,
@@ -249,13 +256,8 @@ impl HnswIndex {
         // Connect on each layer from min(level, top) down to 0.
         let mut entry_points = vec![cur];
         for lvl in (0..=level.min(top)).rev() {
-            let found = self.search_layer(
-                q,
-                &entry_points,
-                self.cfg.ef_construction,
-                lvl,
-                &mut stats,
-            );
+            let found =
+                self.search_layer(q, &entry_points, self.cfg.ef_construction, lvl, &mut stats);
             let max_deg = if lvl == 0 { self.cfg.m0 } else { self.cfg.m };
             let chosen = {
                 let vectors = &self.vectors;
@@ -389,7 +391,12 @@ impl HnswIndex {
         let base = node;
         let mut scored: Vec<Scored> = list
             .iter()
-            .map(|&nb| (distance(self.cfg.metric, self.vec_of(base), self.vec_of(nb)), nb))
+            .map(|&nb| {
+                (
+                    distance(self.cfg.metric, self.vec_of(base), self.vec_of(nb)),
+                    nb,
+                )
+            })
             .collect();
         scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
         let vectors = &self.vectors;
@@ -736,6 +743,7 @@ impl Ord for OrdF32 {
 
 // Internal accessors for snapshot serialization.
 impl HnswIndex {
+    #[allow(clippy::type_complexity)]
     pub(crate) fn parts(
         &self,
     ) -> (
@@ -768,7 +776,10 @@ impl HnswIndex {
         entry: Option<(u32, u8)>,
     ) -> TvResult<Self> {
         let n = keys.len();
-        if vectors.len() != n * cfg.dim || links.len() != n || levels.len() != n || deleted.len() != n
+        if vectors.len() != n * cfg.dim
+            || links.len() != n
+            || levels.len() != n
+            || deleted.len() != n
         {
             return Err(TvError::Storage("inconsistent snapshot parts".into()));
         }
@@ -856,7 +867,13 @@ mod tests {
     fn insert_rejects_wrong_dimension() {
         let mut idx = HnswIndex::new(HnswConfig::new(4, DistanceMetric::L2));
         let err = idx.insert(key(0), &[1.0, 2.0]).unwrap_err();
-        assert!(matches!(err, TvError::DimensionMismatch { expected: 4, got: 2 }));
+        assert!(matches!(
+            err,
+            TvError::DimensionMismatch {
+                expected: 4,
+                got: 2
+            }
+        ));
     }
 
     #[test]
@@ -913,7 +930,7 @@ mod tests {
         idx.insert(key(5), &newv).unwrap();
         assert_eq!(idx.get_embedding(key(5)).unwrap(), newv.as_slice());
         assert_eq!(idx.len(), 100); // still 100 live
-        // In-place update: no tombstone, no slot growth.
+                                    // In-place update: no tombstone, no slot growth.
         assert_eq!(idx.tombstone_count(), 0);
         assert_eq!(idx.slot_count(), 100);
         let (r, _) = idx.top_k(&newv, 1, 50, Filter::All);
@@ -940,7 +957,9 @@ mod tests {
         let (r, _) = idx.top_k(&vecs[0], 10, 400, Filter::Valid(&bm));
         // May find fewer than requested, but only valid ones.
         assert!(!r.is_empty());
-        assert!(r.iter().all(|n| n.id.local().0 == 42 || n.id.local().0 == 99));
+        assert!(r
+            .iter()
+            .all(|n| n.id.local().0 == 42 || n.id.local().0 == 99));
     }
 
     #[test]

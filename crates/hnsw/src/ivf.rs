@@ -307,7 +307,10 @@ impl VectorIndex for IvfFlatIndex {
             };
             if exhausted || threshold < median {
                 return (
-                    results.into_iter().filter(|n| n.dist <= threshold).collect(),
+                    results
+                        .into_iter()
+                        .filter(|n| n.dist <= threshold)
+                        .collect(),
                     stats,
                 );
             }

@@ -1,0 +1,302 @@
+//! Request batching: coalesce concurrent vector top-k queries that share an
+//! embedding attribute (and `k`/`ef`/snapshot) into one multi-query segment
+//! fan-out.
+//!
+//! The first arrival for a [`BatchKey`] becomes the *leader*: it waits up to
+//! the batch window for followers to join, then runs the whole batch through
+//! one executor call (`EmbeddingService::top_k_many`) and distributes the
+//! per-query results. Followers just block on the batch condvar. Because
+//! `top_k_many` issues exactly the per-segment searches a one-by-one loop
+//! would, batched results are bit-identical to solo execution — batching
+//! changes scheduling, never answers.
+//!
+//! Lock order is `pending` → `Batch::state`, and the leader never holds
+//! `state` while touching `pending`, so there is no lock cycle.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use tv_common::{Tid, TvResult};
+use tv_embedding::TypedNeighbor;
+
+/// What makes two top-k queries coalescible: same attributes, same `k` and
+/// `ef`, same read snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    /// Embedding attribute ids being searched.
+    pub attr_ids: Vec<u32>,
+    /// Result count.
+    pub k: usize,
+    /// Search beam width.
+    pub ef: usize,
+    /// Read snapshot.
+    pub tid: Tid,
+}
+
+struct BatchState {
+    queries: Vec<Vec<f32>>,
+    sealed: bool,
+    result: Option<TvResult<Vec<Vec<TypedNeighbor>>>>,
+}
+
+struct Batch {
+    state: Mutex<BatchState>,
+    cv: Condvar,
+}
+
+/// One participant's view of a finished batch.
+pub struct BatchOutcome {
+    /// This query's merged top-k (or the shared error).
+    pub result: TvResult<Vec<TypedNeighbor>>,
+    /// How many queries executed together.
+    pub batch_size: usize,
+    /// Whether this caller ran the fan-out for the whole batch.
+    pub was_leader: bool,
+}
+
+/// The batching stage.
+pub struct Batcher {
+    window: Duration,
+    max_batch: usize,
+    pending: Mutex<HashMap<BatchKey, Arc<Batch>>>,
+}
+
+impl Batcher {
+    /// A batcher that waits up to `window` for followers, capping batches at
+    /// `max_batch` queries.
+    #[must_use]
+    pub fn new(window: Duration, max_batch: usize) -> Self {
+        Batcher {
+            window,
+            max_batch: max_batch.max(1),
+            pending: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Submit one query under `key`. Blocks until the batch it joined has
+    /// executed via `execute` (run by the batch leader; receives all queries
+    /// in join order, returns per-query results in the same order).
+    pub fn submit<F>(&self, key: &BatchKey, query: Vec<f32>, execute: F) -> BatchOutcome
+    where
+        F: FnOnce(&[Vec<f32>]) -> TvResult<Vec<Vec<TypedNeighbor>>>,
+    {
+        let (batch, my_idx, leader) = self.join(key, query);
+        if leader {
+            // Give followers the window to join (or until the batch fills).
+            let st = batch.state.lock().unwrap_or_else(|e| e.into_inner());
+            let max = self.max_batch;
+            let (mut st, _) = self.window_wait(&batch, st, |s| s.queries.len() >= max);
+            st.sealed = true;
+            let queries = st.queries.clone();
+            drop(st);
+
+            // Unpublish so late arrivals start a fresh batch. Only remove
+            // the entry if it is still *this* batch.
+            {
+                let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(cur) = pending.get(key) {
+                    if Arc::ptr_eq(cur, &batch) {
+                        pending.remove(key);
+                    }
+                }
+            }
+
+            let result = execute(&queries);
+            let mut st = batch.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.result = Some(result);
+            drop(st);
+            batch.cv.notify_all();
+        }
+
+        let mut st = batch.state.lock().unwrap_or_else(|e| e.into_inner());
+        while st.result.is_none() {
+            st = batch.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let batch_size = st.queries.len();
+        let result = match st.result.as_ref().unwrap() {
+            Ok(all) => Ok(all.get(my_idx).cloned().unwrap_or_default()),
+            Err(e) => Err(e.clone()),
+        };
+        BatchOutcome {
+            result,
+            batch_size,
+            was_leader: leader,
+        }
+    }
+
+    /// Join (or create) the open batch for `key`. Returns the batch, this
+    /// query's index within it, and whether the caller is the leader.
+    fn join(&self, key: &BatchKey, query: Vec<f32>) -> (Arc<Batch>, usize, bool) {
+        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(batch) = pending.get(key).map(Arc::clone) {
+            let mut st = batch.state.lock().unwrap_or_else(|e| e.into_inner());
+            if !st.sealed && st.queries.len() < self.max_batch {
+                st.queries.push(query);
+                let idx = st.queries.len() - 1;
+                let full = st.queries.len() >= self.max_batch;
+                drop(st);
+                if full {
+                    // Wake the leader out of its window wait early.
+                    batch.cv.notify_all();
+                }
+                return (batch, idx, false);
+            }
+            // Sealed or full: fall through and open a fresh batch.
+        }
+        let batch = Arc::new(Batch {
+            state: Mutex::new(BatchState {
+                queries: vec![query],
+                sealed: false,
+                result: None,
+            }),
+            cv: Condvar::new(),
+        });
+        pending.insert(key.clone(), Arc::clone(&batch));
+        (batch, 0, true)
+    }
+
+    /// Wait on the batch condvar for up to the window, or until `done`.
+    fn window_wait<'a>(
+        &self,
+        batch: &'a Batch,
+        st: std::sync::MutexGuard<'a, BatchState>,
+        done: impl Fn(&BatchState) -> bool,
+    ) -> (std::sync::MutexGuard<'a, BatchState>, bool) {
+        let mut st = st;
+        let start = std::time::Instant::now();
+        loop {
+            if done(&st) {
+                return (st, true);
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.window {
+                return (st, false);
+            }
+            let (next, _timeout) = batch
+                .cv
+                .wait_timeout(st, self.window - elapsed)
+                .unwrap_or_else(|e| e.into_inner());
+            st = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use tv_common::{Neighbor, TvError, VertexId};
+
+    fn key() -> BatchKey {
+        BatchKey {
+            attr_ids: vec![0],
+            k: 4,
+            ef: 16,
+            tid: Tid(1),
+        }
+    }
+
+    /// Fake executor: each query's "result" encodes the query itself so we
+    /// can check routing.
+    fn echo(queries: &[Vec<f32>]) -> TvResult<Vec<Vec<TypedNeighbor>>> {
+        Ok(queries
+            .iter()
+            .map(|q| {
+                vec![TypedNeighbor {
+                    attr_id: 0,
+                    vertex_type: 0,
+                    neighbor: Neighbor::new(VertexId(q[0] as u64), q[0]),
+                }]
+            })
+            .collect())
+    }
+
+    #[test]
+    fn solo_query_runs_after_window() {
+        let b = Batcher::new(Duration::from_millis(5), 8);
+        let out = b.submit(&key(), vec![7.0], echo);
+        assert!(out.was_leader);
+        assert_eq!(out.batch_size, 1);
+        assert_eq!(out.result.unwrap()[0].neighbor.id.0, 7);
+    }
+
+    #[test]
+    fn concurrent_queries_coalesce_and_route_results() {
+        let b = Arc::new(Batcher::new(Duration::from_millis(60), 16));
+        let executions = Arc::new(AtomicUsize::new(0));
+        let n = 6;
+        let mut handles = Vec::new();
+        for i in 0..n {
+            let b = Arc::clone(&b);
+            let executions = Arc::clone(&executions);
+            handles.push(std::thread::spawn(move || {
+                let out = b.submit(&key(), vec![i as f32], move |qs| {
+                    executions.fetch_add(1, Ordering::SeqCst);
+                    echo(qs)
+                });
+                // Each caller gets *its own* query's result back.
+                assert_eq!(out.result.unwrap()[0].neighbor.id.0, i as u64);
+                out.batch_size
+            }));
+        }
+        let sizes: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // All six joined within the window: one execution, batch of six.
+        assert!(
+            executions.load(Ordering::SeqCst) < n,
+            "no coalescing happened"
+        );
+        assert!(sizes.iter().any(|&s| s > 1), "expected a multi-query batch");
+    }
+
+    #[test]
+    fn full_batch_executes_without_waiting_out_window() {
+        let b = Arc::new(Batcher::new(Duration::from_secs(10), 2));
+        let start = std::time::Instant::now();
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || b2.submit(&key(), vec![1.0], echo));
+        let out = b.submit(&key(), vec![2.0], echo);
+        let other = h.join().unwrap();
+        // One of the two was the leader and the batch is capped at 2, so
+        // the long window is cut short by the batch filling.
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(out.result.unwrap()[0].neighbor.id.0, 2);
+        assert_eq!(other.result.unwrap()[0].neighbor.id.0, 1);
+    }
+
+    #[test]
+    fn different_keys_never_coalesce() {
+        let b = Arc::new(Batcher::new(Duration::from_millis(40), 16));
+        let other_key = BatchKey {
+            attr_ids: vec![1],
+            ..key()
+        };
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || b2.submit(&key(), vec![1.0], echo));
+        let out = b.submit(&other_key, vec![2.0], echo);
+        let first = h.join().unwrap();
+        assert_eq!(out.batch_size, 1);
+        assert_eq!(first.batch_size, 1);
+    }
+
+    #[test]
+    fn shared_error_reaches_every_member() {
+        let b = Arc::new(Batcher::new(Duration::from_millis(60), 16));
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                b.submit(&key(), vec![i as f32], |_| {
+                    Err(TvError::Timeout("deadline exceeded".into()))
+                })
+            }));
+        }
+        let mut timeout_errors = 0;
+        for h in handles {
+            let out = h.join().unwrap();
+            if matches!(out.result, Err(TvError::Timeout(_))) {
+                timeout_errors += 1;
+            }
+        }
+        assert_eq!(timeout_errors, 3);
+    }
+}

@@ -1,0 +1,47 @@
+//! # tv-server
+//!
+//! The multi-tenant query-serving subsystem: an in-process gateway fronting
+//! the GSQL executor (`tv-gsql`) and the cluster runtime (`tv-cluster`).
+//! The paper presents TigerVector as a *service inside* TigerGraph handling
+//! concurrent declarative vector/hybrid queries; this crate is that tier —
+//! the layer a production RAG data plane needs between clients and the
+//! index.
+//!
+//! ```text
+//!   client ──▶ Session ──▶ Admission ──▶ Batcher ──▶ Executor ──▶ Merge
+//!              (tenant,    (permits,     (coalesce    (GSQL /      (global
+//!               rbac        bounded       same-shape   segment      top-k)
+//!               user)       FIFO queue,   top-k)       fan-out)
+//!                           token
+//!                           buckets)
+//! ```
+//!
+//! Responsibilities:
+//!
+//! * [`session`] — session handles carrying a tenant id and an rbac
+//!   principal, wired into `tg-graph::rbac` so one grant set governs graph
+//!   rows *and* vectors (§1's data-governance argument);
+//! * [`admission`] — a semaphore-bounded executor pool behind a bounded
+//!   FIFO queue with explicit rejection ([`tv_common::TvError::Overloaded`])
+//!   and per-tenant token-bucket rate limits;
+//! * [`batch`] — leader/follower coalescing of vector top-k queries that
+//!   share an embedding attribute into one multi-query segment fan-out
+//!   (`EmbeddingService::top_k_many`), bit-identical to one-by-one
+//!   execution;
+//! * deadlines — every request carries a [`tv_common::Deadline`] checked at
+//!   segment-search boundaries (in `tv-embedding` and the `tv-cluster`
+//!   worker loop) so a slow scatter-gather is abandoned mid-flight;
+//! * [`metrics`] — per-tenant counters and latency histograms
+//!   (p50/p95/p99, queue depth, rejection/timeout counts) exported as JSON.
+
+pub mod admission;
+pub mod batch;
+pub mod metrics;
+pub mod server;
+pub mod session;
+
+pub use admission::{AdmissionConfig, AdmissionController, AdmitInfo, Permit, RateLimitConfig};
+pub use batch::{BatchKey, BatchOutcome, Batcher};
+pub use metrics::{MetricsRegistry, TenantMetrics};
+pub use server::{Server, ServerConfig};
+pub use session::{Session, SessionManager};

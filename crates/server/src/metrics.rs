@@ -1,0 +1,220 @@
+//! Per-tenant serving metrics.
+//!
+//! Counters are plain atomics and latency is a [`LatencyHistogram`]
+//! (log2-bucketed, lock-free), so the hot path never takes a lock. The
+//! registry renders a JSON snapshot with one object per tenant — the shape
+//! documented in `DESIGN.md` under "Serving layer".
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tv_common::LatencyHistogram;
+
+/// Counters and latency for one tenant.
+#[derive(Default)]
+pub struct TenantMetrics {
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    rate_limited: AtomicU64,
+    timeouts: AtomicU64,
+    denied: AtomicU64,
+    batched: AtomicU64,
+    max_queue_depth: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl TenantMetrics {
+    /// A request passed admission; `queued_at_depth` is the queue depth it
+    /// observed (0 = fast path).
+    pub fn record_admitted(&self, queued_at_depth: usize) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.max_queue_depth
+            .fetch_max(queued_at_depth as u64, Ordering::Relaxed);
+    }
+
+    /// A request finished successfully after `elapsed`.
+    pub fn record_completed(&self, elapsed: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(elapsed);
+    }
+
+    /// A request was shed at the admission queue.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was shed by the tenant's token bucket.
+    pub fn record_rate_limited(&self) {
+        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request's deadline expired (queued or mid-search).
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// rbac denied the request.
+    pub fn record_denied(&self) {
+        self.denied.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The request executed inside a coalesced batch of `size` queries.
+    pub fn record_batched(&self, size: usize) {
+        if size > 1 {
+            self.batched.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Requests that passed admission.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected at the queue.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected by the rate limiter.
+    #[must_use]
+    pub fn rate_limited(&self) -> u64 {
+        self.rate_limited.load(Ordering::Relaxed)
+    }
+
+    /// Requests whose deadline expired.
+    #[must_use]
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Requests denied by rbac.
+    #[must_use]
+    pub fn denied(&self) -> u64 {
+        self.denied.load(Ordering::Relaxed)
+    }
+
+    /// Deepest queue position any request of this tenant observed.
+    #[must_use]
+    pub fn max_queue_depth(&self) -> u64 {
+        self.max_queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// The latency histogram (successful requests only).
+    #[must_use]
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Flat JSON object for this tenant.
+    #[must_use]
+    pub fn snapshot(&self) -> serde_json::Value {
+        let (p50, p95, p99) = self.latency.percentiles();
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let mut m = serde_json::Map::new();
+        m.insert("admitted".into(), self.admitted().into());
+        m.insert(
+            "batched".into(),
+            self.batched.load(Ordering::Relaxed).into(),
+        );
+        m.insert(
+            "completed".into(),
+            self.completed.load(Ordering::Relaxed).into(),
+        );
+        m.insert("denied".into(), self.denied().into());
+        m.insert("latency_count".into(), self.latency.count().into());
+        m.insert("latency_max_ms".into(), ms(self.latency.max()).into());
+        m.insert("latency_mean_ms".into(), ms(self.latency.mean()).into());
+        m.insert("latency_p50_ms".into(), ms(p50).into());
+        m.insert("latency_p95_ms".into(), ms(p95).into());
+        m.insert("latency_p99_ms".into(), ms(p99).into());
+        m.insert("max_queue_depth".into(), self.max_queue_depth().into());
+        m.insert("rate_limited".into(), self.rate_limited().into());
+        m.insert("rejected".into(), self.rejected().into());
+        m.insert("timeouts".into(), self.timeouts().into());
+        serde_json::Value::Object(m)
+    }
+}
+
+/// Registry of per-tenant metrics, get-or-create by tenant name.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    tenants: RwLock<HashMap<String, Arc<TenantMetrics>>>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Metrics handle for `tenant`, created on first use.
+    pub fn tenant(&self, tenant: &str) -> Arc<TenantMetrics> {
+        if let Some(m) = self.tenants.read().get(tenant) {
+            return Arc::clone(m);
+        }
+        let mut w = self.tenants.write();
+        Arc::clone(w.entry(tenant.to_string()).or_default())
+    }
+
+    /// JSON snapshot: one object per tenant, keyed by tenant name.
+    #[must_use]
+    pub fn snapshot(&self) -> serde_json::Value {
+        let tenants = self.tenants.read();
+        let mut m = serde_json::Map::new();
+        for (name, metrics) in tenants.iter() {
+            m.insert(name.clone(), metrics.snapshot());
+        }
+        serde_json::Value::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_snapshot() {
+        let reg = MetricsRegistry::new();
+        let t = reg.tenant("acme");
+        t.record_admitted(3);
+        t.record_admitted(1);
+        t.record_completed(Duration::from_millis(4));
+        t.record_completed(Duration::from_millis(8));
+        t.record_rejected();
+        t.record_rate_limited();
+        t.record_timeout();
+        t.record_denied();
+        t.record_batched(4);
+        t.record_batched(1); // not counted: batch of one
+
+        assert_eq!(t.admitted(), 2);
+        assert_eq!(t.max_queue_depth(), 3);
+        let snap = reg.snapshot();
+        let acme = snap.get("acme").unwrap();
+        assert_eq!(acme.get("admitted").unwrap().as_u64(), Some(2));
+        assert_eq!(acme.get("completed").unwrap().as_u64(), Some(2));
+        assert_eq!(acme.get("rejected").unwrap().as_u64(), Some(1));
+        assert_eq!(acme.get("rate_limited").unwrap().as_u64(), Some(1));
+        assert_eq!(acme.get("timeouts").unwrap().as_u64(), Some(1));
+        assert_eq!(acme.get("denied").unwrap().as_u64(), Some(1));
+        assert_eq!(acme.get("batched").unwrap().as_u64(), Some(1));
+        assert_eq!(acme.get("max_queue_depth").unwrap().as_u64(), Some(3));
+        assert!(acme.get("latency_p99_ms").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn tenant_handle_is_shared() {
+        let reg = MetricsRegistry::new();
+        let a = reg.tenant("t");
+        let b = reg.tenant("t");
+        a.record_rejected();
+        assert_eq!(b.rejected(), 1);
+        assert_eq!(reg.tenants.read().len(), 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! End-to-end serving-layer tests: concurrent tenants driving GSQL vector
+//! queries through the full session → admission → batcher → executor →
+//! merge pipeline, with rbac enforcement and per-tenant metrics.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tg_graph::{AccessControl, Graph, Role};
+use tg_storage::{AttrType, AttrValue};
+use tv_common::ids::SegmentLayout;
+use tv_common::{Deadline, DistanceMetric, SplitMix64, TvError, VertexId};
+use tv_embedding::{EmbeddingTypeDef, ServiceConfig};
+use tv_gsql::{Params, Value};
+use tv_server::{AdmissionConfig, Server, ServerConfig};
+
+const DIM: usize = 4;
+const DOCS: usize = 24;
+
+/// Docs with a public/secret classification and an embedding, three
+/// segments' worth, plus an ACL with unrestricted readers, a row-restricted
+/// analyst, and nothing for everyone else.
+fn serving_fixture() -> (Arc<Graph>, Arc<AccessControl>, Vec<VertexId>, Vec<Vec<f32>>) {
+    let graph = Graph::with_config(
+        SegmentLayout::with_capacity(8),
+        ServiceConfig {
+            brute_force_threshold: 4,
+            query_threads: 2,
+            default_ef: 32,
+        },
+    );
+    graph
+        .create_vertex_type("Doc", &[("classification", AttrType::Str)])
+        .unwrap();
+    graph
+        .add_embedding_attribute(
+            "Doc",
+            EmbeddingTypeDef::new("emb", DIM, "M", DistanceMetric::L2),
+        )
+        .unwrap();
+    let ids = graph.allocate_many(0, DOCS).unwrap();
+    let mut rng = SplitMix64::new(7);
+    let mut vecs = Vec::new();
+    let mut txn = graph.txn();
+    for (i, &id) in ids.iter().enumerate() {
+        let v: Vec<f32> = (0..DIM).map(|_| rng.next_f32() * 10.0).collect();
+        let class = if i % 2 == 0 { "public" } else { "secret" };
+        txn = txn
+            .upsert_vertex(0, id, vec![AttrValue::Str(class.into())])
+            .set_vector(0, id, v.clone());
+        vecs.push(v);
+    }
+    txn.commit().unwrap();
+
+    let acl = AccessControl::new();
+    acl.define_role("reader", Role::default().allow_type(0));
+    acl.define_role(
+        "public-only",
+        Role::default().allow_rows(0, "classification", AttrValue::Str("public".into())),
+    );
+    for user in ["u-acme", "u-globex", "u-initech", "u-umbrella"] {
+        acl.assign(user, "reader").unwrap();
+    }
+    acl.assign("u-restricted", "public-only").unwrap();
+    (Arc::new(graph), Arc::new(acl), ids, vecs)
+}
+
+fn topk_params(qv: &[f32]) -> Params {
+    let mut p = Params::new();
+    p.insert("qv".into(), Value::Vector(qv.to_vec()));
+    p
+}
+
+const TOPK_SRC: &str = "SELECT s FROM (s:Doc) ORDER BY VECTOR_DIST(s.emb, $qv) LIMIT 3";
+
+#[test]
+fn four_tenants_admission_rbac_and_metrics_end_to_end() {
+    let (graph, acl, _ids, vecs) = serving_fixture();
+    let server = Arc::new(Server::new(
+        Arc::clone(&graph),
+        Arc::clone(&acl),
+        ServerConfig {
+            admission: AdmissionConfig {
+                executor_permits: 1,
+                queue_capacity: 4,
+                rate_limit: None,
+            },
+            batch_window: Duration::from_micros(100),
+            max_batch: 8,
+            default_deadline: None,
+        },
+    ));
+    let tenants = [
+        ("acme", "u-acme"),
+        ("globex", "u-globex"),
+        ("initech", "u-initech"),
+        ("umbrella", "u-umbrella"),
+    ];
+
+    // --- Phase A: burst beyond the queue bound, deterministically. -------
+    // Occupy the only executor permit so every arrival must queue, then
+    // fill the queue with acme requests...
+    let (gate, _) = server.admission().admit("gate", Deadline::none()).unwrap();
+    let fillers: Vec<_> = (0..4)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let qv = vecs[0].clone();
+            std::thread::spawn(move || {
+                let session = server.open_session("acme", "u-acme");
+                server.query(&session, TOPK_SRC, &topk_params(&qv))
+            })
+        })
+        .collect();
+    while server.admission().queue_depth() < 4 {
+        std::thread::yield_now();
+    }
+    // ...so a burst from the other tenants is shed with Overloaded.
+    let mut rejections = 0;
+    for (tenant, user) in &tenants[1..] {
+        let session = server.open_session(tenant, user);
+        match server.query(&session, TOPK_SRC, &topk_params(&vecs[1])) {
+            Err(TvError::Overloaded(_)) => rejections += 1,
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+    assert_eq!(rejections, 3, "queue bound must shed the burst");
+    drop(gate);
+    for filler in fillers {
+        let rows = filler.join().unwrap().unwrap();
+        assert_eq!(rows.rows().len(), 3);
+    }
+
+    // --- Phase B: 4 tenants querying concurrently, all succeeding. ------
+    let solo: Vec<_> = (0..tenants.len())
+        .map(|i| tv_gsql::execute(&graph, TOPK_SRC, &topk_params(&vecs[i + 2])).unwrap())
+        .collect();
+    let handles: Vec<_> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, &(tenant, user))| {
+            let server = Arc::clone(&server);
+            let qv = vecs[i + 2].clone();
+            std::thread::spawn(move || {
+                let session = server.open_session(tenant, user);
+                let mut outputs = Vec::new();
+                for _ in 0..4 {
+                    outputs.push(server.query(&session, TOPK_SRC, &topk_params(&qv)).unwrap());
+                }
+                server.close_session(&session);
+                outputs
+            })
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        for out in h.join().unwrap() {
+            // Concurrency never changes answers.
+            assert_eq!(out.rows(), solo[i].rows());
+        }
+    }
+
+    // --- Phase C: rbac denial for an unauthorized tenant. ----------------
+    let mallory = server.open_session("mallory", "u-mallory");
+    let err = server
+        .query(&mallory, TOPK_SRC, &topk_params(&vecs[0]))
+        .unwrap_err();
+    assert!(matches!(err, TvError::PermissionDenied(_)));
+
+    // Row-restricted tenant only ever sees public docs.
+    let restricted = server.open_session("shady", "u-restricted");
+    let hits = server
+        .vector_top_k(&restricted, &[0], vecs[1].clone(), 5)
+        .unwrap();
+    assert!(!hits.is_empty());
+    for hit in &hits {
+        let i = _ids.iter().position(|&x| x == hit.neighbor.id).unwrap();
+        assert_eq!(i % 2, 0, "doc {i} is secret but u-restricted saw it");
+    }
+
+    // --- Phase D: an already-expired session deadline times out. ---------
+    let hurried = server
+        .open_session("acme", "u-acme")
+        .with_deadline(Duration::ZERO);
+    let err = server
+        .query(&hurried, TOPK_SRC, &topk_params(&vecs[0]))
+        .unwrap_err();
+    assert!(matches!(err, TvError::Timeout(_)));
+
+    // --- Metrics: every counter the pipeline touched is populated. -------
+    let snap = server.metrics_json();
+    let acme = snap.get("acme").unwrap();
+    assert!(acme.get("admitted").unwrap().as_u64().unwrap() > 0);
+    assert!(acme.get("completed").unwrap().as_u64().unwrap() > 0);
+    assert!(
+        acme.get("latency_p99_ms").unwrap().as_f64().unwrap() > 0.0,
+        "p99 must be non-zero once latencies are recorded"
+    );
+    assert!(
+        acme.get("max_queue_depth").unwrap().as_u64().unwrap() >= 1,
+        "the phase-A acme request observed queue depth 1"
+    );
+    assert!(acme.get("timeouts").unwrap().as_u64().unwrap() >= 1);
+    for (tenant, _) in &tenants[1..] {
+        let t = snap.get(tenant).unwrap();
+        assert!(
+            t.get("rejected").unwrap().as_u64().unwrap() >= 1,
+            "tenant {tenant} was shed during the burst"
+        );
+    }
+    assert!(
+        snap.get("mallory")
+            .unwrap()
+            .get("denied")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+    // Phase B closed its 4 sessions; A/C/D left 4 + 3 + 2 + 1 open.
+    assert_eq!(server.active_sessions(), 10);
+}
+
+#[test]
+fn batched_vector_topk_is_bit_identical_to_solo() {
+    let (graph, acl, _ids, vecs) = serving_fixture();
+    let server = Arc::new(Server::new(
+        Arc::clone(&graph),
+        Arc::clone(&acl),
+        ServerConfig {
+            admission: AdmissionConfig {
+                executor_permits: 8,
+                queue_capacity: 16,
+                rate_limit: None,
+            },
+            // Generous window so concurrent queries reliably coalesce.
+            batch_window: Duration::from_millis(50),
+            max_batch: 8,
+            default_deadline: None,
+        },
+    ));
+
+    let n = 6;
+    let k = 4;
+    let tid = graph.read_tid();
+    let ef = graph.embeddings().config().default_ef.max(k);
+    let solo: Vec<_> = (0..n)
+        .map(|i| {
+            let (hits, _) = graph
+                .vector_search(&[0], &vecs[i], k, ef, None, tid)
+                .unwrap();
+            hits
+        })
+        .collect();
+
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let server = Arc::clone(&server);
+            let qv = vecs[i].clone();
+            std::thread::spawn(move || {
+                let session = server.open_session("acme", "u-acme");
+                server.vector_top_k(&session, &[0], qv, k).unwrap()
+            })
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let batched = h.join().unwrap();
+        assert_eq!(batched, solo[i], "batched result differs for query {i}");
+    }
+
+    // The point of the exercise: they actually shared a fan-out.
+    let snap = server.metrics_json();
+    assert!(
+        snap.get("acme")
+            .unwrap()
+            .get("batched")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0,
+        "no queries coalesced — batching never engaged"
+    );
+}

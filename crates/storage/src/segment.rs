@@ -202,9 +202,11 @@ impl SegmentStore {
                 GraphDelta::UpsertVertex { id, attrs } if id.local().0 as usize == local => {
                     value = attrs.get(col).cloned();
                 }
-                GraphDelta::SetAttr { id, col: c, value: v }
-                    if id.local().0 as usize == local && *c == col =>
-                {
+                GraphDelta::SetAttr {
+                    id,
+                    col: c,
+                    value: v,
+                } if id.local().0 as usize == local && *c == col => {
                     value = Some(v.clone());
                 }
                 GraphDelta::DeleteVertex { id } if id.local().0 as usize == local => {
@@ -231,10 +233,10 @@ impl SegmentStore {
                 GraphDelta::UpsertVertex { id, attrs } if id.local().0 as usize == local => {
                     row = attrs.clone();
                 }
-                GraphDelta::SetAttr { id, col, value } if id.local().0 as usize == local => {
-                    if *col < row.len() {
-                        row[*col] = value.clone();
-                    }
+                GraphDelta::SetAttr { id, col, value }
+                    if id.local().0 as usize == local && *col < row.len() =>
+                {
+                    row[*col] = value.clone();
                 }
                 GraphDelta::DeleteVertex { id } if id.local().0 as usize == local => {
                     row.clear();
@@ -265,11 +267,9 @@ impl SegmentStore {
             }
             match d {
                 GraphDelta::AddEdge { etype: e, from, to }
-                    if *e == etype && from.local().0 as usize == local =>
+                    if *e == etype && from.local().0 as usize == local && !out.contains(to) =>
                 {
-                    if !out.contains(to) {
-                        out.push(*to);
-                    }
+                    out.push(*to);
                 }
                 GraphDelta::RemoveEdge { etype: e, from, to }
                     if *e == etype && from.local().0 as usize == local =>

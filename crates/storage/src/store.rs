@@ -58,7 +58,9 @@ impl VertexTypeStore {
     /// Allocate `n` consecutive ids.
     pub fn allocate_ids(&self, n: usize) -> Vec<VertexId> {
         let start = self.next_row.fetch_add(n, Ordering::Relaxed);
-        let ids: Vec<VertexId> = (start..start + n).map(|r| self.layout.vertex_id(r)).collect();
+        let ids: Vec<VertexId> = (start..start + n)
+            .map(|r| self.layout.vertex_id(r))
+            .collect();
         if let Some(last) = ids.last() {
             self.ensure_segment(last.segment());
         }
@@ -315,11 +317,7 @@ impl GraphStore {
     /// Returns total folded deltas.
     pub fn vacuum(&self) -> usize {
         let horizon = self.txn.vacuum_horizon();
-        self.types
-            .read()
-            .iter()
-            .map(|t| t.vacuum(horizon))
-            .sum()
+        self.types.read().iter().map(|t| t.vacuum(horizon)).sum()
     }
 }
 
@@ -430,7 +428,14 @@ mod tests {
                             attrs: vec![AttrValue::Str("hello".into())],
                         },
                     ),
-                    (pt, GraphDelta::AddEdge { etype: 0, from: p, to: m }),
+                    (
+                        pt,
+                        GraphDelta::AddEdge {
+                            etype: 0,
+                            from: p,
+                            to: m,
+                        },
+                    ),
                 ],
                 Vec::new(),
             )
@@ -447,7 +452,13 @@ mod tests {
         let a = people.allocate_id();
         store
             .commit(
-                vec![(pt, GraphDelta::UpsertVertex { id: a, attrs: person_row("a", 1) })],
+                vec![(
+                    pt,
+                    GraphDelta::UpsertVertex {
+                        id: a,
+                        attrs: person_row("a", 1),
+                    },
+                )],
                 Vec::new(),
             )
             .unwrap();
@@ -455,7 +466,13 @@ mod tests {
         let b = people.allocate_id();
         store
             .commit(
-                vec![(pt, GraphDelta::UpsertVertex { id: b, attrs: person_row("b", 2) })],
+                vec![(
+                    pt,
+                    GraphDelta::UpsertVertex {
+                        id: b,
+                        attrs: person_row("b", 2),
+                    },
+                )],
                 Vec::new(),
             )
             .unwrap();
@@ -486,15 +503,34 @@ mod tests {
             id_b = people.allocate_id();
             store
                 .commit(
-                    vec![(pt, GraphDelta::UpsertVertex { id: id_a, attrs: person_row("a", 1) })],
+                    vec![(
+                        pt,
+                        GraphDelta::UpsertVertex {
+                            id: id_a,
+                            attrs: person_row("a", 1),
+                        },
+                    )],
                     vec![9, 9, 9],
                 )
                 .unwrap();
             store
                 .commit(
                     vec![
-                        (pt, GraphDelta::UpsertVertex { id: id_b, attrs: person_row("b", 2) }),
-                        (pt, GraphDelta::AddEdge { etype: 0, from: id_a, to: id_b }),
+                        (
+                            pt,
+                            GraphDelta::UpsertVertex {
+                                id: id_b,
+                                attrs: person_row("b", 2),
+                            },
+                        ),
+                        (
+                            pt,
+                            GraphDelta::AddEdge {
+                                etype: 0,
+                                from: id_a,
+                                to: id_b,
+                            },
+                        ),
                     ],
                     Vec::new(),
                 )
@@ -539,11 +575,22 @@ mod tests {
         let ids = people.allocate_ids(6);
         let deltas: Vec<(u32, GraphDelta)> = ids
             .iter()
-            .map(|&id| (pt, GraphDelta::UpsertVertex { id, attrs: person_row("x", 0) }))
+            .map(|&id| {
+                (
+                    pt,
+                    GraphDelta::UpsertVertex {
+                        id,
+                        attrs: person_row("x", 0),
+                    },
+                )
+            })
             .collect();
         store.commit(deltas, Vec::new()).unwrap();
         store
-            .commit(vec![(pt, GraphDelta::DeleteVertex { id: ids[0] })], Vec::new())
+            .commit(
+                vec![(pt, GraphDelta::DeleteVertex { id: ids[0] })],
+                Vec::new(),
+            )
             .unwrap();
         let tid = store.txn().last_committed();
         assert_eq!(people.live_count(tid), 5);

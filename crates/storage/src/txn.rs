@@ -54,10 +54,7 @@ impl TxnManager {
     /// Run `f` with the next TID under the commit lock; `f` must apply the
     /// transaction (WAL + stores). Only if `f` succeeds does the TID become
     /// visible — the atomic commit protocol.
-    pub fn commit_with<T, E>(
-        &self,
-        f: impl FnOnce(Tid) -> Result<T, E>,
-    ) -> Result<(T, Tid), E> {
+    pub fn commit_with<T, E>(&self, f: impl FnOnce(Tid) -> Result<T, E>) -> Result<(T, Tid), E> {
         let _g = self.commit_lock.lock();
         let tid = Tid(self.last_committed.load(Ordering::Acquire) + 1);
         let out = f(tid)?;
@@ -131,7 +128,12 @@ mod tests {
     fn commit_advances_watermark() {
         let mgr = TxnManager::new();
         assert_eq!(mgr.last_committed(), Tid(0));
-        let ((), tid) = mgr.commit_with(|t| Ok::<(), ()>(assert_eq!(t, Tid(1)))).unwrap();
+        let ((), tid) = mgr
+            .commit_with(|t| {
+                assert_eq!(t, Tid(1));
+                Ok::<(), ()>(())
+            })
+            .unwrap();
         assert_eq!(tid, Tid(1));
         assert_eq!(mgr.last_committed(), Tid(1));
     }

@@ -212,7 +212,10 @@ impl AttrSchema {
     /// A default row (all defaults), for partially-specified loads.
     #[must_use]
     pub fn default_row(&self) -> Vec<AttrValue> {
-        self.types.iter().map(|&t| AttrValue::default_for(t)).collect()
+        self.types
+            .iter()
+            .map(|&t| AttrValue::default_for(t))
+            .collect()
     }
 }
 
@@ -290,7 +293,12 @@ mod tests {
 
     #[test]
     fn type_keyword_roundtrip() {
-        for t in [AttrType::Int, AttrType::Double, AttrType::Str, AttrType::Bool] {
+        for t in [
+            AttrType::Int,
+            AttrType::Double,
+            AttrType::Str,
+            AttrType::Bool,
+        ] {
             assert_eq!(AttrType::parse(t.keyword()), Some(t));
         }
         assert_eq!(AttrType::parse("FLOAT"), Some(AttrType::Double));

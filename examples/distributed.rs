@@ -31,7 +31,11 @@ fn main() {
     let layout = SegmentLayout::with_capacity(per_segment);
     let mut tid = 0u64;
     for s in 0..segments {
-        let seg = Arc::new(EmbeddingSegment::new(SegmentId(s as u32), &def, per_segment));
+        let seg = Arc::new(EmbeddingSegment::new(
+            SegmentId(s as u32),
+            &def,
+            per_segment,
+        ));
         let recs: Vec<DeltaRecord> = (0..per_segment)
             .map(|l| {
                 tid += 1;
@@ -75,7 +79,10 @@ fn main() {
         );
         gt[0][0]
     };
-    assert_eq!(results[0].id, expected_id, "distributed top-1 must be exact-ish");
+    assert_eq!(
+        results[0].id, expected_id,
+        "distributed top-1 must be exact-ish"
+    );
 
     // Failover: kill a server, results stay identical thanks to replicas.
     println!("\nfailing server 0 — replicas take over...");
@@ -99,7 +106,9 @@ fn main() {
     let mut prev: Option<f64> = None;
     for s in [8usize, 16, 32] {
         let qps = ClusterModel::paper_default(s).qps(&work);
-        let gain = prev.map_or(String::new(), |p| format!("  ({:.2}× vs previous)", qps / p));
+        let gain = prev.map_or(String::new(), |p| {
+            format!("  ({:.2}× vs previous)", qps / p)
+        });
         println!("  {s:>2} servers: {qps:>10.0} QPS{gain}");
         prev = Some(qps);
     }

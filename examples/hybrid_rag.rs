@@ -13,10 +13,10 @@
 //!
 //! Run with: `cargo run --release --example hybrid_rag`
 
+use std::collections::HashMap;
 use tigervector::datagen::{SnbConfig, SnbGraph};
 use tigervector::graph::VertexSet;
 use tigervector::gsql::{execute_at, vector_search, Value, VectorSearchOptions};
-use std::collections::HashMap;
 
 fn main() {
     println!("generating SNB-like social graph...");
@@ -38,16 +38,15 @@ fn main() {
 
     // The user's question, embedded (same generator family as the data so
     // nearest neighbors are meaningful).
-    let question_emb: Vec<f32> =
-        tigervector::datagen::VectorDataset::generate_dim(
-            tigervector::datagen::DatasetShape::Sift,
-            16,
-            1,
-            1,
-            7,
-        )
-        .queries[0]
-            .clone();
+    let question_emb: Vec<f32> = tigervector::datagen::VectorDataset::generate_dim(
+        tigervector::datagen::DatasetShape::Sift,
+        16,
+        1,
+        1,
+        7,
+    )
+    .queries[0]
+        .clone();
 
     // --- Strategy 1: merge vector candidates with graph candidates -------
     // Vector leg: top-5 messages semantically near the question.
@@ -121,7 +120,10 @@ fn main() {
     // --- Mock LLM prompt ---------------------------------------------------
     println!("\n--- prompt sent to the LLM (mocked) ---");
     println!("System: answer using ONLY the provided context.");
-    println!("Context: {} messages retrieved by VectorGraphRAG", merged.len());
+    println!(
+        "Context: {} messages retrieved by VectorGraphRAG",
+        merged.len()
+    );
     for (i, (t, id)) in merged.iter().take(5).enumerate() {
         let type_name = if t == snb.post_t { "Post" } else { "Comment" };
         println!("  [{}] {} {}", i + 1, type_name, id);

@@ -5,13 +5,13 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use std::collections::HashMap;
 use tigervector::common::DistanceMetric;
 use tigervector::embedding::EmbeddingTypeDef;
 use tigervector::graph::loader::LoadingJob;
 use tigervector::graph::Graph;
 use tigervector::gsql::{execute, explain, Value};
 use tigervector::storage::AttrType;
-use std::collections::HashMap;
 
 fn main() {
     let g = Graph::new();
@@ -52,14 +52,17 @@ fn main() {
         "Post",
         "content_emb",
         &[
-            "1,0.9:0.1:0.0:0.1",  // AI-ish direction
-            "2,0.0:0.9:0.3:0.0",  // cooking
+            "1,0.9:0.1:0.0:0.1",   // AI-ish direction
+            "2,0.0:0.9:0.3:0.0",   // cooking
             "3,0.85:0.15:0.0:0.1", // AI-ish, Spanish
-            "4,0.1:0.0:0.9:0.2",  // finance
+            "4,0.1:0.0:0.9:0.2",   // finance
         ],
     )
     .unwrap();
-    println!("loaded {} posts (graph attrs + vectors from separate files)\n", 4);
+    println!(
+        "loaded {} posts (graph attrs + vectors from separate files)\n",
+        4
+    );
 
     // A query embedding for "artificial intelligence".
     let mut params = HashMap::new();

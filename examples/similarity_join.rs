@@ -5,17 +5,19 @@
 //!
 //! Run with: `cargo run --release --example similarity_join`
 
+use std::collections::HashMap;
 use tigervector::common::{DistanceMetric, SplitMix64};
 use tigervector::embedding::EmbeddingTypeDef;
 use tigervector::graph::Graph;
 use tigervector::gsql::{execute, explain};
 use tigervector::storage::{AttrType, AttrValue};
-use std::collections::HashMap;
 
 fn main() {
     let g = Graph::new();
-    g.create_vertex_type("Case", &[("title", AttrType::Str)]).unwrap();
-    g.create_vertex_type("Statute", &[("code", AttrType::Str)]).unwrap();
+    g.create_vertex_type("Case", &[("title", AttrType::Str)])
+        .unwrap();
+    g.create_vertex_type("Statute", &[("code", AttrType::Str)])
+        .unwrap();
     // Case -[:cites]-> Statute and the reverse citation index.
     g.create_edge_type("cites", "Case", "Statute").unwrap();
     g.add_embedding_attribute(
@@ -42,7 +44,12 @@ fn main() {
             .set_vector(0, c, emb)
             // Each case cites 2 statutes, biased to its area.
             .add_edge(0, 0, c, statutes[area * 3])
-            .add_edge(0, 0, c, statutes[(area * 3 + rng.next_below(3) as usize) % 12]);
+            .add_edge(
+                0,
+                0,
+                c,
+                statutes[(area * 3 + rng.next_below(3) as usize) % 12],
+            );
     }
     txn.commit().unwrap();
     println!("loaded 60 cases citing 12 statutes\n");

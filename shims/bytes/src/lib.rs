@@ -1,0 +1,211 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Implements the little-endian framing subset the WAL uses: a growable
+//! [`BytesMut`] buffer, the [`BufMut`] put-side trait, and the [`Buf`]
+//! get-side trait (implemented for `&[u8]`, advancing the slice like the
+//! real crate).
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer (a thin `Vec<u8>` wrapper).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Copy out as a `Vec<u8>`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+
+    /// Current length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.buf
+    }
+}
+
+/// Put-side trait: little-endian appends.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian i64.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian f64.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian f32.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Get-side trait: little-endian reads that advance the cursor.
+///
+/// Like the real crate, reading past the end panics — callers bounds-check
+/// first (the WAL replay does).
+pub trait Buf {
+    /// Remaining bytes.
+    fn remaining(&self) -> usize;
+    /// Advance past `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Copy `dst.len()` bytes out, advancing.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    /// Read a little-endian u32.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+    /// Read a little-endian u64.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+    /// Read a little-endian i64.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
+    /// Read a little-endian f64.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+    /// Read a little-endian f32.
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(42);
+        b.put_i64_le(-9);
+        b.put_f64_le(2.5);
+        let mut r: &[u8] = &b;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_i64_le(), -9);
+        assert_eq!(r.get_f64_le(), 2.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn temporary_slice_read() {
+        let data = [1u8, 0, 0, 0, 9, 9];
+        // The WAL reads via a temporary subslice without advancing the
+        // original cursor.
+        assert_eq!((&data[0..4]).get_u32_le(), 1);
+        assert_eq!(data[4], 9);
+    }
+}

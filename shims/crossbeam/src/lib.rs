@@ -1,0 +1,281 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::channel`'s MPMC unbounded/bounded channels with the
+//! subset of the API the workspace uses (`send`, `recv`, `try_recv`,
+//! `recv_timeout`, cloneable senders *and* receivers). Implementation is a
+//! `Mutex<VecDeque>` + two `Condvar`s — not lock-free, but correct, and the
+//! cluster runtime's throughput is dominated by segment searches, not
+//! channel hops.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: Option<usize>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned when sending on a channel with no receivers.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned when receiving on an empty channel with no senders.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel is currently empty.
+        Empty,
+        /// Channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived in time.
+        Timeout,
+        /// Channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// Cloneable sending half.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Cloneable receiving half (MPMC: clones compete for messages).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake blocked receivers so they observe
+                // disconnection.
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while a bounded channel is full.
+        /// Fails when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.inner.queue.lock().unwrap();
+            loop {
+                if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.inner.capacity {
+                    Some(cap) if queue.len() >= cap => {
+                        queue = self.inner.not_full.wait(queue).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking until a message arrives or all senders drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.inner.queue.lock().unwrap();
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    drop(queue);
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.inner.not_empty.wait(queue).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.inner.queue.lock().unwrap();
+            if let Some(v) = queue.pop_front() {
+                drop(queue);
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receive with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self.inner.queue.lock().unwrap();
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    drop(queue);
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (q, _result) = self.inner.not_empty.wait_timeout(queue, remaining).unwrap();
+                queue = q;
+            }
+        }
+    }
+
+    fn make<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// Unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    /// Bounded MPMC channel (senders block when full).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(capacity))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        }
+
+        #[test]
+        fn disconnect_detection() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn mpmc_across_threads() {
+            let (tx, rx) = unbounded::<usize>();
+            let mut producers = Vec::new();
+            for p in 0..4 {
+                let tx = tx.clone();
+                producers.push(std::thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                }));
+            }
+            drop(tx);
+            let mut consumers = Vec::new();
+            for _ in 0..3 {
+                let rx = rx.clone();
+                consumers.push(std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                }));
+            }
+            drop(rx);
+            for p in producers {
+                p.join().unwrap();
+            }
+            let mut all: Vec<usize> = consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all.len(), 400);
+            assert!(all.windows(2).all(|w| w[0] != w[1]));
+        }
+
+        #[test]
+        fn recv_timeout_expires() {
+            let (_tx, rx) = unbounded::<u32>();
+            let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+            assert_eq!(err, RecvTimeoutError::Timeout);
+        }
+    }
+}

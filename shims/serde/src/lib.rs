@@ -1,0 +1,42 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many types but never
+//! performs reflective serialization (persistence uses hand-rolled binary
+//! encodings; bench output goes through the `serde_json` shim's concrete
+//! `Value` type). This crate keeps those derives and any `T: Serialize`
+//! bounds compiling without the real dependency:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits with blanket impls,
+//!   so every type satisfies them;
+//! * the derive macros (re-exported from the `serde_derive` shim) expand to
+//!   nothing.
+//!
+//! If a future PR needs real serialization, replace these shims with the
+//! actual crates — the public surface used by the workspace is a strict
+//! subset of serde's.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    //! Mirror of `serde::de` for the handful of paths code may name.
+    pub use crate::DeserializeOwned;
+}
+
+pub mod ser {
+    //! Mirror of `serde::ser`.
+    pub use crate::Serialize;
+}

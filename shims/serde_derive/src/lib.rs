@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this workspace builds in has no access to crates.io, and
+//! nothing in the workspace performs reflective serialization: the
+//! `#[derive(Serialize, Deserialize)]` attributes only need to *parse*.
+//! Both derives therefore expand to an empty token stream; the sibling
+//! `serde` shim provides blanket trait impls so bounds keep resolving.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` (including `#[serde(...)]` helper
+/// attributes) and emit nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` and emit nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

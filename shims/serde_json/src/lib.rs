@@ -1,0 +1,426 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Implements the subset the workspace uses — a concrete [`Value`] tree, the
+//! [`json!`] macro for flat literals, [`Map`], and [`to_string_pretty`] /
+//! [`to_string`] — with output byte-compatible with serde_json's default
+//! configuration (sorted object keys, 2-space pretty indent, shortest
+//! round-trip float formatting with a trailing `.0` for integral floats).
+//!
+//! Differences from the real crate, by design:
+//! * no parser / no `from_str` (nothing in the workspace parses JSON);
+//! * `json!` supports flat `{ "key": expr, ... }` / `[expr, ...]` literals
+//!   and plain expressions, not arbitrarily nested bare literals — nest by
+//!   passing an inner `json!(...)` as the expression.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Serialization error (the pretty printer is infallible; this exists so
+/// call sites written against serde_json's fallible API keep compiling).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A JSON number: integer or float, mirroring serde_json's representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (values above `i64::MAX`).
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::UInt(u) => write!(f, "{u}"),
+            Number::Float(x) => {
+                if !x.is_finite() {
+                    // serde_json refuses non-finite floats; emitting null
+                    // keeps bench output well-formed instead of erroring.
+                    f.write_str("null")
+                } else if x.fract() == 0.0 && x.abs() < 1e16 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+/// Sorted-key JSON object, matching serde_json's default `Map` (BTreeMap).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Map {
+    /// Empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Insert a key/value pair, returning any previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.entries.insert(key, value)
+    }
+
+    /// Value under `key`.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Map {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with sorted keys.
+    Object(Map),
+}
+
+impl Value {
+    /// The value as an f64 when numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i as f64),
+            Value::Number(Number::UInt(u)) => Some(*u as f64),
+            Value::Number(Number::Float(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64 when an unsigned integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::Int(i)) if *i >= 0 => Some(*i as u64),
+            Value::Number(Number::UInt(u)) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The value as a str when a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Member access: `value["key"]`, returning `Null` when absent.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Number(Number::Int(i64::from(v)))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Number(Number::Int(v))
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Number(Number::Int(i64::from(v)))
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        if v <= i64::MAX as u64 {
+            Value::Number(Number::Int(v as i64))
+        } else {
+            Value::Number(Number::UInt(v))
+        }
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::from(v as u64)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::Float(f64::from(v)))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::Float(v))
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Array(v)
+    }
+}
+impl From<Map> for Value {
+    fn from(v: Map) -> Self {
+        Value::Object(v)
+    }
+}
+impl<T> From<Option<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Value::from)
+    }
+}
+
+macro_rules! from_ref {
+    ($($t:ty),*) => {
+        $(impl From<&$t> for Value {
+            fn from(v: &$t) -> Self {
+                Value::from(*v)
+            }
+        })*
+    };
+}
+from_ref!(bool, i32, i64, u32, u64, usize, f32, f64);
+
+/// Build a [`Value`] from a flat literal: `json!({ "k": expr, ... })`,
+/// `json!([expr, ...])`, `json!(null)`, or `json!(expr)`.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::Value::from($value)),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(($key).to_string(), $crate::Value::from($value)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::Value::from($other)
+    };
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                write_value(out, item, indent + 1, pretty);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, val, indent + 1, pretty);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Render a value as pretty-printed JSON (2-space indent, serde_json style).
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, true);
+    Ok(out)
+}
+
+/// Render a value as compact JSON.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, false);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_output_matches_serde_json_style() {
+        let v = json!({
+            "recall": 1.0,
+            "ef": 8usize,
+            "system": "TigerVector",
+            "qps": 23003.858178338847,
+        });
+        let s = to_string_pretty(&v).unwrap();
+        // Keys sorted, 2-space indent, integral float keeps ".0".
+        assert_eq!(
+            s,
+            "{\n  \"ef\": 8,\n  \"qps\": 23003.858178338847,\n  \"recall\": 1.0,\n  \"system\": \"TigerVector\"\n}"
+        );
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let inner = json!({ "a": 1 });
+        let v = Value::Array(vec![inner, json!(null), json!("x")]);
+        assert_eq!(to_string(&v).unwrap(), "[{\"a\":1},null,\"x\"]");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = json!("a\"b\\c\nd");
+        assert_eq!(to_string(&v).unwrap(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = json!({ "n": 3, "s": "hi" });
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert!(v.get("missing").is_none());
+    }
+}

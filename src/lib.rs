@@ -18,6 +18,8 @@
 //!   `VectorSearch()` composition function (§5);
 //! * [`cluster`] — distributed scatter-gather search: real message-passing
 //!   runtime + analytic scalability model (§5.1, §6.3);
+//! * [`server`] — the multi-tenant serving gateway: sessions + rbac,
+//!   admission control, request batching, deadlines, per-tenant metrics;
 //! * [`baselines`] — the Neo4j-like / Neptune-like / Milvus-like comparator
 //!   systems of the evaluation (§6);
 //! * [`datagen`] — SIFT/Deep-shaped datasets, the SNB-like social graph,
@@ -60,3 +62,4 @@ pub use tv_datagen as datagen;
 pub use tv_embedding as embedding;
 pub use tv_gsql as gsql;
 pub use tv_hnsw as hnsw;
+pub use tv_server as server;

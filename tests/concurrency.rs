@@ -26,7 +26,8 @@ fn searches_stay_correct_under_background_vacuum_and_writes() {
             default_ef: 64,
         },
     ));
-    g.create_vertex_type("Doc", &[("n", AttrType::Int)]).unwrap();
+    g.create_vertex_type("Doc", &[("n", AttrType::Int)])
+        .unwrap();
     let emb = g
         .add_embedding_attribute(
             "Doc",
@@ -125,7 +126,11 @@ fn pinned_readers_survive_index_merges() {
     }));
     let layout = SegmentLayout::with_capacity(128);
     let attr = svc
-        .register(0, EmbeddingTypeDef::new("e", 4, "M", DistanceMetric::L2), layout)
+        .register(
+            0,
+            EmbeddingTypeDef::new("e", 4, "M", DistanceMetric::L2),
+            layout,
+        )
         .unwrap();
     // 100 vectors at tids 1..=100.
     let recs: Vec<DeltaRecord> = (0..100)
@@ -148,6 +153,8 @@ fn pinned_readers_survive_index_merges() {
     // Once the horizon passes, pruning collapses to one snapshot and new
     // readers see everything.
     svc.prune(Tid(100));
-    let (hits, _) = svc.top_k(&[attr], &[99.0; 4], 1, 64, Tid(100), None).unwrap();
+    let (hits, _) = svc
+        .top_k(&[attr], &[99.0; 4], 1, 64, Tid(100), None)
+        .unwrap();
     assert_eq!(hits[0].neighbor.id, layout.vertex_id(99));
 }

@@ -71,7 +71,10 @@ fn restart_recovers_graph_and_vectors() {
     assert_eq!(tid.0, 45); // 40 inserts + 5 deletes
     for (id, v) in &expected {
         assert!(g.is_live(post, *id, tid).unwrap());
-        assert_eq!(g.embedding_of(emb, *id, tid).unwrap().as_deref(), Some(v.as_slice()));
+        assert_eq!(
+            g.embedding_of(emb, *id, tid).unwrap().as_deref(),
+            Some(v.as_slice())
+        );
     }
     // Vector search over recovered state works.
     let (hits, _) = g

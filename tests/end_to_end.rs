@@ -18,7 +18,8 @@ fn social_graph() -> (Graph, Vec<tigervector::common::VertexId>, Vec<Vec<f32>>) 
             default_ef: 64,
         },
     );
-    g.create_vertex_type("Person", &[("firstName", AttrType::Str)]).unwrap();
+    g.create_vertex_type("Person", &[("firstName", AttrType::Str)])
+        .unwrap();
     g.create_vertex_type(
         "Post",
         &[("language", AttrType::Str), ("length", AttrType::Int)],

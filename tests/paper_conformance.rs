@@ -34,19 +34,26 @@ fn snb() -> Snb {
             default_ef: 64,
         },
     );
-    g.create_vertex_type("Person", &[("firstName", AttrType::Str), ("cid", AttrType::Int)])
-        .unwrap();
+    g.create_vertex_type(
+        "Person",
+        &[("firstName", AttrType::Str), ("cid", AttrType::Int)],
+    )
+    .unwrap();
     g.create_vertex_type(
         "Post",
         &[("language", AttrType::Str), ("length", AttrType::Int)],
     )
     .unwrap();
-    g.create_vertex_type("Comment", &[("length", AttrType::Int)]).unwrap();
-    g.create_vertex_type("Country", &[("name", AttrType::Str)]).unwrap();
+    g.create_vertex_type("Comment", &[("length", AttrType::Int)])
+        .unwrap();
+    g.create_vertex_type("Country", &[("name", AttrType::Str)])
+        .unwrap();
     g.create_edge_type("knows", "Person", "Person").unwrap();
     g.create_edge_type("hasCreator", "Post", "Person").unwrap();
-    g.create_edge_type("commentHasCreator", "Comment", "Person").unwrap();
-    g.create_edge_type("LOCATED_IN", "Comment", "Country").unwrap();
+    g.create_edge_type("commentHasCreator", "Comment", "Person")
+        .unwrap();
+    g.create_edge_type("LOCATED_IN", "Comment", "Country")
+        .unwrap();
 
     // CREATE EMBEDDING SPACE GPT4_emb_space (...) + ADD ... IN EMBEDDING SPACE.
     g.create_embedding_space(EmbeddingSpace {
@@ -58,8 +65,10 @@ fn snb() -> Snb {
         metric: DistanceMetric::L2,
     })
     .unwrap();
-    g.add_embedding_in_space("Post", "content_emb", "GPT4_emb_space").unwrap();
-    g.add_embedding_in_space("Comment", "content_emb", "GPT4_emb_space").unwrap();
+    g.add_embedding_in_space("Post", "content_emb", "GPT4_emb_space")
+        .unwrap();
+    g.add_embedding_in_space("Comment", "content_emb", "GPT4_emb_space")
+        .unwrap();
 
     let people = g.allocate_many(0, 6).unwrap();
     let posts = g.allocate_many(1, 24).unwrap();
@@ -85,7 +94,11 @@ fn snb() -> Snb {
         .add_edge(0, 0, people[1], people[3])
         .add_edge(0, 0, people[4], people[5]);
     txn = txn
-        .upsert_vertex(3, countries[0], vec![AttrValue::Str("United States".into())])
+        .upsert_vertex(
+            3,
+            countries[0],
+            vec![AttrValue::Str("United States".into())],
+        )
         .upsert_vertex(3, countries[1], vec![AttrValue::Str("Japan".into())]);
     for (i, &m) in posts.iter().enumerate() {
         let v: Vec<f32> = (0..DIM).map(|_| rng.next_f32() * 10.0).collect();
@@ -315,11 +328,21 @@ fn q4_louvain_plus_community_topk() {
     // Q4: tg_louvain over (Person, knows), then per-community top-k posts.
     let s = snb();
     let result = tigervector::gsql::community_topk(
-        &s.g, "Person", "knows", "Post", "hasCreator", "content_emb",
-        &s.post_vecs[0], 2,
+        &s.g,
+        "Person",
+        "knows",
+        "Post",
+        "hasCreator",
+        "content_emb",
+        &s.post_vecs[0],
+        2,
     )
     .unwrap();
-    assert!(result.len() >= 2, "expected ≥2 communities, got {}", result.len());
+    assert!(
+        result.len() >= 2,
+        "expected ≥2 communities, got {}",
+        result.len()
+    );
     // Every returned set has at most k members and only Post vertices.
     for set in result.values() {
         assert!(set.len() <= 2);

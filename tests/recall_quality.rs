@@ -13,7 +13,15 @@ const N: usize = 6_000;
 const Q: usize = 30;
 const K: usize = 10;
 
-fn setup(shape: DatasetShape) -> (VectorDataset, Vec<(tigervector::common::VertexId, Vec<f32>)>, Vec<Vec<tigervector::common::VertexId>>, SegmentLayout) {
+#[allow(clippy::type_complexity)]
+fn setup(
+    shape: DatasetShape,
+) -> (
+    VectorDataset,
+    Vec<(tigervector::common::VertexId, Vec<f32>)>,
+    Vec<Vec<tigervector::common::VertexId>>,
+    SegmentLayout,
+) {
     let layout = SegmentLayout::with_capacity(512);
     let ds = VectorDataset::generate_dim(shape, 32, N, Q, 77);
     let data = ds.with_ids(layout);
@@ -21,7 +29,11 @@ fn setup(shape: DatasetShape) -> (VectorDataset, Vec<(tigervector::common::Verte
     (ds, data, gt, layout)
 }
 
-fn mean_recall(sys: &dyn VectorSystem, ds: &VectorDataset, gt: &[Vec<tigervector::common::VertexId>]) -> f64 {
+fn mean_recall(
+    sys: &dyn VectorSystem,
+    ds: &VectorDataset,
+    gt: &[Vec<tigervector::common::VertexId>],
+) -> f64 {
     let mut sum = 0.0;
     for (q, truth) in ds.queries.iter().zip(gt) {
         sum += recall_at_k(&sys.top_k(q, K), truth, K);
@@ -47,7 +59,10 @@ fn tigervector_recall_increases_with_ef() {
     // At laptop scale the per-segment beams saturate recall quickly (the
     // paper's visible ef/recall trade-off needs 100M-scale segments), so the
     // testable invariants are monotonicity and a high ceiling.
-    assert!(*recalls.last().unwrap() > 0.95, "ef=512 recall too low: {recalls:?}");
+    assert!(
+        *recalls.last().unwrap() > 0.95,
+        "ef=512 recall too low: {recalls:?}"
+    );
 }
 
 #[test]
