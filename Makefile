@@ -1,8 +1,8 @@
 # Development shortcuts; `make verify` mirrors the CI pipeline exactly.
 
-.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load
+.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load chaos-smoke
 
-verify: fmt-check build clippy test test-all
+verify: fmt-check build clippy test test-all chaos-smoke
 
 build:
 	cargo build --release
@@ -27,3 +27,8 @@ bench:
 
 serve-load:
 	cargo run --release -p tv-bench --bin serve_load
+
+# Small-footprint chaos run: asserts bit-identical recovery under injected
+# failures (the binary panics on any recall < 1.0 at replication 2).
+chaos-smoke:
+	cargo run --release -p tv-bench --bin chaos_load -- --segments 4 --per-segment 50 --queries 40

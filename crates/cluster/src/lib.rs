@@ -18,11 +18,24 @@
 //!   (per-message latency + per-byte cost) and per-server core count. The
 //!   node- and data-scalability figures (Fig. 9/10) are regenerated through
 //!   this model; DESIGN.md documents the substitution.
+//!
+//! The runtime is fault-tolerant rather than fault-oblivious: [`fault`]
+//! injects deterministic worker failures (crash-on-recv, reply-drop,
+//! fixed/seeded delay), the coordinator recovers via replica retry waves
+//! and optional hedged requests ([`tv_common::RetryPolicy`]), [`filter`]
+//! makes per-segment filter hand-off policy-explicit (no silent
+//! unfiltered fallback), and degraded mode returns partial results with an
+//! honest [`Coverage`] instead of discarding finished work. DESIGN.md
+//! ("Failure model") documents the guarantees.
 
+pub mod fault;
+pub mod filter;
 pub mod model;
 pub mod placement;
 pub mod runtime;
 
+pub use fault::{FaultAction, FaultKind, FaultPlan};
+pub use filter::{FilterDefault, FilterSet, SegmentFilter};
 pub use model::{ClusterModel, NetworkModel, QueryWork};
 pub use placement::Placement;
-pub use runtime::{ClusterRuntime, RuntimeConfig};
+pub use runtime::{ClusterResponse, ClusterRuntime, Coverage, RuntimeConfig};

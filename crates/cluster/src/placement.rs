@@ -43,7 +43,23 @@ impl Placement {
     /// unavailable; `None` if every holder is down.
     #[must_use]
     pub fn serving(&self, seg: SegmentId, down: &[usize]) -> Option<usize> {
-        self.holders(seg).into_iter().find(|s| !down.contains(s))
+        self.serving_excluding(seg, down, &[])
+    }
+
+    /// Like [`Placement::serving`], but also skipping `excluded` servers —
+    /// the coordinator's per-query suspect list (servers that timed out or
+    /// were unreachable this query and whose segments are being re-routed).
+    /// `None` when no holder survives both lists.
+    #[must_use]
+    pub fn serving_excluding(
+        &self,
+        seg: SegmentId,
+        down: &[usize],
+        excluded: &[usize],
+    ) -> Option<usize> {
+        self.holders(seg)
+            .into_iter()
+            .find(|s| !down.contains(s) && !excluded.contains(s))
     }
 
     /// Segments (out of `total`) that server `s` holds a copy of.
@@ -91,6 +107,16 @@ mod tests {
         assert_eq!(p.serving(seg, &[]), Some(1));
         assert_eq!(p.serving(seg, &[1]), Some(2));
         assert_eq!(p.serving(seg, &[1, 2]), None);
+    }
+
+    #[test]
+    fn serving_excluding_skips_suspects_then_exhausts() {
+        let p = Placement::new(4, 3);
+        let seg = SegmentId(1); // holders 1, 2, 3
+        assert_eq!(p.serving_excluding(seg, &[], &[]), Some(1));
+        assert_eq!(p.serving_excluding(seg, &[], &[1]), Some(2));
+        assert_eq!(p.serving_excluding(seg, &[2], &[1]), Some(3));
+        assert_eq!(p.serving_excluding(seg, &[2], &[1, 3]), None);
     }
 
     #[test]

@@ -2,18 +2,41 @@
 //!
 //! One thread per server; crossbeam channels play the network. The
 //! coordinator puts per-server top-k requests in the send queue, workers
-//! search their local embedding segments and push `(id, distance)` lists
-//! into the response pool, and the coordinator performs the global merge.
-//! A coordinator can also function as a worker (the paper notes this);
-//! in the runtime the coordinator is just the caller's thread.
+//! search their local embedding segments and push per-segment `(id,
+//! distance)` lists into the response pool, and the coordinator performs
+//! the global merge. A coordinator can also function as a worker (the paper
+//! notes this); in the runtime the coordinator is just the caller's thread.
+//!
+//! ## Failure model
+//!
+//! The paper's MPP design assumes every scatter reaches a live holder; this
+//! runtime does not. Three mechanisms make the scatter-gather robust:
+//!
+//! * **Fault injection** ([`FaultPlan`]) — workers consult a deterministic
+//!   per-server fault schedule (crash-on-recv, reply-drop, fixed/seeded
+//!   delay), so every recovery path below is exercised by tests rather
+//!   than only reasoned about.
+//! * **Retry + hedging** ([`RetryPolicy`]) — a server that does not reply
+//!   within `attempt_timeout` is declared a per-query suspect and its
+//!   segments are re-routed to live replica holders in bounded-backoff
+//!   waves; optionally the slowest outstanding server's request is
+//!   duplicated (hedged) to a replica and the first reply wins. Replies are
+//!   accepted per *segment*, so a late original and a hedge never
+//!   double-count. All waits are budgeted by [`Deadline::bounded_wait`].
+//! * **Degraded mode** (`RuntimeConfig::degraded_mode`) — instead of
+//!   discarding every finished per-segment list when something fails, the
+//!   query returns the partial global merge plus an honest [`Coverage`].
+//!   Strict mode (the default) keeps the original fail-hard behavior.
 
+use crate::fault::FaultPlan;
+use crate::filter::{FilterSet, SegmentFilter};
 use crate::placement::Placement;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Duration;
-use tv_common::{merge_topk, Bitmap, Deadline, Neighbor, SegmentId, Tid, TvError, TvResult};
+use std::time::{Duration, Instant};
+use tv_common::{merge_topk, Deadline, Neighbor, RetryPolicy, SegmentId, Tid, TvError, TvResult};
 use tv_embedding::EmbeddingSegment;
 use tv_hnsw::SearchStats;
 
@@ -26,6 +49,12 @@ pub struct RuntimeConfig {
     pub replication: usize,
     /// Brute-force threshold forwarded to segment searches.
     pub brute_force_threshold: usize,
+    /// Coordinator-side failure detection, replica retry, and hedging.
+    pub retry: RetryPolicy,
+    /// `true`: failures degrade the answer (partial results + accurate
+    /// [`Coverage`]) instead of failing it. `false` (default): keep the
+    /// strict behavior — unroutable segments and expired deadlines error.
+    pub degraded_mode: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -34,8 +63,63 @@ impl Default for RuntimeConfig {
             servers: 4,
             replication: 1,
             brute_force_threshold: tv_common::TuningDefaults::default().brute_force_threshold,
+            retry: RetryPolicy::default(),
+            degraded_mode: false,
         }
     }
+}
+
+/// How much of the query the answer actually reflects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Segments whose contribution is exact: searched by a worker, or
+    /// excluded by an explicit [`FilterSet`] policy (an excluded segment's
+    /// answer — the empty set — is exact, not degraded).
+    pub segments_searched: usize,
+    /// Segments registered with the cluster.
+    pub segments_total: usize,
+    /// Distinct servers that failed to serve during this query: declared
+    /// suspect after a timeout, unreachable, or down while being the only
+    /// holder of an unsearched segment.
+    pub servers_failed: usize,
+}
+
+impl Coverage {
+    /// True when every segment contributed exactly.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.segments_searched == self.segments_total
+    }
+
+    /// Searched fraction in `[0, 1]` (1.0 for an empty cluster).
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.segments_total == 0 {
+            1.0
+        } else {
+            self.segments_searched as f64 / self.segments_total as f64
+        }
+    }
+}
+
+/// A completed distributed top-k: the global merge plus everything the
+/// serving layer needs to reason about how it was obtained.
+#[derive(Debug, Clone)]
+pub struct ClusterResponse {
+    /// Globally merged top-k, nearest-first.
+    pub neighbors: Vec<Neighbor>,
+    /// Per-reply worker compute times (one entry per accepted reply).
+    pub times: Vec<Duration>,
+    /// Merged search statistics across accepted replies.
+    pub stats: SearchStats,
+    /// How much of the cluster the answer reflects.
+    pub coverage: Coverage,
+    /// Re-routed per-server requests sent in retry waves after the scatter.
+    pub retries: u64,
+    /// Hedged (duplicate) requests sent to replicas of slow servers.
+    pub hedges: u64,
+    /// Segments that contributed nothing (sorted; empty when complete).
+    pub unsearched: Vec<SegmentId>,
 }
 
 enum Request {
@@ -44,17 +128,27 @@ enum Request {
         k: usize,
         ef: usize,
         tid: Tid,
-        /// Segments this server must search for this query (failover may
-        /// shift segments between holders).
+        /// Segments this server must search for this query (failover and
+        /// retry waves shift segments between holders).
         segments: Vec<SegmentId>,
-        /// Optional per-segment filters.
-        filters: Arc<HashMap<SegmentId, Bitmap>>,
+        /// Per-segment filter policy (explicit default for absent segments).
+        filters: Arc<FilterSet>,
         /// Abandon the scatter-gather mid-flight once this expires (checked
         /// at every segment-search boundary in the worker loop).
         deadline: Deadline,
-        reply: Sender<(usize, Vec<Neighbor>, SearchStats, Duration, bool)>,
+        reply: Sender<WorkerReply>,
     },
     Shutdown,
+}
+
+/// One worker's answer: per-segment result lists so the coordinator can
+/// account coverage exactly and dedupe retried/hedged segments.
+struct WorkerReply {
+    server: usize,
+    results: Vec<(SegmentId, Vec<Neighbor>)>,
+    stats: SearchStats,
+    took: Duration,
+    timed_out: bool,
 }
 
 struct ServerHandle {
@@ -72,6 +166,7 @@ pub struct ClusterRuntime {
     segments: Arc<RwLock<HashMap<SegmentId, Arc<EmbeddingSegment>>>>,
     servers: Vec<ServerHandle>,
     down: RwLock<Vec<usize>>,
+    faults: Arc<FaultPlan>,
 }
 
 impl ClusterRuntime {
@@ -81,10 +176,12 @@ impl ClusterRuntime {
         let placement = Placement::new(config.servers, config.replication);
         let segments: Arc<RwLock<HashMap<SegmentId, Arc<EmbeddingSegment>>>> =
             Arc::new(RwLock::new(HashMap::new()));
+        let faults = Arc::new(FaultPlan::new());
         let mut servers = Vec::with_capacity(config.servers);
         for server_id in 0..config.servers {
             let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
             let segs = Arc::clone(&segments);
+            let plan = Arc::clone(&faults);
             let threshold = config.brute_force_threshold;
             let join = std::thread::spawn(move || {
                 while let Ok(req) = rx.recv() {
@@ -99,8 +196,18 @@ impl ClusterRuntime {
                             deadline,
                             reply,
                         } => {
-                            let started = std::time::Instant::now();
-                            let mut local: Vec<Vec<Neighbor>> = Vec::new();
+                            let action = plan.on_receive(server_id);
+                            if action.crash {
+                                // Crash-on-recv: the request is swallowed;
+                                // the coordinator's attempt timeout detects
+                                // the silence.
+                                continue;
+                            }
+                            if !action.delay.is_zero() {
+                                std::thread::sleep(action.delay);
+                            }
+                            let started = Instant::now();
+                            let mut results: Vec<(SegmentId, Vec<Neighbor>)> = Vec::new();
                             let mut stats = SearchStats::default();
                             let mut timed_out = false;
                             let map = segs.read();
@@ -109,30 +216,37 @@ impl ClusterRuntime {
                                     timed_out = true;
                                     break;
                                 }
+                                let filter = match filters.effective(seg_id) {
+                                    SegmentFilter::Excluded => {
+                                        // Excluded by policy: the empty set
+                                        // is this segment's exact answer.
+                                        results.push((seg_id, Vec::new()));
+                                        continue;
+                                    }
+                                    SegmentFilter::Restricted(b) => Some(b),
+                                    SegmentFilter::Unfiltered => None,
+                                };
                                 if let Some(seg) = map.get(&seg_id) {
-                                    let (r, s) = seg.search(
-                                        &query,
-                                        k,
-                                        ef,
-                                        filters.get(&seg_id),
-                                        tid,
-                                        threshold,
-                                    );
+                                    let (r, s) = seg.search(&query, k, ef, filter, tid, threshold);
                                     stats.merge(&s);
-                                    local.push(r);
+                                    results.push((seg_id, r));
                                 }
                             }
                             drop(map);
-                            let merged = merge_topk(local, k);
-                            // Response pool: ids + distances back to the
-                            // coordinator.
-                            let _ = reply.send((
-                                server_id,
-                                merged,
+                            if action.drop_reply {
+                                // The work happened; the answer is lost on
+                                // the wire.
+                                continue;
+                            }
+                            // Response pool: per-segment ids + distances
+                            // back to the coordinator.
+                            let _ = reply.send(WorkerReply {
+                                server: server_id,
+                                results,
                                 stats,
-                                started.elapsed(),
+                                took: started.elapsed(),
                                 timed_out,
-                            ));
+                            });
                         }
                         Request::Shutdown => break,
                     }
@@ -149,6 +263,7 @@ impl ClusterRuntime {
             segments,
             servers,
             down: RwLock::new(Vec::new()),
+            faults,
         }
     }
 
@@ -164,10 +279,30 @@ impl ClusterRuntime {
         self.segments.read().len()
     }
 
+    /// Registered segment ids, sorted.
+    #[must_use]
+    pub fn segment_ids(&self) -> Vec<SegmentId> {
+        let mut ids: Vec<SegmentId> = self.segments.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// The placement map.
     #[must_use]
     pub fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    /// The fault-injection schedule workers consult on every request.
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Arm a fault on `server` for its next `times` requests (`None` =
+    /// until cleared). Convenience for [`ClusterRuntime::faults`].
+    pub fn inject_fault(&self, server: usize, kind: crate::fault::FaultKind, times: Option<u64>) {
+        self.faults.inject(server, kind, times);
     }
 
     /// Mark a server down (its segments shift to replicas).
@@ -184,85 +319,330 @@ impl ClusterRuntime {
     }
 
     /// Distributed top-k: scatter per-server requests, gather and globally
-    /// merge. Returns the merged results, per-server compute times, and the
-    /// merged stats.
+    /// merge, recovering from unresponsive servers via replica retry.
     pub fn top_k(
         &self,
         query: &[f32],
         k: usize,
         ef: usize,
         tid: Tid,
-        filters: Option<&HashMap<SegmentId, Bitmap>>,
-    ) -> TvResult<(Vec<Neighbor>, Vec<Duration>, SearchStats)> {
+        filters: Option<&FilterSet>,
+    ) -> TvResult<ClusterResponse> {
         self.top_k_deadline(query, k, ef, tid, filters, Deadline::none())
     }
 
+    /// Route each pending segment to a live, non-suspect holder. Returns
+    /// the per-server assignment and the segments with no holder left.
+    fn route(
+        &self,
+        pending: &HashSet<SegmentId>,
+        down: &[usize],
+        suspects: &HashSet<usize>,
+    ) -> (HashMap<usize, Vec<SegmentId>>, Vec<SegmentId>) {
+        let excluded: Vec<usize> = suspects.iter().copied().collect();
+        let mut assignment: HashMap<usize, Vec<SegmentId>> = HashMap::new();
+        let mut unroutable = Vec::new();
+        for &seg in pending {
+            match self.placement.serving_excluding(seg, down, &excluded) {
+                Some(s) => assignment.entry(s).or_default().push(seg),
+                None => unroutable.push(seg),
+            }
+        }
+        (assignment, unroutable)
+    }
+
     /// Distributed top-k with a deadline: workers check it before every
-    /// segment search, so an expired deadline abandons the scatter-gather
-    /// mid-flight and the call fails with [`TvError::Timeout`].
+    /// segment search, and every coordinator-side recovery wait is bounded
+    /// by [`Deadline::bounded_wait`].
+    ///
+    /// Strict mode (`degraded_mode == false`): a segment with no live
+    /// holder fails the query with [`TvError::Cluster`], and an expired
+    /// deadline fails it with [`TvError::Timeout`]. Degraded mode: the
+    /// query returns whatever was gathered, with an accurate
+    /// [`Coverage`] — partial answers beat dead ones for serving RAG.
+    #[allow(clippy::too_many_lines)]
     pub fn top_k_deadline(
         &self,
         query: &[f32],
         k: usize,
         ef: usize,
         tid: Tid,
-        filters: Option<&HashMap<SegmentId, Bitmap>>,
+        filters: Option<&FilterSet>,
         deadline: Deadline,
-    ) -> TvResult<(Vec<Neighbor>, Vec<Duration>, SearchStats)> {
+    ) -> TvResult<ClusterResponse> {
         deadline.check("cluster top-k scatter")?;
+        let policy = self.config.retry;
+        let degraded = self.config.degraded_mode;
         let down = self.down.read().clone();
-        // Route each segment to its serving holder.
-        let mut per_server: HashMap<usize, Vec<SegmentId>> = HashMap::new();
-        for (&seg_id, _) in self.segments.read().iter() {
-            match self.placement.serving(seg_id, &down) {
-                Some(s) => per_server.entry(s).or_default().push(seg_id),
-                None => {
-                    return Err(TvError::Cluster(format!(
-                        "segment {seg_id} has no live holder"
-                    )))
-                }
+        let filters = Arc::new(filters.cloned().unwrap_or_default());
+
+        // Resolve the filter policy at the coordinator: excluded segments
+        // are covered (their answer is empty by policy), never scattered.
+        let all_segments = self.segment_ids();
+        let segments_total = all_segments.len();
+        let mut covered_by_policy = 0usize;
+        let mut pending: HashSet<SegmentId> = HashSet::new();
+        for seg in all_segments {
+            if matches!(filters.effective(seg), SegmentFilter::Excluded) {
+                covered_by_policy += 1;
+            } else {
+                pending.insert(seg);
             }
         }
+
         let query = Arc::new(query.to_vec());
-        let filters = Arc::new(filters.cloned().unwrap_or_default());
-        let (reply_tx, reply_rx) = unbounded();
-        let mut outstanding = 0;
-        for (server, segments) in per_server {
-            self.servers[server]
-                .tx
-                .send(Request::TopK {
+        let (reply_tx, reply_rx) = unbounded::<WorkerReply>();
+        // Per-segment result lists, keyed for a deterministic merge order
+        // regardless of which holder answered.
+        let mut gathered: Vec<(SegmentId, Vec<Neighbor>)> = Vec::new();
+        let mut times = Vec::new();
+        let mut stats = SearchStats::default();
+        let mut suspects: HashSet<usize> = HashSet::new();
+        let mut retries = 0u64;
+        let mut hedges = 0u64;
+        let mut worker_deadline_hit = false;
+        let mut wave = 0usize;
+
+        'waves: while !pending.is_empty() {
+            let (assignment, unroutable) = self.route(&pending, &down, &suspects);
+            if !degraded && !unroutable.is_empty() {
+                let seg = unroutable[0];
+                return Err(TvError::Cluster(if wave == 0 {
+                    format!("segment {seg} has no live holder")
+                } else {
+                    format!("segment {seg} has no live holder left after {wave} retry wave(s)")
+                }));
+            }
+            if assignment.is_empty() {
+                break;
+            }
+
+            // Scatter this wave.
+            let mut outstanding: HashSet<usize> = HashSet::new();
+            let mut wave_assignment: HashMap<usize, Vec<SegmentId>> = HashMap::new();
+            for (server, segments) in assignment {
+                let sent = self.servers[server].tx.send(Request::TopK {
                     query: Arc::clone(&query),
                     k,
                     ef,
                     tid,
-                    segments,
+                    segments: segments.clone(),
                     filters: Arc::clone(&filters),
                     deadline,
                     reply: reply_tx.clone(),
-                })
-                .map_err(|_| TvError::Cluster(format!("server {server} unreachable")))?;
-            outstanding += 1;
+                });
+                match sent {
+                    Ok(()) => {
+                        if wave > 0 {
+                            retries += 1;
+                        }
+                        outstanding.insert(server);
+                        wave_assignment.insert(server, segments);
+                    }
+                    Err(_) if degraded => {
+                        suspects.insert(server);
+                    }
+                    Err(_) => {
+                        return Err(TvError::Cluster(format!("server {server} unreachable")));
+                    }
+                }
+            }
+
+            // Gather: accept replies per segment (late and hedged replies
+            // dedupe naturally) until the wave's servers all answered or
+            // the attempt/deadline budget runs out.
+            let wave_start = Instant::now();
+            let mut hedged_this_wave = false;
+            while !outstanding.is_empty() && !pending.is_empty() {
+                let elapsed = wave_start.elapsed();
+                if elapsed >= policy.attempt_timeout {
+                    break;
+                }
+                let mut wait = policy.attempt_timeout - elapsed;
+                if let Some(h) = policy.hedge_after {
+                    if !hedged_this_wave {
+                        if elapsed >= h {
+                            hedges += self.send_hedges(
+                                &wave_assignment,
+                                &pending,
+                                &down,
+                                &suspects,
+                                &mut outstanding,
+                                &query,
+                                k,
+                                ef,
+                                tid,
+                                &filters,
+                                deadline,
+                                &reply_tx,
+                            );
+                            hedged_this_wave = true;
+                        } else {
+                            wait = wait.min(h - elapsed);
+                        }
+                    }
+                }
+                let wait = deadline.bounded_wait(wait);
+                if wait.is_zero() {
+                    break 'waves;
+                }
+                match reply_rx.recv_timeout(wait) {
+                    Ok(reply) => {
+                        outstanding.remove(&reply.server);
+                        times.push(reply.took);
+                        stats.merge(&reply.stats);
+                        worker_deadline_hit |= reply.timed_out;
+                        for (seg, list) in reply.results {
+                            if pending.remove(&seg) {
+                                gathered.push((seg, list));
+                            }
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            // Whoever did not answer in time is a suspect: their segments
+            // re-route next wave.
+            for server in outstanding {
+                suspects.insert(server);
+            }
+
+            if pending.is_empty() || deadline.expired() {
+                break;
+            }
+            wave += 1;
+            if wave > policy.max_retries {
+                break;
+            }
+            let backoff = policy
+                .backoff
+                .saturating_mul(1u32 << (wave - 1).min(16) as u32);
+            let backoff = deadline.bounded_wait(backoff);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
         }
-        drop(reply_tx);
-        let mut lists = Vec::with_capacity(outstanding);
-        let mut times = Vec::with_capacity(outstanding);
-        let mut stats = SearchStats::default();
-        let mut timed_out = false;
-        for _ in 0..outstanding {
-            let (_server, list, s, took, worker_timed_out) = reply_rx
-                .recv()
-                .map_err(|_| TvError::Cluster("response pool closed".into()))?;
-            lists.push(list);
-            times.push(took);
-            stats.merge(&s);
-            timed_out |= worker_timed_out;
+
+        // Final accounting: a down server that was the only holder of an
+        // unsearched segment failed this query just as surely as a timeout.
+        let mut failed = suspects;
+        for &seg in &pending {
+            for holder in self.placement.holders(seg) {
+                if down.contains(&holder) {
+                    failed.insert(holder);
+                }
+            }
         }
-        if timed_out {
-            return Err(TvError::Timeout(
-                "deadline exceeded in cluster worker segment search".into(),
-            ));
+        let coverage = Coverage {
+            segments_searched: covered_by_policy + gathered.len(),
+            segments_total,
+            servers_failed: failed.len(),
+        };
+
+        if !degraded && !pending.is_empty() {
+            if worker_deadline_hit || deadline.expired() {
+                return Err(TvError::Timeout(
+                    "deadline exceeded in cluster worker segment search".into(),
+                ));
+            }
+            return Err(TvError::Cluster(format!(
+                "{} of {segments_total} segment(s) unsearched after {wave} retry wave(s)",
+                pending.len(),
+            )));
         }
-        Ok((merge_topk(lists, k), times, stats))
+
+        // Deterministic merge order: by segment id, not arrival order.
+        gathered.sort_unstable_by_key(|(seg, _)| *seg);
+        let mut unsearched: Vec<SegmentId> = pending.into_iter().collect();
+        unsearched.sort_unstable();
+        Ok(ClusterResponse {
+            neighbors: merge_topk(gathered.into_iter().map(|(_, list)| list), k),
+            times,
+            stats,
+            coverage,
+            retries,
+            hedges,
+            unsearched,
+        })
+    }
+
+    /// Duplicate the slowest outstanding server's pending segments to
+    /// untried replica holders; returns the number of hedge requests sent.
+    /// The per-segment dedupe in the gather loop makes the race safe.
+    #[allow(clippy::too_many_arguments)]
+    fn send_hedges(
+        &self,
+        wave_assignment: &HashMap<usize, Vec<SegmentId>>,
+        pending: &HashSet<SegmentId>,
+        down: &[usize],
+        suspects: &HashSet<usize>,
+        outstanding: &mut HashSet<usize>,
+        query: &Arc<Vec<f32>>,
+        k: usize,
+        ef: usize,
+        tid: Tid,
+        filters: &Arc<FilterSet>,
+        deadline: Deadline,
+        reply_tx: &Sender<WorkerReply>,
+    ) -> u64 {
+        // Slowest = the outstanding server with the most still-pending
+        // segments (ties broken by id for determinism).
+        let mut slow: Option<(usize, Vec<SegmentId>)> = None;
+        for &server in outstanding.iter() {
+            let Some(assigned) = wave_assignment.get(&server) else {
+                continue;
+            };
+            let mut segs: Vec<SegmentId> = assigned
+                .iter()
+                .copied()
+                .filter(|s| pending.contains(s))
+                .collect();
+            segs.sort_unstable();
+            let better = match &slow {
+                None => !segs.is_empty(),
+                Some((best, best_segs)) => {
+                    segs.len() > best_segs.len()
+                        || (segs.len() == best_segs.len() && server < *best)
+                }
+            };
+            if better {
+                slow = Some((server, segs));
+            }
+        }
+        let Some((slow_server, segs)) = slow else {
+            return 0;
+        };
+        // Route the slow server's segments to holders not already involved.
+        let mut avoid: Vec<usize> = suspects.iter().copied().collect();
+        avoid.extend(outstanding.iter().copied());
+        if !avoid.contains(&slow_server) {
+            avoid.push(slow_server);
+        }
+        let mut per_alt: HashMap<usize, Vec<SegmentId>> = HashMap::new();
+        for seg in segs {
+            if let Some(alt) = self.placement.serving_excluding(seg, down, &avoid) {
+                per_alt.entry(alt).or_default().push(seg);
+            }
+        }
+        let mut sent = 0u64;
+        for (alt, segments) in per_alt {
+            let ok = self.servers[alt].tx.send(Request::TopK {
+                query: Arc::clone(query),
+                k,
+                ef,
+                tid,
+                segments,
+                filters: Arc::clone(filters),
+                deadline,
+                reply: reply_tx.clone(),
+            });
+            if ok.is_ok() {
+                outstanding.insert(alt);
+                sent += 1;
+            }
+        }
+        sent
     }
 }
 
@@ -282,22 +662,27 @@ impl Drop for ClusterRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultKind;
     use tv_common::ids::{LocalId, VertexId};
-    use tv_common::{DistanceMetric, SplitMix64};
+    use tv_common::{Bitmap, DistanceMetric, SplitMix64};
     use tv_embedding::EmbeddingTypeDef;
     use tv_hnsw::DeltaRecord;
 
-    fn loaded_cluster(
-        servers: usize,
-        replication: usize,
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2,
+            attempt_timeout: Duration::from_millis(100),
+            backoff: Duration::from_millis(1),
+            hedge_after: None,
+        }
+    }
+
+    fn loaded_cluster_with(
+        config: RuntimeConfig,
         segments: usize,
         per_segment: usize,
     ) -> (ClusterRuntime, Vec<(VertexId, Vec<f32>)>) {
-        let runtime = ClusterRuntime::start(RuntimeConfig {
-            servers,
-            replication,
-            brute_force_threshold: 4,
-        });
+        let runtime = ClusterRuntime::start(config);
         let def = EmbeddingTypeDef::new("e", 8, "M", DistanceMetric::L2);
         let mut rng = SplitMix64::new(31);
         let mut all = Vec::new();
@@ -320,6 +705,25 @@ mod tests {
         (runtime, all)
     }
 
+    fn loaded_cluster(
+        servers: usize,
+        replication: usize,
+        segments: usize,
+        per_segment: usize,
+    ) -> (ClusterRuntime, Vec<(VertexId, Vec<f32>)>) {
+        loaded_cluster_with(
+            RuntimeConfig {
+                servers,
+                replication,
+                brute_force_threshold: 4,
+                retry: fast_retry(),
+                degraded_mode: false,
+            },
+            segments,
+            per_segment,
+        )
+    }
+
     fn exact_top1(all: &[(VertexId, Vec<f32>)], q: &[f32]) -> VertexId {
         all.iter()
             .min_by(|a, b| {
@@ -329,40 +733,45 @@ mod tests {
             .0
     }
 
+    fn ids(r: &ClusterResponse) -> Vec<VertexId> {
+        r.neighbors.iter().map(|n| n.id).collect()
+    }
+
     #[test]
     fn distributed_matches_exact_top1() {
         let (runtime, all) = loaded_cluster(4, 1, 8, 50);
         for probe in [0usize, 17, 133, 399] {
             let q = &all[probe].1;
-            let (r, times, stats) = runtime.top_k(q, 1, 64, Tid::MAX, None).unwrap();
-            assert_eq!(r[0].id, exact_top1(&all, q));
-            assert_eq!(times.len(), 4);
-            assert!(stats.distance_computations > 0);
+            let r = runtime.top_k(q, 1, 64, Tid::MAX, None).unwrap();
+            assert_eq!(r.neighbors[0].id, exact_top1(&all, q));
+            assert_eq!(r.times.len(), 4);
+            assert!(r.stats.distance_computations > 0);
+            assert!(r.coverage.is_complete());
+            assert_eq!(r.retries, 0);
+            assert_eq!(r.hedges, 0);
         }
     }
 
     #[test]
     fn global_merge_is_sorted_topk() {
         let (runtime, all) = loaded_cluster(3, 1, 6, 40);
-        let (r, _, _) = runtime.top_k(&all[5].1, 10, 64, Tid::MAX, None).unwrap();
-        assert_eq!(r.len(), 10);
-        assert!(r.windows(2).all(|w| w[0].dist <= w[1].dist));
+        let r = runtime.top_k(&all[5].1, 10, 64, Tid::MAX, None).unwrap();
+        assert_eq!(r.neighbors.len(), 10);
+        assert!(r.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist));
     }
 
     #[test]
     fn failover_to_replicas() {
         let (runtime, all) = loaded_cluster(3, 2, 6, 30);
         let q = &all[10].1;
-        let (before, _, _) = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
+        let before = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
         runtime.fail_server(0);
-        let (after, _, _) = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
-        assert_eq!(
-            before.iter().map(|n| n.id).collect::<Vec<_>>(),
-            after.iter().map(|n| n.id).collect::<Vec<_>>()
-        );
+        let after = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
+        assert_eq!(ids(&before), ids(&after));
+        assert!(after.coverage.is_complete());
         runtime.recover_server(0);
-        let (again, _, _) = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
-        assert_eq!(after.len(), again.len());
+        let again = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
+        assert_eq!(after.neighbors.len(), again.neighbors.len());
     }
 
     #[test]
@@ -374,27 +783,223 @@ mod tests {
     }
 
     #[test]
+    fn crash_fault_recovers_via_replica_retry_bit_identical() {
+        let (runtime, all) = loaded_cluster(4, 2, 8, 30);
+        let q = &all[21].1;
+        let healthy = runtime.top_k(q, 10, 64, Tid::MAX, None).unwrap();
+        runtime.inject_fault(1, FaultKind::CrashOnRecv, Some(1));
+        let recovered = runtime.top_k(q, 10, 64, Tid::MAX, None).unwrap();
+        assert_eq!(ids(&healthy), ids(&recovered));
+        assert!(recovered.coverage.is_complete());
+        assert!(recovered.retries > 0, "recovery must have re-routed");
+        assert_eq!(recovered.coverage.servers_failed, 1);
+        // The counted fault expired: the next query is clean again.
+        let clean = runtime.top_k(q, 10, 64, Tid::MAX, None).unwrap();
+        assert_eq!(clean.retries, 0);
+        assert_eq!(clean.coverage.servers_failed, 0);
+    }
+
+    #[test]
+    fn dropped_reply_is_indistinguishable_from_crash() {
+        let (runtime, all) = loaded_cluster(4, 2, 8, 30);
+        let q = &all[77].1;
+        let healthy = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
+        runtime.inject_fault(2, FaultKind::DropReply, Some(1));
+        let recovered = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
+        assert_eq!(ids(&healthy), ids(&recovered));
+        assert!(recovered.coverage.is_complete());
+        assert!(recovered.retries > 0);
+    }
+
+    #[test]
+    fn strict_mode_errors_when_retries_exhaust_holders() {
+        let (runtime, all) = loaded_cluster(3, 1, 6, 20);
+        // replication = 1: the crashed server's segments have no replica.
+        runtime.inject_fault(0, FaultKind::CrashOnRecv, Some(8));
+        let err = runtime.top_k(&all[0].1, 3, 32, Tid::MAX, None).unwrap_err();
+        assert!(matches!(err, TvError::Cluster(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn degraded_mode_returns_partial_results_with_accurate_coverage() {
+        let (runtime, all) = loaded_cluster_with(
+            RuntimeConfig {
+                servers: 4,
+                replication: 1,
+                brute_force_threshold: 4,
+                retry: fast_retry(),
+                degraded_mode: true,
+            },
+            8,
+            25,
+        );
+        runtime.fail_server(2); // holds segments 2 and 6
+        let r = runtime.top_k(&all[0].1, 5, 64, Tid::MAX, None).unwrap();
+        assert_eq!(r.coverage.segments_total, 8);
+        assert_eq!(r.coverage.segments_searched, 6);
+        assert_eq!(r.coverage.servers_failed, 1);
+        assert!(!r.coverage.is_complete());
+        assert_eq!(r.unsearched, vec![SegmentId(2), SegmentId(6)]);
+        // The partial answer is exact over the segments that were searched.
+        let live: Vec<(VertexId, Vec<f32>)> = all
+            .iter()
+            .filter(|(id, _)| !r.unsearched.contains(&id.segment()))
+            .cloned()
+            .collect();
+        assert_eq!(r.neighbors[0].id, exact_top1(&live, &all[0].1));
+        assert!(r
+            .neighbors
+            .iter()
+            .all(|n| !r.unsearched.contains(&n.id.segment())));
+    }
+
+    #[test]
+    fn degraded_mode_covers_injected_crash_without_replicas() {
+        let (runtime, all) = loaded_cluster_with(
+            RuntimeConfig {
+                servers: 4,
+                replication: 1,
+                brute_force_threshold: 4,
+                retry: RetryPolicy {
+                    max_retries: 1,
+                    attempt_timeout: Duration::from_millis(60),
+                    backoff: Duration::from_millis(1),
+                    hedge_after: None,
+                },
+                degraded_mode: true,
+            },
+            8,
+            25,
+        );
+        // Enough uses to swallow the initial scatter and the retry wave.
+        runtime.inject_fault(3, FaultKind::CrashOnRecv, Some(4));
+        let r = runtime.top_k(&all[0].1, 5, 64, Tid::MAX, None).unwrap();
+        assert_eq!(r.coverage.segments_searched, 6);
+        assert_eq!(r.coverage.servers_failed, 1);
+        assert_eq!(r.unsearched, vec![SegmentId(3), SegmentId(7)]);
+        runtime.faults().clear_all();
+        let clean = runtime.top_k(&all[0].1, 5, 64, Tid::MAX, None).unwrap();
+        assert!(clean.coverage.is_complete());
+    }
+
+    #[test]
+    fn hedging_beats_a_straggler_and_stays_bit_identical() {
+        let (runtime, all) = loaded_cluster_with(
+            RuntimeConfig {
+                servers: 4,
+                replication: 2,
+                brute_force_threshold: 4,
+                retry: RetryPolicy {
+                    max_retries: 2,
+                    attempt_timeout: Duration::from_secs(2),
+                    backoff: Duration::from_millis(1),
+                    hedge_after: Some(Duration::from_millis(10)),
+                },
+                degraded_mode: false,
+            },
+            8,
+            30,
+        );
+        let q = &all[40].1;
+        let healthy = runtime.top_k(q, 10, 64, Tid::MAX, None).unwrap();
+        runtime.inject_fault(0, FaultKind::Delay(Duration::from_millis(300)), Some(1));
+        let started = Instant::now();
+        let hedged = runtime.top_k(q, 10, 64, Tid::MAX, None).unwrap();
+        assert_eq!(ids(&healthy), ids(&hedged));
+        assert!(hedged.hedges >= 1, "hedge must have fired");
+        assert!(hedged.coverage.is_complete());
+        assert!(
+            started.elapsed() < Duration::from_millis(290),
+            "hedge should beat the 300ms straggler, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn degraded_deadline_keeps_finished_workers_results() {
+        let (runtime, all) = loaded_cluster_with(
+            RuntimeConfig {
+                servers: 4,
+                replication: 1,
+                brute_force_threshold: 4,
+                retry: RetryPolicy {
+                    max_retries: 0,
+                    attempt_timeout: Duration::from_secs(5),
+                    backoff: Duration::ZERO,
+                    hedge_after: None,
+                },
+                degraded_mode: true,
+            },
+            8,
+            25,
+        );
+        // One straggler sleeps far past the deadline; the other three
+        // workers' finished top-k lists must survive.
+        runtime.inject_fault(1, FaultKind::Delay(Duration::from_secs(2)), Some(1));
+        let r = runtime
+            .top_k_deadline(
+                &all[0].1,
+                5,
+                64,
+                Tid::MAX,
+                None,
+                Deadline::after(Duration::from_millis(250)),
+            )
+            .unwrap();
+        assert_eq!(r.coverage.segments_searched, 6);
+        assert_eq!(r.unsearched, vec![SegmentId(1), SegmentId(5)]);
+        assert!(!r.neighbors.is_empty());
+    }
+
+    #[test]
     fn filters_apply_per_segment() {
         let (runtime, all) = loaded_cluster(2, 1, 4, 25);
-        // Only segment 2, locals 0..5 are valid.
-        let mut filters = HashMap::new();
+        // Only segment 2, locals 0..5 are valid; deny everything unlisted.
         let mut bm = Bitmap::new(1024);
         for l in 0..5 {
             bm.set(l, true);
         }
-        filters.insert(SegmentId(2), bm);
-        // Empty bitmaps for other segments exclude them entirely... absent
-        // means unfiltered in the runtime, so pass explicit empties.
-        for s in [0u32, 1, 3] {
-            filters.insert(SegmentId(s), Bitmap::new(1024));
-        }
-        let (r, _, _) = runtime
+        let filters = FilterSet::deny_unlisted().with(SegmentId(2), bm);
+        let r = runtime
             .top_k(&all[0].1, 3, 64, Tid::MAX, Some(&filters))
             .unwrap();
-        assert!(!r.is_empty());
+        assert!(!r.neighbors.is_empty());
         assert!(r
+            .neighbors
             .iter()
             .all(|n| n.id.segment() == SegmentId(2) && n.id.local().0 < 5));
+        // Policy-excluded segments are covered: exclusion is an exact
+        // answer, not a failure.
+        assert!(r.coverage.is_complete());
+    }
+
+    #[test]
+    fn absent_segment_cannot_leak_rows_regression() {
+        // Regression for the pre-FilterSet footgun: an RBAC bitmap that
+        // misses a segment used to fall through to "search unfiltered".
+        let (runtime, all) = loaded_cluster(2, 1, 4, 25);
+        let mut bm = Bitmap::new(1024);
+        bm.set(0, true);
+        // deny_unlisted with a bitmap ONLY for segment 1 — segments 0, 2, 3
+        // have no entry and must contribute nothing.
+        let filters = FilterSet::deny_unlisted().with(SegmentId(1), bm);
+        let r = runtime
+            .top_k(&all[0].1, 10, 64, Tid::MAX, Some(&filters))
+            .unwrap();
+        assert_eq!(r.neighbors.len(), 1, "only the single allowed row");
+        assert_eq!(r.neighbors[0].id, VertexId::new(SegmentId(1), LocalId(0)));
+        // The permissive default keeps pre-filter semantics for callers
+        // that only restrict the segments they name.
+        let mut bm2 = Bitmap::new(1024);
+        bm2.set(0, true);
+        let permissive = FilterSet::unfiltered().with(SegmentId(1), bm2);
+        let r2 = runtime
+            .top_k(&all[0].1, 100, 64, Tid::MAX, Some(&permissive))
+            .unwrap();
+        assert!(
+            r2.neighbors.iter().any(|n| n.id.segment() != SegmentId(1)),
+            "unlisted segments stay searchable under FilterDefault::All"
+        );
     }
 
     #[test]
@@ -405,7 +1010,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, TvError::Timeout(_)));
         // A generous deadline behaves exactly like no deadline.
-        let (r, _, _) = runtime
+        let r = runtime
             .top_k_deadline(
                 &all[0].1,
                 3,
@@ -415,11 +1020,8 @@ mod tests {
                 Deadline::after(Duration::from_secs(60)),
             )
             .unwrap();
-        let (r2, _, _) = runtime.top_k(&all[0].1, 3, 32, Tid::MAX, None).unwrap();
-        assert_eq!(
-            r.iter().map(|n| n.id).collect::<Vec<_>>(),
-            r2.iter().map(|n| n.id).collect::<Vec<_>>()
-        );
+        let r2 = runtime.top_k(&all[0].1, 3, 32, Tid::MAX, None).unwrap();
+        assert_eq!(ids(&r), ids(&r2));
     }
 
     #[test]
@@ -434,8 +1036,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..20 {
                     let q = &data[(t * 13 + i * 7) % data.len()].1;
-                    let (r, _, _) = rt.top_k(q, 5, 32, Tid::MAX, None).unwrap();
-                    assert!(!r.is_empty());
+                    let r = rt.top_k(q, 5, 32, Tid::MAX, None).unwrap();
+                    assert!(!r.neighbors.is_empty());
                 }
             }));
         }

@@ -4,7 +4,10 @@
 //! a brute-force threshold (and the embedding service a default `ef`);
 //! before this module each crate independently hard-coded the same numbers,
 //! which is exactly how defaults drift apart. Both configs now build from
-//! [`TuningDefaults`], the single source of truth.
+//! [`TuningDefaults`], the single source of truth. [`RetryPolicy`] plays the
+//! same role for the coordinator's fault-recovery knobs.
+
+use std::time::Duration;
 
 /// Engine-wide tuning knobs shared by the single-machine embedding service
 /// and the cluster runtime.
@@ -26,6 +29,42 @@ impl Default for TuningDefaults {
     }
 }
 
+/// Coordinator-side recovery policy for distributed scatter-gather: how an
+/// unresponsive worker is detected (`attempt_timeout`), how many replica
+/// re-route waves follow (`max_retries`, spaced by a doubling `backoff`),
+/// and whether the slowest outstanding server gets a duplicate (hedged)
+/// request before being declared failed (`hedge_after`).
+///
+/// Every wait derived from this policy is additionally bounded by the
+/// request's [`crate::Deadline`] (via [`crate::Deadline::bounded_wait`]), so
+/// retries never spend budget the caller no longer has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Replica re-route waves after the initial scatter (0 = no retry).
+    pub max_retries: usize,
+    /// Per-wave gather wait before an unresponsive server is declared
+    /// failed and its segments are re-routed. Generous by default so a
+    /// merely slow worker is never misdeclared in the common case.
+    pub attempt_timeout: Duration,
+    /// Base sleep between waves; doubles each wave, bounded by the deadline.
+    pub backoff: Duration,
+    /// If set, once this much of a wave has elapsed with servers still
+    /// outstanding, duplicate the slowest server's request to an untried
+    /// replica and let the first reply win (`None` = never hedge).
+    pub hedge_after: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            attempt_timeout: Duration::from_secs(5),
+            backoff: Duration::from_millis(10),
+            hedge_after: None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -35,5 +74,13 @@ mod tests {
         let d = TuningDefaults::default();
         assert_eq!(d.brute_force_threshold, 64);
         assert_eq!(d.default_ef, 64);
+    }
+
+    #[test]
+    fn retry_defaults_allow_recovery() {
+        let r = RetryPolicy::default();
+        assert!(r.max_retries >= 1, "default policy must actually retry");
+        assert!(r.attempt_timeout > r.backoff);
+        assert!(r.hedge_after.is_none(), "hedging is opt-in");
     }
 }

@@ -58,6 +58,18 @@ impl Deadline {
             .map(|at| at.saturating_duration_since(Instant::now()))
     }
 
+    /// A wait no longer than `cap` that also never overshoots the
+    /// deadline: `min(cap, remaining)`, or `cap` when unbounded. The
+    /// coordinator's retry/hedge waits are all sized through this so
+    /// recovery attempts spend only budget the caller still has.
+    #[must_use]
+    pub fn bounded_wait(&self, cap: Duration) -> Duration {
+        match self.remaining() {
+            Some(r) => r.min(cap),
+            None => cap,
+        }
+    }
+
     /// Error out when expired — the check placed at segment-search
     /// boundaries.
     pub fn check(&self, what: &str) -> TvResult<()> {
@@ -96,6 +108,17 @@ mod tests {
             d.check("segment search"),
             Err(TvError::Timeout(_))
         ));
+    }
+
+    #[test]
+    fn bounded_wait_respects_cap_and_budget() {
+        let cap = Duration::from_millis(50);
+        assert_eq!(Deadline::none().bounded_wait(cap), cap);
+        assert_eq!(Deadline::expired_now().bounded_wait(cap), Duration::ZERO);
+        let tight = Deadline::after(Duration::from_millis(5));
+        assert!(tight.bounded_wait(cap) <= Duration::from_millis(5));
+        let loose = Deadline::after(Duration::from_secs(60));
+        assert_eq!(loose.bounded_wait(cap), cap);
     }
 
     #[test]

@@ -54,6 +54,19 @@ pub enum TvError {
     PermissionDenied(String),
 }
 
+impl TvError {
+    /// Whether a client (or an upstream coordinator) may reasonably retry
+    /// the failed request: transient capacity, timing, and cluster-routing
+    /// failures are retryable; schema/semantic/permission failures are not.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TvError::Overloaded(_) | TvError::Timeout(_) | TvError::Cluster(_)
+        )
+    }
+}
+
 impl fmt::Display for TvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -101,6 +114,16 @@ mod tests {
             offset: 42,
         };
         assert!(p.to_string().contains("42"));
+    }
+
+    #[test]
+    fn retryability_partitions_transient_from_permanent() {
+        assert!(TvError::Overloaded("queue full".into()).is_retryable());
+        assert!(TvError::Timeout("deadline".into()).is_retryable());
+        assert!(TvError::Cluster("server 2 unreachable".into()).is_retryable());
+        assert!(!TvError::Schema("dup".into()).is_retryable());
+        assert!(!TvError::PermissionDenied("no grant".into()).is_retryable());
+        assert!(!TvError::InvalidArgument("k=0".into()).is_retryable());
     }
 
     #[test]

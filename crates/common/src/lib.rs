@@ -19,7 +19,7 @@ pub mod rng;
 pub mod topk;
 
 pub use bitmap::Bitmap;
-pub use config::TuningDefaults;
+pub use config::{RetryPolicy, TuningDefaults};
 pub use deadline::Deadline;
 pub use error::{TvError, TvResult};
 pub use histogram::LatencyHistogram;

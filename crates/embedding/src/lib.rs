@@ -26,4 +26,4 @@ pub mod vacuum;
 pub use segment::EmbeddingSegment;
 pub use service::{BatchQuery, EmbeddingService, SegmentFilters, ServiceConfig, TypedNeighbor};
 pub use types::{EmbeddingSpace, EmbeddingTypeDef, IndexKind, VectorDataType};
-pub use vacuum::{BackgroundVacuum, ThreadTuner, VacuumConfig};
+pub use vacuum::{BackgroundVacuum, ThreadTuner, VacuumConfig, VacuumErrors};

@@ -10,10 +10,11 @@
 //! threads back off to keep queries responsive.
 
 use crate::service::EmbeddingService;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use tv_common::Tid;
+use tv_common::{Tid, TvError};
 
 /// Vacuum scheduling knobs.
 #[derive(Debug, Clone, Copy)]
@@ -67,12 +68,81 @@ impl ThreadTuner {
     }
 }
 
+/// Error telemetry shared by the vacuum threads. A persistently failing
+/// attribute used to be swallowed forever by `unwrap_or(0)`; now every
+/// failed merge bumps the counter and records the message, so operators
+/// can see (and alert on) a vacuum that is silently falling behind.
+#[derive(Default)]
+pub struct VacuumErrors {
+    count: AtomicU64,
+    last: Mutex<Option<String>>,
+}
+
+impl VacuumErrors {
+    fn record(&self, attr: u32, what: &str, e: &TvError) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        *self.last.lock() = Some(format!("{what} failed for attr {attr}: {e}"));
+    }
+
+    /// Total merge failures observed since start.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The most recent failure message, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<String> {
+        self.last.lock().clone()
+    }
+}
+
+/// One delta-merge round: a single sweep over `attrs`, flushing each one's
+/// in-memory deltas up to `up_to`. Returns the number of records flushed
+/// across the whole sweep; failures are recorded, never swallowed.
+fn delta_round(
+    service: &EmbeddingService,
+    attrs: &[u32],
+    up_to: Tid,
+    errors: &VacuumErrors,
+) -> u64 {
+    let mut flushed = 0u64;
+    for &attr in attrs {
+        match service.delta_merge(attr, up_to) {
+            Ok(n) => flushed += n as u64,
+            Err(e) => errors.record(attr, "delta merge", &e),
+        }
+    }
+    flushed
+}
+
+/// One index-merge round: a single sweep over `attrs`, folding each one's
+/// delta files into its index with `threads` workers. Returns the number
+/// of segments folded across the whole sweep.
+fn index_round(
+    service: &EmbeddingService,
+    attrs: &[u32],
+    up_to: Tid,
+    threads: usize,
+    errors: &VacuumErrors,
+) -> u64 {
+    let mut folded = 0u64;
+    for &attr in attrs {
+        match service.index_merge(attr, up_to, threads) {
+            Ok(n) => folded += n as u64,
+            Err(e) => errors.record(attr, "index merge", &e),
+        }
+    }
+    folded
+}
+
 /// Handle to the two background vacuum threads; stops and joins on drop.
 pub struct BackgroundVacuum {
     stop: Arc<AtomicBool>,
     handles: Vec<std::thread::JoinHandle<()>>,
     delta_merges: Arc<AtomicU64>,
     index_merges: Arc<AtomicU64>,
+    errors: Arc<VacuumErrors>,
 }
 
 /// Callbacks the vacuum needs from the transaction layer: the committed
@@ -94,6 +164,7 @@ impl BackgroundVacuum {
         let stop = Arc::new(AtomicBool::new(false));
         let delta_merges = Arc::new(AtomicU64::new(0));
         let index_merges = Arc::new(AtomicU64::new(0));
+        let errors = Arc::new(VacuumErrors::default());
         let tuner = ThreadTuner {
             max_threads: config.max_merge_threads,
             target_utilization: config.target_utilization,
@@ -105,13 +176,12 @@ impl BackgroundVacuum {
             let stop = Arc::clone(&stop);
             let committed = Arc::clone(&hooks.committed);
             let counter = Arc::clone(&delta_merges);
+            let errors = Arc::clone(&errors);
             handles.push(std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     let up_to = committed();
-                    for attr in service.attr_ids() {
-                        if service.delta_merge(attr, up_to).unwrap_or(0) > 0 {
-                            counter.fetch_add(1, Ordering::Relaxed);
-                        }
+                    if delta_round(&service, &service.attr_ids(), up_to, &errors) > 0 {
+                        counter.fetch_add(1, Ordering::Relaxed);
                     }
                     std::thread::sleep(config.delta_merge_interval);
                 }
@@ -123,14 +193,13 @@ impl BackgroundVacuum {
             let horizon = Arc::clone(&hooks.horizon);
             let load = Arc::clone(&hooks.load);
             let counter = Arc::clone(&index_merges);
+            let errors = Arc::clone(&errors);
             handles.push(std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     let threads = tuner.tune(load());
                     let up_to = committed();
-                    for attr in service.attr_ids() {
-                        if service.index_merge(attr, up_to, threads).unwrap_or(0) > 0 {
-                            counter.fetch_add(1, Ordering::Relaxed);
-                        }
+                    if index_round(&service, &service.attr_ids(), up_to, threads, &errors) > 0 {
+                        counter.fetch_add(1, Ordering::Relaxed);
                     }
                     service.prune(horizon());
                     std::thread::sleep(config.index_merge_interval);
@@ -142,19 +211,36 @@ impl BackgroundVacuum {
             handles,
             delta_merges,
             index_merges,
+            errors,
         }
     }
 
-    /// Completed delta-merge rounds that flushed records.
+    /// Completed delta-merge rounds — full sweeps over every registered
+    /// attribute — that flushed at least one record. (A round that flushes
+    /// several attributes counts once, not once per attribute.)
     #[must_use]
     pub fn delta_merge_count(&self) -> u64 {
         self.delta_merges.load(Ordering::Relaxed)
     }
 
-    /// Completed index-merge rounds that folded at least one segment.
+    /// Completed index-merge rounds — full sweeps over every registered
+    /// attribute — that folded at least one segment. (A round that folds
+    /// several attributes counts once, not once per attribute.)
     #[must_use]
     pub fn index_merge_count(&self) -> u64 {
         self.index_merges.load(Ordering::Relaxed)
+    }
+
+    /// Merge failures observed since start (0 on a healthy vacuum).
+    #[must_use]
+    pub fn error_count(&self) -> u64 {
+        self.errors.count()
+    }
+
+    /// The most recent merge failure, if any ever occurred.
+    #[must_use]
+    pub fn last_error(&self) -> Option<String> {
+        self.errors.last()
     }
 
     /// Signal the threads to stop and join them.
@@ -220,6 +306,67 @@ mod tests {
         assert_eq!(degenerate.tune(0.5), 1);
     }
 
+    fn two_attr_service() -> (Arc<EmbeddingService>, Vec<u32>) {
+        let svc = Arc::new(EmbeddingService::new(ServiceConfig {
+            brute_force_threshold: 4,
+            query_threads: 1,
+            default_ef: 32,
+        }));
+        let layout = SegmentLayout::with_capacity(64);
+        let mut attrs = Vec::new();
+        for (i, name) in ["a", "b"].iter().enumerate() {
+            let attr = svc
+                .register(
+                    i as u32,
+                    EmbeddingTypeDef::new(name, 4, "M", DistanceMetric::L2),
+                    layout,
+                )
+                .unwrap();
+            let recs: Vec<DeltaRecord> = (0..8)
+                .map(|j| {
+                    DeltaRecord::upsert(layout.vertex_id(j), Tid(j as u64 + 1), vec![j as f32; 4])
+                })
+                .collect();
+            svc.apply_deltas(attr, &recs).unwrap();
+            attrs.push(attr);
+        }
+        (svc, attrs)
+    }
+
+    #[test]
+    fn a_round_counts_once_not_once_per_attribute() {
+        // Regression: the counters used to increment per attribute per
+        // cycle while the docs promised "completed rounds".
+        let (svc, attrs) = two_attr_service();
+        let errors = VacuumErrors::default();
+        let flushed = delta_round(&svc, &attrs, Tid(64), &errors);
+        assert_eq!(flushed, 16, "both attributes flushed in one sweep");
+        let folded = index_round(&svc, &attrs, Tid(64), 1, &errors);
+        assert!(folded > 0);
+        assert_eq!(errors.count(), 0);
+        // The counter contract: one sweep = at most one increment. The
+        // round helpers return the sweep total, so the thread-side
+        // `if round > 0 { counter += 1 }` cannot double-count attributes.
+        let idle = delta_round(&svc, &attrs, Tid(64), &errors);
+        assert_eq!(idle, 0, "nothing left to flush on the second sweep");
+    }
+
+    #[test]
+    fn merge_errors_are_recorded_not_swallowed() {
+        let (svc, _) = two_attr_service();
+        let errors = VacuumErrors::default();
+        // An unknown attribute id makes every merge fail — the shape of a
+        // persistently failing attr.
+        let flushed = delta_round(&svc, &[9999], Tid(64), &errors);
+        assert_eq!(flushed, 0);
+        assert_eq!(errors.count(), 1);
+        let msg = errors.last().expect("last error recorded");
+        assert!(msg.contains("9999") && msg.contains("delta merge"), "{msg}");
+        index_round(&svc, &[9999], Tid(64), 1, &errors);
+        assert_eq!(errors.count(), 2);
+        assert!(errors.last().unwrap().contains("index merge"));
+    }
+
     #[test]
     fn background_vacuum_flushes_and_merges() {
         let svc = Arc::new(EmbeddingService::new(ServiceConfig {
@@ -272,6 +419,8 @@ mod tests {
             }
             std::thread::sleep(Duration::from_millis(5));
         }
+        assert_eq!(vacuum.error_count(), 0, "healthy vacuum must report none");
+        assert!(vacuum.last_error().is_none());
         vacuum.stop();
         assert_eq!(svc.total_mem_deltas(), 0, "mem deltas not flushed");
         assert_eq!(svc.total_delta_files(), 0, "delta files not merged+pruned");

@@ -23,6 +23,9 @@ pub struct TenantMetrics {
     denied: AtomicU64,
     batched: AtomicU64,
     max_queue_depth: AtomicU64,
+    cluster_retries: AtomicU64,
+    cluster_hedges: AtomicU64,
+    degraded: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -68,6 +71,17 @@ impl TenantMetrics {
         }
     }
 
+    /// A cluster scatter-gather finished: `retries` replica re-routes and
+    /// `hedges` duplicate requests were needed, and the answer was
+    /// `degraded` (incomplete coverage) or not.
+    pub fn record_cluster(&self, retries: u64, hedges: u64, degraded: bool) {
+        self.cluster_retries.fetch_add(retries, Ordering::Relaxed);
+        self.cluster_hedges.fetch_add(hedges, Ordering::Relaxed);
+        if degraded {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Requests that passed admission.
     #[must_use]
     pub fn admitted(&self) -> u64 {
@@ -104,6 +118,24 @@ impl TenantMetrics {
         self.max_queue_depth.load(Ordering::Relaxed)
     }
 
+    /// Replica re-routes performed for this tenant's cluster queries.
+    #[must_use]
+    pub fn cluster_retries(&self) -> u64 {
+        self.cluster_retries.load(Ordering::Relaxed)
+    }
+
+    /// Hedged (duplicate) cluster requests sent for this tenant.
+    #[must_use]
+    pub fn cluster_hedges(&self) -> u64 {
+        self.cluster_hedges.load(Ordering::Relaxed)
+    }
+
+    /// Cluster queries answered with incomplete coverage.
+    #[must_use]
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
     /// The latency histogram (successful requests only).
     #[must_use]
     pub fn latency(&self) -> &LatencyHistogram {
@@ -121,10 +153,13 @@ impl TenantMetrics {
             "batched".into(),
             self.batched.load(Ordering::Relaxed).into(),
         );
+        m.insert("cluster_hedges".into(), self.cluster_hedges().into());
+        m.insert("cluster_retries".into(), self.cluster_retries().into());
         m.insert(
             "completed".into(),
             self.completed.load(Ordering::Relaxed).into(),
         );
+        m.insert("degraded".into(), self.degraded().into());
         m.insert("denied".into(), self.denied().into());
         m.insert("latency_count".into(), self.latency.count().into());
         m.insert("latency_max_ms".into(), ms(self.latency.max()).into());
@@ -192,6 +227,8 @@ mod tests {
         t.record_denied();
         t.record_batched(4);
         t.record_batched(1); // not counted: batch of one
+        t.record_cluster(3, 1, true);
+        t.record_cluster(2, 0, false);
 
         assert_eq!(t.admitted(), 2);
         assert_eq!(t.max_queue_depth(), 3);
@@ -205,6 +242,9 @@ mod tests {
         assert_eq!(acme.get("denied").unwrap().as_u64(), Some(1));
         assert_eq!(acme.get("batched").unwrap().as_u64(), Some(1));
         assert_eq!(acme.get("max_queue_depth").unwrap().as_u64(), Some(3));
+        assert_eq!(acme.get("cluster_retries").unwrap().as_u64(), Some(5));
+        assert_eq!(acme.get("cluster_hedges").unwrap().as_u64(), Some(1));
+        assert_eq!(acme.get("degraded").unwrap().as_u64(), Some(1));
         assert!(acme.get("latency_p99_ms").unwrap().as_f64().unwrap() > 0.0);
     }
 

@@ -8,8 +8,8 @@ use crate::session::{Session, SessionManager};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tg_graph::{AccessControl, Graph};
-use tv_cluster::ClusterRuntime;
-use tv_common::{Deadline, Neighbor, Tid, TvError, TvResult};
+use tv_cluster::{ClusterResponse, ClusterRuntime};
+use tv_common::{Deadline, Tid, TvError, TvResult};
 use tv_embedding::{BatchQuery, TypedNeighbor};
 use tv_gsql::{Params, QueryOutput};
 use tv_hnsw::SearchStats;
@@ -267,7 +267,10 @@ impl Server {
     }
 
     /// Scatter a top-k across the attached cluster runtime with the session
-    /// deadline propagated into every worker loop.
+    /// deadline propagated into every worker loop. The full
+    /// [`ClusterResponse`] is returned so callers see the coverage of a
+    /// degraded answer; the tenant's metrics record every replica retry,
+    /// hedge, and degraded completion.
     pub fn cluster_top_k(
         &self,
         session: &Session,
@@ -275,7 +278,7 @@ impl Server {
         k: usize,
         ef: usize,
         tid: Tid,
-    ) -> TvResult<Vec<Neighbor>> {
+    ) -> TvResult<ClusterResponse> {
         let runtime = self.cluster.as_ref().ok_or_else(|| {
             TvError::InvalidArgument("no cluster runtime attached to this server".into())
         })?;
@@ -283,10 +286,15 @@ impl Server {
         let deadline = self.deadline_for(session);
         let start = Instant::now();
         let permit = self.admit(session, &tenant, deadline)?;
-        let result = runtime
-            .top_k_deadline(query, k, ef, tid, None, deadline)
-            .map(|(neighbors, _times, _stats)| neighbors);
+        let result = runtime.top_k_deadline(query, k, ef, tid, None, deadline);
         drop(permit);
+        if let Ok(response) = &result {
+            tenant.record_cluster(
+                response.retries,
+                response.hedges,
+                !response.coverage.is_complete(),
+            );
+        }
         self.record_outcome(&tenant, start, &result);
         result
     }

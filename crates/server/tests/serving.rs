@@ -6,10 +6,14 @@ use std::sync::Arc;
 use std::time::Duration;
 use tg_graph::{AccessControl, Graph, Role};
 use tg_storage::{AttrType, AttrValue};
-use tv_common::ids::SegmentLayout;
-use tv_common::{Deadline, DistanceMetric, SplitMix64, TvError, VertexId};
-use tv_embedding::{EmbeddingTypeDef, ServiceConfig};
+use tv_cluster::{ClusterRuntime, FaultKind, RuntimeConfig};
+use tv_common::ids::{LocalId, SegmentLayout};
+use tv_common::{
+    Deadline, DistanceMetric, RetryPolicy, SegmentId, SplitMix64, Tid, TvError, VertexId,
+};
+use tv_embedding::{EmbeddingSegment, EmbeddingTypeDef, ServiceConfig};
 use tv_gsql::{Params, Value};
+use tv_hnsw::DeltaRecord;
 use tv_server::{AdmissionConfig, Server, ServerConfig};
 
 const DIM: usize = 4;
@@ -215,6 +219,106 @@ fn four_tenants_admission_rbac_and_metrics_end_to_end() {
     );
     // Phase B closed its 4 sessions; A/C/D left 4 + 3 + 2 + 1 open.
     assert_eq!(server.active_sessions(), 10);
+}
+
+/// A small replicated cluster the server can scatter into, loaded with
+/// deterministic vectors.
+fn serving_cluster(degraded_mode: bool) -> (Arc<ClusterRuntime>, Vec<Vec<f32>>) {
+    let runtime = ClusterRuntime::start(RuntimeConfig {
+        servers: 4,
+        replication: 2,
+        brute_force_threshold: 4,
+        retry: RetryPolicy {
+            max_retries: 2,
+            attempt_timeout: Duration::from_millis(100),
+            backoff: Duration::from_millis(1),
+            hedge_after: None,
+        },
+        degraded_mode,
+    });
+    let def = EmbeddingTypeDef::new("e", DIM, "M", DistanceMetric::L2);
+    let mut rng = SplitMix64::new(11);
+    let mut vecs = Vec::new();
+    let mut tid = 0u64;
+    for s in 0..8u32 {
+        let seg = Arc::new(EmbeddingSegment::new(SegmentId(s), &def, 256));
+        let mut recs = Vec::new();
+        for l in 0..20u32 {
+            tid += 1;
+            let v: Vec<f32> = (0..DIM).map(|_| rng.next_f32() * 5.0).collect();
+            recs.push(DeltaRecord::upsert(
+                VertexId::new(SegmentId(s), LocalId(l)),
+                Tid(tid),
+                v.clone(),
+            ));
+            vecs.push(v);
+        }
+        seg.append_deltas(&recs).unwrap();
+        seg.delta_merge(Tid(tid)).unwrap();
+        seg.index_merge(Tid(tid)).unwrap();
+        runtime.add_segment(seg);
+    }
+    (Arc::new(runtime), vecs)
+}
+
+#[test]
+fn cluster_topk_records_retries_and_coverage_in_tenant_metrics() {
+    let (graph, acl, _ids, _vecs) = serving_fixture();
+    let (cluster, vecs) = serving_cluster(false);
+    let server =
+        Server::new(graph, acl, ServerConfig::default()).with_cluster(Arc::clone(&cluster));
+    let session = server.open_session("acme", "u-acme");
+
+    // Healthy scatter: complete coverage, nothing retried.
+    let healthy = server
+        .cluster_top_k(&session, &vecs[3], 5, 64, Tid::MAX)
+        .unwrap();
+    assert!(healthy.coverage.is_complete());
+    assert_eq!(healthy.neighbors.len(), 5);
+
+    // One injected crash: the replica retry path answers bit-identically
+    // and the tenant's counters record the recovery.
+    cluster.inject_fault(1, FaultKind::CrashOnRecv, Some(1));
+    let recovered = server
+        .cluster_top_k(&session, &vecs[3], 5, 64, Tid::MAX)
+        .unwrap();
+    assert_eq!(
+        healthy.neighbors, recovered.neighbors,
+        "replica retry must not change the answer"
+    );
+    assert!(recovered.coverage.is_complete());
+    assert!(recovered.retries > 0);
+
+    let snap = server.metrics_json();
+    let acme = snap.get("acme").unwrap();
+    assert!(acme.get("cluster_retries").unwrap().as_u64().unwrap() > 0);
+    assert_eq!(acme.get("degraded").unwrap().as_u64(), Some(0));
+    assert_eq!(acme.get("completed").unwrap().as_u64(), Some(2));
+}
+
+#[test]
+fn cluster_topk_degraded_answer_counts_against_the_tenant() {
+    let (graph, acl, _ids, _vecs) = serving_fixture();
+    let (cluster, vecs) = serving_cluster(true);
+    // Take down a server AND its replica peer so two segments lose every
+    // holder: with degraded mode on, the request still succeeds.
+    cluster.fail_server(2);
+    cluster.fail_server(3);
+    let server =
+        Server::new(graph, acl, ServerConfig::default()).with_cluster(Arc::clone(&cluster));
+    let session = server.open_session("acme", "u-acme");
+    let r = server
+        .cluster_top_k(&session, &vecs[0], 5, 64, Tid::MAX)
+        .unwrap();
+    assert!(!r.coverage.is_complete());
+    assert_eq!(r.coverage.segments_total, 8);
+    assert!(!r.unsearched.is_empty());
+    assert!(!r.neighbors.is_empty());
+
+    let snap = server.metrics_json();
+    let acme = snap.get("acme").unwrap();
+    assert_eq!(acme.get("degraded").unwrap().as_u64(), Some(1));
+    assert_eq!(acme.get("completed").unwrap().as_u64(), Some(1));
 }
 
 #[test]

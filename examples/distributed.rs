@@ -1,14 +1,15 @@
 //! Distributed vector search (Fig. 5, §6.3): the coordinator/worker
-//! scatter-gather over a simulated cluster, replica failover, and the
+//! scatter-gather over a simulated cluster, replica failover, fault
+//! injection with retry recovery, degraded-mode partial results, and the
 //! scalability model the Fig. 9/10 benchmarks use.
 //!
 //! Run with: `cargo run --release --example distributed`
 
 use std::sync::Arc;
 use std::time::Duration;
-use tigervector::cluster::{ClusterModel, ClusterRuntime, QueryWork, RuntimeConfig};
+use tigervector::cluster::{ClusterModel, ClusterRuntime, FaultKind, QueryWork, RuntimeConfig};
 use tigervector::common::ids::{LocalId, SegmentLayout};
-use tigervector::common::{DistanceMetric, SegmentId, Tid, VertexId};
+use tigervector::common::{DistanceMetric, RetryPolicy, SegmentId, Tid, VertexId};
 use tigervector::datagen::{DatasetShape, VectorDataset};
 use tigervector::embedding::{EmbeddingSegment, EmbeddingTypeDef};
 use tigervector::hnsw::DeltaRecord;
@@ -22,6 +23,13 @@ fn main() {
         servers,
         replication: 2,
         brute_force_threshold: 64,
+        retry: RetryPolicy {
+            max_retries: 2,
+            attempt_timeout: Duration::from_millis(100),
+            backoff: Duration::from_millis(2),
+            hedge_after: None,
+        },
+        degraded_mode: false,
     });
 
     // Build per-segment HNSW indexes and register them.
@@ -60,14 +68,17 @@ fn main() {
 
     // Scatter-gather query.
     let q = &ds.queries[0];
-    let (results, per_server, stats) = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
+    let r = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
     println!("top-5 (coordinator global merge):");
-    for n in &results {
+    for n in &r.neighbors {
         println!("  {} dist {:.2}", n.id, n.dist);
     }
     println!(
-        "per-server compute: {:?}; distance computations: {}",
-        per_server, stats.distance_computations
+        "per-reply compute: {:?}; distance computations: {}; coverage {}/{}",
+        r.times,
+        r.stats.distance_computations,
+        r.coverage.segments_searched,
+        r.coverage.segments_total
     );
     let expected_id = {
         let gt = tigervector::datagen::ground_truth(
@@ -80,20 +91,35 @@ fn main() {
         gt[0][0]
     };
     assert_eq!(
-        results[0].id, expected_id,
+        r.neighbors[0].id, expected_id,
         "distributed top-1 must be exact-ish"
     );
+    let healthy_ids: Vec<_> = r.neighbors.iter().map(|n| n.id).collect();
 
     // Failover: kill a server, results stay identical thanks to replicas.
     println!("\nfailing server 0 — replicas take over...");
     runtime.fail_server(0);
-    let (after, _, _) = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
+    let after = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
     assert_eq!(
-        results.iter().map(|n| n.id).collect::<Vec<_>>(),
-        after.iter().map(|n| n.id).collect::<Vec<_>>()
+        healthy_ids,
+        after.neighbors.iter().map(|n| n.id).collect::<Vec<_>>()
     );
     println!("results identical after failover ✓");
     runtime.recover_server(0);
+
+    // Fault injection: a server swallows the next request; the coordinator
+    // times the silence out and re-routes its segments to replicas.
+    println!("\ninjecting crash-on-recv on server 1 — retry recovers...");
+    runtime.inject_fault(1, FaultKind::CrashOnRecv, Some(1));
+    let recovered = runtime.top_k(q, 5, 64, Tid::MAX, None).unwrap();
+    assert_eq!(
+        healthy_ids,
+        recovered.neighbors.iter().map(|n| n.id).collect::<Vec<_>>()
+    );
+    println!(
+        "bit-identical after {} replica retrie(s) ✓",
+        recovered.retries
+    );
 
     // The analytic model used for the paper-scale figures.
     println!("\nmodeled cluster QPS (measured CPU + modeled 32-core servers):");
@@ -112,4 +138,8 @@ fn main() {
         println!("  {s:>2} servers: {qps:>10.0} QPS{gain}");
         prev = Some(qps);
     }
+    println!(
+        "modeled at 10% failure rate: {:.0} QPS on 8 servers",
+        ClusterModel::paper_default(8).qps_with_failures(&work, 0.1)
+    );
 }
