@@ -1,8 +1,8 @@
 # Development shortcuts; `make verify` mirrors the CI pipeline exactly.
 
-.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load chaos-smoke
+.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load chaos-smoke kernel-smoke
 
-verify: fmt-check build clippy test test-all chaos-smoke
+verify: fmt-check build clippy test test-all kernel-smoke chaos-smoke
 
 build:
 	cargo build --release
@@ -32,3 +32,11 @@ serve-load:
 # failures (the binary panics on any recall < 1.0 at replication 2).
 chaos-smoke:
 	cargo run --release -p tv-bench --bin chaos_load -- --segments 4 --per-segment 50 --queries 40
+
+# Kernel-layer gate: cross-tier equivalence tests, the index/embedding test
+# suites re-run with the SIMD dispatch forced to the scalar fallback (proves
+# results do not depend on the tier), and a quick kernel microbench.
+kernel-smoke:
+	cargo test --release -p tv-common --test kernel_equivalence -q
+	TV_KERNELS=scalar cargo test --release -p tv-common -p tv-hnsw -p tv-embedding -p tv-baselines -q
+	cargo run --release -p tv-bench --bin kernel_bench -- --quick 1

@@ -150,4 +150,41 @@ mod tests {
         let r = sys.top_k(&data[100].1, 1);
         assert_eq!(r[0].id, data[100].0);
     }
+
+    /// Recall is tier-invariant at the system level: exhaustive-`ef` cosine
+    /// search through the dispatched kernels must return the same top-k the
+    /// scalar reference kernels rank exactly. Guards the kernel swap against
+    /// recall drift (the fig7/fig8 acceptance bar is recall within ±0.001).
+    #[test]
+    fn cosine_search_matches_scalar_exact_ranking() {
+        use tv_common::kernels::{self, KernelTier, PreparedQuery};
+        let layout = SegmentLayout::with_capacity(64);
+        let dim = 12;
+        let mut sys = TigerVectorSystem::new(dim, DistanceMetric::Cosine, layout);
+        let mut rng = SplitMix64::new(11);
+        let data: Vec<(VertexId, Vec<f32>)> = (0..200)
+            .map(|i| {
+                (
+                    layout.vertex_id(i),
+                    (0..dim).map(|_| rng.next_f32() * 2.0 - 1.0).collect(),
+                )
+            })
+            .collect();
+        sys.load(&data);
+        sys.build_index();
+        sys.set_ef(256); // exhaustive at this scale
+        let scalar = kernels::for_tier(KernelTier::Scalar).unwrap();
+        let k = 10;
+        for probe in [0usize, 57, 199] {
+            let q = &data[probe].1;
+            let got: Vec<VertexId> = sys.top_k(q, k).into_iter().map(|n| n.id).collect();
+            let pq = PreparedQuery::on(scalar, DistanceMetric::Cosine, q);
+            let mut exact: Vec<(f32, VertexId)> =
+                data.iter().map(|(id, v)| (pq.distance(v), *id)).collect();
+            exact.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let want: Vec<VertexId> = exact.iter().take(k).map(|&(_, id)| id).collect();
+            let hits = got.iter().filter(|id| want.contains(id)).count();
+            assert_eq!(hits, k, "probe {probe}: got {got:?} want {want:?}");
+        }
+    }
 }

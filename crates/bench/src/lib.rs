@@ -146,12 +146,44 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
-/// Write a JSON result file under `bench_results/`.
+/// Provenance block recorded in every bench JSON: which kernel tier the
+/// process dispatched to, under what policy, and the qualified kernel names
+/// — distance-kernel throughput dominates these numbers, so results are not
+/// reproducible without it.
+#[must_use]
+pub fn kernel_info() -> serde_json::Value {
+    let k = tv_common::kernels::active();
+    let names: Vec<serde_json::Value> = k
+        .kernel_names()
+        .into_iter()
+        .map(serde_json::Value::from)
+        .collect();
+    serde_json::json!({
+        "tier": k.tier().name(),
+        "policy": tv_common::kernels::policy().to_string(),
+        "kernels": names,
+    })
+}
+
+/// Write a JSON result file under `bench_results/`, stamped with
+/// [`kernel_info`]. Object payloads get a `kernel_info` key; array payloads
+/// are wrapped as `{"kernel_info": ..., "rows": [...]}`.
 pub fn save_json(name: &str, value: &serde_json::Value) {
+    let stamped = match value {
+        serde_json::Value::Object(map) => {
+            let mut map = map.clone();
+            map.insert("kernel_info".to_string(), kernel_info());
+            serde_json::Value::Object(map)
+        }
+        other => serde_json::json!({
+            "kernel_info": kernel_info(),
+            "rows": other.clone(),
+        }),
+    };
     let dir = std::path::Path::new("bench_results");
     if std::fs::create_dir_all(dir).is_ok() {
         let path = dir.join(format!("{name}.json"));
-        if let Ok(s) = serde_json::to_string_pretty(value) {
+        if let Ok(s) = serde_json::to_string_pretty(&stamped) {
             let _ = std::fs::write(&path, s);
             println!("[saved {}]", path.display());
         }

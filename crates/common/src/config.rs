@@ -7,6 +7,7 @@
 //! [`TuningDefaults`], the single source of truth. [`RetryPolicy`] plays the
 //! same role for the coordinator's fault-recovery knobs.
 
+use crate::kernels::KernelTier;
 use std::time::Duration;
 
 /// Engine-wide tuning knobs shared by the single-machine embedding service
@@ -65,6 +66,53 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Which distance-kernel tier the process dispatches to (see
+/// [`crate::kernels`]). `Auto` probes the CPU at first use and picks the
+/// widest supported tier; `Force` pins one tier (useful for reproducing
+/// scalar-reference results or testing the fallback on wide hardware). A
+/// forced tier the CPU cannot run falls back to `Scalar`, never crashes.
+///
+/// Resolution order at dispatch time: the `TV_KERNELS` environment variable
+/// (`scalar|sse|avx2|neon|auto`), then [`crate::kernels::set_policy`], then
+/// `Auto`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPolicy {
+    /// Pick the best tier the CPU supports (the default).
+    #[default]
+    Auto,
+    /// Pin one tier regardless of what else the CPU could run.
+    Force(KernelTier),
+}
+
+impl KernelPolicy {
+    /// Parse a policy string: `auto` or any [`KernelTier::parse`] name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.eq_ignore_ascii_case("auto") {
+            Some(KernelPolicy::Auto)
+        } else {
+            KernelTier::parse(s).map(KernelPolicy::Force)
+        }
+    }
+
+    /// The policy named by `TV_KERNELS`, if set and well-formed.
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        std::env::var("TV_KERNELS")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+    }
+}
+
+impl std::fmt::Display for KernelPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelPolicy::Auto => f.write_str("auto"),
+            KernelPolicy::Force(t) => write!(f, "force:{t}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +122,21 @@ mod tests {
         let d = TuningDefaults::default();
         assert_eq!(d.brute_force_threshold, 64);
         assert_eq!(d.default_ef, 64);
+    }
+
+    #[test]
+    fn kernel_policy_parses() {
+        assert_eq!(KernelPolicy::parse("auto"), Some(KernelPolicy::Auto));
+        assert_eq!(
+            KernelPolicy::parse("scalar"),
+            Some(KernelPolicy::Force(KernelTier::Scalar))
+        );
+        assert_eq!(
+            KernelPolicy::parse("avx2"),
+            Some(KernelPolicy::Force(KernelTier::Avx2Fma))
+        );
+        assert_eq!(KernelPolicy::parse("bogus"), None);
+        assert_eq!(KernelPolicy::default(), KernelPolicy::Auto);
     }
 
     #[test]

@@ -1,0 +1,972 @@
+//! Runtime-dispatched SIMD distance kernels.
+//!
+//! Every distance in the engine funnels through this layer. At first use the
+//! process probes the CPU (`is_x86_feature_detected!`) and installs one
+//! kernel table — AVX2+FMA where available, SSE2 on any x86-64, NEON on
+//! aarch64, and the 4-lane scalar loops (the seed implementation, kept
+//! verbatim in [`scalar`]) as the always-correct fallback. The choice can be
+//! overridden with [`crate::config::KernelPolicy`] via [`set_policy`] or the
+//! `TV_KERNELS` environment variable (`scalar|sse|avx2|neon|auto`), which CI
+//! uses to keep the fallback path covered on AVX2 runners.
+//!
+//! Beyond plain `dot`/`l2_sq`, the table exposes **fused** one-pass kernels
+//! (`dot_norm_sq` computes `<a,b>` and `|b|²` in a single sweep) and
+//! **batched** kernels that score one query against N contiguous rows per
+//! call, so the per-call dispatch cost is paid once per candidate batch
+//! rather than once per candidate. [`PreparedQuery`] packages the
+//! metric-aware scoring on top: it hoists the query norm once per search and
+//! scores candidates against cached per-slot norms, which drops cosine from
+//! three passes over both vectors to one fused pass per candidate.
+//!
+//! ## Tolerance contract
+//!
+//! Within one tier results are deterministic (bit-identical across calls and
+//! processes on the same tier). Across tiers, results may differ by at most
+//! `1e-5` **relative to the accumulated magnitude** of the reduction — FMA
+//! contracts the multiply-add rounding step and wider registers change the
+//! association order. The scalar tier reproduces the seed kernels
+//! bit-for-bit, including the fused cosine path: `dot_norm_sq` accumulates
+//! in exactly the seed's 4-lane order, so cached-norm cosine equals the
+//! seed's three-pass cosine on the scalar tier. Cross-tier agreement is
+//! enforced by `crates/common/tests/kernel_equivalence.rs`, not assumed.
+
+use crate::config::KernelPolicy;
+use crate::metric::DistanceMetric;
+use std::sync::OnceLock;
+
+/// One dispatchable implementation level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelTier {
+    /// Portable 4-lane unrolled loops (the seed implementation).
+    Scalar,
+    /// 128-bit SSE2 (baseline on every x86-64).
+    Sse,
+    /// 256-bit AVX2 with fused multiply-add.
+    Avx2Fma,
+    /// 128-bit NEON (baseline on aarch64).
+    Neon,
+}
+
+impl KernelTier {
+    /// Stable display name (also accepted by [`KernelTier::parse`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Sse => "sse",
+            KernelTier::Avx2Fma => "avx2+fma",
+            KernelTier::Neon => "neon",
+        }
+    }
+
+    /// Parse a tier name (`scalar`, `sse`, `avx2`, `avx2+fma`, `neon`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelTier::Scalar),
+            "sse" | "sse2" => Some(KernelTier::Sse),
+            "avx2" | "avx2+fma" | "avx2fma" => Some(KernelTier::Avx2Fma),
+            "neon" => Some(KernelTier::Neon),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A resolved table of distance kernels for one tier. All slices handed to
+/// pair kernels must be equal-length; batch kernels take a row-major slab of
+/// `out.len()` rows of `query.len()` floats.
+pub struct Kernels {
+    tier: KernelTier,
+    dot: fn(&[f32], &[f32]) -> f32,
+    l2_sq: fn(&[f32], &[f32]) -> f32,
+    norm_sq: fn(&[f32]) -> f32,
+    dot_norm_sq: fn(&[f32], &[f32]) -> (f32, f32),
+    dot_batch: fn(&[f32], &[f32], &mut [f32]),
+    l2_sq_batch: fn(&[f32], &[f32], &mut [f32]),
+}
+
+impl Kernels {
+    /// The tier this table implements.
+    #[must_use]
+    pub fn tier(&self) -> KernelTier {
+        self.tier
+    }
+
+    /// Inner product `<a, b>`.
+    #[must_use]
+    pub fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        (self.dot)(a, b)
+    }
+
+    /// Squared Euclidean distance `|a - b|²`.
+    #[must_use]
+    pub fn l2_sq(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        (self.l2_sq)(a, b)
+    }
+
+    /// Squared norm `|a|²`.
+    #[must_use]
+    pub fn norm_sq(&self, a: &[f32]) -> f32 {
+        (self.norm_sq)(a)
+    }
+
+    /// Fused one-pass `(<a, b>, |b|²)` — the cosine workhorse when `b`'s
+    /// norm is not cached.
+    #[must_use]
+    pub fn dot_norm_sq(&self, a: &[f32], b: &[f32]) -> (f32, f32) {
+        debug_assert_eq!(a.len(), b.len());
+        (self.dot_norm_sq)(a, b)
+    }
+
+    /// Batched inner product: `out[i] = <q, slab[i*d..][..d]>`.
+    pub fn dot_batch(&self, q: &[f32], slab: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(slab.len(), q.len() * out.len());
+        (self.dot_batch)(q, slab, out);
+    }
+
+    /// Batched squared L2: `out[i] = |q - slab[i*d..][..d]|²`.
+    pub fn l2_sq_batch(&self, q: &[f32], slab: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(slab.len(), q.len() * out.len());
+        (self.l2_sq_batch)(q, slab, out);
+    }
+
+    /// Qualified names of the kernels in this table, for bench provenance
+    /// (e.g. `"avx2+fma::dot_batch"`).
+    #[must_use]
+    pub fn kernel_names(&self) -> Vec<String> {
+        [
+            "dot",
+            "l2_sq",
+            "norm_sq",
+            "dot_norm_sq",
+            "dot_batch",
+            "l2_sq_batch",
+        ]
+        .iter()
+        .map(|op| format!("{}::{op}", self.tier.name()))
+        .collect()
+    }
+}
+
+/// Cosine distance from precomputed parts: `1 - dot / denom` with the
+/// zero-vector guard (`denom == 0` → maximally distant, never NaN). `denom`
+/// is the product of the two Euclidean norms.
+#[must_use]
+pub fn cosine_from_parts(dot: f32, denom: f32) -> f32 {
+    if denom == 0.0 {
+        1.0
+    } else {
+        1.0 - dot / denom
+    }
+}
+
+/// A query prepared for repeated scoring: metric, query slice, and the query
+/// norm hoisted once (cosine pays `|q|` exactly once per search, not once
+/// per candidate).
+pub struct PreparedQuery<'q> {
+    metric: DistanceMetric,
+    query: &'q [f32],
+    query_norm: f32,
+    k: &'static Kernels,
+}
+
+impl<'q> PreparedQuery<'q> {
+    /// Prepare `query` under the process-wide active kernel table.
+    #[must_use]
+    pub fn new(metric: DistanceMetric, query: &'q [f32]) -> Self {
+        Self::on(active(), metric, query)
+    }
+
+    /// Prepare `query` with an externally cached norm (must equal `|query|`;
+    /// only consulted for cosine). Lets an index reuse its per-slot norm
+    /// cache when a stored vector plays the query role (insert-time repair,
+    /// link shrinking) instead of recomputing the norm.
+    #[must_use]
+    pub fn with_norm(metric: DistanceMetric, query: &'q [f32], query_norm: f32) -> Self {
+        PreparedQuery {
+            metric,
+            query,
+            query_norm,
+            k: active(),
+        }
+    }
+
+    /// Prepare `query` against an explicit kernel table (tests / benches).
+    #[must_use]
+    pub fn on(k: &'static Kernels, metric: DistanceMetric, query: &'q [f32]) -> Self {
+        let query_norm = match metric {
+            DistanceMetric::Cosine => k.norm_sq(query).sqrt(),
+            _ => 0.0,
+        };
+        PreparedQuery {
+            metric,
+            query,
+            query_norm,
+            k,
+        }
+    }
+
+    /// The metric this query scores under.
+    #[must_use]
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// The prepared query vector.
+    #[must_use]
+    pub fn query(&self) -> &[f32] {
+        self.query
+    }
+
+    /// The hoisted Euclidean query norm (0.0 for non-cosine metrics).
+    #[must_use]
+    pub fn query_norm(&self) -> f32 {
+        self.query_norm
+    }
+
+    /// The kernel tier scoring this query.
+    #[must_use]
+    pub fn tier(&self) -> KernelTier {
+        self.k.tier()
+    }
+
+    /// Distance to a candidate whose norm is **not** cached (cosine runs the
+    /// fused `dot_norm_sq` kernel — one pass instead of three).
+    #[must_use]
+    pub fn distance(&self, v: &[f32]) -> f32 {
+        match self.metric {
+            DistanceMetric::L2 => self.k.l2_sq(self.query, v),
+            DistanceMetric::InnerProduct => -self.k.dot(self.query, v),
+            DistanceMetric::Cosine => {
+                let (dot, norm_sq) = self.k.dot_norm_sq(self.query, v);
+                cosine_from_parts(dot, self.query_norm * norm_sq.sqrt())
+            }
+        }
+    }
+
+    /// Distance to a candidate with a cached Euclidean norm: cosine becomes
+    /// a single `dot` pass. `v_norm` is ignored for L2 / inner product.
+    #[must_use]
+    pub fn distance_cached(&self, v: &[f32], v_norm: f32) -> f32 {
+        match self.metric {
+            DistanceMetric::L2 => self.k.l2_sq(self.query, v),
+            DistanceMetric::InnerProduct => -self.k.dot(self.query, v),
+            DistanceMetric::Cosine => {
+                cosine_from_parts(self.k.dot(self.query, v), self.query_norm * v_norm)
+            }
+        }
+    }
+
+    /// Score `slots` gathered from a slot-major `arena` (`dim` floats per
+    /// slot) against this query, using the per-slot `norms` cache; distances
+    /// land in `out` (cleared first, one entry per slot, same order).
+    pub fn distance_slots(
+        &self,
+        arena: &[f32],
+        dim: usize,
+        norms: &[f32],
+        slots: &[u32],
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        out.reserve(slots.len());
+        for &s in slots {
+            let v = &arena[s as usize * dim..(s as usize + 1) * dim];
+            out.push(self.distance_cached(v, norms[s as usize]));
+        }
+    }
+
+    /// Score `out.len()` contiguous rows of `slab` against this query in one
+    /// batched kernel call. `norms` (one per row) is required for cosine;
+    /// rows of other metrics ignore it.
+    pub fn distance_batch(&self, slab: &[f32], norms: Option<&[f32]>, out: &mut [f32]) {
+        match self.metric {
+            DistanceMetric::L2 => self.k.l2_sq_batch(self.query, slab, out),
+            DistanceMetric::InnerProduct => {
+                self.k.dot_batch(self.query, slab, out);
+                for o in out.iter_mut() {
+                    *o = -*o;
+                }
+            }
+            DistanceMetric::Cosine => {
+                self.k.dot_batch(self.query, slab, out);
+                let d = self.query.len();
+                match norms {
+                    Some(ns) => {
+                        debug_assert_eq!(ns.len(), out.len());
+                        for (o, &n) in out.iter_mut().zip(ns) {
+                            *o = cosine_from_parts(*o, self.query_norm * n);
+                        }
+                    }
+                    None => {
+                        for (i, o) in out.iter_mut().enumerate() {
+                            let row = &slab[i * d..(i + 1) * d];
+                            let n = self.k.norm_sq(row).sqrt();
+                            *o = cosine_from_parts(*o, self.query_norm * n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The seed 4-lane scalar kernels — the always-correct reference every other
+/// tier is tested against.
+pub mod scalar {
+    /// Inner product, 4-lane unrolled (auto-vectorizes on any target).
+    #[must_use]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; 4];
+        let chunks = a.len() / 4;
+        for i in 0..chunks {
+            let base = i * 4;
+            for lane in 0..4 {
+                acc[lane] += a[base + lane] * b[base + lane];
+            }
+        }
+        let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+        for i in chunks * 4..a.len() {
+            sum += a[i] * b[i];
+        }
+        sum
+    }
+
+    /// Squared L2 distance, 4-lane unrolled.
+    #[must_use]
+    pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; 4];
+        let chunks = a.len() / 4;
+        for i in 0..chunks {
+            let base = i * 4;
+            for lane in 0..4 {
+                let d = a[base + lane] - b[base + lane];
+                acc[lane] += d * d;
+            }
+        }
+        let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+        for i in chunks * 4..a.len() {
+            let d = a[i] - b[i];
+            sum += d * d;
+        }
+        sum
+    }
+
+    /// Squared norm (`dot(a, a)` in the seed's accumulation order).
+    #[must_use]
+    pub fn norm_sq(a: &[f32]) -> f32 {
+        dot(a, a)
+    }
+
+    /// Fused `(<a, b>, |b|²)`. Each reduction accumulates in exactly the
+    /// same lane order as [`dot`], so the parts are bit-identical to the
+    /// seed's separate passes.
+    #[must_use]
+    pub fn dot_norm_sq(a: &[f32], b: &[f32]) -> (f32, f32) {
+        let mut ab = [0.0f32; 4];
+        let mut bb = [0.0f32; 4];
+        let chunks = a.len() / 4;
+        for i in 0..chunks {
+            let base = i * 4;
+            for lane in 0..4 {
+                ab[lane] += a[base + lane] * b[base + lane];
+                bb[lane] += b[base + lane] * b[base + lane];
+            }
+        }
+        let mut s_ab = ab[0] + ab[1] + ab[2] + ab[3];
+        let mut s_bb = bb[0] + bb[1] + bb[2] + bb[3];
+        for i in chunks * 4..a.len() {
+            s_ab += a[i] * b[i];
+            s_bb += b[i] * b[i];
+        }
+        (s_ab, s_bb)
+    }
+
+    pub(super) fn dot_batch(q: &[f32], slab: &[f32], out: &mut [f32]) {
+        let d = q.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot(q, &slab[i * d..(i + 1) * d]);
+        }
+    }
+
+    pub(super) fn l2_sq_batch(q: &[f32], slab: &[f32], out: &mut [f32]) {
+        let d = q.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = l2_sq(q, &slab[i * d..(i + 1) * d]);
+        }
+    }
+}
+
+static SCALAR: Kernels = Kernels {
+    tier: KernelTier::Scalar,
+    dot: scalar::dot,
+    l2_sq: scalar::l2_sq,
+    norm_sq: scalar::norm_sq,
+    dot_norm_sq: scalar::dot_norm_sq,
+    dot_batch: scalar::dot_batch,
+    l2_sq_batch: scalar::l2_sq_batch,
+};
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! SSE2 and AVX2+FMA kernels. Every `unsafe` block is justified by the
+    //! runtime feature check performed before the table is installed (SSE2
+    //! is part of the x86-64 baseline). Batch kernels call the pair kernels
+    //! from inside the same `#[target_feature]` context so they inline into
+    //! one vectorized loop per row — the per-call dispatch cost is paid once
+    //! per batch.
+
+    use super::{KernelTier, Kernels};
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn hsum128(v: __m128) -> f32 {
+        // (a b c d) -> (a+c, b+d, ..) -> (a+c+b+d, ..)
+        let hi = _mm_movehl_ps(v, v);
+        let sum2 = _mm_add_ps(v, hi);
+        let hi1 = _mm_shuffle_ps(sum2, sum2, 0b01);
+        _mm_cvtss_f32(_mm_add_ss(sum2, hi1))
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn dot_sse_raw(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm_setzero_ps();
+        let mut i = 0;
+        while i + 4 <= n {
+            let va = _mm_loadu_ps(pa.add(i));
+            let vb = _mm_loadu_ps(pb.add(i));
+            acc = _mm_add_ps(acc, _mm_mul_ps(va, vb));
+            i += 4;
+        }
+        let mut sum = hsum128(acc);
+        while i < n {
+            sum += *pa.add(i) * *pb.add(i);
+            i += 1;
+        }
+        sum
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn l2_sq_sse_raw(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm_setzero_ps();
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = _mm_sub_ps(_mm_loadu_ps(pa.add(i)), _mm_loadu_ps(pb.add(i)));
+            acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
+            i += 4;
+        }
+        let mut sum = hsum128(acc);
+        while i < n {
+            let d = *pa.add(i) - *pb.add(i);
+            sum += d * d;
+            i += 1;
+        }
+        sum
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn dot_norm_sq_sse_raw(a: &[f32], b: &[f32]) -> (f32, f32) {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc_ab = _mm_setzero_ps();
+        let mut acc_bb = _mm_setzero_ps();
+        let mut i = 0;
+        while i + 4 <= n {
+            let va = _mm_loadu_ps(pa.add(i));
+            let vb = _mm_loadu_ps(pb.add(i));
+            acc_ab = _mm_add_ps(acc_ab, _mm_mul_ps(va, vb));
+            acc_bb = _mm_add_ps(acc_bb, _mm_mul_ps(vb, vb));
+            i += 4;
+        }
+        let (mut s_ab, mut s_bb) = (hsum128(acc_ab), hsum128(acc_bb));
+        while i < n {
+            let (x, y) = (*pa.add(i), *pb.add(i));
+            s_ab += x * y;
+            s_bb += y * y;
+            i += 1;
+        }
+        (s_ab, s_bb)
+    }
+
+    fn dot_sse(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe { dot_sse_raw(a, b) }
+    }
+    fn l2_sq_sse(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe { l2_sq_sse_raw(a, b) }
+    }
+    fn norm_sq_sse(a: &[f32]) -> f32 {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe { dot_sse_raw(a, a) }
+    }
+    fn dot_norm_sq_sse(a: &[f32], b: &[f32]) -> (f32, f32) {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe { dot_norm_sq_sse_raw(a, b) }
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn dot_batch_sse_raw(q: &[f32], slab: &[f32], out: &mut [f32]) {
+        let d = q.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot_sse_raw(q, &slab[i * d..(i + 1) * d]);
+        }
+    }
+    #[target_feature(enable = "sse2")]
+    unsafe fn l2_sq_batch_sse_raw(q: &[f32], slab: &[f32], out: &mut [f32]) {
+        let d = q.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = l2_sq_sse_raw(q, &slab[i * d..(i + 1) * d]);
+        }
+    }
+    fn dot_batch_sse(q: &[f32], slab: &[f32], out: &mut [f32]) {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe { dot_batch_sse_raw(q, slab, out) }
+    }
+    fn l2_sq_batch_sse(q: &[f32], slab: &[f32], out: &mut [f32]) {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe { l2_sq_batch_sse_raw(q, slab, out) }
+    }
+
+    pub(super) static SSE: Kernels = Kernels {
+        tier: KernelTier::Sse,
+        dot: dot_sse,
+        l2_sq: l2_sq_sse,
+        norm_sq: norm_sq_sse,
+        dot_norm_sq: dot_norm_sq_sse,
+        dot_batch: dot_batch_sse,
+        l2_sq_batch: l2_sq_batch_sse,
+    };
+
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        hsum128(_mm_add_ps(lo, hi))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot_avx2_raw(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        // Two accumulators hide the FMA latency chain at dims >= 16.
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 8)),
+                _mm256_loadu_ps(pb.add(i + 8)),
+                acc1,
+            );
+            i += 16;
+        }
+        if i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            i += 8;
+        }
+        let mut sum = hsum256(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            sum += *pa.add(i) * *pb.add(i);
+            i += 1;
+        }
+        sum
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn l2_sq_avx2_raw(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= n {
+            let d0 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+            let d1 = _mm256_sub_ps(
+                _mm256_loadu_ps(pa.add(i + 8)),
+                _mm256_loadu_ps(pb.add(i + 8)),
+            );
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+            i += 16;
+        }
+        if i + 8 <= n {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+            acc0 = _mm256_fmadd_ps(d, d, acc0);
+            i += 8;
+        }
+        let mut sum = hsum256(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            let d = *pa.add(i) - *pb.add(i);
+            sum += d * d;
+            i += 1;
+        }
+        sum
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot_norm_sq_avx2_raw(a: &[f32], b: &[f32]) -> (f32, f32) {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc_ab = _mm256_setzero_ps();
+        let mut acc_bb = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            let va = _mm256_loadu_ps(pa.add(i));
+            let vb = _mm256_loadu_ps(pb.add(i));
+            acc_ab = _mm256_fmadd_ps(va, vb, acc_ab);
+            acc_bb = _mm256_fmadd_ps(vb, vb, acc_bb);
+            i += 8;
+        }
+        let (mut s_ab, mut s_bb) = (hsum256(acc_ab), hsum256(acc_bb));
+        while i < n {
+            let (x, y) = (*pa.add(i), *pb.add(i));
+            s_ab += x * y;
+            s_bb += y * y;
+            i += 1;
+        }
+        (s_ab, s_bb)
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot_batch_avx2_raw(q: &[f32], slab: &[f32], out: &mut [f32]) {
+        let d = q.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot_avx2_raw(q, &slab[i * d..(i + 1) * d]);
+        }
+    }
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn l2_sq_batch_avx2_raw(q: &[f32], slab: &[f32], out: &mut [f32]) {
+        let d = q.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = l2_sq_avx2_raw(q, &slab[i * d..(i + 1) * d]);
+        }
+    }
+
+    pub(super) fn avx2_available() -> bool {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+
+    fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: table only installed when avx2_available() held.
+        unsafe { dot_avx2_raw(a, b) }
+    }
+    fn l2_sq_avx2(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: table only installed when avx2_available() held.
+        unsafe { l2_sq_avx2_raw(a, b) }
+    }
+    fn norm_sq_avx2(a: &[f32]) -> f32 {
+        // SAFETY: table only installed when avx2_available() held.
+        unsafe { dot_avx2_raw(a, a) }
+    }
+    fn dot_norm_sq_avx2(a: &[f32], b: &[f32]) -> (f32, f32) {
+        // SAFETY: table only installed when avx2_available() held.
+        unsafe { dot_norm_sq_avx2_raw(a, b) }
+    }
+    fn dot_batch_avx2(q: &[f32], slab: &[f32], out: &mut [f32]) {
+        // SAFETY: table only installed when avx2_available() held.
+        unsafe { dot_batch_avx2_raw(q, slab, out) }
+    }
+    fn l2_sq_batch_avx2(q: &[f32], slab: &[f32], out: &mut [f32]) {
+        // SAFETY: table only installed when avx2_available() held.
+        unsafe { l2_sq_batch_avx2_raw(q, slab, out) }
+    }
+
+    pub(super) static AVX2: Kernels = Kernels {
+        tier: KernelTier::Avx2Fma,
+        dot: dot_avx2,
+        l2_sq: l2_sq_avx2,
+        norm_sq: norm_sq_avx2,
+        dot_norm_sq: dot_norm_sq_avx2,
+        dot_batch: dot_batch_avx2,
+        l2_sq_batch: l2_sq_batch_avx2,
+    };
+}
+
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    //! NEON kernels (baseline on aarch64, no runtime probe required).
+
+    use super::{KernelTier, Kernels};
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::aarch64::*;
+
+    #[inline]
+    unsafe fn dot_neon_raw(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i + 4 <= n {
+            acc = vfmaq_f32(acc, vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+            i += 4;
+        }
+        let mut sum = vaddvq_f32(acc);
+        while i < n {
+            sum += *pa.add(i) * *pb.add(i);
+            i += 1;
+        }
+        sum
+    }
+
+    #[inline]
+    unsafe fn l2_sq_neon_raw(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = vsubq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+            acc = vfmaq_f32(acc, d, d);
+            i += 4;
+        }
+        let mut sum = vaddvq_f32(acc);
+        while i < n {
+            let d = *pa.add(i) - *pb.add(i);
+            sum += d * d;
+            i += 1;
+        }
+        sum
+    }
+
+    #[inline]
+    unsafe fn dot_norm_sq_neon_raw(a: &[f32], b: &[f32]) -> (f32, f32) {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc_ab = vdupq_n_f32(0.0);
+        let mut acc_bb = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i + 4 <= n {
+            let va = vld1q_f32(pa.add(i));
+            let vb = vld1q_f32(pb.add(i));
+            acc_ab = vfmaq_f32(acc_ab, va, vb);
+            acc_bb = vfmaq_f32(acc_bb, vb, vb);
+            i += 4;
+        }
+        let (mut s_ab, mut s_bb) = (vaddvq_f32(acc_ab), vaddvq_f32(acc_bb));
+        while i < n {
+            let (x, y) = (*pa.add(i), *pb.add(i));
+            s_ab += x * y;
+            s_bb += y * y;
+            i += 1;
+        }
+        (s_ab, s_bb)
+    }
+
+    fn dot_neon(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: NEON is part of the aarch64 baseline.
+        unsafe { dot_neon_raw(a, b) }
+    }
+    fn l2_sq_neon(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: NEON is part of the aarch64 baseline.
+        unsafe { l2_sq_neon_raw(a, b) }
+    }
+    fn norm_sq_neon(a: &[f32]) -> f32 {
+        // SAFETY: NEON is part of the aarch64 baseline.
+        unsafe { dot_neon_raw(a, a) }
+    }
+    fn dot_norm_sq_neon(a: &[f32], b: &[f32]) -> (f32, f32) {
+        // SAFETY: NEON is part of the aarch64 baseline.
+        unsafe { dot_norm_sq_neon_raw(a, b) }
+    }
+    fn dot_batch_neon(q: &[f32], slab: &[f32], out: &mut [f32]) {
+        let d = q.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            // SAFETY: NEON is part of the aarch64 baseline.
+            *o = unsafe { dot_neon_raw(q, &slab[i * d..(i + 1) * d]) };
+        }
+    }
+    fn l2_sq_batch_neon(q: &[f32], slab: &[f32], out: &mut [f32]) {
+        let d = q.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            // SAFETY: NEON is part of the aarch64 baseline.
+            *o = unsafe { l2_sq_neon_raw(q, &slab[i * d..(i + 1) * d]) };
+        }
+    }
+
+    pub(super) static NEON: Kernels = Kernels {
+        tier: KernelTier::Neon,
+        dot: dot_neon,
+        l2_sq: l2_sq_neon,
+        norm_sq: norm_sq_neon,
+        dot_norm_sq: dot_norm_sq_neon,
+        dot_batch: dot_batch_neon,
+        l2_sq_batch: l2_sq_batch_neon,
+    };
+}
+
+/// The kernel table for `tier`, if that tier is usable on this CPU.
+/// `Scalar` always resolves.
+#[must_use]
+pub fn for_tier(tier: KernelTier) -> Option<&'static Kernels> {
+    match tier {
+        KernelTier::Scalar => Some(&SCALAR),
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Sse => Some(&x86::SSE),
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2Fma => x86::avx2_available().then_some(&x86::AVX2),
+        #[cfg(target_arch = "aarch64")]
+        KernelTier::Neon => Some(&arm::NEON),
+        #[allow(unreachable_patterns)]
+        _ => None,
+    }
+}
+
+/// Every kernel table usable on this CPU, scalar first.
+#[must_use]
+pub fn available() -> Vec<&'static Kernels> {
+    [
+        KernelTier::Scalar,
+        KernelTier::Sse,
+        KernelTier::Avx2Fma,
+        KernelTier::Neon,
+    ]
+    .into_iter()
+    .filter_map(for_tier)
+    .collect()
+}
+
+/// The best tier this CPU supports (what `KernelPolicy::Auto` dispatches to).
+#[must_use]
+pub fn detect_best() -> KernelTier {
+    for tier in [KernelTier::Avx2Fma, KernelTier::Neon, KernelTier::Sse] {
+        if for_tier(tier).is_some() {
+            return tier;
+        }
+    }
+    KernelTier::Scalar
+}
+
+static POLICY: OnceLock<KernelPolicy> = OnceLock::new();
+static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
+
+/// Install a kernel policy before first use. Returns `false` (and changes
+/// nothing) if dispatch already resolved — the active table is immutable for
+/// the life of the process, because per-slot norm caches and snapshot-backed
+/// distances must all come from one tier.
+pub fn set_policy(policy: KernelPolicy) -> bool {
+    if ACTIVE.get().is_some() {
+        return false;
+    }
+    POLICY.set(policy).is_ok()
+}
+
+/// The policy dispatch resolved (or will resolve) under: the `TV_KERNELS`
+/// environment variable wins, then [`set_policy`], then `Auto`.
+#[must_use]
+pub fn policy() -> KernelPolicy {
+    if let Ok(v) = std::env::var("TV_KERNELS") {
+        if let Some(p) = KernelPolicy::parse(&v) {
+            return p;
+        }
+    }
+    POLICY.get().copied().unwrap_or(KernelPolicy::Auto)
+}
+
+/// The process-wide active kernel table (resolved once, first use wins).
+/// A forced tier that this CPU cannot run falls back to `Scalar`.
+#[must_use]
+pub fn active() -> &'static Kernels {
+    ACTIVE.get_or_init(|| match policy() {
+        KernelPolicy::Auto => for_tier(detect_best()).unwrap_or(&SCALAR),
+        KernelPolicy::Force(tier) => for_tier(tier).unwrap_or(&SCALAR),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_always_available() {
+        assert!(for_tier(KernelTier::Scalar).is_some());
+        assert!(available().iter().any(|k| k.tier() == KernelTier::Scalar));
+    }
+
+    #[test]
+    fn tier_names_roundtrip() {
+        for t in [
+            KernelTier::Scalar,
+            KernelTier::Sse,
+            KernelTier::Avx2Fma,
+            KernelTier::Neon,
+        ] {
+            assert_eq!(KernelTier::parse(t.name()), Some(t));
+        }
+        assert_eq!(KernelTier::parse("avx2"), Some(KernelTier::Avx2Fma));
+        assert_eq!(KernelTier::parse("bogus"), None);
+    }
+
+    #[test]
+    fn scalar_fused_matches_separate_passes_bitwise() {
+        let a: Vec<f32> = (0..67).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..67).map(|i| (i as f32).cos()).collect();
+        let (ab, bb) = scalar::dot_norm_sq(&a, &b);
+        assert_eq!(ab.to_bits(), scalar::dot(&a, &b).to_bits());
+        assert_eq!(bb.to_bits(), scalar::norm_sq(&b).to_bits());
+    }
+
+    #[test]
+    fn prepared_query_cosine_zero_guard_every_tier() {
+        let zeros = vec![0.0f32; 16];
+        let v = vec![1.0f32; 16];
+        for k in available() {
+            let pq = PreparedQuery::on(k, DistanceMetric::Cosine, &zeros);
+            assert_eq!(pq.distance(&v), 1.0, "tier {}", k.tier());
+            assert_eq!(pq.distance_cached(&v, 4.0), 1.0, "tier {}", k.tier());
+            let pq = PreparedQuery::on(k, DistanceMetric::Cosine, &v);
+            assert_eq!(pq.distance(&zeros), 1.0, "tier {}", k.tier());
+            assert_eq!(pq.distance_cached(&zeros, 0.0), 1.0, "tier {}", k.tier());
+        }
+    }
+
+    #[test]
+    fn batch_matches_pair_kernels() {
+        let dim = 19;
+        let n = 13;
+        let q: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
+        let slab: Vec<f32> = (0..dim * n).map(|i| (i as f32 * 0.11).cos()).collect();
+        for k in available() {
+            let mut out = vec![0.0f32; n];
+            k.dot_batch(&q, &slab, &mut out);
+            for (i, &o) in out.iter().enumerate() {
+                let want = k.dot(&q, &slab[i * dim..(i + 1) * dim]);
+                assert_eq!(o.to_bits(), want.to_bits(), "tier {}", k.tier());
+            }
+            k.l2_sq_batch(&q, &slab, &mut out);
+            for (i, &o) in out.iter().enumerate() {
+                let want = k.l2_sq(&q, &slab[i * dim..(i + 1) * dim]);
+                assert_eq!(o.to_bits(), want.to_bits(), "tier {}", k.tier());
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_names_are_qualified() {
+        let names = SCALAR.kernel_names();
+        assert!(names.contains(&"scalar::dot".to_string()));
+        assert_eq!(names.len(), 6);
+    }
+}

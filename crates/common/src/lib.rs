@@ -14,16 +14,18 @@ pub mod deadline;
 pub mod error;
 pub mod histogram;
 pub mod ids;
+pub mod kernels;
 pub mod metric;
 pub mod rng;
 pub mod topk;
 
 pub use bitmap::Bitmap;
-pub use config::{RetryPolicy, TuningDefaults};
+pub use config::{KernelPolicy, RetryPolicy, TuningDefaults};
 pub use deadline::Deadline;
 pub use error::{TvError, TvResult};
 pub use histogram::LatencyHistogram;
 pub use ids::{GlobalId, LocalId, SegmentId, Tid, VertexId, SEGMENT_CAPACITY};
+pub use kernels::{KernelTier, Kernels, PreparedQuery};
 pub use metric::{distance, DistanceMetric};
 pub use rng::SplitMix64;
 pub use topk::{merge_topk, Neighbor, NeighborHeap};

@@ -5,10 +5,14 @@
 //! cosine distance, and (negated) inner product. All three are *distances*:
 //! smaller is more similar, so a single top-k min-heap works for every metric.
 //!
-//! The hot loops are written over 4-wide chunks so LLVM auto-vectorizes them;
-//! this is the scalar-library equivalent of the SIMD kernels a C++ engine
-//! would use.
+//! The free functions here delegate to the process-wide kernel table in
+//! [`crate::kernels`] — runtime-dispatched SIMD (AVX2+FMA / SSE / NEON) with
+//! the original 4-lane scalar loops as the always-correct fallback. Cosine
+//! uses the fused `dot_norm_sq` kernel, so a cold pair costs two passes
+//! instead of three; search loops with cached norms (see
+//! [`crate::kernels::PreparedQuery`]) pay only one.
 
+use crate::kernels::{self, cosine_from_parts};
 use serde::{Deserialize, Serialize};
 
 /// Similarity metric attached to an embedding attribute.
@@ -55,58 +59,30 @@ impl std::fmt::Display for DistanceMetric {
 #[must_use]
 pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let base = i * 4;
-        for lane in 0..4 {
-            let d = a[base + lane] - b[base + lane];
-            acc[lane] += d * d;
-        }
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        let d = a[i] - b[i];
-        sum += d * d;
-    }
-    sum
+    kernels::active().l2_sq(a, b)
 }
 
 /// Inner product of two equal-length vectors.
 #[must_use]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let base = i * 4;
-        for lane in 0..4 {
-            acc[lane] += a[base + lane] * b[base + lane];
-        }
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        sum += a[i] * b[i];
-    }
-    sum
+    kernels::active().dot(a, b)
 }
 
 /// Euclidean norm of a vector.
 #[must_use]
 pub fn norm(a: &[f32]) -> f32 {
-    dot(a, a).sqrt()
+    kernels::active().norm_sq(a).sqrt()
 }
 
 /// Cosine distance `1 - cos(a, b)`; zero vectors are treated as maximally
-/// distant (distance 1) rather than producing NaN.
+/// distant (distance 1) rather than producing NaN. Runs the fused
+/// `dot_norm_sq` kernel — two passes over the pair, not three.
 #[must_use]
 pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
-    let denom = norm(a) * norm(b);
-    if denom == 0.0 {
-        1.0
-    } else {
-        1.0 - dot(a, b) / denom
-    }
+    let k = kernels::active();
+    let (d, b_norm_sq) = k.dot_norm_sq(a, b);
+    cosine_from_parts(d, k.norm_sq(a).sqrt() * b_norm_sq.sqrt())
 }
 
 /// Distance under `metric`. Smaller is always more similar.

@@ -7,8 +7,8 @@
 //! come from the same mixture (the realistic case: queries look like data).
 
 use tv_common::ids::SegmentLayout;
-use tv_common::metric::{distance, normalize};
-use tv_common::{DistanceMetric, Neighbor, NeighborHeap, SplitMix64, VertexId};
+use tv_common::metric::normalize;
+use tv_common::{DistanceMetric, Neighbor, NeighborHeap, PreparedQuery, SplitMix64, VertexId};
 
 /// Which published dataset's shape to imitate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,9 +126,11 @@ pub fn ground_truth(
     queries
         .iter()
         .map(|q| {
+            // One query-norm pass per query, not per base vector.
+            let pq = PreparedQuery::new(metric, q);
             let mut heap = NeighborHeap::new(k);
             for (i, b) in base.iter().enumerate() {
-                heap.push(Neighbor::new(layout.vertex_id(i), distance(metric, q, b)));
+                heap.push(Neighbor::new(layout.vertex_id(i), pq.distance(b)));
             }
             heap.into_sorted().into_iter().map(|n| n.id).collect()
         })

@@ -21,7 +21,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tv_common::bitmap::Filter;
-use tv_common::metric::distance;
+use tv_common::PreparedQuery;
 use tv_common::{Bitmap, Neighbor, NeighborHeap, SegmentId, Tid, TvError, TvResult, VertexId};
 use tv_hnsw::index::DeltaAction;
 use tv_hnsw::{DeltaRecord, HnswConfig, HnswIndex, SearchStats, VectorIndex};
@@ -235,8 +235,11 @@ impl EmbeddingSegment {
             snap.index.top_k(query, k, ef, Filter::Valid(&bitmap))
         };
 
-        // Brute-force pass over the overlay's live upserts.
-        let metric = snap.index.metric();
+        // Brute-force pass over the overlay's live upserts. The query is
+        // prepared once (norm hoisted); each overlay vector is scored with
+        // the fused one-pass kernel — overlay entries are transient, so
+        // there is no persistent norm cache to consult.
+        let pq = PreparedQuery::new(snap.index.metric(), query);
         let mut heap = NeighborHeap::new(k);
         for n in index_results {
             heap.push(n);
@@ -250,7 +253,7 @@ impl EmbeddingSegment {
                 };
                 if accepted && v.len() == query.len() {
                     stats.distance_computations += 1;
-                    heap.push(Neighbor::new(*id, distance(metric, query, v)));
+                    heap.push(Neighbor::new(*id, pq.distance(v)));
                 }
             }
         }
@@ -281,7 +284,7 @@ impl EmbeddingSegment {
         let (mut out, mut stats) =
             snap.index
                 .range_search(query, threshold, ef, Filter::Valid(&bitmap));
-        let metric = snap.index.metric();
+        let pq = PreparedQuery::new(snap.index.metric(), query);
         for (id, action) in &overlay {
             if let Some(v) = action {
                 let l = id.local().0 as usize;
@@ -291,7 +294,7 @@ impl EmbeddingSegment {
                 };
                 if accepted && v.len() == query.len() {
                     stats.distance_computations += 1;
-                    let d = distance(metric, query, v);
+                    let d = pq.distance(v);
                     if d <= threshold {
                         out.push(Neighbor::new(*id, d));
                     }

@@ -7,13 +7,20 @@
 //!    snapshot results with "brute-force search results over vector deltas"
 //!    (§4.3),
 //! 3. ground truth for recall measurement in the benchmarks.
+//!
+//! Queries gather the accepted slots (a scan that touches no vector data),
+//! then score them in batched kernel calls against the per-slot norm cache;
+//! when the arena has no holes and no filter the whole slab is scored in a
+//! single `distance_batch` call.
 
 use crate::index::{DeltaAction, DeltaRecord, VectorIndex};
 use crate::stats::SearchStats;
 use std::collections::HashMap;
 use tv_common::bitmap::Filter;
-use tv_common::metric::distance;
-use tv_common::{DistanceMetric, Neighbor, NeighborHeap, TvError, TvResult, VertexId};
+use tv_common::kernels;
+use tv_common::{
+    DistanceMetric, Neighbor, NeighborHeap, PreparedQuery, TvError, TvResult, VertexId,
+};
 
 /// A flat, exact vector index: linear scan for every query.
 pub struct BruteForceIndex {
@@ -21,6 +28,10 @@ pub struct BruteForceIndex {
     metric: DistanceMetric,
     keys: Vec<VertexId>,
     vectors: Vec<f32>,
+    /// Per-slot Euclidean norm cache (valid while the slot is occupied).
+    norms: Vec<f32>,
+    /// Whether each slot currently holds a live vector.
+    occupied: Vec<bool>,
     slot_of: HashMap<VertexId, u32>,
     /// Tombstones (slots freed by delete/upsert; reused by later inserts).
     free: Vec<u32>,
@@ -37,6 +48,8 @@ impl BruteForceIndex {
             metric,
             keys: Vec::new(),
             vectors: Vec::new(),
+            norms: Vec::new(),
+            occupied: Vec::new(),
             slot_of: HashMap::new(),
             free: Vec::new(),
             live: 0,
@@ -51,20 +64,26 @@ impl BruteForceIndex {
                 got: vector.len(),
             });
         }
+        let norm = kernels::active().norm_sq(vector).sqrt();
         if let Some(&slot) = self.slot_of.get(&key) {
             let s = slot as usize * self.dim;
             self.vectors[s..s + self.dim].copy_from_slice(vector);
+            self.norms[slot as usize] = norm;
             return Ok(());
         }
         let slot = if let Some(slot) = self.free.pop() {
             let s = slot as usize * self.dim;
             self.vectors[s..s + self.dim].copy_from_slice(vector);
+            self.norms[slot as usize] = norm;
             self.keys[slot as usize] = key;
+            self.occupied[slot as usize] = true;
             slot
         } else {
             let slot = self.keys.len() as u32;
             self.keys.push(key);
             self.vectors.extend_from_slice(vector);
+            self.norms.push(norm);
+            self.occupied.push(true);
             slot
         };
         self.slot_of.insert(key, slot);
@@ -75,6 +94,7 @@ impl BruteForceIndex {
     /// Remove the vector for `key`; returns true if it was present.
     pub fn remove(&mut self, key: VertexId) -> bool {
         if let Some(slot) = self.slot_of.remove(&key) {
+            self.occupied[slot as usize] = false;
             self.free.push(slot);
             self.live -= 1;
             true
@@ -86,6 +106,23 @@ impl BruteForceIndex {
     fn vec_of(&self, slot: u32) -> &[f32] {
         let s = slot as usize * self.dim;
         &self.vectors[s..s + self.dim]
+    }
+
+    /// Accepted slots in slot order (occupied and filter-passing); counts
+    /// rejections into `stats`.
+    fn gather_accepted(&self, filter: Filter<'_>, stats: &mut SearchStats) -> Vec<u32> {
+        let mut accepted = Vec::with_capacity(self.live);
+        for (slot, &key) in self.keys.iter().enumerate() {
+            if !self.occupied[slot] {
+                continue;
+            }
+            if !filter.accepts(key.local().0 as usize) {
+                stats.filtered_out += 1;
+                continue;
+            }
+            accepted.push(slot as u32);
+        }
+        accepted
     }
 }
 
@@ -117,15 +154,25 @@ impl VectorIndex for BruteForceIndex {
             brute_force: true,
             ..SearchStats::default()
         };
+        let pq = PreparedQuery::new(self.metric, query);
         let mut heap = NeighborHeap::new(k);
-        for (&key, &slot) in &self.slot_of {
-            if !filter.accepts(key.local().0 as usize) {
-                stats.filtered_out += 1;
-                continue;
+        if self.free.is_empty() && matches!(filter, Filter::All) {
+            // Dense arena, no filter: score the whole slab in one call.
+            let n = self.keys.len();
+            let mut dists = vec![0.0f32; n];
+            pq.distance_batch(&self.vectors, Some(&self.norms), &mut dists);
+            stats.distance_computations += n as u64;
+            for (slot, &d) in dists.iter().enumerate() {
+                heap.push(Neighbor::new(self.keys[slot], d));
             }
-            let d = distance(self.metric, query, self.vec_of(slot));
-            stats.distance_computations += 1;
-            heap.push(Neighbor::new(key, d));
+        } else {
+            let accepted = self.gather_accepted(filter, &mut stats);
+            let mut dists: Vec<f32> = Vec::new();
+            pq.distance_slots(&self.vectors, self.dim, &self.norms, &accepted, &mut dists);
+            stats.distance_computations += accepted.len() as u64;
+            for (&slot, &d) in accepted.iter().zip(&dists) {
+                heap.push(Neighbor::new(self.keys[slot as usize], d));
+            }
         }
         (heap.into_sorted(), stats)
     }
@@ -141,16 +188,15 @@ impl VectorIndex for BruteForceIndex {
             brute_force: true,
             ..SearchStats::default()
         };
+        let pq = PreparedQuery::new(self.metric, query);
+        let accepted = self.gather_accepted(filter, &mut stats);
+        let mut dists: Vec<f32> = Vec::new();
+        pq.distance_slots(&self.vectors, self.dim, &self.norms, &accepted, &mut dists);
+        stats.distance_computations += accepted.len() as u64;
         let mut out = Vec::new();
-        for (&key, &slot) in &self.slot_of {
-            if !filter.accepts(key.local().0 as usize) {
-                stats.filtered_out += 1;
-                continue;
-            }
-            let d = distance(self.metric, query, self.vec_of(slot));
-            stats.distance_computations += 1;
+        for (&slot, &d) in accepted.iter().zip(&dists) {
             if d <= threshold {
-                out.push(Neighbor::new(key, d));
+                out.push(Neighbor::new(self.keys[slot as usize], d));
             }
         }
         out.sort_unstable();
@@ -196,6 +242,7 @@ mod tests {
         assert_eq!(r[1].id, key(1));
         assert!((r[1].dist - 25.0).abs() < 1e-6);
         assert!(stats.brute_force);
+        assert_eq!(stats.distance_computations, 2);
     }
 
     #[test]
@@ -221,6 +268,32 @@ mod tests {
         let (r, _) = idx.top_k(&[2.0, 0.0], 1, 0, Filter::All);
         assert_eq!(r[0].id, key(2));
         assert!(idx.get_embedding(key(0)).is_none());
+    }
+
+    #[test]
+    fn holes_are_not_scored() {
+        // A freed slot must not appear in results even though its vector
+        // bytes are still resident in the arena.
+        let mut idx = BruteForceIndex::new(1, DistanceMetric::L2);
+        for i in 0..5 {
+            idx.insert(key(i), &[f32::from(i as u16)]).unwrap();
+        }
+        idx.remove(key(0));
+        let (r, stats) = idx.top_k(&[0.0], 5, 0, Filter::All);
+        assert_eq!(r.len(), 4);
+        assert!(r.iter().all(|n| n.id != key(0)));
+        assert_eq!(stats.distance_computations, 4);
+    }
+
+    #[test]
+    fn cosine_upsert_refreshes_cached_norm() {
+        // If the norm cache went stale on upsert, the rescaled vector would
+        // keep the old denominator and cosine distances would drift.
+        let mut idx = BruteForceIndex::new(2, DistanceMetric::Cosine);
+        idx.insert(key(0), &[1.0, 0.0]).unwrap();
+        idx.insert(key(0), &[0.0, 100.0]).unwrap();
+        let (r, _) = idx.top_k(&[0.0, 1.0], 1, 0, Filter::All);
+        assert!(r[0].dist.abs() < 1e-6, "dist {}", r[0].dist);
     }
 
     #[test]

@@ -22,9 +22,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use tv_common::bitmap::Filter;
-use tv_common::metric::distance;
+use tv_common::kernels::{self, cosine_from_parts};
 use tv_common::{
-    DistanceMetric, Neighbor, NeighborHeap, SplitMix64, Tid, TvError, TvResult, VertexId,
+    DistanceMetric, Neighbor, NeighborHeap, PreparedQuery, SplitMix64, Tid, TvError, TvResult,
+    VertexId,
 };
 
 /// Upsert/delete action flag of a vector delta (§4.3: the delta schema is
@@ -123,6 +124,10 @@ pub struct HnswIndex {
     cfg: HnswConfig,
     /// Slot-major vector arena: slot `s` occupies `s*dim .. (s+1)*dim`.
     vectors: Vec<f32>,
+    /// Per-slot Euclidean norm cache, maintained on insert/upsert (stored
+    /// norms never change between writes, so cosine scoring pays one dot
+    /// pass per candidate instead of three full passes).
+    norms: Vec<f32>,
     /// External key per slot.
     keys: Vec<VertexId>,
     /// Key → live slot.
@@ -150,6 +155,7 @@ impl HnswIndex {
         HnswIndex {
             cfg,
             vectors: Vec::new(),
+            norms: Vec::new(),
             keys: Vec::new(),
             slot_of: HashMap::new(),
             links: Vec::new(),
@@ -182,27 +188,70 @@ impl HnswIndex {
         self.deleted_count
     }
 
-    /// Approximate resident bytes (vectors + links), for memory accounting.
+    /// Approximate resident bytes across **all** resident structures:
+    /// vector arena, norm cache, adjacency lists (including their `Vec`
+    /// headers), keys, levels, tombstone flags, and the key→slot hash map
+    /// (entries plus ~30% open-addressing slack).
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        let vec_bytes = self.vectors.len() * std::mem::size_of::<f32>();
-        let link_bytes: usize = self
-            .links
-            .iter()
-            .map(|per_node| {
-                per_node
-                    .iter()
-                    .map(|l| l.len() * std::mem::size_of::<u32>())
-                    .sum::<usize>()
-            })
-            .sum();
-        vec_bytes + link_bytes
+        use std::mem::size_of;
+        let vec_bytes = self.vectors.len() * size_of::<f32>();
+        let norm_bytes = self.norms.len() * size_of::<f32>();
+        let key_bytes = self.keys.len() * size_of::<VertexId>();
+        let level_bytes = self.levels.len() * size_of::<u8>();
+        let deleted_bytes = self.deleted.len() * size_of::<bool>();
+        let link_bytes: usize = self.links.len() * size_of::<Vec<Vec<u32>>>()
+            + self
+                .links
+                .iter()
+                .map(|per_node| {
+                    per_node.len() * size_of::<Vec<u32>>()
+                        + per_node
+                            .iter()
+                            .map(|l| l.len() * size_of::<u32>())
+                            .sum::<usize>()
+                })
+                .sum::<usize>();
+        let slot_of_bytes =
+            self.slot_of.len() * (size_of::<VertexId>() + size_of::<u32>()) * 13 / 10;
+        vec_bytes
+            + norm_bytes
+            + key_bytes
+            + level_bytes
+            + deleted_bytes
+            + link_bytes
+            + slot_of_bytes
     }
 
     fn vec_of(&self, slot: u32) -> &[f32] {
         let d = self.cfg.dim;
         let s = slot as usize;
         &self.vectors[s * d..(s + 1) * d]
+    }
+
+    /// Distance between two stored slots, on cached norms (cosine is a
+    /// single dot pass).
+    fn pair_distance(&self, a: u32, b: u32) -> f32 {
+        let k = kernels::active();
+        let (va, vb) = (self.vec_of(a), self.vec_of(b));
+        match self.cfg.metric {
+            DistanceMetric::L2 => k.l2_sq(va, vb),
+            DistanceMetric::InnerProduct => -k.dot(va, vb),
+            DistanceMetric::Cosine => cosine_from_parts(
+                k.dot(va, vb),
+                self.norms[a as usize] * self.norms[b as usize],
+            ),
+        }
+    }
+
+    /// A stored slot prepared to act as the query (insert-time repair, link
+    /// shrinking) — reuses the cached norm instead of recomputing it.
+    fn slot_query(&self, slot: u32) -> PreparedQuery<'_> {
+        PreparedQuery::with_norm(
+            self.cfg.metric,
+            self.vec_of(slot),
+            self.norms[slot as usize],
+        )
     }
 
     fn sample_level(&mut self) -> u8 {
@@ -234,6 +283,7 @@ impl HnswIndex {
         let slot = self.keys.len() as u32;
         let level = self.sample_level();
         self.vectors.extend_from_slice(vector);
+        self.norms.push(kernels::active().norm_sq(vector).sqrt());
         self.keys.push(key);
         self.levels.push(level);
         self.deleted.push(false);
@@ -246,26 +296,28 @@ impl HnswIndex {
             return Ok(());
         };
 
-        let q = vector;
+        // The new node's vector plays the query role; its norm is already
+        // cached, so reuse it (one norm pass for the whole insert).
+        let pq = PreparedQuery::with_norm(self.cfg.metric, vector, self.norms[slot as usize]);
         // Greedy descent through layers above the new node's level.
         let mut stats = SearchStats::default();
         for lvl in ((level + 1)..=top).rev() {
-            cur = self.greedy_closest(q, cur, lvl, &mut stats);
+            cur = self.greedy_closest(&pq, cur, lvl, &mut stats);
         }
 
         // Connect on each layer from min(level, top) down to 0.
         let mut entry_points = vec![cur];
         for lvl in (0..=level.min(top)).rev() {
-            let found =
-                self.search_layer(q, &entry_points, self.cfg.ef_construction, lvl, &mut stats);
+            let found = self.search_layer(
+                &pq,
+                &entry_points,
+                self.cfg.ef_construction,
+                lvl,
+                &mut stats,
+            );
             let max_deg = if lvl == 0 { self.cfg.m0 } else { self.cfg.m };
-            let chosen = {
-                let vectors = &self.vectors;
-                let d = self.cfg.dim;
-                select_neighbors(self.cfg.metric, &found, self.cfg.m, true, |s| {
-                    &vectors[s as usize * d..(s as usize + 1) * d]
-                })
-            };
+            let chosen =
+                select_neighbors(&found, self.cfg.m, true, |a, b| self.pair_distance(a, b));
             for &nb in &chosen {
                 self.links[slot as usize][lvl as usize].push(nb);
                 self.links[nb as usize][lvl as usize].push(slot);
@@ -292,12 +344,14 @@ impl HnswIndex {
     fn update_in_place(&mut self, slot: u32, vector: &[f32]) {
         let d = self.cfg.dim;
         self.vectors[slot as usize * d..(slot as usize + 1) * d].copy_from_slice(vector);
+        self.norms[slot as usize] = kernels::active().norm_sq(vector).sqrt();
         let Some((entry, top)) = self.entry else {
             return;
         };
         let level = self.levels[slot as usize];
 
         // Phase 1: repair old neighbors' lists from their 2-hop pools.
+        let mut dists: Vec<f32> = Vec::new();
         for lvl in 0..=level.min(top) {
             let old_neighbors = self.links[slot as usize][lvl as usize].clone();
             if old_neighbors.is_empty() {
@@ -311,35 +365,35 @@ impl HnswIndex {
                 pool.extend(old_neighbors.iter().copied());
                 pool.sort_unstable();
                 pool.dedup();
-                let mut scored: Vec<Scored> = pool
-                    .iter()
-                    .filter(|&&c| c != nb)
-                    .map(|&c| {
-                        (
-                            distance(self.cfg.metric, self.vec_of(nb), self.vec_of(c)),
-                            c,
-                        )
-                    })
-                    .collect();
+                pool.retain(|&c| c != nb);
+                // Batch-score the whole pool against nb in one kernel call.
+                self.slot_query(nb).distance_slots(
+                    &self.vectors,
+                    d,
+                    &self.norms,
+                    &pool,
+                    &mut dists,
+                );
+                let mut scored: Vec<Scored> =
+                    pool.iter().zip(&dists).map(|(&c, &dc)| (dc, c)).collect();
                 scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-                let vectors = &self.vectors;
-                let kept = select_neighbors(self.cfg.metric, &scored, max_deg, true, |s| {
-                    &vectors[s as usize * d..(s as usize + 1) * d]
-                });
+                let kept =
+                    select_neighbors(&scored, max_deg, true, |a, b| self.pair_distance(a, b));
                 self.links[nb as usize][lvl as usize] = kept;
             }
         }
 
         // Phase 2: re-link the moved node like a fresh insert.
+        let pq = PreparedQuery::with_norm(self.cfg.metric, vector, self.norms[slot as usize]);
         let mut stats = SearchStats::default();
         let mut cur = entry;
         for lvl in ((level + 1)..=top).rev() {
-            cur = self.greedy_closest(vector, cur, lvl, &mut stats);
+            cur = self.greedy_closest(&pq, cur, lvl, &mut stats);
         }
         let mut entry_points = vec![cur];
         for lvl in (0..=level.min(top)).rev() {
             let mut found = self.search_layer(
-                vector,
+                &pq,
                 &entry_points,
                 self.cfg.ef_construction,
                 lvl,
@@ -347,12 +401,8 @@ impl HnswIndex {
             );
             found.retain(|&(_, s)| s != slot);
             let max_deg = if lvl == 0 { self.cfg.m0 } else { self.cfg.m };
-            let chosen = {
-                let vectors = &self.vectors;
-                select_neighbors(self.cfg.metric, &found, self.cfg.m, true, |s| {
-                    &vectors[s as usize * d..(s as usize + 1) * d]
-                })
-            };
+            let chosen =
+                select_neighbors(&found, self.cfg.m, true, |a, b| self.pair_distance(a, b));
             self.links[slot as usize][lvl as usize] = chosen.clone();
             for &nb in &chosen {
                 if !self.links[nb as usize][lvl as usize].contains(&slot) {
@@ -388,40 +438,46 @@ impl HnswIndex {
         if list.len() <= max_deg {
             return;
         }
-        let base = node;
-        let mut scored: Vec<Scored> = list
-            .iter()
-            .map(|&nb| {
-                (
-                    distance(self.cfg.metric, self.vec_of(base), self.vec_of(nb)),
-                    nb,
-                )
-            })
-            .collect();
+        // Batch-score the full neighbor list against the node in one call.
+        let mut dists: Vec<f32> = Vec::new();
+        self.slot_query(node).distance_slots(
+            &self.vectors,
+            self.cfg.dim,
+            &self.norms,
+            list,
+            &mut dists,
+        );
+        let mut scored: Vec<Scored> = list.iter().zip(&dists).map(|(&nb, &dn)| (dn, nb)).collect();
         scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-        let vectors = &self.vectors;
-        let d = self.cfg.dim;
-        let kept = select_neighbors(self.cfg.metric, &scored, max_deg, true, |s| {
-            &vectors[s as usize * d..(s as usize + 1) * d]
-        });
+        let kept = select_neighbors(&scored, max_deg, true, |a, b| self.pair_distance(a, b));
         self.links[node as usize][lvl as usize] = kept;
     }
 
     /// Greedy walk to the locally-closest node on one layer (the ef=1 upper-
-    /// layer descent of the HNSW search).
-    fn greedy_closest(&self, q: &[f32], start: u32, lvl: u8, stats: &mut SearchStats) -> u32 {
+    /// layer descent of the HNSW search). Each hop scores the node's whole
+    /// neighbor list in one batched kernel call.
+    fn greedy_closest(
+        &self,
+        pq: &PreparedQuery<'_>,
+        start: u32,
+        lvl: u8,
+        stats: &mut SearchStats,
+    ) -> u32 {
+        let d = self.cfg.dim;
+        let mut dists: Vec<f32> = Vec::new();
         let mut cur = start;
-        let mut cur_dist = distance(self.cfg.metric, q, self.vec_of(cur));
+        let mut cur_dist = pq.distance_cached(self.vec_of(cur), self.norms[cur as usize]);
         stats.distance_computations += 1;
         loop {
+            let nbs = &self.links[cur as usize][lvl as usize];
+            pq.distance_slots(&self.vectors, d, &self.norms, nbs, &mut dists);
+            stats.distance_computations += nbs.len() as u64;
+            stats.hops += nbs.len() as u64;
             let mut improved = false;
-            for &nb in &self.links[cur as usize][lvl as usize] {
-                let d = distance(self.cfg.metric, q, self.vec_of(nb));
-                stats.distance_computations += 1;
-                stats.hops += 1;
-                if d < cur_dist {
+            for (&nb, &nd) in nbs.iter().zip(&dists) {
+                if nd < cur_dist {
                     cur = nb;
-                    cur_dist = d;
+                    cur_dist = nd;
                     improved = true;
                 }
             }
@@ -437,28 +493,37 @@ impl HnswIndex {
     /// callers that produce user-visible results must filter afterwards.
     fn search_layer(
         &self,
-        q: &[f32],
+        pq: &PreparedQuery<'_>,
         entries: &[u32],
         ef: usize,
         lvl: u8,
         stats: &mut SearchStats,
     ) -> Vec<Scored> {
         let n = self.keys.len();
+        let dim = self.cfg.dim;
         let mut visited = vec![false; n];
         // Min-heap of frontier candidates; max-heap (via NeighborHeap-like
         // bound) of the best `ef` found.
         let mut frontier: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
         let mut best: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
+        // Scratch for batched scoring: the unvisited neighbors of one node,
+        // scored in a single kernel call. Distances don't depend on heap
+        // state, so admission order — and therefore results — match the
+        // one-at-a-time loop exactly.
+        let mut batch: Vec<u32> = Vec::new();
+        let mut dists: Vec<f32> = Vec::new();
 
         for &e in entries {
-            if visited[e as usize] {
-                continue;
+            if !visited[e as usize] {
+                visited[e as usize] = true;
+                batch.push(e);
             }
-            visited[e as usize] = true;
-            let d = distance(self.cfg.metric, q, self.vec_of(e));
-            stats.distance_computations += 1;
-            frontier.push(Reverse((OrdF32(d), e)));
-            best.push((OrdF32(d), e));
+        }
+        pq.distance_slots(&self.vectors, dim, &self.norms, &batch, &mut dists);
+        stats.distance_computations += batch.len() as u64;
+        for (&e, &de) in batch.iter().zip(&dists) {
+            frontier.push(Reverse((OrdF32(de), e)));
+            best.push((OrdF32(de), e));
             if best.len() > ef {
                 best.pop();
             }
@@ -469,14 +534,17 @@ impl HnswIndex {
             if d > bound && best.len() >= ef {
                 break;
             }
+            batch.clear();
             for &nb in &self.links[node as usize][lvl as usize] {
-                if visited[nb as usize] {
-                    continue;
+                if !visited[nb as usize] {
+                    visited[nb as usize] = true;
+                    batch.push(nb);
                 }
-                visited[nb as usize] = true;
-                stats.hops += 1;
-                let nd = distance(self.cfg.metric, q, self.vec_of(nb));
-                stats.distance_computations += 1;
+            }
+            pq.distance_slots(&self.vectors, dim, &self.norms, &batch, &mut dists);
+            stats.hops += batch.len() as u64;
+            stats.distance_computations += batch.len() as u64;
+            for (&nb, &nd) in batch.iter().zip(&dists) {
                 let bound = best.peek().map_or(f32::INFINITY, |&(OrdF32(b), _)| b);
                 if nd < bound || best.len() < ef {
                     frontier.push(Reverse((OrdF32(nd), nb)));
@@ -499,16 +567,19 @@ impl HnswIndex {
     /// "a single call to the vector index returns the valid top-k" (§5.1).
     fn search_layer0_filtered(
         &self,
-        q: &[f32],
+        pq: &PreparedQuery<'_>,
         entries: &[u32],
         ef: usize,
         filter: Filter<'_>,
         stats: &mut SearchStats,
     ) -> Vec<Scored> {
         let n = self.keys.len();
+        let dim = self.cfg.dim;
         let mut visited = vec![false; n];
         let mut frontier: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
         let mut best: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
+        let mut batch: Vec<u32> = Vec::new();
+        let mut dists: Vec<f32> = Vec::new();
 
         let accepts = |slot: u32| -> bool {
             !self.deleted[slot as usize]
@@ -516,15 +587,17 @@ impl HnswIndex {
         };
 
         for &e in entries {
-            if visited[e as usize] {
-                continue;
+            if !visited[e as usize] {
+                visited[e as usize] = true;
+                batch.push(e);
             }
-            visited[e as usize] = true;
-            let d = distance(self.cfg.metric, q, self.vec_of(e));
-            stats.distance_computations += 1;
-            frontier.push(Reverse((OrdF32(d), e)));
+        }
+        pq.distance_slots(&self.vectors, dim, &self.norms, &batch, &mut dists);
+        stats.distance_computations += batch.len() as u64;
+        for (&e, &de) in batch.iter().zip(&dists) {
+            frontier.push(Reverse((OrdF32(de), e)));
             if accepts(e) {
-                best.push((OrdF32(d), e));
+                best.push((OrdF32(de), e));
                 if best.len() > ef {
                     best.pop();
                 }
@@ -538,14 +611,17 @@ impl HnswIndex {
             if d > bound && best.len() >= ef {
                 break;
             }
+            batch.clear();
             for &nb in &self.links[node as usize][0] {
-                if visited[nb as usize] {
-                    continue;
+                if !visited[nb as usize] {
+                    visited[nb as usize] = true;
+                    batch.push(nb);
                 }
-                visited[nb as usize] = true;
-                stats.hops += 1;
-                let nd = distance(self.cfg.metric, q, self.vec_of(nb));
-                stats.distance_computations += 1;
+            }
+            pq.distance_slots(&self.vectors, dim, &self.norms, &batch, &mut dists);
+            stats.hops += batch.len() as u64;
+            stats.distance_computations += batch.len() as u64;
+            for (&nb, &nd) in batch.iter().zip(&dists) {
                 let bound = best.peek().map_or(f32::INFINITY, |&(OrdF32(b), _)| b);
                 if nd < bound || best.len() < ef {
                     frontier.push(Reverse((OrdF32(nd), nb)));
@@ -579,19 +655,31 @@ impl HnswIndex {
             ..SearchStats::default()
         };
         let mut heap = NeighborHeap::new(k);
+        // Gather accepted slots first, then score the whole set in batched
+        // kernel calls — the filter pass touches no vector data.
+        let mut accepted: Vec<u32> = Vec::new();
         for (slot, &key) in self.keys.iter().enumerate() {
             if self.deleted[slot] {
                 continue;
             }
-            // Skip stale slots whose key now maps elsewhere (tombstoned by
-            // upsert but flag not yet set — defensive; should not happen).
             if !filter.accepts(key.local().0 as usize) {
                 stats.filtered_out += 1;
                 continue;
             }
-            let d = distance(self.cfg.metric, query, self.vec_of(slot as u32));
-            stats.distance_computations += 1;
-            heap.push(Neighbor::new(key, d));
+            accepted.push(slot as u32);
+        }
+        let pq = PreparedQuery::new(self.cfg.metric, query);
+        let mut dists: Vec<f32> = Vec::new();
+        pq.distance_slots(
+            &self.vectors,
+            self.cfg.dim,
+            &self.norms,
+            &accepted,
+            &mut dists,
+        );
+        stats.distance_computations += accepted.len() as u64;
+        for (&slot, &d) in accepted.iter().zip(&dists) {
+            heap.push(Neighbor::new(self.keys[slot as usize], d));
         }
         (heap.into_sorted(), stats)
     }
@@ -645,11 +733,14 @@ impl VectorIndex for HnswIndex {
             return (Vec::new(), stats);
         };
         let ef = ef.max(k);
+        // One norm pass for the whole search (cosine); every candidate after
+        // this scores against cached per-slot norms.
+        let pq = PreparedQuery::new(self.cfg.metric, query);
         let mut cur = entry;
         for lvl in (1..=top).rev() {
-            cur = self.greedy_closest(query, cur, lvl, &mut stats);
+            cur = self.greedy_closest(&pq, cur, lvl, &mut stats);
         }
-        let found = self.search_layer0_filtered(query, &[cur], ef, filter, &mut stats);
+        let found = self.search_layer0_filtered(&pq, &[cur], ef, filter, &mut stats);
         let out = found
             .into_iter()
             .take(k)
@@ -793,9 +884,17 @@ impl HnswIndex {
             }
         }
         let rng = SplitMix64::new(cfg.seed ^ n as u64);
+        // The snapshot format carries no norms; rebuild the cache in one
+        // pass over the arena (cheaper than persisting and keeps old
+        // snapshots readable).
+        let k = kernels::active();
+        let norms = (0..n)
+            .map(|s| k.norm_sq(&vectors[s * cfg.dim..(s + 1) * cfg.dim]).sqrt())
+            .collect();
         Ok(HnswIndex {
             cfg,
             vectors,
+            norms,
             keys,
             slot_of,
             links,
@@ -1073,6 +1172,77 @@ mod tests {
         let vecs = make_vectors(100, 16, 43);
         let idx = build_index(&vecs);
         assert!(idx.memory_bytes() >= 100 * 16 * 4);
+    }
+
+    #[test]
+    fn active_tier_exact_topk_matches_scalar_reference() {
+        // Recall-affecting guarantee, tested rather than assumed: the ids an
+        // exact scan returns under whatever tier this machine dispatches to
+        // must equal the ids computed with the scalar reference kernels.
+        use tv_common::kernels::{self, cosine_from_parts, KernelTier};
+        let vecs = make_vectors(400, 24, 61);
+        let mut idx = HnswIndex::new(HnswConfig::new(24, DistanceMetric::Cosine));
+        for (i, v) in vecs.iter().enumerate() {
+            idx.insert(key(i as u32), v).unwrap();
+        }
+        let scalar = kernels::for_tier(KernelTier::Scalar).unwrap();
+        for probe in [0usize, 5, 123] {
+            let q = &vecs[probe];
+            let qn = scalar.norm_sq(q).sqrt();
+            let mut scored: Vec<(f32, u32)> = vecs
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let (d, nn) = scalar.dot_norm_sq(q, v);
+                    (cosine_from_parts(d, qn * nn.sqrt()), i as u32)
+                })
+                .collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let exact: Vec<u32> = scored.into_iter().take(10).map(|(_, i)| i).collect();
+            let (bf, _) = idx.brute_force_top_k(q, 10, Filter::All);
+            let got: Vec<u32> = bf.iter().map(|n| n.id.local().0).collect();
+            assert_eq!(
+                got,
+                exact,
+                "active tier {} disagrees with scalar ranking",
+                kernels::active().tier()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_bytes_covers_all_resident_structures() {
+        let vecs = make_vectors(200, 16, 53);
+        let idx = build_index(&vecs);
+        use std::mem::size_of;
+        // Lower bound from first principles: arena + norm cache + keys +
+        // levels + tombstones + link payloads + slot_of entries. If any of
+        // these stops being counted, this assertion breaks.
+        let link_payload: usize = idx
+            .links
+            .iter()
+            .map(|per_node| {
+                per_node
+                    .iter()
+                    .map(|l| l.len() * size_of::<u32>())
+                    .sum::<usize>()
+            })
+            .sum();
+        let floor = idx.vectors.len() * size_of::<f32>()
+            + idx.norms.len() * size_of::<f32>()
+            + idx.keys.len() * size_of::<VertexId>()
+            + idx.levels.len()
+            + idx.deleted.len()
+            + link_payload
+            + idx.slot_of.len() * (size_of::<VertexId>() + size_of::<u32>());
+        assert!(
+            idx.memory_bytes() >= floor,
+            "memory_bytes {} < structural floor {floor}",
+            idx.memory_bytes()
+        );
+        // The norm cache alone must be visible in the accounting: one f32
+        // per slot.
+        assert_eq!(idx.norms.len(), idx.slot_count());
     }
 
     #[test]

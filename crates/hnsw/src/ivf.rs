@@ -12,8 +12,10 @@ use crate::index::{DeltaAction, DeltaRecord, VectorIndex};
 use crate::stats::SearchStats;
 use std::collections::HashMap;
 use tv_common::bitmap::Filter;
-use tv_common::metric::distance;
-use tv_common::{DistanceMetric, Neighbor, NeighborHeap, SplitMix64, TvError, TvResult, VertexId};
+use tv_common::kernels;
+use tv_common::{
+    DistanceMetric, Neighbor, NeighborHeap, PreparedQuery, SplitMix64, TvError, TvResult, VertexId,
+};
 
 /// IVF-Flat configuration.
 #[derive(Debug, Clone, Copy)]
@@ -53,10 +55,14 @@ pub struct IvfFlatIndex {
     cfg: IvfConfig,
     /// Flat centroid storage (nlist × dim), empty until trained.
     centroids: Vec<f32>,
+    /// Euclidean norm per centroid (refreshed whenever centroids move).
+    centroid_norms: Vec<f32>,
     /// Per-list member slots.
     lists: Vec<Vec<u32>>,
     /// Slot-major vectors.
     vectors: Vec<f32>,
+    /// Per-slot Euclidean norm cache.
+    norms: Vec<f32>,
     keys: Vec<VertexId>,
     slot_of: HashMap<VertexId, u32>,
     deleted: Vec<bool>,
@@ -71,8 +77,10 @@ impl IvfFlatIndex {
         IvfFlatIndex {
             cfg,
             centroids: Vec::new(),
+            centroid_norms: Vec::new(),
             lists: vec![Vec::new(); cfg.nlist],
             vectors: Vec::new(),
+            norms: Vec::new(),
             keys: Vec::new(),
             slot_of: HashMap::new(),
             deleted: Vec::new(),
@@ -106,6 +114,7 @@ impl IvfFlatIndex {
             .collect();
         if live_slots.is_empty() {
             self.centroids.clear();
+            self.centroid_norms.clear();
             return;
         }
         let nlist = self.cfg.nlist.min(live_slots.len());
@@ -117,13 +126,15 @@ impl IvfFlatIndex {
             .iter()
             .flat_map(|&s| self.vec_of(s).to_vec())
             .collect();
+        self.refresh_centroid_norms(nlist);
         // Lloyd iterations.
+        let mut scratch: Vec<f32> = Vec::new();
         for _ in 0..self.cfg.train_iters {
             let mut sums = vec![0.0f64; nlist * d];
             let mut counts = vec![0usize; nlist];
             for &s in &live_slots {
                 let v = self.vec_of(s);
-                let c = self.nearest_centroid(v, nlist);
+                let c = self.nearest_centroid(v, nlist, &mut scratch);
                 counts[c] += 1;
                 for (j, &x) in v.iter().enumerate() {
                     sums[c * d + j] += f64::from(x);
@@ -136,22 +147,40 @@ impl IvfFlatIndex {
                     }
                 }
             }
+            self.refresh_centroid_norms(nlist);
         }
         // Rebuild lists.
         self.lists = vec![Vec::new(); nlist];
         for &s in &live_slots {
-            let c = self.nearest_centroid(self.vec_of(s), nlist);
+            let c = self.nearest_centroid(self.vec_of(s), nlist, &mut scratch);
             self.lists[c].push(s);
         }
     }
 
-    fn nearest_centroid(&self, v: &[f32], nlist: usize) -> usize {
+    fn refresh_centroid_norms(&mut self, nlist: usize) {
+        let k = kernels::active();
+        self.centroid_norms = (0..nlist)
+            .map(|c| k.norm_sq(self.centroid(c)).sqrt())
+            .collect();
+    }
+
+    /// Nearest centroid to `v`, scored over the contiguous centroid slab in
+    /// one batched kernel call (`dists` is caller-owned scratch).
+    fn nearest_centroid(&self, v: &[f32], nlist: usize, dists: &mut Vec<f32>) -> usize {
+        let d = self.cfg.dim;
+        let pq = PreparedQuery::new(self.cfg.metric, v);
+        dists.clear();
+        dists.resize(nlist, 0.0);
+        pq.distance_batch(
+            &self.centroids[..nlist * d],
+            Some(&self.centroid_norms[..nlist]),
+            dists,
+        );
         let mut best = 0;
         let mut best_d = f32::INFINITY;
-        for c in 0..nlist {
-            let d = distance(self.cfg.metric, v, self.centroid(c));
-            if d < best_d {
-                best_d = d;
+        for (c, &dc) in dists.iter().enumerate() {
+            if dc < best_d {
+                best_d = dc;
                 best = c;
             }
         }
@@ -175,13 +204,15 @@ impl IvfFlatIndex {
         }
         let slot = self.keys.len() as u32;
         self.vectors.extend_from_slice(vector);
+        self.norms.push(kernels::active().norm_sq(vector).sqrt());
         self.keys.push(key);
         self.deleted.push(false);
         self.slot_of.insert(key, slot);
         self.live += 1;
         if self.is_trained() {
             let nlist = self.lists.len();
-            let c = self.nearest_centroid(vector, nlist);
+            let mut scratch = Vec::new();
+            let c = self.nearest_centroid(vector, nlist, &mut scratch);
             self.lists[c].push(slot);
         }
         Ok(())
@@ -234,34 +265,46 @@ impl VectorIndex for IvfFlatIndex {
         if k == 0 || query.len() != self.cfg.dim || self.live == 0 {
             return (Vec::new(), stats);
         }
+        let d = self.cfg.dim;
+        let pq = PreparedQuery::new(self.cfg.metric, query);
+        let mut dists: Vec<f32> = Vec::new();
         if !self.is_trained() {
-            // Untrained: exact scan (small indexes never need training).
+            // Untrained: exact scan (small indexes never need training) —
+            // gather the accepted slots, then one batched scoring pass.
             stats.brute_force = true;
             let mut heap = NeighborHeap::new(k);
+            let mut accepted: Vec<u32> = Vec::with_capacity(self.live);
             for (&key, &slot) in &self.slot_of {
                 if !filter.accepts(key.local().0 as usize) {
                     stats.filtered_out += 1;
                     continue;
                 }
-                stats.distance_computations += 1;
-                heap.push(Neighbor::new(
-                    key,
-                    distance(self.cfg.metric, query, self.vec_of(slot)),
-                ));
+                accepted.push(slot);
+            }
+            pq.distance_slots(&self.vectors, d, &self.norms, &accepted, &mut dists);
+            stats.distance_computations += accepted.len() as u64;
+            for (&slot, &dist) in accepted.iter().zip(&dists) {
+                heap.push(Neighbor::new(self.keys[slot as usize], dist));
             }
             return (heap.into_sorted(), stats);
         }
-        // Rank centroids, probe the nearest `nprobe` lists.
+        // Rank centroids over the contiguous centroid slab in one batched
+        // call, probe the nearest `nprobe` lists.
         let nlist = self.lists.len();
-        let mut ranked: Vec<(f32, usize)> = (0..nlist)
-            .map(|c| {
-                stats.distance_computations += 1;
-                (distance(self.cfg.metric, query, self.centroid(c)), c)
-            })
-            .collect();
+        dists.resize(nlist, 0.0);
+        pq.distance_batch(
+            &self.centroids[..nlist * d],
+            Some(&self.centroid_norms[..nlist]),
+            &mut dists,
+        );
+        stats.distance_computations += nlist as u64;
+        let mut ranked: Vec<(f32, usize)> = dists.iter().copied().zip(0..nlist).collect();
         ranked.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
         let mut heap = NeighborHeap::new(k);
+        let mut accepted: Vec<u32> = Vec::new();
         for &(_, c) in ranked.iter().take(self.cfg.nprobe.max(1)) {
+            // Gather this list's valid members, then score them in one call.
+            accepted.clear();
             for &slot in &self.lists[c] {
                 if self.deleted[slot as usize] {
                     continue;
@@ -275,12 +318,13 @@ impl VectorIndex for IvfFlatIndex {
                     stats.filtered_out += 1;
                     continue;
                 }
-                stats.distance_computations += 1;
-                stats.hops += 1;
-                heap.push(Neighbor::new(
-                    key,
-                    distance(self.cfg.metric, query, self.vec_of(slot)),
-                ));
+                accepted.push(slot);
+            }
+            pq.distance_slots(&self.vectors, d, &self.norms, &accepted, &mut dists);
+            stats.distance_computations += accepted.len() as u64;
+            stats.hops += accepted.len() as u64;
+            for (&slot, &dist) in accepted.iter().zip(&dists) {
+                heap.push(Neighbor::new(self.keys[slot as usize], dist));
             }
         }
         (heap.into_sorted(), stats)

@@ -7,24 +7,22 @@
 //! degrades recall on clustered data (exactly the SIFT/Deep regime the paper
 //! benchmarks).
 
-use tv_common::metric::distance;
-use tv_common::DistanceMetric;
-
 /// A scored candidate: `(distance to the base point, slot)`.
 pub type Scored = (f32, u32);
 
 /// Select up to `m` diverse neighbors from `candidates` (must be sorted by
-/// ascending distance). `vec_of` resolves a slot to its stored vector.
+/// ascending distance). `dist_between(candidate, kept)` resolves the
+/// stored-pair distance — callers supply it so node-to-node distances can
+/// run on cached norms (cosine pays one dot pass, not three full passes).
 ///
 /// `keep_pruned` re-fills from the pruned list when fewer than `m` survive
 /// the diversity test, matching hnswlib's `extendCandidates=false,
 /// keepPrunedConnections=true` default.
-pub fn select_neighbors<'a>(
-    metric: DistanceMetric,
+pub fn select_neighbors(
     candidates: &[Scored],
     m: usize,
     keep_pruned: bool,
-    vec_of: impl Fn(u32) -> &'a [f32],
+    dist_between: impl Fn(u32, u32) -> f32,
 ) -> Vec<u32> {
     if candidates.len() <= m {
         return candidates.iter().map(|&(_, s)| s).collect();
@@ -35,12 +33,10 @@ pub fn select_neighbors<'a>(
         if selected.len() >= m {
             break;
         }
-        let cand_vec = vec_of(cand);
         // Diversity test: closer to the base point than to any kept neighbor.
-        let dominated = selected.iter().any(|&(_, kept)| {
-            let d = distance(metric, cand_vec, vec_of(kept));
-            d < dist_to_base
-        });
+        let dominated = selected
+            .iter()
+            .any(|&(_, kept)| dist_between(cand, kept) < dist_to_base);
         if dominated {
             pruned.push((dist_to_base, cand));
         } else {
@@ -61,17 +57,18 @@ pub fn select_neighbors<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tv_common::metric::l2_sq;
 
-    /// Helper: resolve slots into a static table of 2-d points.
-    fn table<'a>(points: &'a [[f32; 2]]) -> impl Fn(u32) -> &'a [f32] + 'a {
-        move |s: u32| &points[s as usize][..]
+    /// Helper: pairwise L2 over a static table of 2-d points.
+    fn table(points: &[[f32; 2]]) -> impl Fn(u32, u32) -> f32 + '_ {
+        move |a: u32, b: u32| l2_sq(&points[a as usize][..], &points[b as usize][..])
     }
 
     #[test]
     fn small_candidate_sets_pass_through() {
         let pts = [[0.0, 0.0], [1.0, 0.0]];
         let cands = vec![(1.0, 1u32)];
-        let got = select_neighbors(DistanceMetric::L2, &cands, 4, true, table(&pts));
+        let got = select_neighbors(&cands, 4, true, table(&pts));
         assert_eq!(got, vec![1]);
     }
 
@@ -83,7 +80,7 @@ mod tests {
         // point, not both right points.
         let pts = [[1.0, 0.0], [1.1, 0.0], [-2.0, 0.0]];
         let cands = vec![(1.0, 0u32), (1.21, 1u32), (4.0, 2u32)];
-        let got = select_neighbors(DistanceMetric::L2, &cands, 2, false, table(&pts));
+        let got = select_neighbors(&cands, 2, false, table(&pts));
         assert_eq!(got, vec![0, 2]);
     }
 
@@ -93,9 +90,9 @@ mod tests {
         // keep_pruned tops the list back up to m.
         let pts = [[1.0, 0.0], [1.01, 0.0], [1.02, 0.0]];
         let cands = vec![(1.0, 0u32), (1.0201, 1u32), (1.0404, 2u32)];
-        let strict = select_neighbors(DistanceMetric::L2, &cands, 2, false, table(&pts));
+        let strict = select_neighbors(&cands, 2, false, table(&pts));
         assert_eq!(strict, vec![0]);
-        let refilled = select_neighbors(DistanceMetric::L2, &cands, 2, true, table(&pts));
+        let refilled = select_neighbors(&cands, 2, true, table(&pts));
         assert_eq!(refilled, vec![0, 1]);
     }
 
@@ -108,7 +105,7 @@ mod tests {
                 (p[0] * p[0] + p[1] * p[1], i)
             })
             .collect();
-        let got = select_neighbors(DistanceMetric::L2, &cands, 5, true, table(&pts));
+        let got = select_neighbors(&cands, 5, true, table(&pts));
         assert!(got.len() <= 5);
     }
 }
