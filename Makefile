@@ -1,8 +1,8 @@
 # Development shortcuts; `make verify` mirrors the CI pipeline exactly.
 
-.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load chaos-smoke kernel-smoke
+.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load chaos-smoke kernel-smoke recovery-smoke
 
-verify: fmt-check build clippy test test-all kernel-smoke chaos-smoke
+verify: fmt-check build clippy test test-all kernel-smoke chaos-smoke recovery-smoke
 
 build:
 	cargo build --release
@@ -32,6 +32,14 @@ serve-load:
 # failures (the binary panics on any recall < 1.0 at replication 2).
 chaos-smoke:
 	cargo run --release -p tv-bench --bin chaos_load -- --segments 4 --per-segment 50 --queries 40
+
+# Durability gate: the crash-point torture suite (crash at every registered
+# point, recover, compare bit-for-bit against a no-crash oracle) plus a
+# small checkpoint-vs-WAL-only recovery benchmark that asserts recovered
+# state before reporting timings.
+recovery-smoke:
+	cargo test --release -p tg-graph --test crash_torture -q
+	cargo run --release -p tv-bench --bin recovery_bench -- --base 500
 
 # Kernel-layer gate: cross-tier equivalence tests, the index/embedding test
 # suites re-run with the SIMD dispatch forced to the scalar fallback (proves

@@ -52,6 +52,9 @@ pub enum TvError {
     Timeout(String),
     /// The caller's session is not authorized for the touched data.
     PermissionDenied(String),
+    /// A deterministic test-injected failure (crash-point or fault plan).
+    /// Never produced in production; carries the injection site name.
+    Injected(String),
 }
 
 impl TvError {
@@ -90,6 +93,7 @@ impl fmt::Display for TvError {
             TvError::Overloaded(m) => write!(f, "overloaded: {m}"),
             TvError::Timeout(m) => write!(f, "deadline exceeded: {m}"),
             TvError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
+            TvError::Injected(m) => write!(f, "injected crash: {m}"),
         }
     }
 }

@@ -10,7 +10,9 @@
 
 pub mod bitmap;
 pub mod config;
+pub mod crash;
 pub mod deadline;
+pub mod durafile;
 pub mod error;
 pub mod histogram;
 pub mod ids;
@@ -21,7 +23,9 @@ pub mod topk;
 
 pub use bitmap::Bitmap;
 pub use config::{KernelPolicy, RetryPolicy, TuningDefaults};
+pub use crash::{crash_hook, CrashPlan, CrashPoint};
 pub use deadline::Deadline;
+pub use durafile::crc32;
 pub use error::{TvError, TvResult};
 pub use histogram::LatencyHistogram;
 pub use ids::{GlobalId, LocalId, SegmentId, Tid, VertexId, SEGMENT_CAPACITY};

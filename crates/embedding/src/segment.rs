@@ -381,6 +381,57 @@ impl EmbeddingSegment {
         Ok(up_to)
     }
 
+    /// Export this segment's durable state at `ckpt_tid` for a checkpoint:
+    /// the newest index snapshot visible at that TID plus every delta record
+    /// in `(snapshot.up_to, ckpt_tid]` (from delta files and the mem store,
+    /// in commit order). Restoring the pair reproduces reads at `ckpt_tid`
+    /// exactly.
+    #[must_use]
+    pub fn checkpoint_state(&self, ckpt_tid: Tid) -> (Arc<IndexSnapshot>, Vec<DeltaRecord>) {
+        let snap = self.snapshot_for(ckpt_tid);
+        let mut tail = Vec::new();
+        for file in self.delta_files.read().iter() {
+            for r in &file.records {
+                if r.tid > snap.up_to && r.tid <= ckpt_tid {
+                    tail.push(r.clone());
+                }
+            }
+        }
+        for r in self.mem_deltas.read().iter() {
+            if r.tid > snap.up_to && r.tid <= ckpt_tid {
+                tail.push(r.clone());
+            }
+        }
+        (snap, tail)
+    }
+
+    /// Install checkpointed state into this (pristine) segment: an index
+    /// image valid up to `up_to` plus the delta tail beyond it. Refuses to
+    /// clobber a segment that already holds data.
+    pub fn restore_checkpoint(
+        &self,
+        up_to: Tid,
+        index: HnswIndex,
+        deltas: &[DeltaRecord],
+    ) -> TvResult<()> {
+        {
+            let snaps = self.snapshots.read();
+            let pristine = snaps.len() == 1
+                && snaps[0].up_to == Tid::ZERO
+                && snaps[0].index.len() == 0
+                && self.mem_deltas.read().is_empty()
+                && self.delta_files.read().is_empty();
+            if !pristine {
+                return Err(TvError::Storage(format!(
+                    "restore into non-empty embedding segment {}",
+                    self.segment_id
+                )));
+            }
+        }
+        *self.snapshots.write() = vec![Arc::new(IndexSnapshot { up_to, index })];
+        self.append_deltas(deltas)
+    }
+
     /// Reclaim snapshots and delta files no running transaction can need:
     /// keep the newest snapshot with `up_to <= horizon` and everything
     /// newer; drop delta files fully covered by the oldest retained
@@ -598,5 +649,63 @@ mod tests {
         // Nothing flushed yet.
         assert_eq!(seg.index_merge(Tid(10)).unwrap(), None);
         assert_eq!(seg.snapshot_count(), 1);
+    }
+
+    /// `checkpoint_state` + `restore_checkpoint` reproduce the source
+    /// segment's reads exactly, whether the state straddles a merged
+    /// snapshot, delta files, or unflushed mem deltas.
+    #[test]
+    fn checkpoint_state_restores_reads_exactly() {
+        let (seg, vecs) = seeded_segment(60);
+        // Mixed durable state: snapshot up to 30, delta file (30, 45],
+        // mem deltas (45, 60].
+        seg.delta_merge(Tid(30));
+        seg.index_merge(Tid(30)).unwrap();
+        seg.delta_merge(Tid(45));
+
+        for ckpt in [Tid(20), Tid(30), Tid(38), Tid(45), Tid(52), Tid(60)] {
+            let (snap, tail) = seg.checkpoint_state(ckpt);
+            assert!(snap.up_to <= ckpt);
+            assert!(tail.iter().all(|r| r.tid > snap.up_to && r.tid <= ckpt));
+
+            let restored = EmbeddingSegment::new(SegmentId(0), &def(), 1024);
+            let bytes = tv_hnsw::snapshot::to_bytes(&snap.index);
+            let index = tv_hnsw::snapshot::from_bytes(&bytes).unwrap();
+            restored
+                .restore_checkpoint(snap.up_to, index, &tail)
+                .unwrap();
+
+            assert_eq!(restored.live_count(ckpt), seg.live_count(ckpt));
+            for probe in [0usize, 7, 19] {
+                let (want, _) = seg.search(&vecs[probe], 3, 64, None, ckpt, 0);
+                let (got, _) = restored.search(&vecs[probe], 3, 64, None, ckpt, 0);
+                assert_eq!(
+                    got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    want.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    "search parity at checkpoint {ckpt}"
+                );
+            }
+            // The restored segment accepts appends beyond the checkpoint.
+            restored
+                .append_deltas(&[DeltaRecord::delete(vid(0), Tid(ckpt.0 + 1))])
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn restore_into_nonempty_segment_rejected() {
+        let (seg, _) = seeded_segment(5);
+        let fresh = EmbeddingSegment::new(SegmentId(1), &def(), 1024);
+        let cfg = HnswConfig::new(8, DistanceMetric::L2);
+        assert!(fresh
+            .restore_checkpoint(Tid(5), HnswIndex::new(cfg), &[])
+            .is_ok());
+        // Both the seeded and the just-restored segment refuse a second restore.
+        assert!(seg
+            .restore_checkpoint(Tid(9), HnswIndex::new(cfg), &[])
+            .is_err());
+        assert!(fresh
+            .restore_checkpoint(Tid(9), HnswIndex::new(cfg), &[])
+            .is_err());
     }
 }

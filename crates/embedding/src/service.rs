@@ -10,8 +10,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use tv_common::ids::SegmentLayout;
-use tv_common::{Bitmap, Deadline, Neighbor, NeighborHeap, SegmentId, Tid, TvError, TvResult};
-use tv_hnsw::{DeltaRecord, SearchStats};
+use tv_common::{
+    crash_hook, Bitmap, CrashPlan, CrashPoint, Deadline, Neighbor, NeighborHeap, SegmentId, Tid,
+    TvError, TvResult,
+};
+use tv_hnsw::{DeltaRecord, HnswIndex, SearchStats};
 
 /// Service-wide tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +138,7 @@ pub struct BatchQuery {
 pub struct EmbeddingService {
     config: ServiceConfig,
     attrs: RwLock<Vec<Arc<EmbeddingAttr>>>,
+    crash_plan: RwLock<Option<Arc<CrashPlan>>>,
 }
 
 impl EmbeddingService {
@@ -144,7 +148,14 @@ impl EmbeddingService {
         EmbeddingService {
             config,
             attrs: RwLock::new(Vec::new()),
+            crash_plan: RwLock::new(None),
         }
+    }
+
+    /// Arm deterministic crash injection for the vacuum pipeline (tests
+    /// only; hooks are no-ops without a plan).
+    pub fn set_crash_plan(&self, plan: Arc<CrashPlan>) {
+        *self.crash_plan.write() = Some(plan);
     }
 
     /// The active configuration.
@@ -231,6 +242,24 @@ impl EmbeddingService {
             segment.append_deltas(&recs)?;
         }
         Ok(())
+    }
+
+    /// Install checkpointed state into one embedding segment during
+    /// recovery: an index image valid up to `up_to` plus the delta tail
+    /// beyond it. The target segment is materialized on demand and must be
+    /// pristine (recovery runs before any traffic).
+    pub fn restore_segment(
+        &self,
+        attr_id: u32,
+        seg: SegmentId,
+        up_to: Tid,
+        index: HnswIndex,
+        deltas: &[DeltaRecord],
+    ) -> TvResult<()> {
+        let attr = self.attr(attr_id)?;
+        attr.ensure_segment(seg);
+        let segment = attr.segment(seg).expect("ensured above");
+        segment.restore_checkpoint(up_to, index, deltas)
     }
 
     /// **EmbeddingAction[Top k]**: parallel per-segment top-k over one or
@@ -460,8 +489,14 @@ impl EmbeddingService {
     pub fn index_merge(&self, attr_id: u32, up_to: Tid, threads: usize) -> TvResult<usize> {
         let attr = self.attr(attr_id)?;
         let segments = attr.all_segments();
-        let merged: Vec<TvResult<Option<Tid>>> =
-            run_tasks(segments, threads.max(1), |seg| seg.index_merge(up_to));
+        let plan = self.crash_plan.read().clone();
+        let merged: Vec<TvResult<Option<Tid>>> = run_tasks(segments, threads.max(1), move |seg| {
+            // Crash point: a merge worker dies between per-segment merges —
+            // some segments carry the new snapshot, others don't. Recovery
+            // must work from that mixed state.
+            crash_hook(plan.as_deref(), CrashPoint::VacuumMidIndexMerge)?;
+            seg.index_merge(up_to)
+        });
         let mut count = 0;
         for m in merged {
             if m?.is_some() {
@@ -888,6 +923,65 @@ mod tests {
             .top_k_many(&[a], &[], Tid(0), None, Deadline::none(), &mut stats)
             .unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn armed_crash_plan_aborts_index_merge_then_allows_retry() {
+        let svc = service();
+        let a = svc
+            .register(0, def("e"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        let vecs = load(&svc, a, 48, 31); // 3 segments
+        svc.delta_merge(a, Tid(48)).unwrap();
+        let plan = Arc::new(tv_common::CrashPlan::new());
+        plan.arm(tv_common::CrashPoint::VacuumMidIndexMerge, 2);
+        svc.set_crash_plan(Arc::clone(&plan));
+        // Single-threaded merge: the second segment's merge trips the plan,
+        // leaving a mixed old/new snapshot state across segments.
+        let err = svc.index_merge(a, Tid(48), 1).unwrap_err();
+        assert!(matches!(err, TvError::Injected(_)));
+        // Search still answers correctly from the mixed state.
+        let (r, _) = svc.top_k(&[a], &vecs[20], 1, 64, Tid(48), None).unwrap();
+        assert_eq!(
+            r[0].neighbor.id,
+            SegmentLayout::with_capacity(16).vertex_id(20)
+        );
+        // The one-shot plan is spent: the retry completes the vacuum.
+        assert!(svc.index_merge(a, Tid(48), 1).is_ok());
+        let (r, _) = svc.top_k(&[a], &vecs[20], 1, 64, Tid(48), None).unwrap();
+        assert_eq!(
+            r[0].neighbor.id,
+            SegmentLayout::with_capacity(16).vertex_id(20)
+        );
+    }
+
+    #[test]
+    fn restore_segment_reproduces_source_reads() {
+        let src = service();
+        let a = src
+            .register(0, def("e"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        let vecs = load(&src, a, 48, 37); // 3 segments
+        src.delta_merge(a, Tid(32)).unwrap();
+        src.index_merge(a, Tid(32), 1).unwrap();
+
+        let dst = service();
+        let b = dst
+            .register(0, def("e"), SegmentLayout::with_capacity(16))
+            .unwrap();
+        let attr = src.attr(a).unwrap();
+        for seg in attr.all_segments() {
+            let (snap, tail) = seg.checkpoint_state(Tid(48));
+            let bytes = tv_hnsw::snapshot::to_bytes(&snap.index);
+            let index = tv_hnsw::snapshot::from_bytes(&bytes).unwrap();
+            dst.restore_segment(b, seg.segment_id, snap.up_to, index, &tail)
+                .unwrap();
+        }
+        for probe in [0usize, 20, 47] {
+            let (want, _) = src.top_k(&[a], &vecs[probe], 3, 64, Tid(48), None).unwrap();
+            let (got, _) = dst.top_k(&[b], &vecs[probe], 3, 64, Tid(48), None).unwrap();
+            assert_eq!(got, want, "restored search parity for probe {probe}");
+        }
     }
 
     #[test]

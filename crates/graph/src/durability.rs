@@ -1,0 +1,511 @@
+//! Crash-consistent checkpoint/recovery for the unified graph+vector store.
+//!
+//! A **checkpoint** atomically persists one consistent point of the whole
+//! system at TID `t`:
+//!
+//! * per-segment **graph images** — the MVCC fold of each vertex segment at
+//!   `t` ([`tg_storage::checkpoint::encode_segment_image`]);
+//! * per-segment **embedding state** — the newest HNSW snapshot visible at
+//!   `t` plus the encoded vector-delta tail beyond it;
+//! * a **MANIFEST**, written *last*, recording the checkpoint TID, per-type
+//!   allocation watermarks, and the name/CRC/length of every data file.
+//!
+//! Every file is a CRC-checksummed, versioned container written via
+//! temp-file + rename ([`tv_common::durafile`]), so a crash at any byte
+//! leaves either no file or a verifiable one. A checkpoint *exists* iff its
+//! MANIFEST decodes and every listed file matches its recorded CRC — a
+//! partial directory is invisible to recovery. Once the manifest is durable
+//! the WAL is rotated: records at or before `t` are dropped.
+//!
+//! **Recovery** walks checkpoints newest-first, loads the first one that
+//! fully verifies (falling back on any checksum or decode failure), installs
+//! all three layers, then replays the WAL tail — only records with
+//! `tid > t`, so recovery is idempotent when a crash hit after the manifest
+//! rename but before the WAL truncation.
+//!
+//! Deterministic crash points ([`tv_common::CrashPoint`]) are compiled into
+//! both pipelines; they are no-ops unless a test arms a
+//! [`tv_common::CrashPlan`].
+
+use crate::graph::Graph;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use tg_storage::checkpoint::{decode_segment_image, encode_segment_image};
+use tg_storage::{SegmentSnapshot, Wal};
+use tv_common::durafile;
+use tv_common::{crash_hook, CrashPlan, CrashPoint, SegmentId, Tid, TvError, TvResult};
+use tv_embedding::encode::{decode_vector_deltas, encode_vector_deltas};
+use tv_hnsw::{DeltaRecord, HnswIndex};
+
+/// Durafile kind tag: a graph segment image.
+const KIND_GRAPH_SEG: u32 = 0x4753_4547; // "GSEG"
+/// Durafile kind tag: an embedding segment state.
+const KIND_EMB_SEG: u32 = 0x4553_4547; // "ESEG"
+/// Durafile kind tag: the checkpoint manifest.
+const KIND_MANIFEST: u32 = 0x4D41_4E46; // "MANF"
+/// Container format version for all three kinds.
+const FORMAT_VERSION: u32 = 1;
+/// The WAL file name inside a data directory.
+pub const WAL_FILE: &str = "wal.log";
+/// The checkpoint subdirectory inside a data directory.
+pub const CKPT_DIR: &str = "checkpoints";
+
+/// Summary of one completed checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// The consistent point that was persisted.
+    pub tid: Tid,
+    /// Data files written (graph + embedding segments).
+    pub files: usize,
+    /// WAL records surviving the post-checkpoint rotation.
+    pub wal_records_kept: usize,
+}
+
+/// Summary of one recovery pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The checkpoint that was restored, if any verified.
+    pub checkpoint: Option<Tid>,
+    /// WAL records replayed beyond the checkpoint TID.
+    pub replayed: usize,
+    /// Newer checkpoints skipped because a file failed verification.
+    pub skipped_checkpoints: usize,
+}
+
+/// Writes checkpoints into `<dir>/checkpoints/ckpt-<tid>/` and rotates the
+/// WAL once each manifest is durable.
+pub struct CheckpointManager {
+    dir: PathBuf,
+    /// Verified checkpoints to retain (older ones are pruned).
+    keep: usize,
+    crash_plan: Option<Arc<CrashPlan>>,
+}
+
+impl CheckpointManager {
+    /// Manager rooted at a graph data directory.
+    #[must_use]
+    pub fn new(dir: &Path) -> Self {
+        CheckpointManager {
+            dir: dir.to_path_buf(),
+            keep: 2,
+            crash_plan: None,
+        }
+    }
+
+    /// Arm deterministic crash injection (tests only).
+    #[must_use]
+    pub fn with_crash_plan(mut self, plan: Option<Arc<CrashPlan>>) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Persist a consistent point at the graph's latest committed TID, then
+    /// rotate the WAL and prune old checkpoints.
+    pub fn checkpoint(&self, graph: &Graph) -> TvResult<CheckpointInfo> {
+        let ckpt_tid = graph.read_tid();
+        let ckpt_dir = self
+            .dir
+            .join(CKPT_DIR)
+            .join(format!("ckpt-{:020}", ckpt_tid.0));
+        fs::create_dir_all(&ckpt_dir)
+            .map_err(|e| TvError::Storage(format!("create {}: {e}", ckpt_dir.display())))?;
+
+        let mut files: Vec<(String, u32, u64)> = Vec::new();
+        let mut write_file = |name: String, kind: u32, payload: Vec<u8>| -> TvResult<()> {
+            // Crash point: the process dies between data-file writes. The
+            // directory holds a mix of old and new files but no (new)
+            // manifest, so recovery never sees the partial checkpoint.
+            crash_hook(self.crash_plan.as_deref(), CrashPoint::CheckpointMidWrite)?;
+            durafile::write_atomic(&ckpt_dir.join(&name), kind, FORMAT_VERSION, &payload)?;
+            files.push((name, durafile::crc32(&payload), payload.len() as u64));
+            Ok(())
+        };
+
+        // Graph layer: one image per (vertex type, segment), folded at the
+        // checkpoint TID.
+        let store = graph.store();
+        let mut watermarks = Vec::new();
+        for type_id in 0..store.vertex_type_count() as u32 {
+            let vt = store.vertex_type(type_id)?;
+            watermarks.push(vt.allocated() as u64);
+            for s in 0..vt.segment_count() as u32 {
+                let seg = SegmentId(s);
+                let handle = vt.segment(seg).expect("segment in range");
+                let image = handle.read().image_at(ckpt_tid);
+                let mut payload = Vec::new();
+                payload.extend_from_slice(&type_id.to_le_bytes());
+                payload.extend_from_slice(&s.to_le_bytes());
+                payload.extend_from_slice(&encode_segment_image(&image));
+                write_file(
+                    format!("graph-t{type_id}-s{s}.seg"),
+                    KIND_GRAPH_SEG,
+                    payload,
+                )?;
+            }
+        }
+
+        // Embedding layer: newest index snapshot visible at the checkpoint
+        // TID plus the delta tail beyond it, per (attribute, segment).
+        let embeddings = graph.embeddings();
+        for attr_id in embeddings.attr_ids() {
+            let attr = embeddings.attr(attr_id)?;
+            for seg in attr.all_segments() {
+                let (snap, tail) = seg.checkpoint_state(ckpt_tid);
+                let hnsw = tv_hnsw::snapshot::to_bytes(&snap.index);
+                let tagged: Vec<(u32, DeltaRecord)> =
+                    tail.into_iter().map(|r| (attr_id, r)).collect();
+                let deltas = if tagged.is_empty() {
+                    Vec::new()
+                } else {
+                    encode_vector_deltas(&tagged)
+                };
+                let s = seg.segment_id.0;
+                let mut payload = Vec::new();
+                payload.extend_from_slice(&attr_id.to_le_bytes());
+                payload.extend_from_slice(&s.to_le_bytes());
+                payload.extend_from_slice(&snap.up_to.0.to_le_bytes());
+                payload.extend_from_slice(&(hnsw.len() as u64).to_le_bytes());
+                payload.extend_from_slice(&hnsw);
+                payload.extend_from_slice(&deltas);
+                write_file(format!("emb-a{attr_id}-s{s}.vec"), KIND_EMB_SEG, payload)?;
+            }
+        }
+
+        // Manifest last: its atomic rename is the commit point of the whole
+        // checkpoint.
+        let n_files = files.len();
+        let manifest = encode_manifest(ckpt_tid, &watermarks, &files);
+        durafile::write_atomic(
+            &ckpt_dir.join("MANIFEST"),
+            KIND_MANIFEST,
+            FORMAT_VERSION,
+            &manifest,
+        )?;
+
+        // Crash point: the checkpoint is durable but the WAL still carries
+        // the full history. Recovery must replay only the tail beyond the
+        // checkpoint TID or it would double-apply.
+        crash_hook(
+            self.crash_plan.as_deref(),
+            CrashPoint::CheckpointPostManifestPreTruncate,
+        )?;
+        // Rotate only past the *oldest retained* checkpoint, not the one
+        // just written: if this checkpoint later fails verification,
+        // recovery falls back to its predecessor and needs every record
+        // beyond *that* TID to reach the present.
+        let floor = self.prune(ckpt_tid);
+        let kept = store.rotate_wal(floor)?;
+        Ok(CheckpointInfo {
+            tid: ckpt_tid,
+            files: n_files,
+            wal_records_kept: kept,
+        })
+    }
+
+    /// Drop checkpoints beyond the `keep` newest *valid* ones and every
+    /// dead partial directory (a crashed checkpoint leaves no manifest).
+    /// Returns the oldest retained checkpoint TID — the WAL truncation
+    /// floor. Removal failures are ignored: a stale directory costs disk,
+    /// not correctness.
+    fn prune(&self, just_written: Tid) -> Tid {
+        let mut valid = Vec::new();
+        for (tid, path) in list_checkpoints(&self.dir.join(CKPT_DIR)) {
+            let manifest_ok = durafile::read(&path.join("MANIFEST"), KIND_MANIFEST)
+                .and_then(|(_, m)| decode_manifest(&m))
+                .is_ok();
+            if manifest_ok {
+                valid.push((tid, path));
+            } else {
+                let _ = fs::remove_dir_all(path);
+            }
+        }
+        valid.sort_by_key(|v| std::cmp::Reverse(v.0));
+        for (_, path) in valid.drain(self.keep.min(valid.len())..) {
+            let _ = fs::remove_dir_all(path);
+        }
+        valid.last().map_or(just_written, |(t, _)| *t)
+    }
+}
+
+/// Everything a verified checkpoint contains, fully decoded before any of it
+/// is installed — so a corrupt file triggers fallback, never a half-restore.
+struct LoadedCheckpoint {
+    tid: Tid,
+    watermarks: Vec<u64>,
+    graph_segments: Vec<(u32, SegmentId, SegmentSnapshot)>,
+    emb_segments: Vec<(u32, SegmentId, Tid, HnswIndex, Vec<DeltaRecord>)>,
+}
+
+/// Restores the newest verifiable checkpoint and replays the WAL tail.
+pub struct RecoveryManager {
+    dir: PathBuf,
+}
+
+impl RecoveryManager {
+    /// Manager rooted at a graph data directory.
+    #[must_use]
+    pub fn new(dir: &Path) -> Self {
+        RecoveryManager {
+            dir: dir.to_path_buf(),
+        }
+    }
+
+    /// Recover `graph` (fresh, schema already recreated in the original DDL
+    /// order): install the newest valid checkpoint, then replay WAL records
+    /// beyond its TID. With no usable checkpoint the full WAL is replayed.
+    pub fn recover(&self, graph: &Graph) -> TvResult<RecoveryReport> {
+        let mut candidates = list_checkpoints(&self.dir.join(CKPT_DIR));
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+        let mut skipped = 0;
+        let mut restored = None;
+        for (tid, path) in candidates {
+            match load_checkpoint(&path, tid) {
+                Ok(ck) => {
+                    install_checkpoint(graph, ck)?;
+                    restored = Some(tid);
+                    break;
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        let floor = restored.unwrap_or(Tid::ZERO);
+
+        let wal_path = self.dir.join(WAL_FILE);
+        let mut replayed = 0;
+        if wal_path.exists() {
+            let mut records = Wal::replay(&wal_path)?;
+            records.retain(|r| r.tid > floor);
+            replayed = records.len();
+            let extras = graph.store().replay(records)?;
+            graph.apply_vector_extras(extras)?;
+        }
+        Ok(RecoveryReport {
+            checkpoint: restored,
+            replayed,
+            skipped_checkpoints: skipped,
+        })
+    }
+}
+
+/// Read and fully verify one checkpoint directory. Any missing file, CRC
+/// mismatch, or decode failure is an `Err` — the caller falls back to an
+/// older checkpoint.
+fn load_checkpoint(dir: &Path, expect_tid: Tid) -> TvResult<LoadedCheckpoint> {
+    let (_, manifest) = durafile::read(&dir.join("MANIFEST"), KIND_MANIFEST)?;
+    let (tid, watermarks, files) = decode_manifest(&manifest)?;
+    if tid != expect_tid {
+        return Err(TvError::Storage(format!(
+            "manifest TID {tid} does not match directory {}",
+            dir.display()
+        )));
+    }
+    let mut graph_segments = Vec::new();
+    let mut emb_segments = Vec::new();
+    for (name, want_crc, want_len) in files {
+        let kind = if name.starts_with("graph-") {
+            KIND_GRAPH_SEG
+        } else {
+            KIND_EMB_SEG
+        };
+        let (_, payload) = durafile::read(&dir.join(&name), kind)?;
+        if payload.len() as u64 != want_len || durafile::crc32(&payload) != want_crc {
+            return Err(TvError::Storage(format!(
+                "checkpoint file {name} does not match its manifest entry"
+            )));
+        }
+        let mut buf = payload.as_slice();
+        if kind == KIND_GRAPH_SEG {
+            let type_id = take_u32(&mut buf)?;
+            let seg = SegmentId(take_u32(&mut buf)?);
+            let image = decode_segment_image(buf)?;
+            graph_segments.push((type_id, seg, image));
+        } else {
+            let attr_id = take_u32(&mut buf)?;
+            let seg = SegmentId(take_u32(&mut buf)?);
+            let up_to = Tid(take_u64(&mut buf)?);
+            let hnsw_len = take_u64(&mut buf)? as usize;
+            if hnsw_len > buf.len() {
+                return Err(TvError::Storage(format!(
+                    "checkpoint file {name}: index length exceeds payload"
+                )));
+            }
+            let index = tv_hnsw::snapshot::from_bytes(&buf[..hnsw_len])?;
+            let rest = &buf[hnsw_len..];
+            let deltas = if rest.is_empty() {
+                Vec::new()
+            } else {
+                decode_vector_deltas(rest)?
+                    .into_iter()
+                    .map(|(_, r)| r)
+                    .collect()
+            };
+            emb_segments.push((attr_id, seg, up_to, index, deltas));
+        }
+    }
+    Ok(LoadedCheckpoint {
+        tid,
+        watermarks,
+        graph_segments,
+        emb_segments,
+    })
+}
+
+/// Install a fully-verified checkpoint into a fresh graph.
+fn install_checkpoint(graph: &Graph, ck: LoadedCheckpoint) -> TvResult<()> {
+    let store = graph.store();
+    for (type_id, seg, image) in ck.graph_segments {
+        store.vertex_type(type_id)?.restore_segment(seg, image)?;
+    }
+    for (type_id, rows) in ck.watermarks.iter().enumerate() {
+        store
+            .vertex_type(type_id as u32)?
+            .restore_allocated(*rows as usize);
+    }
+    let embeddings = graph.embeddings();
+    for (attr_id, seg, up_to, index, deltas) in ck.emb_segments {
+        embeddings.restore_segment(attr_id, seg, up_to, index, &deltas)?;
+    }
+    store.txn().recover_to(ck.tid);
+    Ok(())
+}
+
+/// Enumerate `ckpt-<tid>` subdirectories (unparseable names are ignored).
+fn list_checkpoints(root: &Path) -> Vec<(Tid, PathBuf)> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(root) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(tid) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("ckpt-"))
+            .and_then(|t| t.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        out.push((Tid(tid), entry.path()));
+    }
+    out
+}
+
+fn encode_manifest(tid: Tid, watermarks: &[u64], files: &[(String, u32, u64)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&tid.0.to_le_bytes());
+    out.extend_from_slice(&(watermarks.len() as u32).to_le_bytes());
+    for w in watermarks {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out.extend_from_slice(&(files.len() as u32).to_le_bytes());
+    for (name, crc, len) in files {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&crc.to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
+    }
+    out
+}
+
+type ManifestEntry = (String, u32, u64);
+
+fn decode_manifest(mut buf: &[u8]) -> TvResult<(Tid, Vec<u64>, Vec<ManifestEntry>)> {
+    let buf = &mut buf;
+    let tid = Tid(take_u64(buf)?);
+    let n_types = take_u32(buf)? as usize;
+    if n_types.saturating_mul(8) > buf.len() {
+        return Err(TvError::Storage(
+            "manifest watermark count exceeds payload".into(),
+        ));
+    }
+    let mut watermarks = Vec::with_capacity(n_types);
+    for _ in 0..n_types {
+        watermarks.push(take_u64(buf)?);
+    }
+    let n_files = take_u32(buf)? as usize;
+    // Each entry is at least 16 bytes (empty name); clamp before allocating.
+    if n_files.saturating_mul(16) > buf.len() {
+        return Err(TvError::Storage(
+            "manifest file count exceeds payload".into(),
+        ));
+    }
+    let mut files = Vec::with_capacity(n_files);
+    for _ in 0..n_files {
+        let name_len = take_u32(buf)? as usize;
+        if name_len > buf.len() {
+            return Err(TvError::Storage("manifest name exceeds payload".into()));
+        }
+        let name = String::from_utf8(buf[..name_len].to_vec())
+            .map_err(|_| TvError::Storage("manifest name is not UTF-8".into()))?;
+        if name.contains('/') || name.contains('\\') || name.contains("..") {
+            return Err(TvError::Storage(format!(
+                "manifest names a path outside its directory: {name}"
+            )));
+        }
+        *buf = &buf[name_len..];
+        let crc = take_u32(buf)?;
+        let len = take_u64(buf)?;
+        files.push((name, crc, len));
+    }
+    if !buf.is_empty() {
+        return Err(TvError::Storage("trailing bytes after manifest".into()));
+    }
+    Ok((tid, watermarks, files))
+}
+
+fn take_u32(buf: &mut &[u8]) -> TvResult<u32> {
+    if buf.len() < 4 {
+        return Err(TvError::Storage("manifest truncated".into()));
+    }
+    let v = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+    *buf = &buf[4..];
+    Ok(v)
+}
+
+fn take_u64(buf: &mut &[u8]) -> TvResult<u64> {
+    if buf.len() < 8 {
+        return Err(TvError::Storage("manifest truncated".into()));
+    }
+    let v = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+    *buf = &buf[8..];
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrips() {
+        let files = vec![
+            ("graph-t0-s0.seg".to_string(), 0xDEAD_BEEF, 128),
+            ("emb-a0-s0.vec".to_string(), 0x1234_5678, 4096),
+        ];
+        let bytes = encode_manifest(Tid(42), &[7, 9], &files);
+        let (tid, marks, decoded) = decode_manifest(&bytes).unwrap();
+        assert_eq!(tid, Tid(42));
+        assert_eq!(marks, vec![7, 9]);
+        assert_eq!(decoded, files);
+    }
+
+    #[test]
+    fn manifest_corruption_never_panics() {
+        let files = vec![("graph-t0-s0.seg".to_string(), 1, 2)];
+        let bytes = encode_manifest(Tid(1), &[3], &files);
+        for cut in 0..bytes.len() {
+            let _ = decode_manifest(&bytes[..cut]);
+        }
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            let _ = decode_manifest(&bad);
+        }
+    }
+
+    #[test]
+    fn manifest_rejects_path_traversal() {
+        let files = vec![("../../etc/passwd".to_string(), 1, 2)];
+        let bytes = encode_manifest(Tid(1), &[], &files);
+        assert!(decode_manifest(&bytes).is_err());
+    }
+}

@@ -1,15 +1,16 @@
 //! The [`Graph`] facade: schema DDL, atomic graph+vector transactions, reads,
 //! and the vector-search entry points the query layer builds on.
 
+use crate::durability::{CheckpointInfo, CheckpointManager, RecoveryManager, RecoveryReport};
 use crate::schema::Catalog;
 use crate::vertex_set::VertexSet;
 use parking_lot::RwLock;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tg_storage::txn::ReadTicket;
 use tg_storage::{AttrSchema, AttrType, AttrValue, GraphDelta, GraphStore, Wal};
 use tv_common::ids::SegmentLayout;
-use tv_common::{Tid, TvError, TvResult, VertexId};
+use tv_common::{CrashPlan, Tid, TvError, TvResult, VertexId};
 use tv_embedding::encode::{decode_vector_deltas, encode_vector_deltas};
 use tv_embedding::service::{SegmentFilters, TypedNeighbor};
 use tv_embedding::{EmbeddingService, EmbeddingSpace, EmbeddingTypeDef, ServiceConfig};
@@ -24,6 +25,8 @@ pub struct Graph {
     embeddings: Arc<EmbeddingService>,
     catalog: RwLock<Catalog>,
     default_layout: SegmentLayout,
+    data_dir: Option<PathBuf>,
+    crash_plan: Option<Arc<CrashPlan>>,
 }
 
 impl Graph {
@@ -42,6 +45,8 @@ impl Graph {
             embeddings: Arc::new(EmbeddingService::new(config)),
             catalog: RwLock::new(Catalog::default()),
             default_layout: layout,
+            data_dir: None,
+            crash_plan: None,
         }
     }
 
@@ -52,7 +57,61 @@ impl Graph {
             embeddings: Arc::new(EmbeddingService::new(config)),
             catalog: RwLock::new(Catalog::default()),
             default_layout: layout,
+            data_dir: None,
+            crash_plan: None,
         })
+    }
+
+    /// Durable graph rooted at a data directory: WAL at `<dir>/wal.log`,
+    /// checkpoints under `<dir>/checkpoints/`. [`Graph::checkpoint`] and
+    /// [`Graph::recover`] only work on graphs opened this way.
+    pub fn durable(dir: &Path, layout: SegmentLayout, config: ServiceConfig) -> TvResult<Self> {
+        Graph::durable_with_plan(dir, layout, config, None)
+    }
+
+    /// [`Graph::durable`] with a deterministic crash-injection plan threaded
+    /// into the commit, checkpoint, and vacuum pipelines (testing only;
+    /// `None` makes every crash hook a no-op).
+    pub fn durable_with_plan(
+        dir: &Path,
+        layout: SegmentLayout,
+        config: ServiceConfig,
+        plan: Option<Arc<CrashPlan>>,
+    ) -> TvResult<Self> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| TvError::Storage(format!("create {}: {e}", dir.display())))?;
+        let embeddings = EmbeddingService::new(config);
+        if let Some(p) = &plan {
+            embeddings.set_crash_plan(Arc::clone(p));
+        }
+        Ok(Graph {
+            store: GraphStore::with_wal_plan(&dir.join(crate::durability::WAL_FILE), plan.clone())?,
+            embeddings: Arc::new(embeddings),
+            catalog: RwLock::new(Catalog::default()),
+            default_layout: layout,
+            data_dir: Some(dir.to_path_buf()),
+            crash_plan: plan,
+        })
+    }
+
+    /// Persist a consistent checkpoint of graph, embedding, and index state
+    /// at the latest committed TID, then rotate the WAL past it.
+    pub fn checkpoint(&self) -> TvResult<CheckpointInfo> {
+        let dir = self.data_dir.as_ref().ok_or_else(|| {
+            TvError::InvalidArgument("checkpoint needs a graph opened with Graph::durable".into())
+        })?;
+        CheckpointManager::new(dir)
+            .with_crash_plan(self.crash_plan.clone())
+            .checkpoint(self)
+    }
+
+    /// Recover this (fresh, schema-recreated) graph from its data directory:
+    /// restore the newest valid checkpoint, then replay the WAL tail.
+    pub fn recover(&self) -> TvResult<RecoveryReport> {
+        let dir = self.data_dir.as_ref().ok_or_else(|| {
+            TvError::InvalidArgument("recover needs a graph opened with Graph::durable".into())
+        })?;
+        RecoveryManager::new(dir).recover(self)
     }
 
     /// Replay a WAL into this graph (schema must already be recreated in the
@@ -61,6 +120,13 @@ impl Graph {
         let records = Wal::replay(path)?;
         let n = records.len();
         let extras = self.store.replay(records)?;
+        self.apply_vector_extras(extras)?;
+        Ok(n)
+    }
+
+    /// Re-install the vector deltas carried in replayed WAL `extra`
+    /// payloads (shared by [`Graph::replay_wal`] and checkpoint recovery).
+    pub(crate) fn apply_vector_extras(&self, extras: Vec<(Tid, Vec<u8>)>) -> TvResult<()> {
         for (_tid, payload) in extras {
             let vec_deltas = decode_vector_deltas(&payload)?;
             let mut by_attr: std::collections::HashMap<u32, Vec<DeltaRecord>> =
@@ -72,7 +138,7 @@ impl Graph {
                 self.embeddings.apply_deltas(attr, &recs)?;
             }
         }
-        Ok(n)
+        Ok(())
     }
 
     // ---- DDL -------------------------------------------------------------

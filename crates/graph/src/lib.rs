@@ -18,17 +18,23 @@
 //! * [`algo`] — graph algorithms: k-hop expansion and Louvain community
 //!   detection (the paper's Q4 composition demo, §5.5);
 //! * [`loader`] — loading jobs: attribute and embedding files loaded
-//!   separately into the same vertices (§4.1's two-file example).
+//!   separately into the same vertices (§4.1's two-file example);
+//! * [`durability`] — crash-consistent checkpoints (graph images, embedding
+//!   deltas, HNSW snapshots, a CRC-verified manifest) and recovery: newest
+//!   valid checkpoint + WAL-tail replay, with deterministic crash-point
+//!   injection for torture testing.
 
 pub mod accum;
 pub mod actions;
 pub mod algo;
+pub mod durability;
 pub mod graph;
 pub mod loader;
 pub mod rbac;
 pub mod schema;
 pub mod vertex_set;
 
+pub use durability::{CheckpointInfo, CheckpointManager, RecoveryManager, RecoveryReport};
 pub use graph::{Graph, TxnBuilder};
 pub use rbac::{AccessControl, Role};
 pub use schema::{Catalog, EdgeTypeDef, VertexTypeDef};

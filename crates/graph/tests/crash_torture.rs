@@ -1,0 +1,350 @@
+//! Crash-recovery torture: run a deterministic mixed graph+vector workload,
+//! "crash" (via deterministic crash-point injection) at every reachable
+//! crash point, recover, resume, and require the final state to be
+//! bit-identical to a no-crash oracle.
+//!
+//! The workload commits 30 transactions interleaved with checkpoints (after
+//! TID 10 and 20) and a two-stage embedding vacuum (after TID 15), so the
+//! crash points cover: mid-WAL-append, post-WAL-pre-apply, mid-checkpoint
+//! file writes, post-manifest-pre-WAL-truncate, and mid-index-merge.
+//!
+//! Searches use a brute-force threshold above the dataset size, so top-k
+//! results are exact and comparable bit-for-bit regardless of how the HNSW
+//! index was (re)built.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use tg_graph::Graph;
+use tg_storage::{AttrType, AttrValue};
+use tv_common::ids::SegmentLayout;
+use tv_common::{CrashPlan, CrashPoint, DistanceMetric, SplitMix64, Tid, TvError, TvResult};
+use tv_embedding::{EmbeddingTypeDef, ServiceConfig};
+
+const N_TXNS: u64 = 30;
+const N_VERTICES: u32 = 24; // 3 segments of capacity 8
+const DIM: usize = 4;
+const DOC: u32 = 0; // vertex type id
+const LINKS: u32 = 0; // edge type id
+const EMB: u32 = 0; // embedding attribute id
+
+fn layout() -> SegmentLayout {
+    SegmentLayout::with_capacity(8)
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        // Above the dataset size: every segment search is an exact scan,
+        // so results are deterministic however the index was built.
+        brute_force_threshold: 1024,
+        query_threads: 1,
+        default_ef: 64,
+    }
+}
+
+fn test_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tv-torture-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &Path, plan: Option<Arc<CrashPlan>>) -> Graph {
+    let g = Graph::durable_with_plan(dir, layout(), config(), plan).unwrap();
+    g.create_vertex_type("Doc", &[("title", AttrType::Str), ("score", AttrType::Int)])
+        .unwrap();
+    g.create_edge_type("links", "Doc", "Doc").unwrap();
+    g.add_embedding_attribute(
+        "Doc",
+        EmbeddingTypeDef::new("emb", DIM, "GPT4", DistanceMetric::L2),
+    )
+    .unwrap();
+    g
+}
+
+fn vec_for(t: u64, v: u32) -> Vec<f32> {
+    let mut rng = SplitMix64::new(0x70C7_0000 ^ (t << 8) ^ u64::from(v));
+    (0..DIM).map(|_| rng.next_f32() * 4.0).collect()
+}
+
+/// Commit transaction `t` of the script. Fully determined by `t`.
+fn apply_txn(g: &Graph, t: u64) -> TvResult<Tid> {
+    let v = ((t * 7) % u64::from(N_VERTICES)) as u32;
+    let id = layout().vertex_id(v as usize);
+    let txn = match t % 5 {
+        0 if t > 5 => g.txn().delete_vertex(DOC, id),
+        4 if t > 5 => g.txn().set_vector(EMB, id, vec_for(t, v)),
+        3 => {
+            let w = ((t * 11 + 3) % u64::from(N_VERTICES)) as u32;
+            let other = layout().vertex_id(w as usize);
+            g.txn()
+                .upsert_vertex(
+                    DOC,
+                    id,
+                    vec![AttrValue::Str(format!("doc-{t}")), AttrValue::Int(t as i64)],
+                )
+                .set_vector(EMB, id, vec_for(t, v))
+                .add_edge(LINKS, DOC, id, other)
+        }
+        _ => g
+            .txn()
+            .upsert_vertex(
+                DOC,
+                id,
+                vec![AttrValue::Str(format!("doc-{t}")), AttrValue::Int(t as i64)],
+            )
+            .set_vector(EMB, id, vec_for(t, v)),
+    };
+    let tid = txn.commit()?;
+    assert_eq!(tid, Tid(t), "script TIDs must track txn numbers");
+    Ok(tid)
+}
+
+/// Maintenance keyed to the script position: checkpoints after TID 10 and
+/// 20, the two-stage embedding vacuum plus graph vacuum after TID 15.
+fn maintenance(g: &Graph, t: u64) -> TvResult<()> {
+    match t {
+        10 | 20 => {
+            g.checkpoint()?;
+        }
+        15 => {
+            let up_to = g.read_tid();
+            g.store().vacuum();
+            g.embeddings().delta_merge(EMB, up_to)?;
+            g.embeddings().index_merge(EMB, up_to, 1)?;
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn run_from(g: &Graph, from: u64, to: u64) -> TvResult<()> {
+    for t in from..=to {
+        apply_txn(g, t)?;
+        maintenance(g, t)?;
+    }
+    Ok(())
+}
+
+/// Full observable state, rendered to comparable strings: per-vertex
+/// liveness/attributes/edges/embedding (with f32 bit patterns) plus exact
+/// top-k results for deterministic probe queries.
+fn fingerprint(g: &Graph) -> Vec<String> {
+    let tid = g.read_tid();
+    let mut out = vec![format!("read_tid={tid}")];
+    for v in 0..N_VERTICES {
+        let id = layout().vertex_id(v as usize);
+        let live = g.is_live(DOC, id, tid).unwrap();
+        let title = g.attr(DOC, id, "title", tid).unwrap();
+        let score = g.attr(DOC, id, "score", tid).unwrap();
+        let edges = g.out_neighbors(DOC, id, LINKS, tid).unwrap();
+        let emb: Option<Vec<u32>> = g
+            .embedding_of(EMB, id, tid)
+            .unwrap()
+            .map(|e| e.iter().map(|x| x.to_bits()).collect());
+        out.push(format!(
+            "v{v}: {live} {title:?} {score:?} {edges:?} {emb:?}"
+        ));
+    }
+    for probe in 0..3u64 {
+        let q = vec_for(1000 + probe, 0);
+        let (r, _) = g.vector_search(&[EMB], &q, 5, 64, None, tid).unwrap();
+        let hits: Vec<String> = r
+            .iter()
+            .map(|tn| format!("{}@{:08x}", tn.neighbor.id, tn.neighbor.dist.to_bits()))
+            .collect();
+        out.push(format!("probe{probe}: {hits:?}"));
+    }
+    out
+}
+
+/// The no-crash oracle: the script run start to finish in one process life.
+fn oracle() -> Vec<String> {
+    let dir = test_dir("oracle");
+    let g = open(&dir, None);
+    run_from(&g, 1, N_TXNS).unwrap();
+    let fp = fingerprint(&g);
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+    fp
+}
+
+/// Crash at every reachable crash point and require recovery to converge to
+/// the oracle state bit-for-bit.
+#[test]
+fn torture_every_crash_point_recovers_to_oracle() {
+    let want = oracle();
+
+    // Observation pass: count how often each crash point is reached.
+    let observe = Arc::new(CrashPlan::new());
+    {
+        let dir = test_dir("observe");
+        let g = open(&dir, Some(Arc::clone(&observe)));
+        run_from(&g, 1, N_TXNS).unwrap();
+        drop(g);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    for point in CrashPoint::ALL {
+        let hits = observe.hits(point);
+        assert!(hits > 0, "crash point {point} never reached by the script");
+        // Sample crash positions: first, second, middle, last occurrence.
+        let mut nths = vec![1, 2, hits / 2, hits];
+        nths.retain(|&n| n >= 1 && n <= hits);
+        nths.dedup();
+        for nth in nths {
+            let dir = test_dir(&format!("{}-{nth}", point.to_string().replace('/', "_")));
+
+            // Run until the armed crash point trips; the Err is the "crash".
+            let plan = Arc::new(CrashPlan::new());
+            plan.arm(point, nth);
+            let g = open(&dir, Some(Arc::clone(&plan)));
+            g.recover().unwrap();
+            let err = run_from(&g, 1, N_TXNS)
+                .expect_err("armed crash point must trip before the script ends");
+            assert!(
+                matches!(err, TvError::Injected(_)),
+                "expected injected crash at {point}#{nth}, got {err}"
+            );
+            drop(g); // process death
+
+            // Recover and resume from the first non-durable transaction.
+            let g = open(&dir, None);
+            g.recover()
+                .unwrap_or_else(|e| panic!("recovery after {point}#{nth} failed: {e}"));
+            let next = g.read_tid().0 + 1;
+            run_from(&g, next, N_TXNS).unwrap();
+            assert_eq!(
+                fingerprint(&g),
+                want,
+                "state diverged from oracle after crash at {point}#{nth}"
+            );
+            drop(g);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// After a checkpoint rotates the WAL, recovery restores the checkpoint and
+/// replays only the tail beyond its TID.
+#[test]
+fn recovery_after_rotation_replays_only_the_tail() {
+    let dir = test_dir("rotation");
+    {
+        let g = open(&dir, None);
+        run_from(&g, 1, N_TXNS).unwrap();
+    }
+    let g = open(&dir, None);
+    let report = g.recover().unwrap();
+    assert_eq!(report.checkpoint, Some(Tid(20)));
+    assert_eq!(report.replayed, (N_TXNS - 20) as usize);
+    assert_eq!(report.skipped_checkpoints, 0);
+    assert_eq!(fingerprint(&g), oracle());
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted newest checkpoint is skipped; recovery falls back to its
+/// predecessor and replays the longer WAL tail to the same final state.
+#[test]
+fn corrupt_newest_checkpoint_falls_back_to_previous() {
+    let dir = test_dir("fallback");
+    {
+        let g = open(&dir, None);
+        run_from(&g, 1, N_TXNS).unwrap();
+    }
+    // Flip one byte in the newest checkpoint's manifest.
+    let manifest = dir
+        .join("checkpoints")
+        .join("ckpt-00000000000000000020")
+        .join("MANIFEST");
+    let mut bytes = std::fs::read(&manifest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&manifest, &bytes).unwrap();
+
+    let g = open(&dir, None);
+    let report = g.recover().unwrap();
+    assert_eq!(report.checkpoint, Some(Tid(10)));
+    assert_eq!(report.skipped_checkpoints, 1);
+    assert_eq!(report.replayed, (N_TXNS - 10) as usize);
+    assert_eq!(fingerprint(&g), oracle());
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A transaction carrying both graph deltas and vector deltas is atomically
+/// present or absent after a crash — never split across the two stores.
+#[test]
+fn mixed_txn_atomic_across_crash() {
+    for (point, expect_present) in [
+        // Crash mid-WAL-append: the record never became durable — neither
+        // the vertex nor its vector may surface after recovery.
+        (CrashPoint::CommitMidWalAppend, false),
+        // Crash after the WAL sync: the record is durable — both the vertex
+        // and its vector must surface after recovery.
+        (CrashPoint::CommitPostWalPreApply, true),
+    ] {
+        let dir = test_dir(&format!("atomic-{}", point.to_string().replace('/', "_")));
+        let plan = Arc::new(CrashPlan::new());
+        plan.arm(point, 1);
+        let g = open(&dir, Some(Arc::clone(&plan)));
+        let id = layout().vertex_id(0);
+        let err = g
+            .txn()
+            .upsert_vertex(DOC, id, vec![AttrValue::Str("x".into()), AttrValue::Int(1)])
+            .set_vector(EMB, id, vec![1.0, 2.0, 3.0, 4.0])
+            .commit()
+            .expect_err("armed commit crash");
+        assert!(matches!(err, TvError::Injected(_)));
+        drop(g);
+
+        let g = open(&dir, None);
+        g.recover().unwrap();
+        let tid = g.read_tid();
+        let live = g.is_live(DOC, id, tid).unwrap();
+        let emb = g.embedding_of(EMB, id, tid).unwrap();
+        assert_eq!(live, expect_present, "graph side after {point}");
+        assert_eq!(
+            emb,
+            expect_present.then(|| vec![1.0, 2.0, 3.0, 4.0]),
+            "vector side after {point}"
+        );
+        assert_eq!(
+            live,
+            emb.is_some(),
+            "graph and vector state split by {point}"
+        );
+        drop(g);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Vertex-id allocation watermarks survive checkpoint + recovery: fresh ids
+/// never collide with pre-crash ids.
+#[test]
+fn allocation_watermark_survives_recovery() {
+    let dir = test_dir("alloc");
+    let pre;
+    {
+        let g = open(&dir, None);
+        let ids = g.allocate_many(DOC, 5).unwrap();
+        let mut txn = g.txn();
+        for (i, &id) in ids.iter().enumerate() {
+            txn = txn.upsert_vertex(
+                DOC,
+                id,
+                vec![AttrValue::Str(format!("d{i}")), AttrValue::Int(i as i64)],
+            );
+        }
+        txn.commit().unwrap();
+        g.checkpoint().unwrap();
+        pre = ids;
+    }
+    let g = open(&dir, None);
+    g.recover().unwrap();
+    let fresh = g.allocate_many(DOC, 5).unwrap();
+    for id in &fresh {
+        assert!(!pre.contains(id), "recycled vertex id {id} after recovery");
+    }
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -89,14 +89,31 @@ pub fn from_bytes(data: &[u8]) -> TvResult<HnswIndex> {
     if n > (u32::MAX as usize) {
         return Err(TvError::Storage("snapshot too large".into()));
     }
+    // Every node occupies at least 8 (key) + 1 (level) + 1 (tombstone) +
+    // 4*dim (vector) + 4 (link count) bytes. Clamp the declared count
+    // against the bytes actually present BEFORE any allocation, so a
+    // corrupt header in a tiny file cannot demand gigabytes.
+    let min_node_bytes = 14usize.saturating_add(dim.saturating_mul(4));
+    if n.saturating_mul(min_node_bytes) > r.remaining() {
+        return Err(TvError::Storage(format!(
+            "corrupt snapshot: {n} nodes cannot fit in {} remaining bytes",
+            r.remaining()
+        )));
+    }
     let mut keys = Vec::with_capacity(n);
     for _ in 0..n {
         keys.push(VertexId(r.u64()?));
     }
     let levels = r.take(n)?.to_vec();
     let deleted: Vec<bool> = r.take(n)?.iter().map(|&b| b != 0).collect();
-    let mut vectors = Vec::with_capacity(n * dim);
-    for _ in 0..n * dim {
+    let vec_count = n
+        .checked_mul(dim)
+        .ok_or_else(|| TvError::Storage("corrupt snapshot: vector count overflow".into()))?;
+    if vec_count.saturating_mul(4) > r.remaining() {
+        return Err(TvError::Storage("truncated snapshot".into()));
+    }
+    let mut vectors = Vec::with_capacity(vec_count);
+    for _ in 0..vec_count {
         vectors.push(r.f32()?);
     }
     let mut links = Vec::with_capacity(n);
@@ -128,10 +145,29 @@ pub fn from_bytes(data: &[u8]) -> TvResult<HnswIndex> {
         1 => {
             let slot = r.u32()?;
             let lvl = r.u8()?;
+            if slot as usize >= n {
+                return Err(TvError::Storage(format!(
+                    "corrupt snapshot: entry slot {slot} out of range (n={n})"
+                )));
+            }
+            // A node at level L carries L+1 adjacency lists; the entry
+            // level must address one of them or the first search step
+            // would index out of bounds.
+            if usize::from(lvl) >= links[slot as usize].len() {
+                return Err(TvError::Storage(format!(
+                    "corrupt snapshot: entry level {lvl} exceeds node level"
+                )));
+            }
             Some((slot, lvl))
         }
         _ => return Err(TvError::Storage("corrupt snapshot: entry tag".into())),
     };
+    if r.remaining() != 0 {
+        return Err(TvError::Storage(format!(
+            "corrupt snapshot: {} trailing bytes",
+            r.remaining()
+        )));
+    }
     HnswIndex::from_parts(cfg, vectors, keys, links, levels, deleted, entry)
 }
 
@@ -168,8 +204,11 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
     fn take(&mut self, n: usize) -> TvResult<&'a [u8]> {
-        if self.pos + n > self.data.len() {
+        if n > self.remaining() {
             return Err(TvError::Storage("truncated snapshot".into()));
         }
         let s = &self.data[self.pos..self.pos + n];
@@ -255,6 +294,82 @@ mod tests {
         assert!(from_bytes(&bytes[..bytes.len() / 2]).is_err());
         assert!(from_bytes(&bytes[..4]).is_err());
         assert!(from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn huge_declared_count_in_tiny_file_rejected_cheaply() {
+        // 50-byte file claiming ~2^62 nodes: must fail fast on the clamp,
+        // never attempt the multi-GB allocation.
+        let valid = to_bytes(&sample_index(3));
+        let mut bytes = valid[..50].to_vec();
+        // Node count lives right after magic(8) + dim(8) + metric(1) +
+        // m(8) + m0(8) + ef(8) + ml(8) + seed(8) = offset 57 in a full
+        // header; rebuild a minimal header instead of patching offsets.
+        bytes.clear();
+        bytes.extend_from_slice(MAGIC);
+        put_u64(&mut bytes, 8); // dim
+        bytes.push(0); // metric
+        put_u64(&mut bytes, 16); // m
+        put_u64(&mut bytes, 32); // m0
+        put_u64(&mut bytes, 100); // ef_construction
+        put_f64(&mut bytes, f64::NAN); // ml
+        put_u64(&mut bytes, 42); // seed
+        put_u64(&mut bytes, 1 << 62); // node count
+        assert!(bytes.len() < 70);
+        assert!(from_bytes(&bytes).is_err());
+        // Same for a count that overflows n * dim.
+        let cnt_off = bytes.len() - 8;
+        bytes[cnt_off..].copy_from_slice(&u64::from(u32::MAX).to_le_bytes());
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_entry_point_rejected() {
+        let bytes = to_bytes(&sample_index(20));
+        // The entry record is the final 6 bytes: tag(1) slot(4) lvl(1).
+        let slot_off = bytes.len() - 5;
+        let lvl_off = bytes.len() - 1;
+        assert_eq!(bytes[bytes.len() - 6], 1, "sample index has an entry");
+
+        let mut bad_slot = bytes.clone();
+        bad_slot[slot_off..slot_off + 4].copy_from_slice(&999u32.to_le_bytes());
+        assert!(from_bytes(&bad_slot).is_err());
+
+        let mut bad_lvl = bytes.clone();
+        bad_lvl[lvl_off] = 200;
+        assert!(from_bytes(&bad_lvl).is_err());
+    }
+
+    #[test]
+    fn truncation_fuzz_always_errs_never_panics() {
+        let bytes = to_bytes(&sample_index(40));
+        // Every strict prefix must fail cleanly: each byte participates in
+        // the parse, so no truncation can silently decode.
+        for cut in 0..bytes.len() {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "prefix of {cut} bytes");
+        }
+    }
+
+    #[test]
+    fn byte_flip_fuzz_never_panics_or_overallocates() {
+        let bytes = to_bytes(&sample_index(40));
+        let mut rng = SplitMix64::new(0xF1A5);
+        // Deterministic single-bit flips across the whole image. Decoding
+        // may succeed (a flipped vector lane is still a valid snapshot) but
+        // must never panic, abort, or allocate beyond the input's scale.
+        for trial in 0..500 {
+            let mut mutated = bytes.clone();
+            let pos = (rng.next_u64() as usize) % mutated.len();
+            let bit = (rng.next_u64() % 8) as u32;
+            mutated[pos] ^= 1 << bit;
+            let _ = from_bytes(&mutated);
+            // Multi-byte damage on the same image.
+            if trial % 5 == 0 {
+                let pos2 = (rng.next_u64() as usize) % mutated.len();
+                mutated[pos2] = rng.next_u64() as u8;
+                let _ = from_bytes(&mutated);
+            }
+        }
     }
 
     #[test]

@@ -175,10 +175,89 @@ impl TenantMetrics {
     }
 }
 
-/// Registry of per-tenant metrics, get-or-create by tenant name.
+/// System-wide durability counters (checkpoints are not tenant work).
+#[derive(Default)]
+pub struct DurabilityMetrics {
+    checkpoints: AtomicU64,
+    checkpoint_failures: AtomicU64,
+    last_checkpoint_tid: AtomicU64,
+    last_checkpoint_files: AtomicU64,
+    wal_records_kept: AtomicU64,
+    checkpoint_latency: LatencyHistogram,
+}
+
+impl DurabilityMetrics {
+    /// A checkpoint completed at `tid`, writing `files` data files and
+    /// leaving `wal_kept` records in the rotated WAL.
+    pub fn record_checkpoint(&self, tid: u64, files: usize, wal_kept: usize, elapsed: Duration) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.last_checkpoint_tid.store(tid, Ordering::Relaxed);
+        self.last_checkpoint_files
+            .store(files as u64, Ordering::Relaxed);
+        self.wal_records_kept
+            .store(wal_kept as u64, Ordering::Relaxed);
+        self.checkpoint_latency.record(elapsed);
+    }
+
+    /// A checkpoint attempt failed.
+    pub fn record_checkpoint_failure(&self) {
+        self.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed checkpoints.
+    #[must_use]
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints.load(Ordering::Relaxed)
+    }
+
+    /// Failed checkpoint attempts.
+    #[must_use]
+    pub fn checkpoint_failures(&self) -> u64 {
+        self.checkpoint_failures.load(Ordering::Relaxed)
+    }
+
+    /// TID of the most recent completed checkpoint.
+    #[must_use]
+    pub fn last_checkpoint_tid(&self) -> u64 {
+        self.last_checkpoint_tid.load(Ordering::Relaxed)
+    }
+
+    /// Flat JSON object for the durability subsystem.
+    #[must_use]
+    pub fn snapshot(&self) -> serde_json::Value {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let mut m = serde_json::Map::new();
+        m.insert("checkpoints".into(), self.checkpoints().into());
+        m.insert(
+            "checkpoint_failures".into(),
+            self.checkpoint_failures().into(),
+        );
+        m.insert(
+            "last_checkpoint_tid".into(),
+            self.last_checkpoint_tid().into(),
+        );
+        m.insert(
+            "last_checkpoint_files".into(),
+            self.last_checkpoint_files.load(Ordering::Relaxed).into(),
+        );
+        m.insert(
+            "wal_records_kept".into(),
+            self.wal_records_kept.load(Ordering::Relaxed).into(),
+        );
+        m.insert(
+            "checkpoint_mean_ms".into(),
+            ms(self.checkpoint_latency.mean()).into(),
+        );
+        serde_json::Value::Object(m)
+    }
+}
+
+/// Registry of per-tenant metrics, get-or-create by tenant name, plus the
+/// system-wide durability counters.
 #[derive(Default)]
 pub struct MetricsRegistry {
     tenants: RwLock<HashMap<String, Arc<TenantMetrics>>>,
+    durability: DurabilityMetrics,
 }
 
 impl MetricsRegistry {
@@ -197,7 +276,14 @@ impl MetricsRegistry {
         Arc::clone(w.entry(tenant.to_string()).or_default())
     }
 
-    /// JSON snapshot: one object per tenant, keyed by tenant name.
+    /// The durability (checkpoint/recovery) counters.
+    #[must_use]
+    pub fn durability(&self) -> &DurabilityMetrics {
+        &self.durability
+    }
+
+    /// JSON snapshot: one object per tenant, keyed by tenant name, plus a
+    /// `__durability__` object for the checkpoint subsystem.
     #[must_use]
     pub fn snapshot(&self) -> serde_json::Value {
         let tenants = self.tenants.read();
@@ -205,6 +291,7 @@ impl MetricsRegistry {
         for (name, metrics) in tenants.iter() {
             m.insert(name.clone(), metrics.snapshot());
         }
+        m.insert("__durability__".into(), self.durability.snapshot());
         serde_json::Value::Object(m)
     }
 }

@@ -127,6 +127,29 @@ impl Server {
         self.metrics.snapshot()
     }
 
+    /// Persist a crash-consistent checkpoint of the served graph (graph
+    /// segment images, embedding deltas, index snapshots, manifest) and
+    /// rotate its WAL. Requires a graph opened with `Graph::durable`;
+    /// outcomes land in the `__durability__` metrics object.
+    pub fn checkpoint(&self) -> TvResult<tg_graph::CheckpointInfo> {
+        let start = Instant::now();
+        match self.graph.checkpoint() {
+            Ok(info) => {
+                self.metrics.durability().record_checkpoint(
+                    info.tid.0,
+                    info.files,
+                    info.wal_records_kept,
+                    start.elapsed(),
+                );
+                Ok(info)
+            }
+            Err(e) => {
+                self.metrics.durability().record_checkpoint_failure();
+                Err(e)
+            }
+        }
+    }
+
     fn deadline_for(&self, session: &Session) -> Deadline {
         match session.deadline.or(self.config.default_deadline) {
             Some(d) => Deadline::after(d),

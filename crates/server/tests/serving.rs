@@ -381,3 +381,89 @@ fn batched_vector_topk_is_bit_identical_to_solo() {
         "no queries coalesced — batching never engaged"
     );
 }
+
+/// The serving layer can checkpoint a durable graph online; queries before
+/// and after see identical state, the durability metrics record the
+/// checkpoint, and a recovered server serves the same answers.
+#[test]
+fn server_checkpoint_and_recovery_serving_continuity() {
+    let dir = std::env::temp_dir().join(format!("tv-serve-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let layout = SegmentLayout::with_capacity(8);
+    let cfg = ServiceConfig {
+        brute_force_threshold: 1024, // exact search → comparable results
+        query_threads: 1,
+        default_ef: 32,
+    };
+    let setup = |g: &Graph| {
+        g.create_vertex_type("Doc", &[("classification", AttrType::Str)])
+            .unwrap();
+        g.add_embedding_attribute(
+            "Doc",
+            EmbeddingTypeDef::new("emb", DIM, "M", DistanceMetric::L2),
+        )
+        .unwrap();
+    };
+    let acl = Arc::new(AccessControl::new());
+    acl.define_role("reader", Role::default().allow_type(0));
+    acl.assign("u", "reader").unwrap();
+
+    let mut rng = SplitMix64::new(41);
+    let vecs: Vec<Vec<f32>> = (0..DOCS)
+        .map(|_| (0..DIM).map(|_| rng.next_f32() * 10.0).collect())
+        .collect();
+    let before;
+    {
+        let graph = Graph::durable(&dir, layout, cfg).unwrap();
+        setup(&graph);
+        let ids = graph.allocate_many(0, DOCS).unwrap();
+        let mut txn = graph.txn();
+        for (i, &id) in ids.iter().enumerate() {
+            txn = txn
+                .upsert_vertex(0, id, vec![AttrValue::Str("public".into())])
+                .set_vector(0, id, vecs[i].clone());
+        }
+        txn.commit().unwrap();
+        let graph = Arc::new(graph);
+        let server = Server::new(
+            Arc::clone(&graph),
+            Arc::clone(&acl),
+            ServerConfig::default(),
+        );
+        let session = server.open_session("acme", "u");
+        before = server
+            .vector_top_k(&session, &[0], vecs[3].clone(), 3)
+            .unwrap();
+        let info = server.checkpoint().unwrap();
+        assert!(info.files > 0);
+        assert_eq!(info.wal_records_kept, 0);
+        // Serving continues after the checkpoint with identical answers.
+        let after = server
+            .vector_top_k(&session, &[0], vecs[3].clone(), 3)
+            .unwrap();
+        assert_eq!(after, before);
+        let snap = server.metrics_json();
+        let dur = snap.get("__durability__").unwrap();
+        assert_eq!(dur.get("checkpoints").unwrap().as_u64(), Some(1));
+        assert_eq!(dur.get("last_checkpoint_tid").unwrap().as_u64(), Some(1));
+    }
+    // A fresh process recovers from the checkpoint and serves the same
+    // results.
+    let graph = Graph::durable(&dir, layout, cfg).unwrap();
+    setup(&graph);
+    let report = graph.recover().unwrap();
+    assert_eq!(report.checkpoint, Some(Tid(1)));
+    assert_eq!(report.replayed, 0);
+    let server = Server::new(Arc::new(graph), acl, ServerConfig::default());
+    let session = server.open_session("acme", "u");
+    let recovered = server
+        .vector_top_k(&session, &[0], vecs[3].clone(), 3)
+        .unwrap();
+    assert_eq!(recovered, before);
+    // An in-memory graph cannot checkpoint; the failure is counted.
+    let mem = Arc::new(Graph::new());
+    let mem_server = Server::new(mem, Arc::new(AccessControl::new()), ServerConfig::default());
+    assert!(mem_server.checkpoint().is_err());
+    assert_eq!(mem_server.metrics().durability().checkpoint_failures(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -19,6 +19,7 @@
 //! manager with TID allocation and active-set tracking), and [`store`] (the
 //! per-type segmented graph store with vacuum).
 
+pub mod checkpoint;
 pub mod delta;
 pub mod segment;
 pub mod store;

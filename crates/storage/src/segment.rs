@@ -51,6 +51,56 @@ impl SegmentSnapshot {
         self.live.iter().filter(|&&l| l).count()
     }
 
+    /// Liveness flags per local id (checkpoint serialization).
+    #[must_use]
+    pub fn live(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Attribute rows per local id (checkpoint serialization).
+    #[must_use]
+    pub fn attrs(&self) -> &[Vec<AttrValue>] {
+        &self.attrs
+    }
+
+    /// Outgoing adjacency per edge type (checkpoint serialization).
+    #[must_use]
+    pub fn edges(&self) -> &HashMap<u32, Vec<Vec<VertexId>>> {
+        &self.edges
+    }
+
+    /// Rebuild a snapshot from its serialized parts, validating structural
+    /// invariants (per-local lists sized to capacity) so corrupt checkpoint
+    /// bytes cannot smuggle in an inconsistent image.
+    pub fn from_parts(
+        up_to: Tid,
+        live: Vec<bool>,
+        attrs: Vec<Vec<AttrValue>>,
+        edges: HashMap<u32, Vec<Vec<VertexId>>>,
+    ) -> TvResult<Self> {
+        let cap = live.len();
+        if attrs.len() != cap {
+            return Err(TvError::Storage(format!(
+                "segment image: {} attr rows for capacity {cap}",
+                attrs.len()
+            )));
+        }
+        for per_local in edges.values() {
+            if per_local.len() != cap {
+                return Err(TvError::Storage(format!(
+                    "segment image: {} edge lists for capacity {cap}",
+                    per_local.len()
+                )));
+            }
+        }
+        Ok(SegmentSnapshot {
+            up_to,
+            live,
+            attrs,
+            edges,
+        })
+    }
+
     fn apply(&mut self, delta: &GraphDelta) {
         match delta {
             GraphDelta::UpsertVertex { id, attrs } => {
@@ -308,6 +358,48 @@ impl SegmentStore {
             }
         }
         bm
+    }
+
+    /// Materialize this segment's image as of `up_to` without mutating the
+    /// store: the current snapshot with every delta `tid <= up_to` folded
+    /// in. This is what the checkpoint writes to disk — a consistent point
+    /// that needs no delta replay below `up_to`.
+    #[must_use]
+    pub fn image_at(&self, up_to: Tid) -> SegmentSnapshot {
+        let mut snap = (*self.snapshot).clone();
+        for (tid, d) in &self.deltas {
+            if *tid > up_to {
+                break;
+            }
+            snap.apply(d);
+            snap.up_to = *tid;
+        }
+        if up_to > snap.up_to {
+            snap.up_to = up_to;
+        }
+        snap
+    }
+
+    /// Install a checkpoint image as this segment's snapshot. Only legal on
+    /// a freshly-created segment (recovery restores images before replaying
+    /// the WAL tail, so no deltas can exist yet).
+    pub fn restore(&mut self, snapshot: SegmentSnapshot) -> TvResult<()> {
+        if !self.deltas.is_empty() {
+            return Err(TvError::Storage(format!(
+                "restore into segment {} with {} pending deltas",
+                self.segment_id,
+                self.deltas.len()
+            )));
+        }
+        if snapshot.capacity() != self.capacity() {
+            return Err(TvError::Storage(format!(
+                "restore capacity {} into segment of capacity {}",
+                snapshot.capacity(),
+                self.capacity()
+            )));
+        }
+        self.snapshot = Arc::new(snapshot);
+        Ok(())
     }
 
     /// Fold deltas with `tid <= up_to` into a fresh snapshot and swap it in.

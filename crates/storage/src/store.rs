@@ -2,7 +2,7 @@
 //! atomic commit pipeline (WAL → apply → visible), and vacuum.
 
 use crate::delta::GraphDelta;
-use crate::segment::SegmentStore;
+use crate::segment::{SegmentSnapshot, SegmentStore};
 use crate::txn::TxnManager;
 use crate::value::{AttrSchema, AttrValue};
 use crate::wal::{Wal, WalRecord};
@@ -10,6 +10,7 @@ use parking_lot::{Mutex, RwLock};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use tv_common::crash::{crash_hook, CrashPlan, CrashPoint};
 use tv_common::ids::SegmentLayout;
 use tv_common::{Bitmap, SegmentId, Tid, TvError, TvResult, VertexId};
 
@@ -178,6 +179,25 @@ impl VertexTypeStore {
             .map(|s| s.write().vacuum(horizon))
             .sum()
     }
+
+    /// Install a checkpoint image into segment `seg` (materializing it and
+    /// any predecessors if needed). Recovery calls this before replaying the
+    /// WAL tail.
+    pub fn restore_segment(&self, seg: SegmentId, snapshot: SegmentSnapshot) -> TvResult<()> {
+        self.ensure_segment(seg);
+        let handle = self
+            .segment(seg)
+            .ok_or_else(|| TvError::Storage(format!("missing segment {seg}")))?;
+        let result = handle.write().restore(snapshot);
+        result
+    }
+
+    /// Raise the id-allocation watermark to at least `rows` (recovery
+    /// restores the watermark recorded in the checkpoint manifest so fresh
+    /// allocations cannot collide with checkpointed vertices).
+    pub fn restore_allocated(&self, rows: usize) {
+        self.next_row.fetch_max(rows, Ordering::Relaxed);
+    }
 }
 
 /// The whole graph: vertex-type stores + transaction manager + WAL.
@@ -185,6 +205,7 @@ pub struct GraphStore {
     txn: Arc<TxnManager>,
     wal: Option<Mutex<Wal>>,
     types: RwLock<Vec<Arc<VertexTypeStore>>>,
+    crash_plan: Option<Arc<CrashPlan>>,
 }
 
 impl GraphStore {
@@ -195,6 +216,7 @@ impl GraphStore {
             txn: TxnManager::new(),
             wal: None,
             types: RwLock::new(Vec::new()),
+            crash_plan: None,
         }
     }
 
@@ -202,10 +224,20 @@ impl GraphStore {
     /// are NOT replayed automatically — create the vertex types first, then
     /// call [`GraphStore::replay`] with [`Wal::replay`]'s records.
     pub fn with_wal(path: &Path) -> TvResult<Self> {
+        Self::with_wal_plan(path, None)
+    }
+
+    /// [`GraphStore::with_wal`] with a crash-point plan threaded into the
+    /// commit pipeline and the WAL (testing only; `None` in production
+    /// makes every hook a no-op).
+    pub fn with_wal_plan(path: &Path, plan: Option<Arc<CrashPlan>>) -> TvResult<Self> {
+        let mut wal = Wal::open(path)?;
+        wal.set_crash_plan(plan.clone());
         Ok(GraphStore {
             txn: TxnManager::new(),
-            wal: Some(Mutex::new(Wal::open(path)?)),
+            wal: Some(Mutex::new(wal)),
             types: RwLock::new(Vec::new()),
+            crash_plan: plan,
         })
     }
 
@@ -281,6 +313,12 @@ impl GraphStore {
                 })?;
                 w.sync()?;
             }
+            // The record is durable but not applied: a crash here must be
+            // recovered by replaying the WAL tail.
+            crash_hook(
+                self.crash_plan.as_deref(),
+                CrashPoint::CommitPostWalPreApply,
+            )?;
             let types = self.types.read();
             for (type_id, delta) in &deltas {
                 types[*type_id as usize].apply(tid, delta.clone())?;
@@ -318,6 +356,16 @@ impl GraphStore {
     pub fn vacuum(&self) -> usize {
         let horizon = self.txn.vacuum_horizon();
         self.types.read().iter().map(|t| t.vacuum(horizon)).sum()
+    }
+
+    /// Truncate the WAL, keeping only records with `tid > keep_after`
+    /// (called by the checkpoint once its manifest is durable). Returns how
+    /// many records survive, or `Ok(0)` for in-memory stores.
+    pub fn rotate_wal(&self, keep_after: Tid) -> TvResult<usize> {
+        match &self.wal {
+            Some(wal) => wal.lock().rotate(keep_after),
+            None => Ok(0),
+        }
     }
 }
 
