@@ -7,7 +7,7 @@ use crate::system::{BuildTimes, VectorSystem};
 use std::time::{Duration, Instant};
 use tv_common::bitmap::Filter;
 use tv_common::ids::SegmentLayout;
-use tv_common::{merge_topk, DistanceMetric, Neighbor, VertexId};
+use tv_common::{merge_topk, DistanceMetric, Neighbor, QuantSpec, StorageTier, VertexId};
 use tv_hnsw::{HnswConfig, HnswIndex, VectorIndex};
 
 /// TigerVector's search core: one HNSW per embedding segment (§4.2).
@@ -15,6 +15,7 @@ pub struct TigerVectorSystem {
     /// Segment layout (capacity governs segment count).
     pub layout: SegmentLayout,
     cfg: HnswConfig,
+    quant: QuantSpec,
     /// Raw per-segment vector staging (the "embedding segments").
     staged: Vec<Vec<(VertexId, Vec<f32>)>>,
     segments: Vec<HnswIndex>,
@@ -29,11 +30,43 @@ impl TigerVectorSystem {
         TigerVectorSystem {
             layout,
             cfg: HnswConfig::new(dim, metric),
+            quant: QuantSpec::f32(),
             staged: Vec::new(),
             segments: Vec::new(),
             ef: 64,
             times: BuildTimes::default(),
         }
+    }
+
+    /// Builder: store vectors on a quantized tier. Each segment index is
+    /// quantized right after its build (index-build time includes the codec
+    /// training, matching how a declared-quantized attribute behaves).
+    #[must_use]
+    pub fn with_quant(mut self, quant: QuantSpec) -> Self {
+        self.quant = quant;
+        self
+    }
+
+    /// Resident bytes across all segment indexes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.segments.iter().map(HnswIndex::memory_bytes).sum()
+    }
+
+    /// Bytes spent on vector payloads only (arena + norms + codes +
+    /// codebooks) — the fair cross-tier comparison, excluding graph links.
+    #[must_use]
+    pub fn vector_storage_bytes(&self) -> usize {
+        self.segments
+            .iter()
+            .map(HnswIndex::vector_storage_bytes)
+            .sum()
+    }
+
+    /// Storage tier the segments sit on.
+    #[must_use]
+    pub fn storage_tier(&self) -> StorageTier {
+        self.quant.tier
     }
 
     /// Number of embedding segments.
@@ -56,7 +89,11 @@ impl TigerVectorSystem {
 
 impl VectorSystem for TigerVectorSystem {
     fn name(&self) -> &'static str {
-        "TigerVector"
+        match self.quant.tier {
+            StorageTier::F32 => "TigerVector",
+            StorageTier::Sq8 => "TigerVector-SQ8",
+            StorageTier::Pq { .. } => "TigerVector-PQ",
+        }
     }
 
     fn load(&mut self, data: &[(VertexId, Vec<f32>)]) {
@@ -83,6 +120,9 @@ impl VectorSystem for TigerVectorSystem {
                 let mut idx = HnswIndex::new(self.cfg.with_seed(self.cfg.seed ^ si as u64));
                 for (id, v) in rows {
                     idx.insert(*id, v).expect("staged dimensions are valid");
+                }
+                if self.quant.is_quantized() && idx.len() > 0 {
+                    idx.quantize(self.quant).expect("fresh index accepts spec");
                 }
                 idx
             })

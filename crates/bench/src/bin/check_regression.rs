@@ -1,0 +1,153 @@
+//! **Bench regression gate**: diff freshly generated `bench_results/*.json`
+//! against the committed baselines in `bench_results/baseline/` and fail
+//! (exit 1) when quality or throughput regressed:
+//!
+//! * `recall` may not drop by more than `--recall-tolerance` (default 0.01);
+//! * `qps` may not drop by more than `--qps-tolerance` (default 0.10, i.e.
+//!   10%) — override with the `TV_QPS_TOLERANCE` env var on hosts that
+//!   differ from the baseline machine.
+//!
+//! Rows are matched by their position-independent identity (`system`, `tier`
+//! and `ef` fields) within the same JSON array, so reordering rows or adding
+//! new ones never trips the gate — only a matched row getting worse does.
+//! Files present in the baseline directory but missing from the current run
+//! are skipped with a warning (the gate only judges what was regenerated).
+//!
+//! Usage: `cargo run --release -p tv-bench --bin check_regression -- [--only quant_bench] [--qps-tolerance 0.10] [--recall-tolerance 0.01]`
+
+use std::collections::HashMap;
+use std::path::Path;
+use tv_bench::BenchArgs;
+
+/// A comparable measurement: identity key -> (recall, qps) (either observable
+/// may be absent for a given row).
+type Rows = HashMap<String, (Option<f64>, Option<f64>)>;
+
+/// Identity of a row inside its array: every scalar field that names rather
+/// than measures (system/tier/ef/op/dim/...), joined deterministically.
+fn row_key(path: &str, obj: &serde_json::Map) -> String {
+    const ID_FIELDS: [&str; 7] = ["system", "tier", "ef", "op", "dim", "shape", "nodes"];
+    let mut parts = vec![path.to_string()];
+    for f in ID_FIELDS {
+        if let Some(v) = obj.get(f) {
+            parts.push(format!("{f}={v}"));
+        }
+    }
+    parts.join("|")
+}
+
+fn collect(value: &serde_json::Value, path: &str, out: &mut Rows) {
+    match value {
+        serde_json::Value::Array(items) => {
+            for item in items {
+                if let serde_json::Value::Object(obj) = item {
+                    let recall = obj.get("recall").and_then(serde_json::Value::as_f64);
+                    let qps = obj
+                        .get("qps")
+                        .or_else(|| obj.get("modeled_qps"))
+                        .and_then(serde_json::Value::as_f64);
+                    if recall.is_some() || qps.is_some() {
+                        out.insert(row_key(path, obj), (recall, qps));
+                    }
+                }
+                collect(item, path, out);
+            }
+        }
+        serde_json::Value::Object(map) => {
+            for (k, v) in map.iter() {
+                if k == "kernel_info" || k == "storage_info" {
+                    continue;
+                }
+                collect(v, &format!("{path}/{k}"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn load_rows(path: &Path) -> Option<Rows> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    let mut rows = Rows::new();
+    collect(&value, "", &mut rows);
+    Some(rows)
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let recall_tol = args.get_f64("recall-tolerance", 0.01);
+    let qps_tol = std::env::var("TV_QPS_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| args.get_f64("qps-tolerance", 0.10));
+    let only = args.get_str("only");
+    let baseline_dir = Path::new("bench_results/baseline");
+    let current_dir = Path::new("bench_results");
+
+    let Ok(entries) = std::fs::read_dir(baseline_dir) else {
+        eprintln!("no baseline directory at {}", baseline_dir.display());
+        std::process::exit(1);
+    };
+
+    let mut compared_files = 0usize;
+    let mut compared_rows = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.ends_with(".json") {
+            continue;
+        }
+        if let Some(ref want) = only {
+            if name.trim_end_matches(".json") != want {
+                continue;
+            }
+        }
+        let current_path = current_dir.join(&name);
+        if !current_path.exists() {
+            eprintln!("skipping {name}: not present in current results");
+            continue;
+        }
+        let (Some(base), Some(curr)) = (load_rows(&entry.path()), load_rows(&current_path)) else {
+            failures.push(format!("{name}: unreadable baseline or current JSON"));
+            continue;
+        };
+        compared_files += 1;
+        for (key, (base_recall, base_qps)) in &base {
+            let Some((curr_recall, curr_qps)) = curr.get(key) else {
+                failures.push(format!("{name}: row {key} missing from current run"));
+                continue;
+            };
+            compared_rows += 1;
+            if let (Some(b), Some(c)) = (base_recall, curr_recall) {
+                if b - c > recall_tol {
+                    failures.push(format!(
+                        "{name}: recall regression at {key}: {b:.4} -> {c:.4} (tolerance {recall_tol})"
+                    ));
+                }
+            }
+            if let (Some(b), Some(c)) = (base_qps, curr_qps) {
+                if *b > 0.0 && (b - c) / b > qps_tol {
+                    failures.push(format!(
+                        "{name}: QPS regression at {key}: {b:.0} -> {c:.0} ({:.1}% drop, tolerance {:.0}%)",
+                        (b - c) / b * 100.0,
+                        qps_tol * 100.0
+                    ));
+                }
+            }
+        }
+    }
+
+    println!(
+        "checked {compared_rows} rows across {compared_files} file(s) against {}",
+        baseline_dir.display()
+    );
+    if failures.is_empty() {
+        println!("no regressions");
+        return;
+    }
+    eprintln!("\n{} regression(s):", failures.len());
+    for f in &failures {
+        eprintln!("  {f}");
+    }
+    std::process::exit(1);
+}

@@ -10,8 +10,9 @@
 //! Usage: `cargo run --release -p tv-bench --bin fig7_throughput -- [--n 20000] [--q 100] [--k 100]`
 
 use tv_baselines::{MilvusLike, NeoLike, NeptuneLike, TigerVectorSystem, VectorSystem};
-use tv_bench::{measure_point, print_table, save_json, BenchArgs};
+use tv_bench::{measure_point, print_table, save_json, set_storage_info, BenchArgs};
 use tv_common::ids::SegmentLayout;
+use tv_common::QuantSpec;
 use tv_datagen::{ground_truth, DatasetShape, VectorDataset};
 
 fn main() {
@@ -37,15 +38,24 @@ fn main() {
         let mut rows = Vec::new();
         let mut shape_json = Vec::new();
 
-        // TigerVector + Milvus: ef sweeps.
+        // TigerVector (f32 + SQ8 tiers) + Milvus: ef sweeps.
         let mut tv = TigerVectorSystem::new(ds.dim, shape.metric(), layout);
         tv.load(&data);
         tv.build_index();
+        set_storage_info(tv.storage_tier(), tv.memory_bytes());
+        let mut tv8 = TigerVectorSystem::new(ds.dim, shape.metric(), layout)
+            .with_quant(QuantSpec::sq8().with_rerank_factor(4));
+        tv8.load(&data);
+        tv8.build_index();
         let mut mv = MilvusLike::new(ds.dim, shape.metric(), layout);
         mv.load(&data);
         mv.build_index();
         for ef in ef_sweep {
-            for (sys, fanout) in [(&mut tv as &mut dyn VectorSystem, 8), (&mut mv, 6)] {
+            for (sys, fanout) in [
+                (&mut tv as &mut dyn VectorSystem, 8),
+                (&mut tv8, 8),
+                (&mut mv, 6),
+            ] {
                 let p = measure_point(sys, ef, &ds.queries, &gt, k, fanout);
                 rows.push(vec![
                     sys.name().to_string(),

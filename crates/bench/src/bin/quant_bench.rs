@@ -1,0 +1,160 @@
+//! **Quantized-tier bench**: recall vs memory vs QPS for the SQ8 and PQ
+//! storage tiers against the full-precision f32 baseline, on the fig8-style
+//! SIFT-shaped sweep.
+//!
+//! This binary carries the subsystem's acceptance gate and exits non-zero
+//! when it fails: SQ8 with `rerank_factor >= 4` must reach **>= 0.95 of the
+//! f32 recall@10** while spending **<= 0.30x the f32 vector-storage bytes**.
+//! Results land in `bench_results/quant_bench.json`.
+//!
+//! Usage: `cargo run --release -p tv-bench --bin quant_bench -- [--n 20000] [--q 100] [--k 10] [--m 8] [--rerank 4]`
+
+use tv_baselines::{TigerVectorSystem, VectorSystem};
+use tv_bench::{measure_point, print_table, save_json, set_storage_info, BenchArgs};
+use tv_common::ids::SegmentLayout;
+use tv_common::QuantSpec;
+use tv_datagen::{ground_truth, DatasetShape, VectorDataset};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let n = args.get_usize("n", 20_000);
+    let q = args.get_usize("q", 100);
+    let k = args.get_usize("k", 10);
+    let m = args.get_usize("m", 8);
+    let rerank = args.get_usize("rerank", 4);
+    let seed = args.get_u64("seed", 1);
+    let ef_sweep = [16usize, 32, 64, 128];
+    let layout = SegmentLayout::with_capacity((n / 8).max(1024));
+
+    let shape = DatasetShape::Sift;
+    println!(
+        "\n### quantized tiers — {} n={n}, q={q}, k={k}, rerank_factor={rerank}",
+        shape.scaled_name()
+    );
+    let ds = VectorDataset::generate(shape, n, q, seed);
+    let data = ds.with_ids(layout);
+    let gt = ground_truth(&ds.base, &ds.queries, k, shape.metric(), layout);
+
+    // The four tiers under test. SQ8 keep-f32 shows the exact-rerank
+    // operating point; SQ8 codes-only is the memory headline; PQ reranks
+    // from its retained SQ8 store.
+    let specs: Vec<(&str, QuantSpec)> = vec![
+        ("f32", QuantSpec::f32()),
+        ("sq8", QuantSpec::sq8().with_rerank_factor(rerank)),
+        (
+            "sq8+f32",
+            QuantSpec::sq8()
+                .with_keep_f32(true)
+                .with_rerank_factor(rerank),
+        ),
+        ("pq", QuantSpec::pq(m).with_rerank_factor(rerank)),
+    ];
+
+    let mut systems: Vec<(&str, TigerVectorSystem)> = specs
+        .into_iter()
+        .map(|(label, spec)| {
+            let mut sys = TigerVectorSystem::new(ds.dim, shape.metric(), layout).with_quant(spec);
+            sys.load(&data);
+            sys.build_index();
+            (label, sys)
+        })
+        .collect();
+    let f32_bytes = systems[0].1.vector_storage_bytes();
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    // recall at the largest ef, per label — the gate operating point.
+    let mut top_recall: Vec<(String, f64)> = Vec::new();
+    for &ef in &ef_sweep {
+        for (label, sys) in &mut systems {
+            let bytes = sys.vector_storage_bytes();
+            let ratio = bytes as f64 / f32_bytes as f64;
+            let mem = sys.memory_bytes();
+            let p = measure_point(sys, ef, &ds.queries, &gt, k, 8);
+            rows.push(vec![
+                sys.name().to_string(),
+                format!("{ef}"),
+                format!("{:.4}", p.recall),
+                format!("{:.0}", p.modeled_qps),
+                format!("{:.3}", p.cpu_per_query_s * 1e3),
+                format!("{:.3}x", ratio),
+            ]);
+            json_rows.push(serde_json::json!({
+                "system": sys.name(), "tier": *label, "ef": ef,
+                "recall": p.recall, "qps": p.modeled_qps,
+                "cpu_ms": p.cpu_per_query_s * 1e3,
+                "memory_bytes": mem,
+                "vector_storage_bytes": bytes,
+                "bytes_ratio_vs_f32": ratio,
+            }));
+            if ef == *ef_sweep.last().unwrap() {
+                top_recall.push((label.to_string(), p.recall));
+            }
+        }
+    }
+    print_table(
+        &format!("quantized tiers — {}", shape.scaled_name()),
+        &[
+            "system",
+            "ef",
+            "recall@k",
+            "modeled QPS",
+            "cpu ms",
+            "bytes vs f32",
+        ],
+        &rows,
+    );
+
+    let recall_of = |label: &str| -> f64 {
+        top_recall
+            .iter()
+            .find(|(l, _)| l == label)
+            .map_or(f64::NAN, |(_, r)| *r)
+    };
+    let f32_recall = recall_of("f32");
+    let sq8_recall = recall_of("sq8");
+    let sq8_ratio = systems
+        .iter()
+        .find(|(l, _)| *l == "sq8")
+        .map_or(f64::NAN, |(_, s)| {
+            s.vector_storage_bytes() as f64 / f32_bytes as f64
+        });
+    let recall_ratio = sq8_recall / f32_recall;
+    let pass = recall_ratio >= 0.95 && sq8_ratio <= 0.30;
+    println!("\nacceptance gate (ef={}):", ef_sweep.last().unwrap());
+    println!("  sq8 recall@{k} / f32 recall@{k} = {recall_ratio:.4} (target >= 0.95)");
+    println!("  sq8 vector bytes / f32 bytes   = {sq8_ratio:.4} (target <= 0.30)");
+    println!("  => {}", if pass { "PASS" } else { "FAIL" });
+
+    // Stamp the headline tier's footprint as this process's storage block.
+    if let Some((_, sq8)) = systems.iter().find(|(l, _)| *l == "sq8") {
+        set_storage_info(sq8.storage_tier(), sq8.memory_bytes());
+    }
+    let dataset = serde_json::json!({
+        "shape": shape.scaled_name(), "n": n, "q": q, "k": k,
+        "dim": ds.dim, "seed": seed,
+    });
+    let gate = serde_json::json!({
+        "ef": *ef_sweep.last().unwrap(),
+        "f32_recall": f32_recall,
+        "sq8_recall": sq8_recall,
+        "sq8_recall_ratio": recall_ratio,
+        "sq8_bytes_ratio": sq8_ratio,
+        "pass": pass,
+    });
+    save_json(
+        "quant_bench",
+        &serde_json::json!({
+            "dataset": dataset,
+            "rerank_factor": rerank,
+            "pq_m": m,
+            "rows": json_rows,
+            "gate": gate,
+        }),
+    );
+
+    assert!(
+        pass,
+        "quantized-tier acceptance gate failed: recall ratio {recall_ratio:.4}, bytes ratio {sq8_ratio:.4}"
+    );
+}

@@ -66,6 +66,21 @@ impl BenchArgs {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     }
+
+    /// f64 argument with default.
+    #[must_use]
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// String argument, if present.
+    #[must_use]
+    pub fn get_str(&self, key: &str) -> Option<String> {
+        self.values.get(key).cloned()
+    }
 }
 
 /// One measured operating point of a system: recall plus timing.
@@ -165,18 +180,47 @@ pub fn kernel_info() -> serde_json::Value {
     })
 }
 
+static STORAGE_INFO: std::sync::Mutex<Option<serde_json::Value>> = std::sync::Mutex::new(None);
+
+/// Record the storage-tier provenance block for this process's bench JSONs:
+/// which tier vectors sat on and the measured resident bytes. Benches that
+/// build a real index call this before [`save_json`]; benches without one
+/// get the default f32/unmeasured stamp.
+pub fn set_storage_info(tier: tv_common::StorageTier, memory_bytes: usize) {
+    *STORAGE_INFO.lock().unwrap() = Some(serde_json::json!({
+        "tier": tier.name(),
+        "memory_bytes": memory_bytes,
+    }));
+}
+
+/// The storage provenance block recorded next to [`kernel_info`] in every
+/// bench JSON (memory numbers are meaningless without the tier they were
+/// measured on).
+#[must_use]
+pub fn storage_info() -> serde_json::Value {
+    STORAGE_INFO.lock().unwrap().clone().unwrap_or_else(|| {
+        serde_json::json!({
+            "tier": tv_common::StorageTier::F32.name(),
+            "memory_bytes": serde_json::Value::Null,
+        })
+    })
+}
+
 /// Write a JSON result file under `bench_results/`, stamped with
-/// [`kernel_info`]. Object payloads get a `kernel_info` key; array payloads
-/// are wrapped as `{"kernel_info": ..., "rows": [...]}`.
+/// [`kernel_info`] and [`storage_info`]. Object payloads get the keys
+/// inline; array payloads are wrapped as `{"kernel_info": ..., "rows":
+/// [...]}`.
 pub fn save_json(name: &str, value: &serde_json::Value) {
     let stamped = match value {
         serde_json::Value::Object(map) => {
             let mut map = map.clone();
             map.insert("kernel_info".to_string(), kernel_info());
+            map.insert("storage_info".to_string(), storage_info());
             serde_json::Value::Object(map)
         }
         other => serde_json::json!({
             "kernel_info": kernel_info(),
+            "storage_info": storage_info(),
             "rows": other.clone(),
         }),
     };

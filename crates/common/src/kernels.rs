@@ -78,6 +78,9 @@ impl std::fmt::Display for KernelTier {
     }
 }
 
+/// Batched asymmetric L2 against u8 codes: `(adjusted_query, step, codes, out)`.
+type L2SqU8BatchFn = fn(&[f32], &[f32], &[u8], &mut [f32]);
+
 /// A resolved table of distance kernels for one tier. All slices handed to
 /// pair kernels must be equal-length; batch kernels take a row-major slab of
 /// `out.len()` rows of `query.len()` floats.
@@ -89,6 +92,10 @@ pub struct Kernels {
     dot_norm_sq: fn(&[f32], &[f32]) -> (f32, f32),
     dot_batch: fn(&[f32], &[f32], &mut [f32]),
     l2_sq_batch: fn(&[f32], &[f32], &mut [f32]),
+    dot_u8: fn(&[f32], &[u8]) -> f32,
+    l2_sq_u8: fn(&[f32], &[f32], &[u8]) -> f32,
+    dot_u8_batch: fn(&[f32], &[u8], &mut [f32]),
+    l2_sq_u8_batch: L2SqU8BatchFn,
 }
 
 impl Kernels {
@@ -138,6 +145,40 @@ impl Kernels {
         (self.l2_sq_batch)(q, slab, out);
     }
 
+    /// Mixed-precision inner product against a `u8` code row:
+    /// `Σ a[i] * codes[i]` with each code widened to `f32`. With
+    /// `a[j] = q[j] * step[j]` this is the variable half of the SQ8
+    /// asymmetric dot product (the constant half is `<q, min>`).
+    #[must_use]
+    pub fn dot_u8(&self, a: &[f32], codes: &[u8]) -> f32 {
+        debug_assert_eq!(a.len(), codes.len());
+        (self.dot_u8)(a, codes)
+    }
+
+    /// Mixed-precision squared L2 against a `u8` code row:
+    /// `Σ (a[i] - scale[i] * codes[i])²`. With `a[j] = q[j] - min[j]` and
+    /// `scale = step` this is the exact squared distance from the query to
+    /// the SQ8 reconstruction, without materializing the reconstruction.
+    #[must_use]
+    pub fn l2_sq_u8(&self, a: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
+        debug_assert_eq!(a.len(), scale.len());
+        debug_assert_eq!(a.len(), codes.len());
+        (self.l2_sq_u8)(a, scale, codes)
+    }
+
+    /// Batched [`Self::dot_u8`]: `out[i] = dot_u8(a, codes[i*d..][..d])`.
+    pub fn dot_u8_batch(&self, a: &[f32], codes: &[u8], out: &mut [f32]) {
+        debug_assert_eq!(codes.len(), a.len() * out.len());
+        (self.dot_u8_batch)(a, codes, out);
+    }
+
+    /// Batched [`Self::l2_sq_u8`] over contiguous code rows.
+    pub fn l2_sq_u8_batch(&self, a: &[f32], scale: &[f32], codes: &[u8], out: &mut [f32]) {
+        debug_assert_eq!(a.len(), scale.len());
+        debug_assert_eq!(codes.len(), a.len() * out.len());
+        (self.l2_sq_u8_batch)(a, scale, codes, out);
+    }
+
     /// Qualified names of the kernels in this table, for bench provenance
     /// (e.g. `"avx2+fma::dot_batch"`).
     #[must_use]
@@ -149,6 +190,10 @@ impl Kernels {
             "dot_norm_sq",
             "dot_batch",
             "l2_sq_batch",
+            "dot_u8",
+            "l2_sq_u8",
+            "dot_u8_batch",
+            "l2_sq_u8_batch",
         ]
         .iter()
         .map(|op| format!("{}::{op}", self.tier.name()))
@@ -403,6 +448,61 @@ pub mod scalar {
             *o = l2_sq(q, &slab[i * d..(i + 1) * d]);
         }
     }
+
+    /// Mixed-precision inner product `Σ a[i] * codes[i]`, 4-lane unrolled in
+    /// the same accumulation order as [`dot`] — the reference every SIMD
+    /// tier's u8 kernels are tested against.
+    #[must_use]
+    pub fn dot_u8(a: &[f32], codes: &[u8]) -> f32 {
+        let mut acc = [0.0f32; 4];
+        let chunks = a.len() / 4;
+        for i in 0..chunks {
+            let base = i * 4;
+            for lane in 0..4 {
+                acc[lane] += a[base + lane] * f32::from(codes[base + lane]);
+            }
+        }
+        let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+        for i in chunks * 4..a.len() {
+            sum += a[i] * f32::from(codes[i]);
+        }
+        sum
+    }
+
+    /// Mixed-precision squared L2 `Σ (a[i] - scale[i]*codes[i])²`, 4-lane
+    /// unrolled.
+    #[must_use]
+    pub fn l2_sq_u8(a: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
+        let mut acc = [0.0f32; 4];
+        let chunks = a.len() / 4;
+        for i in 0..chunks {
+            let base = i * 4;
+            for lane in 0..4 {
+                let d = a[base + lane] - scale[base + lane] * f32::from(codes[base + lane]);
+                acc[lane] += d * d;
+            }
+        }
+        let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+        for i in chunks * 4..a.len() {
+            let d = a[i] - scale[i] * f32::from(codes[i]);
+            sum += d * d;
+        }
+        sum
+    }
+
+    pub(super) fn dot_u8_batch(a: &[f32], codes: &[u8], out: &mut [f32]) {
+        let d = a.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot_u8(a, &codes[i * d..(i + 1) * d]);
+        }
+    }
+
+    pub(super) fn l2_sq_u8_batch(a: &[f32], scale: &[f32], codes: &[u8], out: &mut [f32]) {
+        let d = a.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = l2_sq_u8(a, scale, &codes[i * d..(i + 1) * d]);
+        }
+    }
 }
 
 static SCALAR: Kernels = Kernels {
@@ -413,6 +513,10 @@ static SCALAR: Kernels = Kernels {
     dot_norm_sq: scalar::dot_norm_sq,
     dot_batch: scalar::dot_batch,
     l2_sq_batch: scalar::l2_sq_batch,
+    dot_u8: scalar::dot_u8,
+    l2_sq_u8: scalar::l2_sq_u8,
+    dot_u8_batch: scalar::dot_u8_batch,
+    l2_sq_u8_batch: scalar::l2_sq_u8_batch,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -545,6 +649,96 @@ mod x86 {
         unsafe { l2_sq_batch_sse_raw(q, slab, out) }
     }
 
+    /// Widen 4 code bytes at `p` to a `f32` lane vector. SSE2 has no
+    /// `cvtepu8` (that's SSE4.1), so zero-extend via two unpacks.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn load4_u8_ps(p: *const u8) -> __m128 {
+        let raw = p.cast::<u32>().read_unaligned();
+        let v = _mm_cvtsi32_si128(raw as i32);
+        let zero = _mm_setzero_si128();
+        let w32 = _mm_unpacklo_epi16(_mm_unpacklo_epi8(v, zero), zero);
+        _mm_cvtepi32_ps(w32)
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn dot_u8_sse_raw(a: &[f32], codes: &[u8]) -> f32 {
+        let n = a.len();
+        let (pa, pc) = (a.as_ptr(), codes.as_ptr());
+        let mut acc = _mm_setzero_ps();
+        let mut i = 0;
+        while i + 4 <= n {
+            acc = _mm_add_ps(
+                acc,
+                _mm_mul_ps(_mm_loadu_ps(pa.add(i)), load4_u8_ps(pc.add(i))),
+            );
+            i += 4;
+        }
+        let mut sum = hsum128(acc);
+        while i < n {
+            sum += *pa.add(i) * f32::from(*pc.add(i));
+            i += 1;
+        }
+        sum
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn l2_sq_u8_sse_raw(a: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
+        let n = a.len();
+        let (pa, ps, pc) = (a.as_ptr(), scale.as_ptr(), codes.as_ptr());
+        let mut acc = _mm_setzero_ps();
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = _mm_sub_ps(
+                _mm_loadu_ps(pa.add(i)),
+                _mm_mul_ps(_mm_loadu_ps(ps.add(i)), load4_u8_ps(pc.add(i))),
+            );
+            acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
+            i += 4;
+        }
+        let mut sum = hsum128(acc);
+        while i < n {
+            let d = *pa.add(i) - *ps.add(i) * f32::from(*pc.add(i));
+            sum += d * d;
+            i += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn dot_u8_batch_sse_raw(a: &[f32], codes: &[u8], out: &mut [f32]) {
+        let d = a.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot_u8_sse_raw(a, &codes[i * d..(i + 1) * d]);
+        }
+    }
+    #[target_feature(enable = "sse2")]
+    unsafe fn l2_sq_u8_batch_sse_raw(a: &[f32], scale: &[f32], codes: &[u8], out: &mut [f32]) {
+        let d = a.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = l2_sq_u8_sse_raw(a, scale, &codes[i * d..(i + 1) * d]);
+        }
+    }
+
+    fn dot_u8_sse(a: &[f32], codes: &[u8]) -> f32 {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe { dot_u8_sse_raw(a, codes) }
+    }
+    fn l2_sq_u8_sse(a: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe { l2_sq_u8_sse_raw(a, scale, codes) }
+    }
+    fn dot_u8_batch_sse(a: &[f32], codes: &[u8], out: &mut [f32]) {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe { dot_u8_batch_sse_raw(a, codes, out) }
+    }
+    fn l2_sq_u8_batch_sse(a: &[f32], scale: &[f32], codes: &[u8], out: &mut [f32]) {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe { l2_sq_u8_batch_sse_raw(a, scale, codes, out) }
+    }
+
     pub(super) static SSE: Kernels = Kernels {
         tier: KernelTier::Sse,
         dot: dot_sse,
@@ -553,6 +747,10 @@ mod x86 {
         dot_norm_sq: dot_norm_sq_sse,
         dot_batch: dot_batch_sse,
         l2_sq_batch: l2_sq_batch_sse,
+        dot_u8: dot_u8_sse,
+        l2_sq_u8: l2_sq_u8_sse,
+        dot_u8_batch: dot_u8_batch_sse,
+        l2_sq_u8_batch: l2_sq_u8_batch_sse,
     };
 
     #[inline]
@@ -694,6 +892,116 @@ mod x86 {
         unsafe { l2_sq_batch_avx2_raw(q, slab, out) }
     }
 
+    /// Widen 8 code bytes at `p` to a `f32` lane vector (`vpmovzxbd` +
+    /// convert). The caller guarantees at least 8 readable bytes.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn load8_u8_ps(p: *const u8) -> __m256 {
+        _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_loadl_epi64(p.cast())))
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot_u8_avx2_raw(a: &[f32], codes: &[u8]) -> f32 {
+        let n = a.len();
+        let (pa, pc) = (a.as_ptr(), codes.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), load8_u8_ps(pc.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 8)),
+                load8_u8_ps(pc.add(i + 8)),
+                acc1,
+            );
+            i += 16;
+        }
+        if i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), load8_u8_ps(pc.add(i)), acc0);
+            i += 8;
+        }
+        let mut sum = hsum256(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            sum += *pa.add(i) * f32::from(*pc.add(i));
+            i += 1;
+        }
+        sum
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn l2_sq_u8_avx2_raw(a: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
+        let n = a.len();
+        let (pa, ps, pc) = (a.as_ptr(), scale.as_ptr(), codes.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= n {
+            let d0 = _mm256_fnmadd_ps(
+                _mm256_loadu_ps(ps.add(i)),
+                load8_u8_ps(pc.add(i)),
+                _mm256_loadu_ps(pa.add(i)),
+            );
+            let d1 = _mm256_fnmadd_ps(
+                _mm256_loadu_ps(ps.add(i + 8)),
+                load8_u8_ps(pc.add(i + 8)),
+                _mm256_loadu_ps(pa.add(i + 8)),
+            );
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+            i += 16;
+        }
+        if i + 8 <= n {
+            let d = _mm256_fnmadd_ps(
+                _mm256_loadu_ps(ps.add(i)),
+                load8_u8_ps(pc.add(i)),
+                _mm256_loadu_ps(pa.add(i)),
+            );
+            acc0 = _mm256_fmadd_ps(d, d, acc0);
+            i += 8;
+        }
+        let mut sum = hsum256(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            let d = *pa.add(i) - *ps.add(i) * f32::from(*pc.add(i));
+            sum += d * d;
+            i += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot_u8_batch_avx2_raw(a: &[f32], codes: &[u8], out: &mut [f32]) {
+        let d = a.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot_u8_avx2_raw(a, &codes[i * d..(i + 1) * d]);
+        }
+    }
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn l2_sq_u8_batch_avx2_raw(a: &[f32], scale: &[f32], codes: &[u8], out: &mut [f32]) {
+        let d = a.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = l2_sq_u8_avx2_raw(a, scale, &codes[i * d..(i + 1) * d]);
+        }
+    }
+
+    fn dot_u8_avx2(a: &[f32], codes: &[u8]) -> f32 {
+        // SAFETY: table only installed when avx2_available() held.
+        unsafe { dot_u8_avx2_raw(a, codes) }
+    }
+    fn l2_sq_u8_avx2(a: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
+        // SAFETY: table only installed when avx2_available() held.
+        unsafe { l2_sq_u8_avx2_raw(a, scale, codes) }
+    }
+    fn dot_u8_batch_avx2(a: &[f32], codes: &[u8], out: &mut [f32]) {
+        // SAFETY: table only installed when avx2_available() held.
+        unsafe { dot_u8_batch_avx2_raw(a, codes, out) }
+    }
+    fn l2_sq_u8_batch_avx2(a: &[f32], scale: &[f32], codes: &[u8], out: &mut [f32]) {
+        // SAFETY: table only installed when avx2_available() held.
+        unsafe { l2_sq_u8_batch_avx2_raw(a, scale, codes, out) }
+    }
+
     pub(super) static AVX2: Kernels = Kernels {
         tier: KernelTier::Avx2Fma,
         dot: dot_avx2,
@@ -702,6 +1010,10 @@ mod x86 {
         dot_norm_sq: dot_norm_sq_avx2,
         dot_batch: dot_batch_avx2,
         l2_sq_batch: l2_sq_batch_avx2,
+        dot_u8: dot_u8_avx2,
+        l2_sq_u8: l2_sq_u8_avx2,
+        dot_u8_batch: dot_u8_batch_avx2,
+        l2_sq_u8_batch: l2_sq_u8_batch_avx2,
     };
 }
 
@@ -806,6 +1118,82 @@ mod arm {
         }
     }
 
+    /// Widen 8 code bytes at `p` into two `f32x4` lane vectors.
+    #[inline]
+    unsafe fn load8_u8_f32(p: *const u8) -> (float32x4_t, float32x4_t) {
+        let w = vmovl_u8(vld1_u8(p));
+        (
+            vcvtq_f32_u32(vmovl_u16(vget_low_u16(w))),
+            vcvtq_f32_u32(vmovl_u16(vget_high_u16(w))),
+        )
+    }
+
+    #[inline]
+    unsafe fn dot_u8_neon_raw(a: &[f32], codes: &[u8]) -> f32 {
+        let n = a.len();
+        let (pa, pc) = (a.as_ptr(), codes.as_ptr());
+        let mut acc = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i + 8 <= n {
+            let (lo, hi) = load8_u8_f32(pc.add(i));
+            acc = vfmaq_f32(acc, vld1q_f32(pa.add(i)), lo);
+            acc = vfmaq_f32(acc, vld1q_f32(pa.add(i + 4)), hi);
+            i += 8;
+        }
+        let mut sum = vaddvq_f32(acc);
+        while i < n {
+            sum += *pa.add(i) * f32::from(*pc.add(i));
+            i += 1;
+        }
+        sum
+    }
+
+    #[inline]
+    unsafe fn l2_sq_u8_neon_raw(a: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
+        let n = a.len();
+        let (pa, ps, pc) = (a.as_ptr(), scale.as_ptr(), codes.as_ptr());
+        let mut acc = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i + 8 <= n {
+            let (lo, hi) = load8_u8_f32(pc.add(i));
+            let d0 = vfmsq_f32(vld1q_f32(pa.add(i)), vld1q_f32(ps.add(i)), lo);
+            let d1 = vfmsq_f32(vld1q_f32(pa.add(i + 4)), vld1q_f32(ps.add(i + 4)), hi);
+            acc = vfmaq_f32(acc, d0, d0);
+            acc = vfmaq_f32(acc, d1, d1);
+            i += 8;
+        }
+        let mut sum = vaddvq_f32(acc);
+        while i < n {
+            let d = *pa.add(i) - *ps.add(i) * f32::from(*pc.add(i));
+            sum += d * d;
+            i += 1;
+        }
+        sum
+    }
+
+    fn dot_u8_neon(a: &[f32], codes: &[u8]) -> f32 {
+        // SAFETY: NEON is part of the aarch64 baseline.
+        unsafe { dot_u8_neon_raw(a, codes) }
+    }
+    fn l2_sq_u8_neon(a: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
+        // SAFETY: NEON is part of the aarch64 baseline.
+        unsafe { l2_sq_u8_neon_raw(a, scale, codes) }
+    }
+    fn dot_u8_batch_neon(a: &[f32], codes: &[u8], out: &mut [f32]) {
+        let d = a.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            // SAFETY: NEON is part of the aarch64 baseline.
+            *o = unsafe { dot_u8_neon_raw(a, &codes[i * d..(i + 1) * d]) };
+        }
+    }
+    fn l2_sq_u8_batch_neon(a: &[f32], scale: &[f32], codes: &[u8], out: &mut [f32]) {
+        let d = a.len();
+        for (i, o) in out.iter_mut().enumerate() {
+            // SAFETY: NEON is part of the aarch64 baseline.
+            *o = unsafe { l2_sq_u8_neon_raw(a, scale, &codes[i * d..(i + 1) * d]) };
+        }
+    }
+
     pub(super) static NEON: Kernels = Kernels {
         tier: KernelTier::Neon,
         dot: dot_neon,
@@ -814,6 +1202,10 @@ mod arm {
         dot_norm_sq: dot_norm_sq_neon,
         dot_batch: dot_batch_neon,
         l2_sq_batch: l2_sq_batch_neon,
+        dot_u8: dot_u8_neon,
+        l2_sq_u8: l2_sq_u8_neon,
+        dot_u8_batch: dot_u8_batch_neon,
+        l2_sq_u8_batch: l2_sq_u8_batch_neon,
     };
 }
 
@@ -967,6 +1359,61 @@ mod tests {
     fn kernel_names_are_qualified() {
         let names = SCALAR.kernel_names();
         assert!(names.contains(&"scalar::dot".to_string()));
-        assert_eq!(names.len(), 6);
+        assert!(names.contains(&"scalar::dot_u8".to_string()));
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn u8_batch_matches_pair_kernels() {
+        let dim = 21;
+        let n = 11;
+        let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.41).sin()).collect();
+        let scale: Vec<f32> = (0..dim)
+            .map(|i| 0.01 + (i as f32 * 0.17).cos().abs())
+            .collect();
+        let codes: Vec<u8> = (0..dim * n).map(|i| (i * 37 % 256) as u8).collect();
+        for k in available() {
+            let mut out = vec![0.0f32; n];
+            k.dot_u8_batch(&a, &codes, &mut out);
+            for (i, &o) in out.iter().enumerate() {
+                let want = k.dot_u8(&a, &codes[i * dim..(i + 1) * dim]);
+                assert_eq!(o.to_bits(), want.to_bits(), "tier {}", k.tier());
+            }
+            k.l2_sq_u8_batch(&a, &scale, &codes, &mut out);
+            for (i, &o) in out.iter().enumerate() {
+                let want = k.l2_sq_u8(&a, &scale, &codes[i * dim..(i + 1) * dim]);
+                assert_eq!(o.to_bits(), want.to_bits(), "tier {}", k.tier());
+            }
+        }
+    }
+
+    #[test]
+    fn u8_kernels_match_widened_f32_reference() {
+        // Widening each code to f32 and running the f32 kernels must agree
+        // with the fused u8 kernels within the cross-tier tolerance.
+        let dim = 37;
+        let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.23).sin() * 3.0).collect();
+        let scale: Vec<f32> = (0..dim)
+            .map(|i| 0.002 + (i as f32 * 0.05).cos().abs() * 0.01)
+            .collect();
+        let codes: Vec<u8> = (0..dim).map(|i| (i * 97 % 256) as u8).collect();
+        let widened: Vec<f32> = codes.iter().map(|&c| f32::from(c)).collect();
+        for k in available() {
+            let dot_ref = k.dot(&a, &widened);
+            let dot_u8 = k.dot_u8(&a, &codes);
+            assert!(
+                (dot_ref - dot_u8).abs() <= 1e-5 * dot_ref.abs().max(1.0),
+                "tier {}: {dot_ref} vs {dot_u8}",
+                k.tier()
+            );
+            let recon: Vec<f32> = scale.iter().zip(&widened).map(|(&s, &c)| s * c).collect();
+            let l2_ref = k.l2_sq(&a, &recon);
+            let l2_u8 = k.l2_sq_u8(&a, &scale, &codes);
+            assert!(
+                (l2_ref - l2_u8).abs() <= 1e-4 * l2_ref.abs().max(1.0),
+                "tier {}: {l2_ref} vs {l2_u8}",
+                k.tier()
+            );
+        }
     }
 }

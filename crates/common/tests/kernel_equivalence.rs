@@ -129,6 +129,91 @@ fn batch_kernels_match_scalar_on_slabs() {
     }
 }
 
+/// Magnitude-scale of the u8 L2 reduction: Σ(a_i − s_i·c_i)².
+fn l2_u8_scale(a: &[f32], scale: &[f32], codes: &[u8]) -> f32 {
+    a.iter()
+        .zip(scale)
+        .zip(codes)
+        .map(|((&x, &s), &c)| {
+            let d = x - s * f32::from(c);
+            d * d
+        })
+        .sum::<f32>()
+}
+
+#[test]
+fn u8_kernels_match_scalar_across_dims() {
+    // The quantized-tier analogue of the f32 sweep: every tier's u8 kernels
+    // (pair and batch) must agree with the scalar u8 reference across dims
+    // covering empty, sub-register tails, and unaligned lengths. This test
+    // also runs under `TV_KERNELS=scalar` forcing in `make quant-smoke`,
+    // which proves active()-dispatched quantized scoring is tier-independent.
+    let scalar = kernels::for_tier(KernelTier::Scalar).unwrap();
+    let mut rng = SplitMix64::new(0x5EED_A5A5);
+    for k in kernels::available() {
+        for dim in 0..=67usize {
+            let a: Vec<f32> = (0..dim).map(|_| rng.next_f32() * 4.0 - 2.0).collect();
+            let scale_v: Vec<f32> = (0..dim).map(|_| 1e-3 + rng.next_f32() * 0.05).collect();
+            let codes: Vec<u8> = (0..dim).map(|_| (rng.next_u64() % 256) as u8).collect();
+            let ctx = |op: &str| format!("{}::{op} dim={dim}", k.tier());
+
+            let want = scalar.dot_u8(&a, &codes);
+            let widened: Vec<f32> = codes.iter().map(|&c| f32::from(c)).collect();
+            assert_within(
+                k.dot_u8(&a, &codes),
+                want,
+                dot_scale(&a, &widened),
+                &ctx("dot_u8"),
+            );
+
+            let want = scalar.l2_sq_u8(&a, &scale_v, &codes);
+            let got = k.l2_sq_u8(&a, &scale_v, &codes);
+            assert!(got >= 0.0, "{}: negative l2 {got}", ctx("l2_sq_u8"));
+            assert_within(
+                got,
+                want,
+                l2_u8_scale(&a, &scale_v, &codes),
+                &ctx("l2_sq_u8"),
+            );
+        }
+
+        // Batch forms over a code slab.
+        for dim in [0usize, 1, 3, 4, 7, 16, 63, 67] {
+            let rows = 9;
+            let a: Vec<f32> = (0..dim).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+            let scale_v: Vec<f32> = (0..dim).map(|_| 1e-3 + rng.next_f32() * 0.05).collect();
+            let slab: Vec<u8> = (0..dim * rows)
+                .map(|_| (rng.next_u64() % 256) as u8)
+                .collect();
+            let mut got = vec![0.0f32; rows];
+            let mut want = vec![0.0f32; rows];
+            k.dot_u8_batch(&a, &slab, &mut got);
+            scalar.dot_u8_batch(&a, &slab, &mut want);
+            for (i, (&g, &w)) in got.iter().zip(&want).enumerate() {
+                let row = &slab[i * dim..(i + 1) * dim];
+                let widened: Vec<f32> = row.iter().map(|&c| f32::from(c)).collect();
+                assert_within(
+                    g,
+                    w,
+                    dot_scale(&a, &widened),
+                    &format!("{}::dot_u8_batch dim={dim} row={i}", k.tier()),
+                );
+            }
+            k.l2_sq_u8_batch(&a, &scale_v, &slab, &mut got);
+            scalar.l2_sq_u8_batch(&a, &scale_v, &slab, &mut want);
+            for (i, (&g, &w)) in got.iter().zip(&want).enumerate() {
+                let row = &slab[i * dim..(i + 1) * dim];
+                assert_within(
+                    g,
+                    w,
+                    l2_u8_scale(&a, &scale_v, row),
+                    &format!("{}::l2_sq_u8_batch dim={dim} row={i}", k.tier()),
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn cosine_zero_vector_guard_holds_in_every_tier() {
     for k in kernels::available() {

@@ -151,6 +151,7 @@ impl SnbGraph {
             index: IndexKind::Hnsw,
             datatype: VectorDataType::Float,
             metric: tv_common::DistanceMetric::L2,
+            quant: tv_common::QuantSpec::f32(),
         })?;
         let post_emb = graph.add_embedding_in_space("Post", "content_emb", "content_space")?;
         let comment_emb =

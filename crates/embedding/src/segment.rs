@@ -22,7 +22,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use tv_common::bitmap::Filter;
 use tv_common::PreparedQuery;
-use tv_common::{Bitmap, Neighbor, NeighborHeap, SegmentId, Tid, TvError, TvResult, VertexId};
+use tv_common::{
+    Bitmap, Neighbor, NeighborHeap, QuantSpec, SegmentId, StorageTier, Tid, TvError, TvResult,
+    VertexId,
+};
 use tv_hnsw::index::DeltaAction;
 use tv_hnsw::{DeltaRecord, HnswConfig, HnswIndex, SearchStats, VectorIndex};
 
@@ -50,6 +53,7 @@ pub struct EmbeddingSegment {
     /// The vertex segment this embedding segment is aligned with.
     pub segment_id: SegmentId,
     capacity: usize,
+    quant: QuantSpec,
     snapshots: RwLock<Vec<Arc<IndexSnapshot>>>,
     mem_deltas: RwLock<Vec<DeltaRecord>>,
     delta_files: RwLock<Vec<Arc<DeltaFile>>>,
@@ -65,6 +69,7 @@ impl EmbeddingSegment {
         EmbeddingSegment {
             segment_id,
             capacity,
+            quant: def.quant,
             snapshots: RwLock::new(vec![Arc::new(IndexSnapshot {
                 up_to: Tid::ZERO,
                 index: HnswIndex::new(cfg),
@@ -78,6 +83,53 @@ impl EmbeddingSegment {
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The storage-tier spec this segment was declared with.
+    #[must_use]
+    pub fn quant_spec(&self) -> QuantSpec {
+        self.quant
+    }
+
+    /// Storage tier of the newest published snapshot. A quantized attribute
+    /// reports `F32` until the first index merge trains its codec.
+    #[must_use]
+    pub fn storage_tier(&self) -> StorageTier {
+        self.newest_snapshot().index.storage_tier()
+    }
+
+    /// Resident bytes: every retained snapshot plus the delta overlay
+    /// (mem store and flushed delta files).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let delta_bytes = |r: &DeltaRecord| std::mem::size_of::<DeltaRecord>() + r.vector.len() * 4;
+        let mut total: usize = self
+            .snapshots
+            .read()
+            .iter()
+            .map(|s| s.index.memory_bytes())
+            .sum();
+        total += self
+            .mem_deltas
+            .read()
+            .iter()
+            .map(delta_bytes)
+            .sum::<usize>();
+        for f in self.delta_files.read().iter() {
+            total += f.records.iter().map(delta_bytes).sum::<usize>();
+        }
+        total
+    }
+
+    /// Quantize `index` per the declared spec, if it is not already and has
+    /// vectors to train on. Called on every freshly built snapshot: a clone
+    /// of an already-quantized base keeps its frozen codec instead (so codes
+    /// stay comparable across incremental merges).
+    fn apply_quant(&self, index: &mut HnswIndex) -> TvResult<()> {
+        if self.quant.is_quantized() && index.len() > 0 && index.quant_spec().is_none() {
+            index.quantize(self.quant)?;
+        }
+        Ok(())
     }
 
     /// Append committed deltas (TIDs must be non-decreasing and newer than
@@ -194,7 +246,7 @@ impl EmbeddingSegment {
         match overlay.get(&id) {
             Some(Some(v)) => Some(v.clone()),
             Some(None) => None,
-            None => snap.index.get_embedding(id).map(<[f32]>::to_vec),
+            None => snap.index.get_embedding(id),
         }
     }
 
@@ -348,6 +400,7 @@ impl EmbeddingSegment {
         let new_tid = records.last().expect("non-empty").tid;
         let mut index = base.index.clone();
         index.update_items(&records)?;
+        self.apply_quant(&mut index)?;
         let snap = Arc::new(IndexSnapshot {
             up_to: new_tid,
             index,
@@ -366,7 +419,7 @@ impl EmbeddingSegment {
         for (id, vector) in snap.index.scan() {
             match overlay.get(&id) {
                 Some(_) => {} // superseded; handled below
-                None => index.insert(id, vector)?,
+                None => index.insert(id, &vector)?,
             }
         }
         for (id, action) in &overlay {
@@ -374,6 +427,7 @@ impl EmbeddingSegment {
                 index.insert(*id, v)?;
             }
         }
+        self.apply_quant(&mut index)?;
         let up_to = read_tid.max(snap.up_to);
         self.snapshots
             .write()
@@ -689,6 +743,109 @@ mod tests {
             restored
                 .append_deltas(&[DeltaRecord::delete(vid(0), Tid(ckpt.0 + 1))])
                 .unwrap();
+        }
+    }
+
+    /// A segment declared SQ8 codes-only trains its codec at the first index
+    /// merge, keeps serving MVCC overlay reads exactly, and stores vectors
+    /// in a fraction of the f32 footprint.
+    #[test]
+    fn quantized_segment_merges_searches_and_shrinks() {
+        let qdef = def().with_quant(QuantSpec::sq8());
+        let seg = EmbeddingSegment::new(SegmentId(0), &qdef, 1024);
+        let f32_seg = EmbeddingSegment::new(SegmentId(0), &def(), 1024);
+        let mut rng = SplitMix64::new(7);
+        let vecs: Vec<Vec<f32>> = (0..300).map(|_| rand_vec(&mut rng)).collect();
+        let recs: Vec<DeltaRecord> = vecs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| DeltaRecord::upsert(vid(i as u32), Tid(i as u64 + 1), v.clone()))
+            .collect();
+        seg.append_deltas(&recs).unwrap();
+        f32_seg.append_deltas(&recs).unwrap();
+
+        // Before any merge the (empty) snapshot is f32; deltas serve reads.
+        assert_eq!(seg.storage_tier(), StorageTier::F32);
+        seg.delta_merge(Tid(300));
+        seg.index_merge(Tid(300)).unwrap();
+        f32_seg.delta_merge(Tid(300));
+        f32_seg.index_merge(Tid(300)).unwrap();
+        seg.prune(Tid(300));
+        f32_seg.prune(Tid(300));
+
+        assert_eq!(seg.storage_tier(), StorageTier::Sq8);
+        assert_eq!(seg.quant_spec(), QuantSpec::sq8());
+        assert!(seg.memory_bytes() < f32_seg.memory_bytes());
+
+        // Quantized index search with exact overlay on top: a fresh upsert
+        // (still f32 in the mem store) must win over its stale coded twin.
+        let probe = vec![3.5; 8];
+        seg.append_deltas(&[DeltaRecord::upsert(vid(5), Tid(301), probe.clone())])
+            .unwrap();
+        let (r, _) = seg.search(&probe, 1, 64, None, Tid(301), 0);
+        assert_eq!(r[0].id, vid(5));
+        assert!(r[0].dist < 1e-6);
+
+        // Incremental merge of the new delta keeps the frozen codec.
+        seg.delta_merge(Tid(301));
+        seg.index_merge(Tid(301)).unwrap();
+        assert_eq!(seg.storage_tier(), StorageTier::Sq8);
+        let (r, _) = seg.search(&probe, 1, 64, None, Tid(301), 0);
+        assert_eq!(r[0].id, vid(5));
+
+        // Search quality: most exact-match probes come back first.
+        let hits = (0..50)
+            .filter(|&i| {
+                let (r, _) = seg.search(&vecs[i], 1, 64, None, Tid(300), 0);
+                r[0].id == vid(i as u32)
+            })
+            .count();
+        assert!(hits >= 45, "only {hits}/50 probes matched");
+    }
+
+    /// Checkpointing a quantized segment is byte-stable: restore reproduces
+    /// reads, and re-serializing the restored index yields identical bytes.
+    #[test]
+    fn quantized_checkpoint_roundtrips_bit_identically() {
+        for spec in [QuantSpec::sq8(), QuantSpec::pq(4)] {
+            let qdef = def().with_quant(spec);
+            let seg = EmbeddingSegment::new(SegmentId(0), &qdef, 1024);
+            let mut rng = SplitMix64::new(11);
+            let vecs: Vec<Vec<f32>> = (0..80).map(|_| rand_vec(&mut rng)).collect();
+            let recs: Vec<DeltaRecord> = vecs
+                .iter()
+                .enumerate()
+                .map(|(i, v)| DeltaRecord::upsert(vid(i as u32), Tid(i as u64 + 1), v.clone()))
+                .collect();
+            seg.append_deltas(&recs).unwrap();
+            seg.delta_merge(Tid(60));
+            seg.index_merge(Tid(60)).unwrap();
+
+            let (snap, tail) = seg.checkpoint_state(Tid(80));
+            assert_eq!(snap.index.storage_tier(), spec.tier);
+            let bytes = tv_hnsw::snapshot::to_bytes(&snap.index);
+            let index = tv_hnsw::snapshot::from_bytes(&bytes).unwrap();
+            assert_eq!(
+                bytes,
+                tv_hnsw::snapshot::to_bytes(&index),
+                "quantized snapshot not byte-stable for {}",
+                spec.tier.name()
+            );
+            let restored = EmbeddingSegment::new(SegmentId(0), &qdef, 1024);
+            restored
+                .restore_checkpoint(snap.up_to, index, &tail)
+                .unwrap();
+            assert_eq!(restored.storage_tier(), spec.tier);
+            for probe in [0usize, 13, 42, 77] {
+                let (want, _) = seg.search(&vecs[probe], 3, 64, None, Tid(80), 0);
+                let (got, _) = restored.search(&vecs[probe], 3, 64, None, Tid(80), 0);
+                assert_eq!(
+                    got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    want.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    "quantized search parity for {}",
+                    spec.tier.name()
+                );
+            }
         }
     }
 

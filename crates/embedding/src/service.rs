@@ -103,6 +103,20 @@ impl EmbeddingAttr {
             .map(|s| s.live_count(read_tid))
             .sum()
     }
+
+    /// Resident bytes across all materialized segments (snapshots + deltas).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.all_segments().iter().map(|s| s.memory_bytes()).sum()
+    }
+
+    /// Storage tier of the attribute's newest snapshots. Mixed tiers (some
+    /// segments not yet merged past their first codec training) report the
+    /// declared spec's tier.
+    #[must_use]
+    pub fn storage_tier(&self) -> tv_common::StorageTier {
+        self.def.quant.tier
+    }
 }
 
 /// Pre-filter bitmaps per `(attr_id, segment)` — the qualified-candidate
@@ -564,6 +578,12 @@ impl EmbeddingService {
     #[must_use]
     pub fn attr_ids(&self) -> Vec<u32> {
         (0..self.attrs.read().len() as u32).collect()
+    }
+
+    /// Resident bytes across every attribute's segments.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.attrs.read().iter().map(|a| a.memory_bytes()).sum()
     }
 }
 

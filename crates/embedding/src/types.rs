@@ -8,7 +8,7 @@
 //! rejected and a semantic error is returned."*
 
 use serde::{Deserialize, Serialize};
-use tv_common::{DistanceMetric, TvError, TvResult};
+use tv_common::{DistanceMetric, QuantSpec, TvError, TvResult};
 
 /// Which vector index backs an embedding attribute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -81,6 +81,9 @@ pub struct EmbeddingTypeDef {
     pub datatype: VectorDataType,
     /// Similarity metric.
     pub metric: DistanceMetric,
+    /// Storage tier for the attribute's segments (f32 / SQ8 / PQ) plus
+    /// exact-rerank policy. Defaults to full-precision f32.
+    pub quant: QuantSpec,
 }
 
 impl EmbeddingTypeDef {
@@ -94,7 +97,15 @@ impl EmbeddingTypeDef {
             index: IndexKind::Hnsw,
             datatype: VectorDataType::Float,
             metric,
+            quant: QuantSpec::f32(),
         }
+    }
+
+    /// Builder: set the quantized-storage spec.
+    #[must_use]
+    pub fn with_quant(mut self, quant: QuantSpec) -> Self {
+        self.quant = quant;
+        self
     }
 
     /// Validate the definition.
@@ -171,6 +182,8 @@ pub struct EmbeddingSpace {
     pub datatype: VectorDataType,
     /// Shared metric.
     pub metric: DistanceMetric,
+    /// Shared storage tier / rerank policy for minted attributes.
+    pub quant: QuantSpec,
 }
 
 impl EmbeddingSpace {
@@ -186,6 +199,7 @@ impl EmbeddingSpace {
             index: self.index,
             datatype: self.datatype,
             metric: self.metric,
+            quant: self.quant,
         }
     }
 }
@@ -274,6 +288,7 @@ mod tests {
             index: IndexKind::Hnsw,
             datatype: VectorDataType::Float,
             metric: DistanceMetric::Cosine,
+            quant: QuantSpec::f32(),
         };
         let post = space.attribute("content_emb");
         let comment = space.attribute("content_emb");

@@ -259,6 +259,7 @@ mod tests {
             index: IndexKind::Hnsw,
             datatype: VectorDataType::Float,
             metric: DistanceMetric::Cosine,
+            quant: tv_common::QuantSpec::f32(),
         };
         c.add_space(space.clone()).unwrap();
         assert!(c.add_space(space).is_err());

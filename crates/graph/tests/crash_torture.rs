@@ -17,7 +17,10 @@ use std::sync::Arc;
 use tg_graph::Graph;
 use tg_storage::{AttrType, AttrValue};
 use tv_common::ids::SegmentLayout;
-use tv_common::{CrashPlan, CrashPoint, DistanceMetric, SplitMix64, Tid, TvError, TvResult};
+use tv_common::{
+    CrashPlan, CrashPoint, DistanceMetric, QuantSpec, SplitMix64, StorageTier, Tid, TvError,
+    TvResult,
+};
 use tv_embedding::{EmbeddingTypeDef, ServiceConfig};
 
 const N_TXNS: u64 = 30;
@@ -316,6 +319,90 @@ fn mixed_txn_atomic_across_crash() {
         drop(g);
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+fn open_quant(dir: &Path, plan: Option<Arc<CrashPlan>>) -> Graph {
+    let g = Graph::durable_with_plan(dir, layout(), config(), plan).unwrap();
+    g.create_vertex_type("Doc", &[("title", AttrType::Str), ("score", AttrType::Int)])
+        .unwrap();
+    g.create_edge_type("links", "Doc", "Doc").unwrap();
+    g.add_embedding_attribute(
+        "Doc",
+        EmbeddingTypeDef::new("emb", DIM, "GPT4", DistanceMetric::L2).with_quant(QuantSpec::sq8()),
+    )
+    .unwrap();
+    g
+}
+
+/// Serialized image of each segment's snapshot visible at the vacuum TID —
+/// this is exactly what the checkpoint persisted for the quantized index.
+fn quant_snapshot_bytes(g: &Graph) -> Vec<Vec<u8>> {
+    g.embeddings()
+        .attr(EMB)
+        .unwrap()
+        .all_segments()
+        .iter()
+        .map(|s| tv_hnsw::snapshot::to_bytes(&s.snapshot_for(Tid(15)).index))
+        .collect()
+}
+
+/// A segment declared SQ8 trains its codec at the script's index merge, the
+/// checkpoint persists codes + codebook, and recovery restores them
+/// **byte-identically** — both via the checkpoint restore path and via a
+/// mid-checkpoint crash that forces codec retraining during script replay.
+#[test]
+fn quantized_segment_checkpoint_recovery_is_byte_identical() {
+    let dir = test_dir("quant");
+    let (want, want_bytes) = {
+        let g = open_quant(&dir, None);
+        run_from(&g, 1, N_TXNS).unwrap();
+        let attr = g.embeddings().attr(EMB).unwrap();
+        assert!(
+            attr.all_segments()
+                .iter()
+                .any(|s| s.storage_tier() == StorageTier::Sq8),
+            "index merge at TID 15 should have trained the SQ8 codec"
+        );
+        (fingerprint(&g), quant_snapshot_bytes(&g))
+    }; // process death
+
+    // Recovery path 1: restore the checkpoint (TID 20) + replay the tail.
+    let g = open_quant(&dir, None);
+    g.recover().unwrap();
+    assert_eq!(
+        quant_snapshot_bytes(&g),
+        want_bytes,
+        "quantized snapshot bytes diverged across checkpoint recovery"
+    );
+    run_from(&g, g.read_tid().0 + 1, N_TXNS).unwrap();
+    assert_eq!(fingerprint(&g), want);
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Recovery path 2: crash *inside* the TID-20 checkpoint write. Recovery
+    // falls back to the TID-10 checkpoint (pre-quantization) and the resumed
+    // script retrains the codec — which must be deterministic enough to
+    // reproduce the same bytes and the same search results.
+    let dir = test_dir("quant-midckpt");
+    let plan = Arc::new(CrashPlan::new());
+    plan.arm(CrashPoint::CheckpointMidWrite, 2);
+    let g = open_quant(&dir, Some(Arc::clone(&plan)));
+    g.recover().unwrap();
+    let err = run_from(&g, 1, N_TXNS).expect_err("armed mid-checkpoint crash must trip");
+    assert!(matches!(err, TvError::Injected(_)));
+    drop(g);
+
+    let g = open_quant(&dir, None);
+    g.recover().unwrap();
+    run_from(&g, g.read_tid().0 + 1, N_TXNS).unwrap();
+    assert_eq!(
+        quant_snapshot_bytes(&g),
+        want_bytes,
+        "codec retraining after mid-checkpoint crash is not deterministic"
+    );
+    assert_eq!(fingerprint(&g), want);
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Vertex-id allocation watermarks survive checkpoint + recovery: fresh ids

@@ -139,8 +139,8 @@ impl VectorIndex for BruteForceIndex {
         self.live
     }
 
-    fn get_embedding(&self, id: VertexId) -> Option<&[f32]> {
-        self.slot_of.get(&id).map(|&s| self.vec_of(s))
+    fn get_embedding(&self, id: VertexId) -> Option<Vec<f32>> {
+        self.slot_of.get(&id).map(|&s| self.vec_of(s).to_vec())
     }
 
     fn top_k(
@@ -217,8 +217,22 @@ impl VectorIndex for BruteForceIndex {
         Ok(applied)
     }
 
-    fn scan(&self) -> Box<dyn Iterator<Item = (VertexId, &[f32])> + '_> {
-        Box::new(self.slot_of.iter().map(|(&k, &s)| (k, self.vec_of(s))))
+    fn scan(&self) -> Box<dyn Iterator<Item = (VertexId, Vec<f32>)> + '_> {
+        Box::new(
+            self.slot_of
+                .iter()
+                .map(|(&k, &s)| (k, self.vec_of(s).to_vec())),
+        )
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.vectors.len() * size_of::<f32>()
+            + self.norms.len() * size_of::<f32>()
+            + self.keys.len() * size_of::<VertexId>()
+            + self.occupied.len() * size_of::<bool>()
+            + self.free.len() * size_of::<u32>()
+            + self.slot_of.len() * (size_of::<VertexId>() + size_of::<u32>())
     }
 }
 

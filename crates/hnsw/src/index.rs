@@ -24,9 +24,10 @@ use std::collections::HashMap;
 use tv_common::bitmap::Filter;
 use tv_common::kernels::{self, cosine_from_parts};
 use tv_common::{
-    DistanceMetric, Neighbor, NeighborHeap, PreparedQuery, SplitMix64, Tid, TvError, TvResult,
-    VertexId,
+    DistanceMetric, Neighbor, PreparedQuery, QuantSpec, SplitMix64, StorageTier, Tid, TvError,
+    TvResult, VertexId,
 };
+use tv_quant::{Codec, QuantQuery, QuantizedCodec};
 
 /// Upsert/delete action flag of a vector delta (§4.3: the delta schema is
 /// `Action Flag, ID, TID, Vector Value`).
@@ -91,7 +92,9 @@ pub trait VectorIndex: Send + Sync {
         self.len() == 0
     }
     /// `GetEmbedding`: the stored vector for `id`, if present and live.
-    fn get_embedding(&self, id: VertexId) -> Option<&[f32]>;
+    /// Quantized tiers that dropped the f32 arena return the codec
+    /// reconstruction (hence the owned buffer).
+    fn get_embedding(&self, id: VertexId) -> Option<Vec<f32>>;
     /// `TopKSearch`: the `k` nearest valid neighbors of `query`. `ef` bounds
     /// the search beam (clamped up to `k`); `filter` restricts validity by
     /// *local id* within this segment.
@@ -114,8 +117,184 @@ pub trait VectorIndex: Send + Sync {
     /// applied.
     fn update_items(&mut self, records: &[DeltaRecord]) -> TvResult<usize>;
     /// Iterate over `(key, vector)` pairs of live entries (brute-force scans
-    /// and ground-truth computation).
-    fn scan(&self) -> Box<dyn Iterator<Item = (VertexId, &[f32])> + '_>;
+    /// and ground-truth computation). Vectors are materialized per entry so
+    /// quantized tiers can yield reconstructions.
+    fn scan(&self) -> Box<dyn Iterator<Item = (VertexId, Vec<f32>)> + '_>;
+    /// Approximate resident bytes of every structure this index keeps in
+    /// memory (vector payload, caches, graph/list structure, id maps).
+    fn memory_bytes(&self) -> usize;
+    /// Storage tier of the vector payload (`F32` unless a quantized tier is
+    /// attached).
+    fn storage_tier(&self) -> StorageTier {
+        StorageTier::F32
+    }
+}
+
+/// Quantized vector storage attached to an index: the frozen codec, a
+/// slot-major code arena (tombstones included — deleted slots must stay
+/// navigable/scorable), and per-slot reconstruction norms when the metric
+/// is cosine. In codes-only PQ mode, `rerank` holds a finer-grained SQ8
+/// side store used by the exact-rerank stage in `top_k`.
+#[derive(Clone)]
+pub(crate) struct QuantState {
+    pub(crate) spec: QuantSpec,
+    pub(crate) codec: Codec,
+    /// `codec.code_len()` bytes per slot, slot-major.
+    pub(crate) codes: Vec<u8>,
+    /// Euclidean norm of each slot's reconstruction (cosine only; empty for
+    /// other metrics).
+    pub(crate) recon_norms: Vec<f32>,
+    /// SQ8 rerank store for PQ codes-only mode.
+    pub(crate) rerank: Option<RerankStore>,
+}
+
+/// A secondary, finer-grained code store used only for reranking.
+#[derive(Clone)]
+pub(crate) struct RerankStore {
+    pub(crate) codec: Codec,
+    pub(crate) codes: Vec<u8>,
+    pub(crate) recon_norms: Vec<f32>,
+}
+
+impl QuantState {
+    /// Train the codec(s) named by `spec` on a slot-major `arena` and encode
+    /// every slot. The same `(arena, seed)` always produce bit-identical
+    /// codebooks and codes (deterministic k-means), which is what the
+    /// durability layer's recovery guarantees build on.
+    pub(crate) fn build(
+        spec: QuantSpec,
+        dim: usize,
+        metric: DistanceMetric,
+        arena: &[f32],
+        seed: u64,
+    ) -> TvResult<Self> {
+        let codec = Codec::train(spec.tier, dim, arena, seed)?;
+        let (codes, recon_norms) = encode_arena(&codec, arena, dim, metric);
+        // PQ codes are too coarse to rank exactly; when the f32 arena is
+        // dropped, keep an SQ8 store (1 byte/dim) for the rerank stage.
+        let rerank = if !spec.keep_f32 && matches!(spec.tier, StorageTier::Pq { .. }) {
+            let rc = Codec::train(StorageTier::Sq8, dim, arena, seed)?;
+            let (rcodes, rnorms) = encode_arena(&rc, arena, dim, metric);
+            Some(RerankStore {
+                codec: rc,
+                codes: rcodes,
+                recon_norms: rnorms,
+            })
+        } else {
+            None
+        };
+        Ok(QuantState {
+            spec,
+            codec,
+            codes,
+            recon_norms,
+            rerank,
+        })
+    }
+
+    /// Encode `vector` with the frozen codec(s) and append it as the next
+    /// slot (the incremental-insert path).
+    pub(crate) fn push(&mut self, metric: DistanceMetric, vector: &[f32]) {
+        let slot = self.codes.len() / self.codec.code_len();
+        self.codes
+            .resize(self.codes.len() + self.codec.code_len(), 0);
+        self.reencode(metric, slot, vector);
+    }
+
+    /// Re-encode `slot` in place from a new vector value (upsert path).
+    pub(crate) fn reencode(&mut self, metric: DistanceMetric, slot: usize, vector: &[f32]) {
+        let k = kernels::active();
+        let dim = self.codec.dim();
+        let cl = self.codec.code_len();
+        self.codec
+            .encode_into(vector, &mut self.codes[slot * cl..(slot + 1) * cl]);
+        if metric == DistanceMetric::Cosine {
+            let mut recon = vec![0.0f32; dim];
+            self.codec
+                .reconstruct_into(&self.codes[slot * cl..(slot + 1) * cl], &mut recon);
+            let norm = k.norm_sq(&recon).sqrt();
+            if slot == self.recon_norms.len() {
+                self.recon_norms.push(norm);
+            } else {
+                self.recon_norms[slot] = norm;
+            }
+        }
+        if let Some(r) = &mut self.rerank {
+            let rcl = r.codec.code_len();
+            if r.codes.len() < (slot + 1) * rcl {
+                r.codes.resize((slot + 1) * rcl, 0);
+            }
+            r.codec
+                .encode_into(vector, &mut r.codes[slot * rcl..(slot + 1) * rcl]);
+            if metric == DistanceMetric::Cosine {
+                let mut recon = vec![0.0f32; dim];
+                r.codec
+                    .reconstruct_into(&r.codes[slot * rcl..(slot + 1) * rcl], &mut recon);
+                let norm = k.norm_sq(&recon).sqrt();
+                if slot == r.recon_norms.len() {
+                    r.recon_norms.push(norm);
+                } else {
+                    r.recon_norms[slot] = norm;
+                }
+            }
+        }
+    }
+
+    /// Reconstruct `slot`'s vector into `out`.
+    pub(crate) fn materialize_into(&self, slot: usize, out: &mut [f32]) {
+        let cl = self.codec.code_len();
+        self.codec
+            .reconstruct_into(&self.codes[slot * cl..(slot + 1) * cl], out);
+    }
+
+    /// Resident bytes of codes, norm caches, and codec parameters.
+    pub(crate) fn bytes(&self) -> usize {
+        let mut b = self.codes.len()
+            + self.recon_norms.len() * std::mem::size_of::<f32>()
+            + self.codec.memory_bytes();
+        if let Some(r) = &self.rerank {
+            b += r.codes.len()
+                + r.recon_norms.len() * std::mem::size_of::<f32>()
+                + r.codec.memory_bytes();
+        }
+        b
+    }
+}
+
+/// Encode a whole slot-major arena; returns `(codes, recon_norms)` with
+/// `recon_norms` populated only for cosine.
+fn encode_arena(
+    codec: &Codec,
+    arena: &[f32],
+    dim: usize,
+    metric: DistanceMetric,
+) -> (Vec<u8>, Vec<f32>) {
+    let n = arena.len() / dim;
+    let cl = codec.code_len();
+    let k = kernels::active();
+    let mut codes = vec![0u8; n * cl];
+    let mut recon_norms = Vec::new();
+    let mut recon = vec![0.0f32; dim];
+    for i in 0..n {
+        codec.encode_into(
+            &arena[i * dim..(i + 1) * dim],
+            &mut codes[i * cl..(i + 1) * cl],
+        );
+        if metric == DistanceMetric::Cosine {
+            codec.reconstruct_into(&codes[i * cl..(i + 1) * cl], &mut recon);
+            recon_norms.push(k.norm_sq(&recon).sqrt());
+        }
+    }
+    (codes, recon_norms)
+}
+
+/// Either scoring backend, so one traversal implementation serves both
+/// storage tiers. The `F32` arm borrows the query slice; the `Quant` arm
+/// owns its prepared plan, so an index can hold a scorer across graph
+/// mutations.
+pub(crate) enum Scorer<'q> {
+    F32(PreparedQuery<'q>),
+    Quant(QuantQuery),
 }
 
 /// Hierarchical Navigable Small World index over one embedding segment.
@@ -141,6 +320,10 @@ pub struct HnswIndex {
     deleted_count: usize,
     /// Entry slot and the highest level in the graph.
     entry: Option<(u32, u8)>,
+    /// Quantized storage tier, if attached via [`HnswIndex::quantize`].
+    /// When `spec.keep_f32` is false, `vectors` and `norms` are empty and
+    /// all scoring runs against codes.
+    quant: Option<QuantState>,
     rng: SplitMix64,
 }
 
@@ -163,6 +346,7 @@ impl HnswIndex {
             deleted: Vec::new(),
             deleted_count: 0,
             entry: None,
+            quant: None,
             rng,
         }
     }
@@ -189,14 +373,14 @@ impl HnswIndex {
     }
 
     /// Approximate resident bytes across **all** resident structures:
-    /// vector arena, norm cache, adjacency lists (including their `Vec`
-    /// headers), keys, levels, tombstone flags, and the key→slot hash map
-    /// (entries plus ~30% open-addressing slack).
+    /// vector payload (f32 arena + norm cache and/or quantized codes, norm
+    /// caches, and codec parameters), adjacency lists (including their
+    /// `Vec` headers), keys, levels, tombstone flags, and the key→slot hash
+    /// map (entries plus ~30% open-addressing slack).
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
-        let vec_bytes = self.vectors.len() * size_of::<f32>();
-        let norm_bytes = self.norms.len() * size_of::<f32>();
+        let vec_bytes = self.vector_storage_bytes();
         let key_bytes = self.keys.len() * size_of::<VertexId>();
         let level_bytes = self.levels.len() * size_of::<u8>();
         let deleted_bytes = self.deleted.len() * size_of::<bool>();
@@ -214,13 +398,83 @@ impl HnswIndex {
                 .sum::<usize>();
         let slot_of_bytes =
             self.slot_of.len() * (size_of::<VertexId>() + size_of::<u32>()) * 13 / 10;
-        vec_bytes
-            + norm_bytes
-            + key_bytes
-            + level_bytes
-            + deleted_bytes
-            + link_bytes
-            + slot_of_bytes
+        vec_bytes + key_bytes + level_bytes + deleted_bytes + link_bytes + slot_of_bytes
+    }
+
+    /// Bytes of the vector *payload* only (f32 arena + norm cache, plus
+    /// quantized codes, recon-norm caches, and codec parameters), excluding
+    /// graph structure — the numerator of the memory-reduction ratios the
+    /// quantized benchmarks report.
+    #[must_use]
+    pub fn vector_storage_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut b = self.vectors.len() * size_of::<f32>() + self.norms.len() * size_of::<f32>();
+        if let Some(q) = &self.quant {
+            b += q.bytes();
+        }
+        b
+    }
+
+    /// The active quantization spec, if a quantized tier is attached.
+    #[must_use]
+    pub fn quant_spec(&self) -> Option<QuantSpec> {
+        self.quant.as_ref().map(|q| q.spec)
+    }
+
+    /// Storage tier of the vector payload.
+    #[must_use]
+    pub fn storage_tier(&self) -> StorageTier {
+        self.quant
+            .as_ref()
+            .map_or(StorageTier::F32, |q| q.spec.tier)
+    }
+
+    /// Attach a quantized storage tier: train the codec(s) on the current
+    /// arena, encode every slot, and (unless `spec.keep_f32`) drop the f32
+    /// arena and norm cache. Later inserts encode with the frozen codec;
+    /// retraining only happens through a rebuild.
+    ///
+    /// With `spec.keep_f32`, traversal scores against codes and `top_k`
+    /// reranks the top `rerank_factor × k` candidates against the retained
+    /// f32 vectors. In codes-only PQ mode an SQ8 side store plays that
+    /// rerank role; codes-only SQ8 needs no rerank (its asymmetric scores
+    /// are already exact w.r.t. the reconstruction).
+    pub fn quantize(&mut self, spec: QuantSpec) -> TvResult<()> {
+        if !spec.is_quantized() {
+            return match &self.quant {
+                None => Ok(()),
+                Some(q) if q.spec.keep_f32 => {
+                    self.quant = None;
+                    Ok(())
+                }
+                Some(_) => Err(TvError::InvalidArgument(
+                    "cannot drop quantization: the f32 arena was not retained".into(),
+                )),
+            };
+        }
+        if self.quant.is_some() {
+            return Err(TvError::InvalidArgument(
+                "index is already quantized; rebuild to change tiers".into(),
+            ));
+        }
+        if self.keys.is_empty() {
+            return Err(TvError::InvalidArgument(
+                "cannot train a codec on an empty index".into(),
+            ));
+        }
+        let state = QuantState::build(
+            spec,
+            self.cfg.dim,
+            self.cfg.metric,
+            &self.vectors,
+            self.cfg.seed,
+        )?;
+        self.quant = Some(state);
+        if !spec.keep_f32 {
+            self.vectors = Vec::new();
+            self.norms = Vec::new();
+        }
+        Ok(())
     }
 
     fn vec_of(&self, slot: u32) -> &[f32] {
@@ -229,10 +483,94 @@ impl HnswIndex {
         &self.vectors[s * d..(s + 1) * d]
     }
 
-    /// Distance between two stored slots, on cached norms (cosine is a
-    /// single dot pass).
+    /// The f32 vector for a slot: the retained arena row when present,
+    /// otherwise the codec reconstruction.
+    fn materialize(&self, slot: u32) -> Vec<f32> {
+        if !self.vectors.is_empty() {
+            return self.vec_of(slot).to_vec();
+        }
+        let q = self.quant.as_ref().expect("no f32 arena and no codes");
+        let mut out = vec![0.0f32; self.cfg.dim];
+        q.materialize_into(slot as usize, &mut out);
+        out
+    }
+
+    /// Scorer for an external query vector: prepared f32 query, or a
+    /// prepared quantized plan when a quantized tier is attached (traversal
+    /// always scores against codes in that case, even when the f32 arena is
+    /// retained for reranking).
+    fn scorer<'q>(&self, query: &'q [f32]) -> Scorer<'q> {
+        match &self.quant {
+            Some(q) => Scorer::Quant(QuantQuery::new(&q.codec, self.cfg.metric, query)),
+            None => Scorer::F32(PreparedQuery::new(self.cfg.metric, query)),
+        }
+    }
+
+    /// A stored slot prepared to act as the query (insert-time repair, link
+    /// shrinking) — f32 indexes reuse the cached norm; quantized indexes
+    /// reconstruct the slot so construction geometry matches search
+    /// geometry.
+    fn slot_scorer(&self, slot: u32) -> Scorer<'_> {
+        match &self.quant {
+            Some(q) => {
+                let v = self.materialize(slot);
+                Scorer::Quant(QuantQuery::new(&q.codec, self.cfg.metric, &v))
+            }
+            None => Scorer::F32(PreparedQuery::with_norm(
+                self.cfg.metric,
+                self.vec_of(slot),
+                self.norms[slot as usize],
+            )),
+        }
+    }
+
+    /// Distance from a scorer to one stored slot.
+    fn score_slot(&self, sc: &Scorer<'_>, slot: u32) -> f32 {
+        match sc {
+            Scorer::F32(pq) => pq.distance_cached(self.vec_of(slot), self.norms[slot as usize]),
+            Scorer::Quant(qq) => {
+                let q = self.quant.as_ref().expect("quant scorer without codes");
+                let cl = qq.code_len();
+                let s = slot as usize;
+                let rn = q.recon_norms.get(s).copied().unwrap_or(0.0);
+                qq.score(&q.codes[s * cl..(s + 1) * cl], rn)
+            }
+        }
+    }
+
+    /// Batch-score `slots` against a scorer; distances land in `out` (one
+    /// entry per slot, same order).
+    fn score_slots(&self, sc: &Scorer<'_>, slots: &[u32], out: &mut Vec<f32>) {
+        match sc {
+            Scorer::F32(pq) => {
+                pq.distance_slots(&self.vectors, self.cfg.dim, &self.norms, slots, out);
+            }
+            Scorer::Quant(qq) => {
+                let q = self.quant.as_ref().expect("quant scorer without codes");
+                qq.score_slots(&q.codes, &q.recon_norms, slots, out);
+            }
+        }
+    }
+
+    /// Distance between two stored slots: cached norms on the f32 path
+    /// (cosine is a single dot pass); reconstruction of both sides in
+    /// quantized codes-only mode (per-pair allocation — the diversity
+    /// heuristic runs off the search hot path).
     fn pair_distance(&self, a: u32, b: u32) -> f32 {
         let k = kernels::active();
+        if self.vectors.is_empty() {
+            if let Some(q) = &self.quant {
+                let (va, vb) = (self.materialize(a), self.materialize(b));
+                return match self.cfg.metric {
+                    DistanceMetric::L2 => k.l2_sq(&va, &vb),
+                    DistanceMetric::InnerProduct => -k.dot(&va, &vb),
+                    DistanceMetric::Cosine => cosine_from_parts(
+                        k.dot(&va, &vb),
+                        q.recon_norms[a as usize] * q.recon_norms[b as usize],
+                    ),
+                };
+            }
+        }
         let (va, vb) = (self.vec_of(a), self.vec_of(b));
         match self.cfg.metric {
             DistanceMetric::L2 => k.l2_sq(va, vb),
@@ -242,16 +580,6 @@ impl HnswIndex {
                 self.norms[a as usize] * self.norms[b as usize],
             ),
         }
-    }
-
-    /// A stored slot prepared to act as the query (insert-time repair, link
-    /// shrinking) — reuses the cached norm instead of recomputing it.
-    fn slot_query(&self, slot: u32) -> PreparedQuery<'_> {
-        PreparedQuery::with_norm(
-            self.cfg.metric,
-            self.vec_of(slot),
-            self.norms[slot as usize],
-        )
     }
 
     fn sample_level(&mut self) -> u8 {
@@ -282,8 +610,16 @@ impl HnswIndex {
 
         let slot = self.keys.len() as u32;
         let level = self.sample_level();
-        self.vectors.extend_from_slice(vector);
-        self.norms.push(kernels::active().norm_sq(vector).sqrt());
+        let metric = self.cfg.metric;
+        // Quantized tiers encode with the frozen codec; the f32 arena is
+        // maintained only when the spec retains it.
+        if let Some(q) = &mut self.quant {
+            q.push(metric, vector);
+        }
+        if self.quant.as_ref().is_none_or(|q| q.spec.keep_f32) {
+            self.vectors.extend_from_slice(vector);
+            self.norms.push(kernels::active().norm_sq(vector).sqrt());
+        }
         self.keys.push(key);
         self.levels.push(level);
         self.deleted.push(false);
@@ -296,20 +632,27 @@ impl HnswIndex {
             return Ok(());
         };
 
-        // The new node's vector plays the query role; its norm is already
-        // cached, so reuse it (one norm pass for the whole insert).
-        let pq = PreparedQuery::with_norm(self.cfg.metric, vector, self.norms[slot as usize]);
+        // The new node's vector plays the query role; the f32 path reuses
+        // its freshly cached norm (one norm pass for the whole insert).
+        let sc = match &self.quant {
+            Some(q) => Scorer::Quant(QuantQuery::new(&q.codec, metric, vector)),
+            None => Scorer::F32(PreparedQuery::with_norm(
+                metric,
+                vector,
+                self.norms[slot as usize],
+            )),
+        };
         // Greedy descent through layers above the new node's level.
         let mut stats = SearchStats::default();
         for lvl in ((level + 1)..=top).rev() {
-            cur = self.greedy_closest(&pq, cur, lvl, &mut stats);
+            cur = self.greedy_closest(&sc, cur, lvl, &mut stats);
         }
 
         // Connect on each layer from min(level, top) down to 0.
         let mut entry_points = vec![cur];
         for lvl in (0..=level.min(top)).rev() {
             let found = self.search_layer(
-                &pq,
+                &sc,
                 &entry_points,
                 self.cfg.ef_construction,
                 lvl,
@@ -343,8 +686,14 @@ impl HnswIndex {
     /// updating loses to rebuilding beyond a ~20% update ratio (Fig. 11).
     fn update_in_place(&mut self, slot: u32, vector: &[f32]) {
         let d = self.cfg.dim;
-        self.vectors[slot as usize * d..(slot as usize + 1) * d].copy_from_slice(vector);
-        self.norms[slot as usize] = kernels::active().norm_sq(vector).sqrt();
+        let metric = self.cfg.metric;
+        if let Some(q) = &mut self.quant {
+            q.reencode(metric, slot as usize, vector);
+        }
+        if !self.vectors.is_empty() {
+            self.vectors[slot as usize * d..(slot as usize + 1) * d].copy_from_slice(vector);
+            self.norms[slot as usize] = kernels::active().norm_sq(vector).sqrt();
+        }
         let Some((entry, top)) = self.entry else {
             return;
         };
@@ -367,13 +716,8 @@ impl HnswIndex {
                 pool.dedup();
                 pool.retain(|&c| c != nb);
                 // Batch-score the whole pool against nb in one kernel call.
-                self.slot_query(nb).distance_slots(
-                    &self.vectors,
-                    d,
-                    &self.norms,
-                    &pool,
-                    &mut dists,
-                );
+                let sc_nb = self.slot_scorer(nb);
+                self.score_slots(&sc_nb, &pool, &mut dists);
                 let mut scored: Vec<Scored> =
                     pool.iter().zip(&dists).map(|(&c, &dc)| (dc, c)).collect();
                 scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
@@ -384,16 +728,23 @@ impl HnswIndex {
         }
 
         // Phase 2: re-link the moved node like a fresh insert.
-        let pq = PreparedQuery::with_norm(self.cfg.metric, vector, self.norms[slot as usize]);
+        let sc = match &self.quant {
+            Some(q) => Scorer::Quant(QuantQuery::new(&q.codec, metric, vector)),
+            None => Scorer::F32(PreparedQuery::with_norm(
+                metric,
+                vector,
+                self.norms[slot as usize],
+            )),
+        };
         let mut stats = SearchStats::default();
         let mut cur = entry;
         for lvl in ((level + 1)..=top).rev() {
-            cur = self.greedy_closest(&pq, cur, lvl, &mut stats);
+            cur = self.greedy_closest(&sc, cur, lvl, &mut stats);
         }
         let mut entry_points = vec![cur];
         for lvl in (0..=level.min(top)).rev() {
             let mut found = self.search_layer(
-                &pq,
+                &sc,
                 &entry_points,
                 self.cfg.ef_construction,
                 lvl,
@@ -440,13 +791,9 @@ impl HnswIndex {
         }
         // Batch-score the full neighbor list against the node in one call.
         let mut dists: Vec<f32> = Vec::new();
-        self.slot_query(node).distance_slots(
-            &self.vectors,
-            self.cfg.dim,
-            &self.norms,
-            list,
-            &mut dists,
-        );
+        let sc = self.slot_scorer(node);
+        let list = &self.links[node as usize][lvl as usize];
+        self.score_slots(&sc, list, &mut dists);
         let mut scored: Vec<Scored> = list.iter().zip(&dists).map(|(&nb, &dn)| (dn, nb)).collect();
         scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
         let kept = select_neighbors(&scored, max_deg, true, |a, b| self.pair_distance(a, b));
@@ -456,21 +803,14 @@ impl HnswIndex {
     /// Greedy walk to the locally-closest node on one layer (the ef=1 upper-
     /// layer descent of the HNSW search). Each hop scores the node's whole
     /// neighbor list in one batched kernel call.
-    fn greedy_closest(
-        &self,
-        pq: &PreparedQuery<'_>,
-        start: u32,
-        lvl: u8,
-        stats: &mut SearchStats,
-    ) -> u32 {
-        let d = self.cfg.dim;
+    fn greedy_closest(&self, sc: &Scorer<'_>, start: u32, lvl: u8, stats: &mut SearchStats) -> u32 {
         let mut dists: Vec<f32> = Vec::new();
         let mut cur = start;
-        let mut cur_dist = pq.distance_cached(self.vec_of(cur), self.norms[cur as usize]);
+        let mut cur_dist = self.score_slot(sc, cur);
         stats.distance_computations += 1;
         loop {
             let nbs = &self.links[cur as usize][lvl as usize];
-            pq.distance_slots(&self.vectors, d, &self.norms, nbs, &mut dists);
+            self.score_slots(sc, nbs, &mut dists);
             stats.distance_computations += nbs.len() as u64;
             stats.hops += nbs.len() as u64;
             let mut improved = false;
@@ -493,14 +833,13 @@ impl HnswIndex {
     /// callers that produce user-visible results must filter afterwards.
     fn search_layer(
         &self,
-        pq: &PreparedQuery<'_>,
+        sc: &Scorer<'_>,
         entries: &[u32],
         ef: usize,
         lvl: u8,
         stats: &mut SearchStats,
     ) -> Vec<Scored> {
         let n = self.keys.len();
-        let dim = self.cfg.dim;
         let mut visited = vec![false; n];
         // Min-heap of frontier candidates; max-heap (via NeighborHeap-like
         // bound) of the best `ef` found.
@@ -519,7 +858,7 @@ impl HnswIndex {
                 batch.push(e);
             }
         }
-        pq.distance_slots(&self.vectors, dim, &self.norms, &batch, &mut dists);
+        self.score_slots(sc, &batch, &mut dists);
         stats.distance_computations += batch.len() as u64;
         for (&e, &de) in batch.iter().zip(&dists) {
             frontier.push(Reverse((OrdF32(de), e)));
@@ -541,7 +880,7 @@ impl HnswIndex {
                     batch.push(nb);
                 }
             }
-            pq.distance_slots(&self.vectors, dim, &self.norms, &batch, &mut dists);
+            self.score_slots(sc, &batch, &mut dists);
             stats.hops += batch.len() as u64;
             stats.distance_computations += batch.len() as u64;
             for (&nb, &nd) in batch.iter().zip(&dists) {
@@ -567,14 +906,13 @@ impl HnswIndex {
     /// "a single call to the vector index returns the valid top-k" (§5.1).
     fn search_layer0_filtered(
         &self,
-        pq: &PreparedQuery<'_>,
+        sc: &Scorer<'_>,
         entries: &[u32],
         ef: usize,
         filter: Filter<'_>,
         stats: &mut SearchStats,
     ) -> Vec<Scored> {
         let n = self.keys.len();
-        let dim = self.cfg.dim;
         let mut visited = vec![false; n];
         let mut frontier: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
         let mut best: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
@@ -592,7 +930,7 @@ impl HnswIndex {
                 batch.push(e);
             }
         }
-        pq.distance_slots(&self.vectors, dim, &self.norms, &batch, &mut dists);
+        self.score_slots(sc, &batch, &mut dists);
         stats.distance_computations += batch.len() as u64;
         for (&e, &de) in batch.iter().zip(&dists) {
             frontier.push(Reverse((OrdF32(de), e)));
@@ -618,7 +956,7 @@ impl HnswIndex {
                     batch.push(nb);
                 }
             }
-            pq.distance_slots(&self.vectors, dim, &self.norms, &batch, &mut dists);
+            self.score_slots(sc, &batch, &mut dists);
             stats.hops += batch.len() as u64;
             stats.distance_computations += batch.len() as u64;
             for (&nb, &nd) in batch.iter().zip(&dists) {
@@ -642,8 +980,65 @@ impl HnswIndex {
         out
     }
 
+    /// How many candidates the approximate stage must surface for a final
+    /// top-`k`: `rerank_factor × k` when an exact-rerank pass will follow
+    /// (retained f32 arena, or the SQ8 side store backing a PQ tier),
+    /// otherwise just `k`.
+    fn fetch_count(&self, k: usize) -> usize {
+        match &self.quant {
+            Some(q) if q.spec.keep_f32 || q.rerank.is_some() => {
+                k.saturating_mul(q.spec.rerank_factor.max(1))
+            }
+            _ => k,
+        }
+    }
+
+    /// Exact-rerank stage: rescore the approximate candidates against the
+    /// most precise representation available (retained f32, else the SQ8
+    /// side store), then keep the best `k`. Pass-through when the index is
+    /// unquantized or codes are already the best representation.
+    fn rerank_and_take(
+        &self,
+        query: &[f32],
+        found: Vec<Scored>,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let quant = match &self.quant {
+            Some(q) if q.spec.keep_f32 || q.rerank.is_some() => q,
+            _ => {
+                return found
+                    .into_iter()
+                    .take(k)
+                    .map(|(d, s)| Neighbor::new(self.keys[s as usize], d))
+                    .collect();
+            }
+        };
+        let slots: Vec<u32> = found.iter().map(|&(_, s)| s).collect();
+        let mut dists: Vec<f32> = Vec::new();
+        if quant.spec.keep_f32 {
+            let pq = PreparedQuery::new(self.cfg.metric, query);
+            pq.distance_slots(&self.vectors, self.cfg.dim, &self.norms, &slots, &mut dists);
+        } else {
+            let r = quant.rerank.as_ref().expect("checked above");
+            let qq = QuantQuery::new(&r.codec, self.cfg.metric, query);
+            qq.score_slots(&r.codes, &r.recon_norms, &slots, &mut dists);
+        }
+        stats.distance_computations += slots.len() as u64;
+        stats.reranked += slots.len() as u64;
+        let mut rescored: Vec<Scored> = slots.iter().zip(&dists).map(|(&s, &d)| (d, s)).collect();
+        rescored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        rescored
+            .into_iter()
+            .take(k)
+            .map(|(d, s)| Neighbor::new(self.keys[s as usize], d))
+            .collect()
+    }
+
     /// Exact linear scan over live, filter-passing entries — the planner's
     /// fallback when too few points are valid for graph search to pay off.
+    /// On quantized tiers the scan scores codes and the exact-rerank stage
+    /// re-scores the shortlist, same as graph search.
     pub fn brute_force_top_k(
         &self,
         query: &[f32],
@@ -654,7 +1049,6 @@ impl HnswIndex {
             brute_force: true,
             ..SearchStats::default()
         };
-        let mut heap = NeighborHeap::new(k);
         // Gather accepted slots first, then score the whole set in batched
         // kernel calls — the filter pass touches no vector data.
         let mut accepted: Vec<u32> = Vec::new();
@@ -668,20 +1062,24 @@ impl HnswIndex {
             }
             accepted.push(slot as u32);
         }
-        let pq = PreparedQuery::new(self.cfg.metric, query);
+        let sc = self.scorer(query);
         let mut dists: Vec<f32> = Vec::new();
-        pq.distance_slots(
-            &self.vectors,
-            self.cfg.dim,
-            &self.norms,
-            &accepted,
-            &mut dists,
-        );
+        self.score_slots(&sc, &accepted, &mut dists);
         stats.distance_computations += accepted.len() as u64;
+        // Keep only the `fetch` best before the (possibly exact-rerank)
+        // final stage; a bounded max-heap caps memory at O(fetch).
+        let fetch = self.fetch_count(k);
+        let mut heap: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
         for (&slot, &d) in accepted.iter().zip(&dists) {
-            heap.push(Neighbor::new(self.keys[slot as usize], d));
+            heap.push((OrdF32(d), slot));
+            if heap.len() > fetch {
+                heap.pop();
+            }
         }
-        (heap.into_sorted(), stats)
+        let mut found: Vec<Scored> = heap.into_iter().map(|(OrdF32(d), s)| (d, s)).collect();
+        found.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let out = self.rerank_and_take(query, found, k, &mut stats);
+        (out, stats)
     }
 
     /// Fraction of live points among all slots; used with the valid-point
@@ -709,12 +1107,12 @@ impl VectorIndex for HnswIndex {
         self.keys.len() - self.deleted_count
     }
 
-    fn get_embedding(&self, id: VertexId) -> Option<&[f32]> {
+    fn get_embedding(&self, id: VertexId) -> Option<Vec<f32>> {
         let &slot = self.slot_of.get(&id)?;
         if self.deleted[slot as usize] {
             None
         } else {
-            Some(self.vec_of(slot))
+            Some(self.materialize(slot))
         }
     }
 
@@ -732,20 +1130,20 @@ impl VectorIndex for HnswIndex {
         let Some((entry, top)) = self.entry else {
             return (Vec::new(), stats);
         };
-        let ef = ef.max(k);
-        // One norm pass for the whole search (cosine); every candidate after
-        // this scores against cached per-slot norms.
-        let pq = PreparedQuery::new(self.cfg.metric, query);
+        // The beam must surface enough candidates for the exact-rerank
+        // stage (rerank_factor × k on quantized tiers).
+        let fetch = self.fetch_count(k);
+        let ef = ef.max(fetch);
+        // One norm pass (f32) or one LUT build (quantized) for the whole
+        // search; every candidate after this scores against cached state.
+        let sc = self.scorer(query);
         let mut cur = entry;
         for lvl in (1..=top).rev() {
-            cur = self.greedy_closest(&pq, cur, lvl, &mut stats);
+            cur = self.greedy_closest(&sc, cur, lvl, &mut stats);
         }
-        let found = self.search_layer0_filtered(&pq, &[cur], ef, filter, &mut stats);
-        let out = found
-            .into_iter()
-            .take(k)
-            .map(|(d, s)| Neighbor::new(self.keys[s as usize], d))
-            .collect();
+        let mut found = self.search_layer0_filtered(&sc, &[cur], ef, filter, &mut stats);
+        found.truncate(fetch);
+        let out = self.rerank_and_take(query, found, k, &mut stats);
         (out, stats)
     }
 
@@ -803,7 +1201,7 @@ impl VectorIndex for HnswIndex {
         Ok(applied)
     }
 
-    fn scan(&self) -> Box<dyn Iterator<Item = (VertexId, &[f32])> + '_> {
+    fn scan(&self) -> Box<dyn Iterator<Item = (VertexId, Vec<f32>)> + '_> {
         Box::new(
             self.keys
                 .iter()
@@ -811,8 +1209,16 @@ impl VectorIndex for HnswIndex {
                 .filter(move |&(slot, key)| {
                     !self.deleted[slot] && self.slot_of.get(key) == Some(&(slot as u32))
                 })
-                .map(move |(slot, &key)| (key, self.vec_of(slot as u32))),
+                .map(move |(slot, &key)| (key, self.materialize(slot as u32))),
         )
+    }
+
+    fn memory_bytes(&self) -> usize {
+        HnswIndex::memory_bytes(self)
+    }
+
+    fn storage_tier(&self) -> StorageTier {
+        HnswIndex::storage_tier(self)
     }
 }
 
@@ -857,6 +1263,12 @@ impl HnswIndex {
         )
     }
 
+    /// Quantized-tier state, if any (snapshot writer access).
+    pub(crate) fn quant(&self) -> Option<&QuantState> {
+        self.quant.as_ref()
+    }
+
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         cfg: HnswConfig,
         vectors: Vec<f32>,
@@ -865,14 +1277,33 @@ impl HnswIndex {
         levels: Vec<u8>,
         deleted: Vec<bool>,
         entry: Option<(u32, u8)>,
+        quant: Option<QuantState>,
     ) -> TvResult<Self> {
         let n = keys.len();
-        if vectors.len() != n * cfg.dim
+        // A codes-only quantized snapshot legitimately carries no f32 arena.
+        let codes_only = vectors.is_empty() && quant.as_ref().is_some_and(|q| !q.spec.keep_f32);
+        if (vectors.len() != n * cfg.dim && !codes_only)
             || links.len() != n
             || levels.len() != n
             || deleted.len() != n
         {
             return Err(TvError::Storage("inconsistent snapshot parts".into()));
+        }
+        if let Some(q) = &quant {
+            let cl = q.codec.code_len();
+            if q.codes.len() != n * cl {
+                return Err(TvError::Storage("inconsistent quant codes".into()));
+            }
+            if !q.recon_norms.is_empty() && q.recon_norms.len() != n {
+                return Err(TvError::Storage("inconsistent quant norms".into()));
+            }
+            if let Some(r) = &q.rerank {
+                if r.codes.len() != n * r.codec.code_len()
+                    || (!r.recon_norms.is_empty() && r.recon_norms.len() != n)
+                {
+                    return Err(TvError::Storage("inconsistent rerank store".into()));
+                }
+            }
         }
         let mut slot_of = HashMap::with_capacity(n);
         let mut deleted_count = 0;
@@ -886,11 +1317,15 @@ impl HnswIndex {
         let rng = SplitMix64::new(cfg.seed ^ n as u64);
         // The snapshot format carries no norms; rebuild the cache in one
         // pass over the arena (cheaper than persisting and keeps old
-        // snapshots readable).
+        // snapshots readable). Codes-only tiers keep no arena norms.
         let k = kernels::active();
-        let norms = (0..n)
-            .map(|s| k.norm_sq(&vectors[s * cfg.dim..(s + 1) * cfg.dim]).sqrt())
-            .collect();
+        let norms = if vectors.is_empty() {
+            Vec::new()
+        } else {
+            (0..n)
+                .map(|s| k.norm_sq(&vectors[s * cfg.dim..(s + 1) * cfg.dim]).sqrt())
+                .collect()
+        };
         Ok(HnswIndex {
             cfg,
             vectors,
@@ -903,6 +1338,7 @@ impl HnswIndex {
             deleted_count,
             entry,
             rng,
+            quant,
         })
     }
 }
@@ -1254,5 +1690,183 @@ mod tests {
             idx.remove(key(i));
         }
         assert!((idx.live_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    fn recall_against_exact(idx: &HnswIndex, vecs: &[Vec<f32>], queries: &[Vec<f32>]) -> f64 {
+        let mut hits = 0;
+        for q in queries {
+            let exact = exact_top_k(vecs, q, 10);
+            let (got, _) = idx.top_k(q, 10, 100, Filter::All);
+            hits += exact
+                .iter()
+                .filter(|e| got.iter().any(|n| n.id.local().0 == **e))
+                .count();
+        }
+        hits as f64 / (queries.len() as f64 * 10.0)
+    }
+
+    #[test]
+    fn sq8_codes_only_high_recall_and_memory_win() {
+        let vecs = make_vectors(600, 32, 11);
+        let mut idx = build_index(&vecs);
+        let f32_bytes = idx.vector_storage_bytes();
+        idx.quantize(QuantSpec::sq8()).unwrap();
+        assert_eq!(idx.storage_tier(), StorageTier::Sq8);
+        // The acceptance bar: ≤ 0.30× the f32 vector-storage bytes.
+        let q_bytes = idx.vector_storage_bytes();
+        assert!(
+            (q_bytes as f64) <= 0.30 * f32_bytes as f64,
+            "sq8 bytes {q_bytes} vs f32 {f32_bytes}"
+        );
+        let queries = make_vectors(20, 32, 77);
+        let recall = recall_against_exact(&idx, &vecs, &queries);
+        assert!(recall >= 0.9, "sq8 codes-only recall {recall}");
+    }
+
+    #[test]
+    fn sq8_keep_f32_rerank_returns_exact_distances() {
+        let vecs = make_vectors(400, 16, 13);
+        let mut idx = build_index(&vecs);
+        idx.quantize(QuantSpec::sq8().with_keep_f32(true).with_rerank_factor(4))
+            .unwrap();
+        let queries = make_vectors(10, 16, 5);
+        for q in &queries {
+            let (got, stats) = idx.top_k(q, 5, 64, Filter::All);
+            assert!(stats.reranked > 0, "rerank stage must run");
+            // Reranked distances come from the retained f32 arena, so they
+            // must equal the exact metric values.
+            for n in &got {
+                let v = &vecs[n.id.local().0 as usize];
+                let exact = tv_common::metric::l2_sq(q, v);
+                assert!(
+                    (n.dist - exact).abs() <= 1e-5 * exact.max(1.0),
+                    "dist {} vs exact {exact}",
+                    n.dist
+                );
+            }
+        }
+        let recall = recall_against_exact(&idx, &vecs, &queries);
+        assert!(recall >= 0.95, "keep_f32 rerank recall {recall}");
+    }
+
+    #[test]
+    fn pq_codes_only_reranks_from_sq8_store() {
+        let vecs = make_vectors(500, 16, 17);
+        let mut idx = build_index(&vecs);
+        idx.quantize(QuantSpec::pq(8).with_rerank_factor(8))
+            .unwrap();
+        assert_eq!(idx.storage_tier(), StorageTier::Pq { m: 8 });
+        let queries = make_vectors(10, 16, 3);
+        let (_, stats) = idx.top_k(&queries[0], 5, 64, Filter::All);
+        assert!(stats.reranked > 0, "PQ codes-only must rerank via SQ8");
+        let recall = recall_against_exact(&idx, &vecs, &queries);
+        assert!(recall >= 0.7, "pq+sq8-rerank recall {recall}");
+    }
+
+    #[test]
+    fn quantized_index_accepts_inserts_updates_deletes() {
+        let vecs = make_vectors(300, 8, 23);
+        let mut idx = build_index(&vecs);
+        idx.quantize(QuantSpec::sq8()).unwrap();
+        // Incremental insert encodes with the frozen codec.
+        let novel = vec![9.5; 8];
+        idx.insert(key(9000), &novel).unwrap();
+        let (r, _) = idx.top_k(&novel, 1, 64, Filter::All);
+        assert_eq!(r[0].id, key(9000));
+        // Upsert re-encodes in place.
+        let moved = vec![0.25; 8];
+        idx.insert(key(3), &moved).unwrap();
+        let got = idx.get_embedding(key(3)).unwrap();
+        for (a, b) in got.iter().zip(&moved) {
+            assert!((a - b).abs() < 0.1, "reconstruction {a} vs {b}");
+        }
+        // Delete excludes from results.
+        assert!(idx.remove(key(9000)));
+        let (r, _) = idx.top_k(&novel, 1, 64, Filter::All);
+        assert_ne!(r[0].id, key(9000));
+    }
+
+    #[test]
+    fn quantized_cosine_search_works() {
+        let vecs = make_vectors(300, 12, 31);
+        let mut idx = HnswIndex::new(HnswConfig::new(12, DistanceMetric::Cosine));
+        for (i, v) in vecs.iter().enumerate() {
+            idx.insert(key(i as u32), v).unwrap();
+        }
+        idx.quantize(QuantSpec::sq8()).unwrap();
+        let q = &vecs[42];
+        let (r, _) = idx.top_k(q, 3, 64, Filter::All);
+        assert_eq!(r[0].id, key(42), "self-query must top the list");
+        assert!(r[0].dist < 1e-3, "cosine self-distance {}", r[0].dist);
+    }
+
+    #[test]
+    fn quantize_rejects_invalid_transitions() {
+        let mut empty = HnswIndex::new(HnswConfig::new(4, DistanceMetric::L2));
+        assert!(empty.quantize(QuantSpec::sq8()).is_err(), "empty index");
+
+        let vecs = make_vectors(50, 4, 7);
+        let mut idx = build_index(&vecs);
+        // F32 spec on an unquantized index is a no-op.
+        idx.quantize(QuantSpec::f32()).unwrap();
+        idx.quantize(QuantSpec::sq8()).unwrap();
+        // Tier changes require a rebuild.
+        assert!(idx.quantize(QuantSpec::pq(2)).is_err());
+        // Codes-only cannot go back to f32 (the arena is gone).
+        assert!(idx.quantize(QuantSpec::f32()).is_err());
+
+        // keep_f32 CAN go back: the arena still exists.
+        let mut kept = build_index(&vecs);
+        kept.quantize(QuantSpec::sq8().with_keep_f32(true)).unwrap();
+        kept.quantize(QuantSpec::f32()).unwrap();
+        assert_eq!(kept.storage_tier(), StorageTier::F32);
+    }
+
+    #[test]
+    fn codes_only_get_embedding_is_bounded_reconstruction() {
+        let vecs = make_vectors(200, 8, 3);
+        let mut idx = build_index(&vecs);
+        idx.quantize(QuantSpec::sq8()).unwrap();
+        // SQ8 reconstruction error is at most one quantization step per
+        // dim; with values in [0,10) a loose 0.1 bound is safe (step ≈
+        // range/255 ≈ 0.04).
+        for i in [0u32, 57, 199] {
+            let got = idx.get_embedding(key(i)).unwrap();
+            for (a, b) in got.iter().zip(&vecs[i as usize]) {
+                assert!((a - b).abs() < 0.1, "slot {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_brute_force_matches_graph_results() {
+        let vecs = make_vectors(300, 16, 41);
+        let mut idx = build_index(&vecs);
+        idx.quantize(QuantSpec::sq8().with_keep_f32(true)).unwrap();
+        let q = make_vectors(1, 16, 9).pop().unwrap();
+        let (bf, stats) = idx.brute_force_top_k(&q, 10, Filter::All);
+        assert!(stats.brute_force);
+        assert!(stats.reranked > 0);
+        // Brute force over codes + exact rerank must agree with the exact
+        // scan on the retained arena for the top results.
+        let exact = exact_top_k(&vecs, &q, 10);
+        let got: Vec<u32> = bf.iter().map(|n| n.id.local().0).collect();
+        let hits = exact.iter().filter(|e| got.contains(e)).count();
+        assert!(hits >= 9, "brute-force quantized hits {hits}/10");
+    }
+
+    #[test]
+    fn quantized_memory_bytes_counts_codes() {
+        let vecs = make_vectors(100, 8, 53);
+        let mut idx = build_index(&vecs);
+        let before = idx.memory_bytes();
+        idx.quantize(QuantSpec::sq8()).unwrap();
+        let after = idx.memory_bytes();
+        assert!(
+            after < before,
+            "codes-only must shrink: {after} vs {before}"
+        );
+        // The code arena (1 byte/dim/slot) must be visible in the total.
+        assert!(after >= idx.slot_count() * 8);
     }
 }

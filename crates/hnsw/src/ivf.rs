@@ -8,14 +8,16 @@
 //! unchanged. It also serves as the ablation partner in the benchmark
 //! suite (HNSW vs IVF recall/latency trade-offs).
 
-use crate::index::{DeltaAction, DeltaRecord, VectorIndex};
+use crate::index::{DeltaAction, DeltaRecord, OrdF32, QuantState, Scorer, VectorIndex};
 use crate::stats::SearchStats;
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use tv_common::bitmap::Filter;
 use tv_common::kernels;
 use tv_common::{
-    DistanceMetric, Neighbor, NeighborHeap, PreparedQuery, SplitMix64, TvError, TvResult, VertexId,
+    DistanceMetric, Neighbor, PreparedQuery, QuantSpec, SplitMix64, StorageTier, TvError, TvResult,
+    VertexId,
 };
+use tv_quant::QuantQuery;
 
 /// IVF-Flat configuration.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +69,10 @@ pub struct IvfFlatIndex {
     slot_of: HashMap<VertexId, u32>,
     deleted: Vec<bool>,
     live: usize,
+    /// Quantized storage tier, if attached via [`IvfFlatIndex::quantize`].
+    /// When `spec.keep_f32` is false, `vectors`/`norms` are empty and all
+    /// list scoring runs against codes (centroids stay f32).
+    quant: Option<QuantState>,
 }
 
 impl IvfFlatIndex {
@@ -85,12 +91,163 @@ impl IvfFlatIndex {
             slot_of: HashMap::new(),
             deleted: Vec::new(),
             live: 0,
+            quant: None,
         }
     }
 
     fn vec_of(&self, slot: u32) -> &[f32] {
         let d = self.cfg.dim;
         &self.vectors[slot as usize * d..(slot as usize + 1) * d]
+    }
+
+    /// The vector at `slot`, reconstructed from codes when the f32 arena
+    /// has been dropped.
+    fn materialize(&self, slot: u32) -> Vec<f32> {
+        if !self.vectors.is_empty() {
+            return self.vec_of(slot).to_vec();
+        }
+        let q = self.quant.as_ref().expect("no arena and no quant state");
+        let mut out = vec![0.0f32; self.cfg.dim];
+        q.materialize_into(slot as usize, &mut out);
+        out
+    }
+
+    /// Attach a quantized storage tier (same semantics as
+    /// `HnswIndex::quantize`): train on the current arena, encode every
+    /// slot, and drop the f32 arena unless the spec retains it.
+    pub fn quantize(&mut self, spec: QuantSpec) -> TvResult<()> {
+        if spec.tier == StorageTier::F32 {
+            return match &self.quant {
+                None => Ok(()),
+                Some(q) if q.spec.keep_f32 => {
+                    self.quant = None;
+                    Ok(())
+                }
+                Some(_) => Err(TvError::InvalidArgument(
+                    "cannot drop quantization: f32 arena was discarded".into(),
+                )),
+            };
+        }
+        if self.quant.is_some() {
+            return Err(TvError::InvalidArgument(
+                "index is already quantized; rebuild to change tiers".into(),
+            ));
+        }
+        if self.keys.is_empty() {
+            return Err(TvError::InvalidArgument(
+                "cannot train a codec on an empty index".into(),
+            ));
+        }
+        let q = QuantState::build(
+            spec,
+            self.cfg.dim,
+            self.cfg.metric,
+            &self.vectors,
+            self.cfg.seed,
+        )?;
+        if !spec.keep_f32 {
+            self.vectors = Vec::new();
+            self.norms = Vec::new();
+        }
+        self.quant = Some(q);
+        Ok(())
+    }
+
+    /// The active storage tier.
+    #[must_use]
+    pub fn storage_tier(&self) -> StorageTier {
+        self.quant
+            .as_ref()
+            .map_or(StorageTier::F32, |q| q.spec.tier)
+    }
+
+    /// The quantization spec, if a tier is attached.
+    #[must_use]
+    pub fn quant_spec(&self) -> Option<QuantSpec> {
+        self.quant.as_ref().map(|q| q.spec)
+    }
+
+    /// Resident bytes of vector payloads (arena + norms + codes).
+    #[must_use]
+    pub fn vector_storage_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.vectors.len() * size_of::<f32>()
+            + self.norms.len() * size_of::<f32>()
+            + self.quant.as_ref().map_or(0, QuantState::bytes)
+    }
+
+    /// Prepare a scorer for `query` against the active storage tier.
+    fn scorer<'q>(&self, query: &'q [f32]) -> Scorer<'q> {
+        match &self.quant {
+            Some(q) => Scorer::Quant(QuantQuery::new(&q.codec, self.cfg.metric, query)),
+            None => Scorer::F32(PreparedQuery::new(self.cfg.metric, query)),
+        }
+    }
+
+    /// Batch-score `slots` with either backend.
+    fn score_slots(&self, sc: &Scorer<'_>, slots: &[u32], out: &mut Vec<f32>) {
+        match sc {
+            Scorer::F32(pq) => {
+                pq.distance_slots(&self.vectors, self.cfg.dim, &self.norms, slots, out);
+            }
+            Scorer::Quant(qq) => {
+                let q = self.quant.as_ref().expect("quant scorer without state");
+                qq.score_slots(&q.codes, &q.recon_norms, slots, out);
+            }
+        }
+    }
+
+    /// Candidates the probe stage must surface for a final top-`k` (see
+    /// `HnswIndex::fetch_count`).
+    fn fetch_count(&self, k: usize) -> usize {
+        match &self.quant {
+            Some(q) if q.spec.keep_f32 || q.rerank.is_some() => {
+                k.saturating_mul(q.spec.rerank_factor.max(1))
+            }
+            _ => k,
+        }
+    }
+
+    /// Exact-rerank stage over the probed shortlist (see
+    /// `HnswIndex::rerank_and_take`).
+    fn rerank_and_take(
+        &self,
+        query: &[f32],
+        mut found: Vec<(f32, u32)>,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        found.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let quant = match &self.quant {
+            Some(q) if q.spec.keep_f32 || q.rerank.is_some() => q,
+            _ => {
+                return found
+                    .into_iter()
+                    .take(k)
+                    .map(|(d, s)| Neighbor::new(self.keys[s as usize], d))
+                    .collect();
+            }
+        };
+        let slots: Vec<u32> = found.iter().map(|&(_, s)| s).collect();
+        let mut dists: Vec<f32> = Vec::new();
+        if quant.spec.keep_f32 {
+            let pq = PreparedQuery::new(self.cfg.metric, query);
+            pq.distance_slots(&self.vectors, self.cfg.dim, &self.norms, &slots, &mut dists);
+        } else {
+            let r = quant.rerank.as_ref().expect("checked above");
+            let qq = QuantQuery::new(&r.codec, self.cfg.metric, query);
+            qq.score_slots(&r.codes, &r.recon_norms, &slots, &mut dists);
+        }
+        stats.distance_computations += slots.len() as u64;
+        stats.reranked += slots.len() as u64;
+        let mut rescored: Vec<(f32, u32)> =
+            slots.iter().zip(&dists).map(|(&s, &d)| (d, s)).collect();
+        rescored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        rescored
+            .into_iter()
+            .take(k)
+            .map(|(d, s)| Neighbor::new(self.keys[s as usize], d))
+            .collect()
     }
 
     fn centroid(&self, c: usize) -> &[f32] {
@@ -118,13 +275,14 @@ impl IvfFlatIndex {
             return;
         }
         let nlist = self.cfg.nlist.min(live_slots.len());
-        // Init: sample distinct points.
+        // Init: sample distinct points. Codes-only tiers train on
+        // reconstructions (training is offline, the copies are fine).
         let mut rng = SplitMix64::new(self.cfg.seed);
         let mut picks = live_slots.clone();
         rng.shuffle(&mut picks);
         self.centroids = picks[..nlist]
             .iter()
-            .flat_map(|&s| self.vec_of(s).to_vec())
+            .flat_map(|&s| self.materialize(s))
             .collect();
         self.refresh_centroid_norms(nlist);
         // Lloyd iterations.
@@ -133,8 +291,8 @@ impl IvfFlatIndex {
             let mut sums = vec![0.0f64; nlist * d];
             let mut counts = vec![0usize; nlist];
             for &s in &live_slots {
-                let v = self.vec_of(s);
-                let c = self.nearest_centroid(v, nlist, &mut scratch);
+                let v = self.materialize(s);
+                let c = self.nearest_centroid(&v, nlist, &mut scratch);
                 counts[c] += 1;
                 for (j, &x) in v.iter().enumerate() {
                     sums[c * d + j] += f64::from(x);
@@ -152,7 +310,8 @@ impl IvfFlatIndex {
         // Rebuild lists.
         self.lists = vec![Vec::new(); nlist];
         for &s in &live_slots {
-            let c = self.nearest_centroid(self.vec_of(s), nlist, &mut scratch);
+            let v = self.materialize(s);
+            let c = self.nearest_centroid(&v, nlist, &mut scratch);
             self.lists[c].push(s);
         }
     }
@@ -203,8 +362,14 @@ impl IvfFlatIndex {
             }
         }
         let slot = self.keys.len() as u32;
-        self.vectors.extend_from_slice(vector);
-        self.norms.push(kernels::active().norm_sq(vector).sqrt());
+        let metric = self.cfg.metric;
+        if let Some(q) = &mut self.quant {
+            q.push(metric, vector);
+        }
+        if self.quant.as_ref().is_none_or(|q| q.spec.keep_f32) {
+            self.vectors.extend_from_slice(vector);
+            self.norms.push(kernels::active().norm_sq(vector).sqrt());
+        }
         self.keys.push(key);
         self.deleted.push(false);
         self.slot_of.insert(key, slot);
@@ -245,12 +410,12 @@ impl VectorIndex for IvfFlatIndex {
         self.live
     }
 
-    fn get_embedding(&self, id: VertexId) -> Option<&[f32]> {
+    fn get_embedding(&self, id: VertexId) -> Option<Vec<f32>> {
         let &slot = self.slot_of.get(&id)?;
         if self.deleted[slot as usize] {
             None
         } else {
-            Some(self.vec_of(slot))
+            Some(self.materialize(slot))
         }
     }
 
@@ -266,13 +431,16 @@ impl VectorIndex for IvfFlatIndex {
             return (Vec::new(), stats);
         }
         let d = self.cfg.dim;
-        let pq = PreparedQuery::new(self.cfg.metric, query);
+        let sc = self.scorer(query);
+        let fetch = self.fetch_count(k);
         let mut dists: Vec<f32> = Vec::new();
+        // Bounded max-heap of the `fetch` best approximate candidates; the
+        // exact-rerank stage trims to `k`.
+        let mut heap: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
         if !self.is_trained() {
             // Untrained: exact scan (small indexes never need training) —
             // gather the accepted slots, then one batched scoring pass.
             stats.brute_force = true;
-            let mut heap = NeighborHeap::new(k);
             let mut accepted: Vec<u32> = Vec::with_capacity(self.live);
             for (&key, &slot) in &self.slot_of {
                 if !filter.accepts(key.local().0 as usize) {
@@ -281,15 +449,24 @@ impl VectorIndex for IvfFlatIndex {
                 }
                 accepted.push(slot);
             }
-            pq.distance_slots(&self.vectors, d, &self.norms, &accepted, &mut dists);
+            self.score_slots(&sc, &accepted, &mut dists);
             stats.distance_computations += accepted.len() as u64;
             for (&slot, &dist) in accepted.iter().zip(&dists) {
-                heap.push(Neighbor::new(self.keys[slot as usize], dist));
+                heap.push((OrdF32(dist), slot));
+                if heap.len() > fetch {
+                    heap.pop();
+                }
             }
-            return (heap.into_sorted(), stats);
+            let found: Vec<(f32, u32)> = heap
+                .into_iter()
+                .map(|(OrdF32(dist), s)| (dist, s))
+                .collect();
+            let out = self.rerank_and_take(query, found, k, &mut stats);
+            return (out, stats);
         }
         // Rank centroids over the contiguous centroid slab in one batched
-        // call, probe the nearest `nprobe` lists.
+        // call, probe the nearest `nprobe` lists. Centroids are always f32.
+        let pq = PreparedQuery::new(self.cfg.metric, query);
         let nlist = self.lists.len();
         dists.resize(nlist, 0.0);
         pq.distance_batch(
@@ -300,7 +477,6 @@ impl VectorIndex for IvfFlatIndex {
         stats.distance_computations += nlist as u64;
         let mut ranked: Vec<(f32, usize)> = dists.iter().copied().zip(0..nlist).collect();
         ranked.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-        let mut heap = NeighborHeap::new(k);
         let mut accepted: Vec<u32> = Vec::new();
         for &(_, c) in ranked.iter().take(self.cfg.nprobe.max(1)) {
             // Gather this list's valid members, then score them in one call.
@@ -320,14 +496,22 @@ impl VectorIndex for IvfFlatIndex {
                 }
                 accepted.push(slot);
             }
-            pq.distance_slots(&self.vectors, d, &self.norms, &accepted, &mut dists);
+            self.score_slots(&sc, &accepted, &mut dists);
             stats.distance_computations += accepted.len() as u64;
             stats.hops += accepted.len() as u64;
             for (&slot, &dist) in accepted.iter().zip(&dists) {
-                heap.push(Neighbor::new(self.keys[slot as usize], dist));
+                heap.push((OrdF32(dist), slot));
+                if heap.len() > fetch {
+                    heap.pop();
+                }
             }
         }
-        (heap.into_sorted(), stats)
+        let found: Vec<(f32, u32)> = heap
+            .into_iter()
+            .map(|(OrdF32(dist), s)| (dist, s))
+            .collect();
+        let out = self.rerank_and_take(query, found, k, &mut stats);
+        (out, stats)
     }
 
     fn range_search(
@@ -376,8 +560,27 @@ impl VectorIndex for IvfFlatIndex {
         Ok(applied)
     }
 
-    fn scan(&self) -> Box<dyn Iterator<Item = (VertexId, &[f32])> + '_> {
-        Box::new(self.slot_of.iter().map(|(&k, &s)| (k, self.vec_of(s))))
+    fn scan(&self) -> Box<dyn Iterator<Item = (VertexId, Vec<f32>)> + '_> {
+        Box::new(self.slot_of.iter().map(|(&k, &s)| (k, self.materialize(s))))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.vector_storage_bytes()
+            + self.centroids.len() * size_of::<f32>()
+            + self.centroid_norms.len() * size_of::<f32>()
+            + self
+                .lists
+                .iter()
+                .map(|l| l.len() * size_of::<u32>())
+                .sum::<usize>()
+            + self.keys.len() * size_of::<VertexId>()
+            + self.deleted.len() * size_of::<bool>()
+            + self.slot_of.len() * (size_of::<VertexId>() + size_of::<u32>())
+    }
+
+    fn storage_tier(&self) -> StorageTier {
+        IvfFlatIndex::storage_tier(self)
     }
 }
 
@@ -503,6 +706,63 @@ mod tests {
         let (r, _) = idx.range_search(&vecs[0], 50.0, 0, Filter::All);
         assert!(r.iter().all(|n| n.dist <= 50.0));
         assert!(r.iter().any(|n| n.id == key(0)));
+    }
+
+    #[test]
+    fn quantized_ivf_search_and_memory() {
+        let vecs = clustered(600, 32, 4);
+        let mut idx = IvfFlatIndex::new(IvfConfig {
+            nlist: 16,
+            nprobe: 8,
+            ..IvfConfig::new(32, DistanceMetric::L2)
+        });
+        for (i, v) in vecs.iter().enumerate() {
+            idx.insert(key(i as u32), v).unwrap();
+        }
+        idx.train();
+        let f32_bytes = idx.vector_storage_bytes();
+        idx.quantize(QuantSpec::sq8()).unwrap();
+        assert_eq!(idx.storage_tier(), StorageTier::Sq8);
+        assert!(
+            (idx.vector_storage_bytes() as f64) <= 0.30 * f32_bytes as f64,
+            "ivf sq8 bytes {} vs f32 {f32_bytes}",
+            idx.vector_storage_bytes()
+        );
+        // Codes score the lists; exact matches still surface.
+        for probe in [0usize, 100, 599] {
+            let (r, _) = idx.top_k(&vecs[probe], 1, 0, Filter::All);
+            assert_eq!(r[0].id, key(probe as u32), "probe {probe}");
+        }
+        // Incremental insert + retrain on reconstructions both work.
+        idx.insert(key(9999), &[500.0; 32]).unwrap();
+        idx.train();
+        let (r, _) = idx.top_k(&[500.0; 32], 1, 0, Filter::All);
+        assert_eq!(r[0].id, key(9999));
+    }
+
+    #[test]
+    fn quantized_ivf_keep_f32_reranks_exactly() {
+        let vecs = clustered(400, 8, 6);
+        let mut idx = IvfFlatIndex::new(IvfConfig {
+            nlist: 8,
+            nprobe: 8,
+            ..IvfConfig::new(8, DistanceMetric::L2)
+        });
+        for (i, v) in vecs.iter().enumerate() {
+            idx.insert(key(i as u32), v).unwrap();
+        }
+        idx.train();
+        idx.quantize(QuantSpec::sq8().with_keep_f32(true).with_rerank_factor(4))
+            .unwrap();
+        let q = &vecs[17];
+        let (r, stats) = idx.top_k(q, 5, 0, Filter::All);
+        assert_eq!(r[0].id, key(17));
+        assert!(stats.reranked > 0);
+        // Reranked distances equal exact f32 metric values.
+        for n in &r {
+            let exact = tv_common::metric::l2_sq(q, &vecs[n.id.local().0 as usize]);
+            assert!((n.dist - exact).abs() <= 1e-4 * exact.max(1.0));
+        }
     }
 
     #[test]

@@ -8,45 +8,80 @@
 //! deserializing garbage.
 
 use crate::config::HnswConfig;
-use crate::index::HnswIndex;
-use tv_common::{DistanceMetric, TvError, TvResult, VertexId};
+use crate::index::{HnswIndex, QuantState, RerankStore};
+use tv_common::{DistanceMetric, QuantSpec, StorageTier, TvError, TvResult, VertexId};
+use tv_quant::{Codec, QuantizedCodec};
 
 const MAGIC: &[u8; 8] = b"TVHNSW01";
+/// Version 2 adds the quantized-storage block (and makes the f32 arena
+/// optional). Unquantized indexes still serialize as v1 byte-for-byte, so
+/// every pre-existing snapshot and checkpoint stays readable and stable.
+const MAGIC2: &[u8; 8] = b"TVHNSW02";
+
+const TIER_SQ8: u8 = 1;
+const TIER_PQ: u8 = 2;
 
 /// Serialize an index into a byte buffer.
 #[must_use]
 pub fn to_bytes(index: &HnswIndex) -> Vec<u8> {
     let (cfg, vectors, keys, links, levels, deleted, entry) = index.parts();
+    let quant = index.quant();
     let mut buf = Vec::with_capacity(64 + vectors.len() * 4 + keys.len() * 16);
+    if let Some(q) = quant {
+        buf.extend_from_slice(MAGIC2);
+        write_header(&mut buf, cfg, keys.len());
+        // Whether the f32 arena follows (codes-only tiers drop it).
+        buf.push(u8::from(!vectors.is_empty()));
+        write_body(&mut buf, vectors, keys, links, levels, deleted, entry);
+        write_quant(&mut buf, q);
+        return buf;
+    }
     buf.extend_from_slice(MAGIC);
+    write_header(&mut buf, cfg, keys.len());
+    write_body(&mut buf, vectors, keys, links, levels, deleted, entry);
+    buf
+}
+
+fn write_header(buf: &mut Vec<u8>, cfg: &HnswConfig, n: usize) {
     // Config.
-    put_u64(&mut buf, cfg.dim as u64);
+    put_u64(buf, cfg.dim as u64);
     buf.push(metric_tag(cfg.metric));
-    put_u64(&mut buf, cfg.m as u64);
-    put_u64(&mut buf, cfg.m0 as u64);
-    put_u64(&mut buf, cfg.ef_construction as u64);
-    put_f64(&mut buf, cfg.ml.unwrap_or(f64::NAN));
-    put_u64(&mut buf, cfg.seed);
+    put_u64(buf, cfg.m as u64);
+    put_u64(buf, cfg.m0 as u64);
+    put_u64(buf, cfg.ef_construction as u64);
+    put_f64(buf, cfg.ml.unwrap_or(f64::NAN));
+    put_u64(buf, cfg.seed);
     // Node count.
-    put_u64(&mut buf, keys.len() as u64);
+    put_u64(buf, n as u64);
+}
+
+fn write_body(
+    buf: &mut Vec<u8>,
+    vectors: &[f32],
+    keys: &[VertexId],
+    links: &[Vec<Vec<u32>>],
+    levels: &[u8],
+    deleted: &[bool],
+    entry: Option<(u32, u8)>,
+) {
     // Keys.
     for k in keys {
-        put_u64(&mut buf, k.0);
+        put_u64(buf, k.0);
     }
     // Levels + deleted flags.
     buf.extend(levels.iter().copied());
     buf.extend(deleted.iter().map(|&d| u8::from(d)));
-    // Vectors.
+    // Vectors (absent in codes-only v2 snapshots).
     for v in vectors {
         buf.extend_from_slice(&v.to_le_bytes());
     }
     // Links: per node, level count then per-level neighbor lists.
     for per_node in links {
-        put_u32(&mut buf, per_node.len() as u32);
+        put_u32(buf, per_node.len() as u32);
         for level_links in per_node {
-            put_u32(&mut buf, level_links.len() as u32);
+            put_u32(buf, level_links.len() as u32);
             for &nb in level_links {
-                put_u32(&mut buf, nb);
+                put_u32(buf, nb);
             }
         }
     }
@@ -54,19 +89,55 @@ pub fn to_bytes(index: &HnswIndex) -> Vec<u8> {
     match entry {
         Some((slot, lvl)) => {
             buf.push(1);
-            put_u32(&mut buf, slot);
+            put_u32(buf, slot);
             buf.push(lvl);
         }
         None => buf.push(0),
     }
-    buf
 }
 
-/// Deserialize an index from a snapshot buffer.
+/// Quantized-storage block: spec, codec image, code arena, reconstruction
+/// norms, and the optional rerank side store. Norms are serialized (not
+/// recomputed on load) so recovery is bit-identical by construction.
+fn write_quant(buf: &mut Vec<u8>, q: &QuantState) {
+    match q.spec.tier {
+        StorageTier::Sq8 => buf.push(TIER_SQ8),
+        StorageTier::Pq { m } => {
+            buf.push(TIER_PQ);
+            put_u32(buf, m as u32);
+        }
+        StorageTier::F32 => unreachable!("quant state never carries the f32 tier"),
+    }
+    buf.push(u8::from(q.spec.keep_f32));
+    put_u32(buf, q.spec.rerank_factor as u32);
+    write_codec_block(buf, &q.codec, &q.codes, &q.recon_norms);
+    match &q.rerank {
+        Some(r) => {
+            buf.push(1);
+            write_codec_block(buf, &r.codec, &r.codes, &r.recon_norms);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn write_codec_block(buf: &mut Vec<u8>, codec: &Codec, codes: &[u8], recon_norms: &[f32]) {
+    let image = codec.to_bytes();
+    put_u32(buf, image.len() as u32);
+    buf.extend_from_slice(&image);
+    put_u32(buf, codec.code_len() as u32);
+    buf.extend_from_slice(codes);
+    put_u32(buf, recon_norms.len() as u32);
+    for &v in recon_norms {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Deserialize an index from a snapshot buffer (either version).
 pub fn from_bytes(data: &[u8]) -> TvResult<HnswIndex> {
     let mut r = Reader { data, pos: 0 };
     let magic = r.take(8)?;
-    if magic != MAGIC {
+    let v2 = magic == MAGIC2;
+    if magic != MAGIC && !v2 {
         return Err(TvError::Storage("bad snapshot magic".into()));
     }
     let dim = r.u64()? as usize;
@@ -89,11 +160,20 @@ pub fn from_bytes(data: &[u8]) -> TvResult<HnswIndex> {
     if n > (u32::MAX as usize) {
         return Err(TvError::Storage("snapshot too large".into()));
     }
+    // v2 carries an explicit "arena present" flag (codes-only tiers drop
+    // the f32 vectors); v1 always has the arena.
+    let vectors_present = if v2 { r.u8()? != 0 } else { true };
     // Every node occupies at least 8 (key) + 1 (level) + 1 (tombstone) +
-    // 4*dim (vector) + 4 (link count) bytes. Clamp the declared count
-    // against the bytes actually present BEFORE any allocation, so a
-    // corrupt header in a tiny file cannot demand gigabytes.
-    let min_node_bytes = 14usize.saturating_add(dim.saturating_mul(4));
+    // 4*dim (vector, when present) + 4 (link count) bytes. Clamp the
+    // declared count against the bytes actually present BEFORE any
+    // allocation, so a corrupt header in a tiny file cannot demand
+    // gigabytes.
+    let per_node_vec = if vectors_present {
+        dim.saturating_mul(4)
+    } else {
+        0
+    };
+    let min_node_bytes = 14usize.saturating_add(per_node_vec);
     if n.saturating_mul(min_node_bytes) > r.remaining() {
         return Err(TvError::Storage(format!(
             "corrupt snapshot: {n} nodes cannot fit in {} remaining bytes",
@@ -106,15 +186,18 @@ pub fn from_bytes(data: &[u8]) -> TvResult<HnswIndex> {
     }
     let levels = r.take(n)?.to_vec();
     let deleted: Vec<bool> = r.take(n)?.iter().map(|&b| b != 0).collect();
-    let vec_count = n
-        .checked_mul(dim)
-        .ok_or_else(|| TvError::Storage("corrupt snapshot: vector count overflow".into()))?;
-    if vec_count.saturating_mul(4) > r.remaining() {
-        return Err(TvError::Storage("truncated snapshot".into()));
-    }
-    let mut vectors = Vec::with_capacity(vec_count);
-    for _ in 0..vec_count {
-        vectors.push(r.f32()?);
+    let mut vectors = Vec::new();
+    if vectors_present {
+        let vec_count = n
+            .checked_mul(dim)
+            .ok_or_else(|| TvError::Storage("corrupt snapshot: vector count overflow".into()))?;
+        if vec_count.saturating_mul(4) > r.remaining() {
+            return Err(TvError::Storage("truncated snapshot".into()));
+        }
+        vectors.reserve_exact(vec_count);
+        for _ in 0..vec_count {
+            vectors.push(r.f32()?);
+        }
     }
     let mut links = Vec::with_capacity(n);
     for _ in 0..n {
@@ -162,13 +245,95 @@ pub fn from_bytes(data: &[u8]) -> TvResult<HnswIndex> {
         }
         _ => return Err(TvError::Storage("corrupt snapshot: entry tag".into())),
     };
+    let quant = if v2 {
+        Some(read_quant(&mut r, n, !vectors.is_empty())?)
+    } else {
+        None
+    };
     if r.remaining() != 0 {
         return Err(TvError::Storage(format!(
             "corrupt snapshot: {} trailing bytes",
             r.remaining()
         )));
     }
-    HnswIndex::from_parts(cfg, vectors, keys, links, levels, deleted, entry)
+    HnswIndex::from_parts(cfg, vectors, keys, links, levels, deleted, entry, quant)
+}
+
+fn read_quant(r: &mut Reader<'_>, n: usize, arena_present: bool) -> TvResult<QuantState> {
+    let tier = match r.u8()? {
+        TIER_SQ8 => StorageTier::Sq8,
+        TIER_PQ => StorageTier::Pq {
+            m: r.u32()? as usize,
+        },
+        _ => return Err(TvError::Storage("corrupt snapshot: tier tag".into())),
+    };
+    let keep_f32 = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(TvError::Storage("corrupt snapshot: keep_f32 flag".into())),
+    };
+    if keep_f32 != arena_present {
+        return Err(TvError::Storage(
+            "corrupt snapshot: keep_f32 disagrees with arena presence".into(),
+        ));
+    }
+    let rerank_factor = r.u32()? as usize;
+    let (codec, codes, recon_norms) = read_codec_block(r, n)?;
+    if codec.tier() != tier {
+        return Err(TvError::Storage(
+            "corrupt snapshot: codec disagrees with tier tag".into(),
+        ));
+    }
+    let rerank = match r.u8()? {
+        0 => None,
+        1 => {
+            let (rc, rcodes, rnorms) = read_codec_block(r, n)?;
+            Some(RerankStore {
+                codec: rc,
+                codes: rcodes,
+                recon_norms: rnorms,
+            })
+        }
+        _ => return Err(TvError::Storage("corrupt snapshot: rerank flag".into())),
+    };
+    let spec = QuantSpec {
+        tier,
+        keep_f32,
+        rerank_factor,
+    };
+    Ok(QuantState {
+        spec,
+        codec,
+        codes,
+        recon_norms,
+        rerank,
+    })
+}
+
+fn read_codec_block(r: &mut Reader<'_>, n: usize) -> TvResult<(Codec, Vec<u8>, Vec<f32>)> {
+    let image_len = r.u32()? as usize;
+    let codec = Codec::from_bytes(r.take(image_len)?)?;
+    let code_len = r.u32()? as usize;
+    if code_len != codec.code_len() {
+        return Err(TvError::Storage(
+            "corrupt snapshot: code length disagrees with codec".into(),
+        ));
+    }
+    let total = n
+        .checked_mul(code_len)
+        .ok_or_else(|| TvError::Storage("corrupt snapshot: code arena overflow".into()))?;
+    let codes = r.take(total)?.to_vec();
+    let norm_count = r.u32()? as usize;
+    if norm_count != 0 && norm_count != n {
+        return Err(TvError::Storage(
+            "corrupt snapshot: reconstruction norm count".into(),
+        ));
+    }
+    let mut norms = Vec::with_capacity(norm_count);
+    for _ in 0..norm_count {
+        norms.push(r.f32()?);
+    }
+    Ok((codec, codes, norms))
 }
 
 fn metric_tag(m: DistanceMetric) -> u8 {
@@ -380,5 +545,80 @@ mod tests {
         assert_eq!(restored.len(), 51);
         let (r, _) = restored.top_k(&[0.1; 8], 1, 32, Filter::All);
         assert_eq!(r[0].id, key(1000));
+    }
+
+    use tv_common::QuantSpec;
+
+    fn quantized_sample(n: usize, spec: QuantSpec) -> HnswIndex {
+        let mut idx = sample_index(n);
+        idx.quantize(spec).unwrap();
+        idx
+    }
+
+    #[test]
+    fn unquantized_snapshots_stay_v1() {
+        // Byte-compat guarantee: indexes without a quant tier serialize
+        // exactly as before this format revision.
+        let bytes = to_bytes(&sample_index(20));
+        assert_eq!(&bytes[..8], MAGIC);
+    }
+
+    #[test]
+    fn v2_roundtrip_is_bit_identical_across_tiers() {
+        for spec in [
+            QuantSpec::sq8(),
+            QuantSpec::sq8().with_keep_f32(true),
+            QuantSpec::pq(4),
+            QuantSpec::pq(4).with_keep_f32(true),
+        ] {
+            let idx = quantized_sample(120, spec);
+            let bytes = to_bytes(&idx);
+            assert_eq!(&bytes[..8], MAGIC2);
+            let restored = from_bytes(&bytes).unwrap();
+            // Re-serialization must reproduce the exact image — the
+            // property the durability layer's checkpoint verification
+            // builds on.
+            assert_eq!(bytes, to_bytes(&restored), "spec {spec:?}");
+            assert_eq!(restored.storage_tier(), spec.tier);
+            assert_eq!(restored.quant_spec(), Some(spec));
+
+            let q: Vec<f32> = vec![0.5; 8];
+            let (before, _) = idx.top_k(&q, 10, 64, Filter::All);
+            let (after, _) = restored.top_k(&q, 10, 64, Filter::All);
+            assert_eq!(
+                before.iter().map(|n| n.id).collect::<Vec<_>>(),
+                after.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn v2_restored_index_accepts_updates() {
+        let idx = quantized_sample(60, QuantSpec::sq8());
+        let mut restored = from_bytes(&to_bytes(&idx)).unwrap();
+        restored.insert(key(1000), &[0.9; 8]).unwrap();
+        let (r, _) = restored.top_k(&[0.9; 8], 1, 32, Filter::All);
+        assert_eq!(r[0].id, key(1000));
+    }
+
+    #[test]
+    fn v2_truncation_fuzz_always_errs_never_panics() {
+        let bytes = to_bytes(&quantized_sample(30, QuantSpec::pq(4)));
+        for cut in 0..bytes.len() {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "prefix of {cut} bytes");
+        }
+    }
+
+    #[test]
+    fn v2_byte_flip_fuzz_never_panics() {
+        let bytes = to_bytes(&quantized_sample(30, QuantSpec::sq8()));
+        let mut rng = SplitMix64::new(0xBEEF);
+        for _ in 0..500 {
+            let mut mutated = bytes.clone();
+            let pos = (rng.next_u64() as usize) % mutated.len();
+            let bit = (rng.next_u64() % 8) as u32;
+            mutated[pos] ^= 1 << bit;
+            let _ = from_bytes(&mutated);
+        }
     }
 }

@@ -16,6 +16,9 @@ pub struct SearchStats {
     pub hops: u64,
     /// Number of candidates rejected by the validity filter.
     pub filtered_out: u64,
+    /// Number of candidates rescored by the exact-rerank stage (quantized
+    /// indexes only; included in `distance_computations` as well).
+    pub reranked: u64,
     /// Whether the engine chose brute force over the index for this call.
     pub brute_force: bool,
 }
@@ -27,6 +30,7 @@ impl SearchStats {
         self.distance_computations += other.distance_computations;
         self.hops += other.hops;
         self.filtered_out += other.filtered_out;
+        self.reranked += other.reranked;
         self.brute_force |= other.brute_force;
     }
 }
@@ -41,18 +45,21 @@ mod tests {
             distance_computations: 10,
             hops: 5,
             filtered_out: 1,
+            reranked: 3,
             brute_force: false,
         };
         let b = SearchStats {
             distance_computations: 7,
             hops: 2,
             filtered_out: 0,
+            reranked: 4,
             brute_force: true,
         };
         a.merge(&b);
         assert_eq!(a.distance_computations, 17);
         assert_eq!(a.hops, 7);
         assert_eq!(a.filtered_out, 1);
+        assert_eq!(a.reranked, 7);
         assert!(a.brute_force);
     }
 }

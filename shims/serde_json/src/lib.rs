@@ -7,7 +7,8 @@
 //! round-trip float formatting with a trailing `.0` for integral floats).
 //!
 //! Differences from the real crate, by design:
-//! * no parser / no `from_str` (nothing in the workspace parses JSON);
+//! * [`from_str`] parses into [`Value`] only (no typed deserialization —
+//!   the workspace reads bench JSONs back as trees);
 //! * `json!` supports flat `{ "key": expr, ... }` / `[expr, ...]` literals
 //!   and plain expressions, not arbitrarily nested bare literals — nest by
 //!   passing an inner `json!(...)` as the expression.
@@ -383,6 +384,235 @@ pub fn to_string(value: &Value) -> Result<String, Error> {
     Ok(out)
 }
 
+impl fmt::Display for Value {
+    /// Compact JSON rendering (matches serde_json's `Display`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, 0, false);
+        f.write_str(&out)
+    }
+}
+
+/// Recursive-descent parser over the full JSON grammar.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self) -> Result<T, Error> {
+        Err(Error(()))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err()
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            self.err()
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null").map(|()| Value::Null),
+            Some(b't') => self.eat_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => self.err(),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err(),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            map.insert(key, self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err(),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos.checked_add(4).ok_or(Error(()))?;
+        let hex = self.bytes.get(self.pos..end).ok_or(Error(()))?;
+        let s = std::str::from_utf8(hex).map_err(|_| Error(()))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error(()))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Bulk-copy the unescaped run.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| Error(()))?);
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(Error(()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err();
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(cp).ok_or(Error(()))?);
+                        }
+                        _ => return self.err(),
+                    }
+                }
+                _ => return self.err(),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| Error(()))?;
+        if !is_float {
+            if let Ok(i) = s.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(i)));
+            }
+            if let Ok(u) = s.parse::<u64>() {
+                return Ok(Value::Number(Number::UInt(u)));
+            }
+        }
+        s.parse::<f64>()
+            .map(|x| Value::Number(Number::Float(x)))
+            .map_err(|_| Error(()))
+    }
+}
+
+/// Parse a JSON document into a [`Value`] tree. Accepts exactly one
+/// top-level value with optional surrounding whitespace.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Ok(v)
+    } else {
+        Err(Error(()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,5 +652,41 @@ mod tests {
         assert_eq!(v.get("n").and_then(Value::as_f64), Some(3.0));
         assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
         assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parser_roundtrips_own_output() {
+        let inner = json!({ "recall": 0.995, "qps": 12345.5, "ef": 64usize, "neg": -3 });
+        let v = json!({
+            "rows": Value::Array(vec![inner, json!(null)]),
+            "label": "quant \"bench\"\n",
+            "empty_arr": Value::Array(vec![]),
+            "empty_obj": Value::Object(Map::new()),
+            "flag": true,
+            "big": u64::MAX,
+        });
+        for render in [to_string_pretty(&v).unwrap(), to_string(&v).unwrap()] {
+            let back = from_str(&render).unwrap();
+            assert_eq!(back, v, "parse({render}) diverged");
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_rejects_garbage() {
+        let v = from_str(r#"{"u": "\u00e9\ud83d\ude00", "t": "\tx"}"#).unwrap();
+        assert_eq!(v.get("u").and_then(Value::as_str), Some("é😀"));
+        assert_eq!(v.get("t").and_then(Value::as_str), Some("\tx"));
+        for bad in ["{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\q\"", ""] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+        assert_eq!(from_str(" 42 ").unwrap().as_u64(), Some(42));
+        assert_eq!(from_str("-7").unwrap().as_f64(), Some(-7.0));
+        assert_eq!(from_str("2.5e3").unwrap().as_f64(), Some(2500.0));
+    }
+
+    #[test]
+    fn display_renders_compact() {
+        let v = json!({ "a": 1 });
+        assert_eq!(format!("{v}"), "{\"a\":1}");
     }
 }

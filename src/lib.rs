@@ -62,4 +62,5 @@ pub use tv_datagen as datagen;
 pub use tv_embedding as embedding;
 pub use tv_gsql as gsql;
 pub use tv_hnsw as hnsw;
+pub use tv_quant as quant;
 pub use tv_server as server;

@@ -63,6 +63,7 @@ fn snb() -> Snb {
         index: IndexKind::Hnsw,
         datatype: VectorDataType::Float,
         metric: DistanceMetric::L2,
+        quant: tigervector::common::QuantSpec::f32(),
     })
     .unwrap();
     g.add_embedding_in_space("Post", "content_emb", "GPT4_emb_space")
