@@ -1,8 +1,8 @@
 # Development shortcuts; `make verify` mirrors the CI pipeline exactly.
 
-.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load chaos-smoke kernel-smoke recovery-smoke quant-smoke
+.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load chaos-smoke kernel-smoke recovery-smoke quant-smoke planner-smoke
 
-verify: fmt-check build clippy test test-all kernel-smoke chaos-smoke recovery-smoke quant-smoke
+verify: fmt-check build clippy test test-all kernel-smoke chaos-smoke recovery-smoke quant-smoke planner-smoke
 
 build:
 	cargo build --release
@@ -64,3 +64,15 @@ quant-smoke:
 	TV_KERNELS=scalar cargo test --release -p tv-quant -q
 	cargo run --release -p tv-bench --bin quant_bench
 	TV_QPS_TOLERANCE=$(TV_QPS_TOLERANCE) cargo run --release -p tv-bench --bin check_regression -- --only quant_bench
+
+# Filtered-search planner gate: the planner property suite (oracle identity
+# across the whole selectivity range, starvation regressions), then the
+# selectivity sweep — the binary itself exits 1 if the planner's cost
+# leaves 1.3x of the best exact-capable strategy at any selectivity or its
+# recall drops below the static-threshold router's, and the regression
+# checker guards the committed sweep baseline. The sweep parameters must
+# match the committed baseline (bench_results/baseline/planner_sweep.json).
+planner-smoke:
+	cargo test --release -p tv-hnsw --test planner_prop -q
+	cargo run --release -p tv-bench --bin planner_sweep -- --n 8000 --q 20
+	TV_QPS_TOLERANCE=$(TV_QPS_TOLERANCE) cargo run --release -p tv-bench --bin check_regression -- --only planner_sweep

@@ -35,7 +35,7 @@ fn build_cluster(
     let runtime = ClusterRuntime::start(RuntimeConfig {
         servers: SERVERS,
         replication,
-        brute_force_threshold: 64,
+        planner: tv_common::PlannerConfig::default(),
         retry: RetryPolicy {
             max_retries: 2,
             attempt_timeout: Duration::from_millis(25),

@@ -55,7 +55,7 @@ fn collect(value: &serde_json::Value, path: &str, out: &mut Rows) {
         }
         serde_json::Value::Object(map) => {
             for (k, v) in map.iter() {
-                if k == "kernel_info" || k == "storage_info" {
+                if k == "kernel_info" || k == "storage_info" || k == "planner_info" {
                     continue;
                 }
                 collect(v, &format!("{path}/{k}"), out);

@@ -27,7 +27,7 @@ fn main() {
 
     let build_service = || -> (Arc<EmbeddingService>, u32) {
         let svc = Arc::new(EmbeddingService::new(ServiceConfig {
-            brute_force_threshold: 64,
+            planner: tv_common::PlannerConfig::default(),
             query_threads: 1,
             default_ef: 64,
         }));

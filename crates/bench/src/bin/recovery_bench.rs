@@ -31,7 +31,7 @@ const SEGMENT_CAP: usize = 256;
 
 fn config() -> ServiceConfig {
     ServiceConfig {
-        brute_force_threshold: 64,
+        planner: tv_common::PlannerConfig::default(),
         query_threads: 1,
         default_ef: 64,
     }

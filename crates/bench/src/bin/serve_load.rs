@@ -27,7 +27,7 @@ fn build_graph(n: usize, seed: u64) -> (Arc<Graph>, Arc<AccessControl>, Vec<Vec<
     let graph = Graph::with_config(
         SegmentLayout::with_capacity((n / 8).max(256)),
         ServiceConfig {
-            brute_force_threshold: 64,
+            planner: tv_common::PlannerConfig::default(),
             query_threads: 2,
             default_ef: 64,
         },

@@ -181,6 +181,36 @@ pub fn kernel_info() -> serde_json::Value {
 }
 
 static STORAGE_INFO: std::sync::Mutex<Option<serde_json::Value>> = std::sync::Mutex::new(None);
+static PLANNER_INFO: std::sync::Mutex<Option<serde_json::Value>> = std::sync::Mutex::new(None);
+
+/// Record the filtered-search planner knobs used by this process's bench
+/// JSONs. Benches that search through the planner call this before
+/// [`save_json`]; benches that bypass it get the workspace defaults stamp.
+pub fn set_planner_info(cfg: &tv_common::PlannerConfig) {
+    *PLANNER_INFO.lock().unwrap() = Some(planner_json(cfg));
+}
+
+fn planner_json(cfg: &tv_common::PlannerConfig) -> serde_json::Value {
+    serde_json::json!({
+        "enabled": cfg.enabled,
+        "brute_force_threshold": cfg.brute_force_threshold,
+        "graph_cost_factor": cfg.graph_cost_factor,
+        "post_filter_min_selectivity": cfg.post_filter_min_selectivity,
+        "max_ef": cfg.max_ef,
+    })
+}
+
+/// The planner-knob provenance block stamped into every bench JSON (filtered
+/// throughput numbers are meaningless without the routing policy they were
+/// measured under).
+#[must_use]
+pub fn planner_info() -> serde_json::Value {
+    PLANNER_INFO
+        .lock()
+        .unwrap()
+        .clone()
+        .unwrap_or_else(|| planner_json(&tv_common::PlannerConfig::default()))
+}
 
 /// Record the storage-tier provenance block for this process's bench JSONs:
 /// which tier vectors sat on and the measured resident bytes. Benches that
@@ -207,7 +237,7 @@ pub fn storage_info() -> serde_json::Value {
 }
 
 /// Write a JSON result file under `bench_results/`, stamped with
-/// [`kernel_info`] and [`storage_info`]. Object payloads get the keys
+/// [`kernel_info`], [`storage_info`] and [`planner_info`]. Object payloads get the keys
 /// inline; array payloads are wrapped as `{"kernel_info": ..., "rows":
 /// [...]}`.
 pub fn save_json(name: &str, value: &serde_json::Value) {
@@ -216,11 +246,13 @@ pub fn save_json(name: &str, value: &serde_json::Value) {
             let mut map = map.clone();
             map.insert("kernel_info".to_string(), kernel_info());
             map.insert("storage_info".to_string(), storage_info());
+            map.insert("planner_info".to_string(), planner_info());
             serde_json::Value::Object(map)
         }
         other => serde_json::json!({
             "kernel_info": kernel_info(),
             "storage_info": storage_info(),
+            "planner_info": planner_info(),
             "rows": other.clone(),
         }),
     };

@@ -36,7 +36,9 @@ use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tv_common::{merge_topk, Deadline, Neighbor, RetryPolicy, SegmentId, Tid, TvError, TvResult};
+use tv_common::{
+    merge_topk, Deadline, Neighbor, PlannerConfig, RetryPolicy, SegmentId, Tid, TvError, TvResult,
+};
 use tv_embedding::EmbeddingSegment;
 use tv_hnsw::SearchStats;
 
@@ -47,8 +49,8 @@ pub struct RuntimeConfig {
     pub servers: usize,
     /// Replication factor for segments.
     pub replication: usize,
-    /// Brute-force threshold forwarded to segment searches.
-    pub brute_force_threshold: usize,
+    /// Filtered-search planner knobs forwarded to segment searches.
+    pub planner: PlannerConfig,
     /// Coordinator-side failure detection, replica retry, and hedging.
     pub retry: RetryPolicy,
     /// `true`: failures degrade the answer (partial results + accurate
@@ -62,7 +64,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             servers: 4,
             replication: 1,
-            brute_force_threshold: tv_common::TuningDefaults::default().brute_force_threshold,
+            planner: tv_common::TuningDefaults::default().planner,
             retry: RetryPolicy::default(),
             degraded_mode: false,
         }
@@ -182,7 +184,7 @@ impl ClusterRuntime {
             let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
             let segs = Arc::clone(&segments);
             let plan = Arc::clone(&faults);
-            let threshold = config.brute_force_threshold;
+            let planner = config.planner;
             let join = std::thread::spawn(move || {
                 while let Ok(req) = rx.recv() {
                     match req {
@@ -227,7 +229,7 @@ impl ClusterRuntime {
                                     SegmentFilter::Unfiltered => None,
                                 };
                                 if let Some(seg) = map.get(&seg_id) {
-                                    let (r, s) = seg.search(&query, k, ef, filter, tid, threshold);
+                                    let (r, s) = seg.search(&query, k, ef, filter, tid, &planner);
                                     stats.merge(&s);
                                     results.push((seg_id, r));
                                 }
@@ -715,7 +717,7 @@ mod tests {
             RuntimeConfig {
                 servers,
                 replication,
-                brute_force_threshold: 4,
+                planner: PlannerConfig::default().with_brute_threshold(4),
                 retry: fast_retry(),
                 degraded_mode: false,
             },
@@ -826,7 +828,7 @@ mod tests {
             RuntimeConfig {
                 servers: 4,
                 replication: 1,
-                brute_force_threshold: 4,
+                planner: PlannerConfig::default().with_brute_threshold(4),
                 retry: fast_retry(),
                 degraded_mode: true,
             },
@@ -859,7 +861,7 @@ mod tests {
             RuntimeConfig {
                 servers: 4,
                 replication: 1,
-                brute_force_threshold: 4,
+                planner: PlannerConfig::default().with_brute_threshold(4),
                 retry: RetryPolicy {
                     max_retries: 1,
                     attempt_timeout: Duration::from_millis(60),
@@ -888,7 +890,7 @@ mod tests {
             RuntimeConfig {
                 servers: 4,
                 replication: 2,
-                brute_force_threshold: 4,
+                planner: PlannerConfig::default().with_brute_threshold(4),
                 retry: RetryPolicy {
                     max_retries: 2,
                     attempt_timeout: Duration::from_secs(2),
@@ -921,7 +923,7 @@ mod tests {
             RuntimeConfig {
                 servers: 4,
                 replication: 1,
-                brute_force_threshold: 4,
+                planner: PlannerConfig::default().with_brute_threshold(4),
                 retry: RetryPolicy {
                     max_retries: 0,
                     attempt_timeout: Duration::from_secs(5),

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use tv_cluster::{ClusterRuntime, FaultKind, RuntimeConfig};
 use tv_common::ids::{LocalId, VertexId};
-use tv_common::{DistanceMetric, RetryPolicy, SegmentId, SplitMix64, Tid};
+use tv_common::{DistanceMetric, PlannerConfig, RetryPolicy, SegmentId, SplitMix64, Tid};
 use tv_embedding::{EmbeddingSegment, EmbeddingTypeDef};
 use tv_hnsw::DeltaRecord;
 
@@ -68,7 +68,7 @@ fn topk_is_bit_identical_under_random_single_server_faults() {
         RuntimeConfig {
             servers,
             replication: 2,
-            brute_force_threshold: 4,
+            planner: PlannerConfig::default().with_brute_threshold(4),
             retry: RetryPolicy {
                 max_retries: 2,
                 attempt_timeout: Duration::from_millis(80),
@@ -123,7 +123,7 @@ fn degraded_coverage_accounts_exactly_for_injected_faults() {
         RuntimeConfig {
             servers,
             replication: 1,
-            brute_force_threshold: 4,
+            planner: PlannerConfig::default().with_brute_threshold(4),
             retry: RetryPolicy {
                 max_retries: 1,
                 attempt_timeout: Duration::from_millis(60),
@@ -206,7 +206,7 @@ fn random_fail_recover_walk_never_changes_answers() {
         RuntimeConfig {
             servers,
             replication: 2,
-            brute_force_threshold: 4,
+            planner: PlannerConfig::default().with_brute_threshold(4),
             retry: RetryPolicy {
                 max_retries: 2,
                 attempt_timeout: Duration::from_millis(80),

@@ -109,6 +109,30 @@ impl Bitmap {
         })
     }
 
+    /// Number of positions set in both `self` and `other`. Unlike
+    /// [`Bitmap::intersect`], the lengths need not match: positions past the
+    /// shorter bitmap count as unset. This is the planner's valid-live
+    /// cardinality estimate — filter bitmap ∩ index occupancy — where the
+    /// filter covers the segment capacity but the occupancy mask only spans
+    /// the local ids actually inserted.
+    #[must_use]
+    pub fn intersection_count(&self, other: &Bitmap) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Grow the bitmap to at least `len` bits (new bits unset). Shrinking is
+    /// not supported; a smaller `len` is a no-op.
+    pub fn grow(&mut self, len: usize) {
+        if len > self.len {
+            self.len = len;
+            self.words.resize(len.div_ceil(64), 0);
+        }
+    }
+
     /// In-place intersection with another bitmap of equal length.
     pub fn intersect(&mut self, other: &Bitmap) {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
@@ -235,6 +259,31 @@ mod tests {
         assert_eq!(d.iter_ones().collect::<Vec<_>>(), vec![1, 65]);
         a.intersect(&b);
         assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn intersection_count_tolerates_length_mismatch() {
+        let long = Bitmap::from_indices(200, [1, 64, 65, 130, 199]);
+        let short = Bitmap::from_indices(66, [1, 2, 64, 65]);
+        assert_eq!(long.intersection_count(&short), 3); // 1, 64, 65
+        assert_eq!(short.intersection_count(&long), 3); // symmetric
+        assert_eq!(long.intersection_count(&Bitmap::new(0)), 0);
+        assert_eq!(
+            long.intersection_count(&Bitmap::full(200)),
+            long.count_ones()
+        );
+    }
+
+    #[test]
+    fn grow_preserves_bits_and_never_shrinks() {
+        let mut b = Bitmap::from_indices(10, [3, 9]);
+        b.grow(130);
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![3, 9]);
+        b.set(129, true);
+        b.grow(5); // no-op
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_ones(), 3);
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod rng;
 pub mod topk;
 
 pub use bitmap::Bitmap;
-pub use config::{KernelPolicy, QuantSpec, RetryPolicy, StorageTier, TuningDefaults};
+pub use config::{
+    KernelPolicy, PlannerConfig, QuantSpec, RetryPolicy, StorageTier, TuningDefaults,
+};
 pub use crash::{crash_hook, CrashPlan, CrashPoint};
 pub use deadline::Deadline;
 pub use durafile::crc32;

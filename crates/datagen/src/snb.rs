@@ -11,7 +11,7 @@
 use crate::vectors::{DatasetShape, VectorDataset};
 use tg_graph::Graph;
 use tv_common::ids::SegmentLayout;
-use tv_common::{SplitMix64, TvResult, VertexId};
+use tv_common::{PlannerConfig, SplitMix64, TvResult, VertexId};
 
 // Re-exported so callers need not import tg-storage types directly.
 pub use tg_storage::{AttrType, AttrValue};
@@ -109,7 +109,7 @@ impl SnbGraph {
         let graph = Graph::with_config(
             SegmentLayout::with_capacity(config.segment_capacity),
             ServiceConfig {
-                brute_force_threshold: 64,
+                planner: PlannerConfig::default(),
                 query_threads: 2,
                 default_ef: 64,
             },

@@ -23,8 +23,8 @@ use std::sync::Arc;
 use tv_common::bitmap::Filter;
 use tv_common::PreparedQuery;
 use tv_common::{
-    Bitmap, Neighbor, NeighborHeap, QuantSpec, SegmentId, StorageTier, Tid, TvError, TvResult,
-    VertexId,
+    Bitmap, Neighbor, NeighborHeap, PlannerConfig, QuantSpec, SegmentId, StorageTier, Tid, TvError,
+    TvResult, VertexId,
 };
 use tv_hnsw::index::DeltaAction;
 use tv_hnsw::{DeltaRecord, HnswConfig, HnswIndex, SearchStats, VectorIndex};
@@ -250,24 +250,14 @@ impl EmbeddingSegment {
         }
     }
 
-    /// Top-k search at `read_tid`. `filter` is the validity bitmap over
-    /// local ids from the graph engine's pre-filter (or `None` for pure
-    /// vector search). `brute_threshold` is the valid-point count below
-    /// which the engine scans instead of using the index (§5.1).
-    pub fn search(
+    /// The index-side validity bitmap for one search: the caller's filter
+    /// (or all of `capacity`) minus every overlaid id — their index-resident
+    /// version is stale and the overlay pass re-scores them exactly.
+    fn index_bitmap(
         &self,
-        query: &[f32],
-        k: usize,
-        ef: usize,
         filter: Option<&Bitmap>,
-        read_tid: Tid,
-        brute_threshold: usize,
-    ) -> (Vec<Neighbor>, SearchStats) {
-        let snap = self.snapshot_for(read_tid);
-        let overlay = self.overlay(snap.up_to, read_tid);
-
-        // Build the index-side validity bitmap: caller's filter minus every
-        // overlaid id (their index-resident version is stale).
+        overlay: &HashMap<VertexId, Option<Vec<f32>>>,
+    ) -> Bitmap {
         let mut bitmap = match filter {
             Some(b) => b.clone(),
             None => Bitmap::full(self.capacity),
@@ -278,37 +268,76 @@ impl EmbeddingSegment {
                 bitmap.set(l, false);
             }
         }
+        bitmap
+    }
 
-        let valid_estimate = bitmap.count_ones().min(snap.index.len());
-        let (index_results, mut stats) = if valid_estimate < brute_threshold {
-            snap.index
-                .brute_force_top_k(query, k, Filter::Valid(&bitmap))
-        } else {
-            snap.index.top_k(query, k, ef, Filter::Valid(&bitmap))
-        };
-
-        // Brute-force pass over the overlay's live upserts. The query is
-        // prepared once (norm hoisted); each overlay vector is scored with
-        // the fused one-pass kernel — overlay entries are transient, so
-        // there is no persistent norm cache to consult.
-        let pq = PreparedQuery::new(snap.index.metric(), query);
-        let mut heap = NeighborHeap::new(k);
-        for n in index_results {
-            heap.push(n);
-        }
-        for (id, action) in &overlay {
+    /// Brute-force pass over the overlay's live upserts, pushed into `sink`.
+    /// The query is prepared once (norm hoisted); each overlay vector is
+    /// scored with the fused one-pass kernel — overlay entries are
+    /// transient, so there is no persistent norm cache to consult.
+    /// Filter rejections and dimension mismatches are counted, not silently
+    /// skipped: a mismatched overlay vector is corrupt data the stats must
+    /// surface, and the planner's selectivity feedback needs the rejections.
+    fn overlay_pass(
+        overlay: &HashMap<VertexId, Option<Vec<f32>>>,
+        pq: &PreparedQuery<'_>,
+        query_len: usize,
+        filter: Option<&Bitmap>,
+        stats: &mut SearchStats,
+        mut sink: impl FnMut(VertexId, f32),
+    ) {
+        for (id, action) in overlay {
             if let Some(v) = action {
                 let l = id.local().0 as usize;
                 let accepted = match filter {
                     Some(b) => l < b.len() && b.get(l),
                     None => true,
                 };
-                if accepted && v.len() == query.len() {
-                    stats.distance_computations += 1;
-                    heap.push(Neighbor::new(*id, pq.distance(v)));
+                if !accepted {
+                    stats.filtered_out += 1;
+                    continue;
                 }
+                if v.len() != query_len {
+                    stats.overlay_dim_mismatches += 1;
+                    continue;
+                }
+                stats.distance_computations += 1;
+                sink(*id, pq.distance(v));
             }
         }
+    }
+
+    /// Top-k search at `read_tid`. `filter` is the validity bitmap over
+    /// local ids from the graph engine's pre-filter (or `None` for pure
+    /// vector search). `planner` routes the index-side search per query
+    /// among brute force, in-traversal filtering, and post-filtering (§5.1
+    /// upgraded with NaviX-style cost-based routing; see
+    /// `tv_hnsw::planner`).
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        filter: Option<&Bitmap>,
+        read_tid: Tid,
+        planner: &PlannerConfig,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let snap = self.snapshot_for(read_tid);
+        let overlay = self.overlay(snap.up_to, read_tid);
+        let bitmap = self.index_bitmap(filter, &overlay);
+
+        let (index_results, mut stats) =
+            snap.index
+                .search_planned(query, k, ef, Filter::Valid(&bitmap), planner);
+
+        let pq = PreparedQuery::new(snap.index.metric(), query);
+        let mut heap = NeighborHeap::new(k);
+        for n in index_results {
+            heap.push(n);
+        }
+        Self::overlay_pass(&overlay, &pq, query.len(), filter, &mut stats, |id, d| {
+            heap.push(Neighbor::new(id, d));
+        });
         (heap.into_sorted(), stats)
     }
 
@@ -320,39 +349,20 @@ impl EmbeddingSegment {
         ef: usize,
         filter: Option<&Bitmap>,
         read_tid: Tid,
+        planner: &PlannerConfig,
     ) -> (Vec<Neighbor>, SearchStats) {
         let snap = self.snapshot_for(read_tid);
         let overlay = self.overlay(snap.up_to, read_tid);
-        let mut bitmap = match filter {
-            Some(b) => b.clone(),
-            None => Bitmap::full(self.capacity),
-        };
-        for id in overlay.keys() {
-            let l = id.local().0 as usize;
-            if l < bitmap.len() {
-                bitmap.set(l, false);
-            }
-        }
+        let bitmap = self.index_bitmap(filter, &overlay);
         let (mut out, mut stats) =
             snap.index
-                .range_search(query, threshold, ef, Filter::Valid(&bitmap));
+                .range_search_planned(query, threshold, ef, Filter::Valid(&bitmap), planner);
         let pq = PreparedQuery::new(snap.index.metric(), query);
-        for (id, action) in &overlay {
-            if let Some(v) = action {
-                let l = id.local().0 as usize;
-                let accepted = match filter {
-                    Some(b) => l < b.len() && b.get(l),
-                    None => true,
-                };
-                if accepted && v.len() == query.len() {
-                    stats.distance_computations += 1;
-                    let d = pq.distance(v);
-                    if d <= threshold {
-                        out.push(Neighbor::new(*id, d));
-                    }
-                }
+        Self::overlay_pass(&overlay, &pq, query.len(), filter, &mut stats, |id, d| {
+            if d <= threshold {
+                out.push(Neighbor::new(id, d));
             }
-        }
+        });
         out.sort_unstable();
         (out, stats)
     }
@@ -519,6 +529,12 @@ mod tests {
         VertexId::new(SegmentId(0), LocalId(l))
     }
 
+    /// Legacy routing with threshold 0: always the in-traversal index path,
+    /// as the pre-planner tests assumed.
+    fn plan0() -> PlannerConfig {
+        PlannerConfig::static_threshold(0)
+    }
+
     fn rand_vec(rng: &mut SplitMix64) -> Vec<f32> {
         (0..8).map(|_| rng.next_f32() * 4.0).collect()
     }
@@ -541,7 +557,7 @@ mod tests {
         let (seg, vecs) = seeded_segment(50);
         // Nothing merged yet: snapshot is empty, everything lives in mem.
         assert_eq!(seg.mem_delta_count(), 50);
-        let (r, _) = seg.search(&vecs[7], 1, 32, None, Tid(50), 0);
+        let (r, _) = seg.search(&vecs[7], 1, 32, None, Tid(50), &plan0());
         assert_eq!(r[0].id, vid(7));
         assert_eq!(seg.live_count(Tid(50)), 50);
         // At an earlier TID only a prefix is visible.
@@ -558,9 +574,9 @@ mod tests {
         assert_eq!(merged, Some(Tid(40)));
         assert_eq!(seg.snapshot_count(), 2);
         // Reader at 60 combines snapshot(40) + 20 mem deltas.
-        let (r, _) = seg.search(&vecs[55], 1, 32, None, Tid(60), 0);
+        let (r, _) = seg.search(&vecs[55], 1, 32, None, Tid(60), &plan0());
         assert_eq!(r[0].id, vid(55));
-        let (r, _) = seg.search(&vecs[10], 1, 32, None, Tid(60), 0);
+        let (r, _) = seg.search(&vecs[10], 1, 32, None, Tid(60), &plan0());
         assert_eq!(r[0].id, vid(10));
         // Reader at 40 must not see tid 41+.
         assert_eq!(seg.live_count(Tid(40)), 40);
@@ -586,10 +602,10 @@ mod tests {
         // Delete vertex 3 at tid 41 (still in mem store).
         seg.append_deltas(&[DeltaRecord::delete(vid(3), Tid(41))])
             .unwrap();
-        let (r, _) = seg.search(&vecs[3], 1, 32, None, Tid(41), 0);
+        let (r, _) = seg.search(&vecs[3], 1, 32, None, Tid(41), &plan0());
         assert_ne!(r[0].id, vid(3));
         // But a reader at tid 40 still sees it.
-        let (r, _) = seg.search(&vecs[3], 1, 32, None, Tid(40), 0);
+        let (r, _) = seg.search(&vecs[3], 1, 32, None, Tid(40), &plan0());
         assert_eq!(r[0].id, vid(3));
         assert!(seg.get_embedding(vid(3), Tid(41)).is_none());
         assert!(seg.get_embedding(vid(3), Tid(40)).is_some());
@@ -603,7 +619,7 @@ mod tests {
         let newv = vec![50.0; 8];
         seg.append_deltas(&[DeltaRecord::upsert(vid(4), Tid(21), newv.clone())])
             .unwrap();
-        let (r, _) = seg.search(&newv, 1, 32, None, Tid(21), 0);
+        let (r, _) = seg.search(&newv, 1, 32, None, Tid(21), &plan0());
         assert_eq!(r[0].id, vid(4));
         assert!((r[0].dist) < 1e-6);
         assert_eq!(seg.get_embedding(vid(4), Tid(21)).unwrap(), newv);
@@ -617,7 +633,7 @@ mod tests {
         seg.index_merge(Tid(15)).unwrap();
         // Valid: only local ids 20..30 (all still in mem deltas).
         let bm = Bitmap::from_indices(1024, 20..30);
-        let (r, _) = seg.search(&vecs[0], 5, 64, Some(&bm), Tid(30), 0);
+        let (r, _) = seg.search(&vecs[0], 5, 64, Some(&bm), Tid(30), &plan0());
         assert!(r.iter().all(|n| (20..30).contains(&n.id.local().0)));
         assert_eq!(r.len(), 5);
     }
@@ -629,10 +645,17 @@ mod tests {
         seg.index_merge(Tid(50)).unwrap();
         let bm = Bitmap::from_indices(1024, [5usize, 6, 7]);
         // Threshold higher than valid count → brute force.
-        let (_, stats) = seg.search(&vecs[0], 2, 32, Some(&bm), Tid(50), 10);
+        let (_, stats) = seg.search(
+            &vecs[0],
+            2,
+            32,
+            Some(&bm),
+            Tid(50),
+            &PlannerConfig::static_threshold(10),
+        );
         assert!(stats.brute_force);
         // Threshold of zero → index path.
-        let (_, stats) = seg.search(&vecs[0], 2, 32, None, Tid(50), 0);
+        let (_, stats) = seg.search(&vecs[0], 2, 32, None, Tid(50), &plan0());
         assert!(!stats.brute_force);
     }
 
@@ -645,7 +668,7 @@ mod tests {
         let probe = vec![2.0; 8];
         seg.append_deltas(&[DeltaRecord::upsert(vid(100), Tid(31), probe.clone())])
             .unwrap();
-        let (r, _) = seg.range_search(&probe, 0.5, 64, None, Tid(31));
+        let (r, _) = seg.range_search(&probe, 0.5, 64, None, Tid(31), &plan0());
         assert!(r.iter().any(|n| n.id == vid(100)));
         assert!(r.iter().all(|n| n.dist <= 0.5));
     }
@@ -684,9 +707,9 @@ mod tests {
         assert_eq!(newest.index.len(), 40);
         assert_eq!(newest.index.tombstone_count(), 0);
         // Updated vector wins; untouched vector intact.
-        let (r, _) = seg.search(&updates[0].vector, 1, 64, None, Tid(70), 0);
+        let (r, _) = seg.search(&updates[0].vector, 1, 64, None, Tid(70), &plan0());
         assert_eq!(r[0].id, vid(0));
-        let (r, _) = seg.search(&vecs[35], 1, 64, None, Tid(70), 0);
+        let (r, _) = seg.search(&vecs[35], 1, 64, None, Tid(70), &plan0());
         assert_eq!(r[0].id, vid(35));
     }
 
@@ -731,8 +754,8 @@ mod tests {
 
             assert_eq!(restored.live_count(ckpt), seg.live_count(ckpt));
             for probe in [0usize, 7, 19] {
-                let (want, _) = seg.search(&vecs[probe], 3, 64, None, ckpt, 0);
-                let (got, _) = restored.search(&vecs[probe], 3, 64, None, ckpt, 0);
+                let (want, _) = seg.search(&vecs[probe], 3, 64, None, ckpt, &plan0());
+                let (got, _) = restored.search(&vecs[probe], 3, 64, None, ckpt, &plan0());
                 assert_eq!(
                     got.iter().map(|n| n.id).collect::<Vec<_>>(),
                     want.iter().map(|n| n.id).collect::<Vec<_>>(),
@@ -782,7 +805,7 @@ mod tests {
         let probe = vec![3.5; 8];
         seg.append_deltas(&[DeltaRecord::upsert(vid(5), Tid(301), probe.clone())])
             .unwrap();
-        let (r, _) = seg.search(&probe, 1, 64, None, Tid(301), 0);
+        let (r, _) = seg.search(&probe, 1, 64, None, Tid(301), &plan0());
         assert_eq!(r[0].id, vid(5));
         assert!(r[0].dist < 1e-6);
 
@@ -790,13 +813,13 @@ mod tests {
         seg.delta_merge(Tid(301));
         seg.index_merge(Tid(301)).unwrap();
         assert_eq!(seg.storage_tier(), StorageTier::Sq8);
-        let (r, _) = seg.search(&probe, 1, 64, None, Tid(301), 0);
+        let (r, _) = seg.search(&probe, 1, 64, None, Tid(301), &plan0());
         assert_eq!(r[0].id, vid(5));
 
         // Search quality: most exact-match probes come back first.
         let hits = (0..50)
             .filter(|&i| {
-                let (r, _) = seg.search(&vecs[i], 1, 64, None, Tid(300), 0);
+                let (r, _) = seg.search(&vecs[i], 1, 64, None, Tid(300), &plan0());
                 r[0].id == vid(i as u32)
             })
             .count();
@@ -837,8 +860,8 @@ mod tests {
                 .unwrap();
             assert_eq!(restored.storage_tier(), spec.tier);
             for probe in [0usize, 13, 42, 77] {
-                let (want, _) = seg.search(&vecs[probe], 3, 64, None, Tid(80), 0);
-                let (got, _) = restored.search(&vecs[probe], 3, 64, None, Tid(80), 0);
+                let (want, _) = seg.search(&vecs[probe], 3, 64, None, Tid(80), &plan0());
+                let (got, _) = restored.search(&vecs[probe], 3, 64, None, Tid(80), &plan0());
                 assert_eq!(
                     got.iter().map(|n| n.id).collect::<Vec<_>>(),
                     want.iter().map(|n| n.id).collect::<Vec<_>>(),

@@ -11,17 +11,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use tv_common::ids::SegmentLayout;
 use tv_common::{
-    crash_hook, Bitmap, CrashPlan, CrashPoint, Deadline, Neighbor, NeighborHeap, SegmentId, Tid,
-    TvError, TvResult,
+    crash_hook, Bitmap, CrashPlan, CrashPoint, Deadline, Neighbor, NeighborHeap, PlannerConfig,
+    SegmentId, Tid, TvError, TvResult,
 };
 use tv_hnsw::{DeltaRecord, HnswIndex, SearchStats};
 
 /// Service-wide tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
-    /// Valid-point count below which a segment search scans instead of using
-    /// its index (§5.1's brute-force threshold).
-    pub brute_force_threshold: usize,
+    /// Per-query filtered-search planner knobs (brute-force threshold, cost
+    /// model, adaptive-`ef` bounds — §5.1 upgraded to cost-based routing).
+    pub planner: PlannerConfig,
     /// Worker threads for the per-segment search fan-out.
     pub query_threads: usize,
     /// Default `ef` when the caller does not specify one.
@@ -36,12 +36,12 @@ impl Default for ServiceConfig {
 
 impl ServiceConfig {
     /// Build a config from the workspace-shared tuning defaults (the single
-    /// source of truth for `brute_force_threshold` / `default_ef`, shared
-    /// with `tv-cluster::RuntimeConfig`).
+    /// source of truth for `planner` / `default_ef`, shared with
+    /// `tv-cluster::RuntimeConfig`).
     #[must_use]
     pub fn from_tuning(tuning: tv_common::TuningDefaults) -> Self {
         ServiceConfig {
-            brute_force_threshold: tuning.brute_force_threshold,
+            planner: tuning.planner,
             query_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             default_ef: tuning.default_ef,
         }
@@ -291,13 +291,13 @@ impl EmbeddingService {
     ) -> TvResult<(Vec<TypedNeighbor>, SearchStats)> {
         let attrs = self.check_search(attr_ids, query)?;
         let tasks = self.collect_tasks(&attrs, filters);
-        let threshold = self.config.brute_force_threshold;
+        let planner = self.config.planner;
         let results = run_tasks(
             tasks,
             self.config.query_threads,
             move |(attr, seg, bitmap)| {
                 let (neighbors, stats) =
-                    seg.search(query, k, ef, bitmap.as_ref(), read_tid, threshold);
+                    seg.search(query, k, ef, bitmap.as_ref(), read_tid, &planner);
                 (
                     neighbors
                         .into_iter()
@@ -345,7 +345,7 @@ impl EmbeddingService {
         }
         deadline.check("batched top-k admission")?;
         let tasks = self.collect_tasks(&attrs, filters);
-        let threshold = self.config.brute_force_threshold;
+        let planner = self.config.planner;
         // Task-major unit order: query `qi` sees its per-segment results in
         // exactly the segment order the single-query path uses.
         let mut units = Vec::with_capacity(tasks.len() * queries.len());
@@ -365,7 +365,7 @@ impl EmbeddingService {
             let (attr, seg, bitmap) = &tasks_ref[ti];
             let q = &queries[qi];
             let (neighbors, stats) =
-                seg.search(&q.query, q.k, q.ef, bitmap.as_ref(), read_tid, threshold);
+                seg.search(&q.query, q.k, q.ef, bitmap.as_ref(), read_tid, &planner);
             let typed = neighbors
                 .into_iter()
                 .map(|n| TypedNeighbor {
@@ -414,12 +414,13 @@ impl EmbeddingService {
     ) -> TvResult<(Vec<TypedNeighbor>, SearchStats)> {
         let attrs = self.check_search(attr_ids, query)?;
         let tasks = self.collect_tasks(&attrs, filters);
+        let planner = self.config.planner;
         let results = run_tasks(
             tasks,
             self.config.query_threads,
             move |(attr, seg, bitmap)| {
                 let (neighbors, stats) =
-                    seg.range_search(query, threshold, ef, bitmap.as_ref(), read_tid);
+                    seg.range_search(query, threshold, ef, bitmap.as_ref(), read_tid, &planner);
                 (
                     neighbors
                         .into_iter()
@@ -679,7 +680,7 @@ mod tests {
 
     fn service() -> EmbeddingService {
         EmbeddingService::new(ServiceConfig {
-            brute_force_threshold: 8,
+            planner: PlannerConfig::default().with_brute_threshold(8),
             query_threads: 2,
             default_ef: 64,
         })

@@ -308,7 +308,7 @@ mod tests {
 
     fn two_attr_service() -> (Arc<EmbeddingService>, Vec<u32>) {
         let svc = Arc::new(EmbeddingService::new(ServiceConfig {
-            brute_force_threshold: 4,
+            planner: tv_common::PlannerConfig::default().with_brute_threshold(4),
             query_threads: 1,
             default_ef: 32,
         }));
@@ -370,7 +370,7 @@ mod tests {
     #[test]
     fn background_vacuum_flushes_and_merges() {
         let svc = Arc::new(EmbeddingService::new(ServiceConfig {
-            brute_force_threshold: 4,
+            planner: tv_common::PlannerConfig::default().with_brute_threshold(4),
             query_threads: 1,
             default_ef: 32,
         }));

@@ -141,7 +141,7 @@ mod tests {
         let g = Graph::with_config(
             SegmentLayout::with_capacity(16),
             ServiceConfig {
-                brute_force_threshold: 4,
+                planner: tv_common::PlannerConfig::default().with_brute_threshold(4),
                 query_threads: 1,
                 default_ef: 32,
             },

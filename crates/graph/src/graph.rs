@@ -532,7 +532,7 @@ mod tests {
         Graph::with_config(
             SegmentLayout::with_capacity(8),
             ServiceConfig {
-                brute_force_threshold: 4,
+                planner: tv_common::PlannerConfig::default().with_brute_threshold(4),
                 query_threads: 1,
                 default_ef: 32,
             },
@@ -726,7 +726,7 @@ mod tests {
 
         let layout = SegmentLayout::with_capacity(8);
         let cfg = ServiceConfig {
-            brute_force_threshold: 4,
+            planner: tv_common::PlannerConfig::default().with_brute_threshold(4),
             query_threads: 1,
             default_ef: 32,
         };

@@ -267,7 +267,7 @@ mod tests {
         let g = Graph::with_config(
             SegmentLayout::with_capacity(8),
             ServiceConfig {
-                brute_force_threshold: 4,
+                planner: tv_common::PlannerConfig::default().with_brute_threshold(4),
                 query_threads: 1,
                 default_ef: 32,
             },

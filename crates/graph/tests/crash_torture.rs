@@ -38,7 +38,7 @@ fn config() -> ServiceConfig {
     ServiceConfig {
         // Above the dataset size: every segment search is an exact scan,
         // so results are deterministic however the index was built.
-        brute_force_threshold: 1024,
+        planner: tv_common::PlannerConfig::default().with_brute_threshold(1024),
         query_threads: 1,
         default_ef: 64,
     }

@@ -102,6 +102,24 @@ pub fn execute_at_as(
     tid: Tid,
     deadline: Deadline,
 ) -> TvResult<QueryOutput> {
+    let mut stats = SearchStats::default();
+    execute_at_as_stats(graph, acl, user, src, params, tid, deadline, &mut stats)
+}
+
+/// [`execute_at_as`] with the vector-search statistics (planner routing
+/// counters included) merged into `stats` — the serving layer uses this to
+/// feed per-tenant plan metrics.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_at_as_stats(
+    graph: &Graph,
+    acl: &AccessControl,
+    user: &str,
+    src: &str,
+    params: &Params,
+    tid: Tid,
+    deadline: Deadline,
+    stats: &mut SearchStats,
+) -> TvResult<QueryOutput> {
     let query = parse(src)?;
     let resolved = resolve(graph, query)?;
     for &vt in &resolved.node_types {
@@ -120,13 +138,14 @@ pub fn execute_at_as(
         // passed the type-grant check above.
         _ => None,
     };
-    run_opts(
+    run_opts_stats(
         graph,
         &resolved,
         params,
         tid,
         restriction.as_ref(),
         deadline,
+        stats,
     )
 }
 
@@ -145,10 +164,29 @@ pub fn run_opts(
     restriction: Option<&VertexSet>,
     deadline: Deadline,
 ) -> TvResult<QueryOutput> {
+    let mut stats = SearchStats::default();
+    run_opts_stats(graph, r, params, tid, restriction, deadline, &mut stats)
+}
+
+/// [`run_opts`] with the vector-search statistics merged into `stats` —
+/// including the filtered-search planner's routing counters
+/// (`plans_brute` / `plans_in_traversal` / `plans_post_filter`,
+/// `ef_escalations`, `brute_fallbacks`), so callers can see *how* each
+/// query was executed. Graph-only and join queries leave `stats` untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn run_opts_stats(
+    graph: &Graph,
+    r: &Resolved,
+    params: &Params,
+    tid: Tid,
+    restriction: Option<&VertexSet>,
+    deadline: Deadline,
+    stats: &mut SearchStats,
+) -> TvResult<QueryOutput> {
     deadline.check("query admission")?;
     match r.kind {
-        QueryKind::TopK => run_topk(graph, r, params, tid, restriction, deadline),
-        QueryKind::Range => run_range(graph, r, params, tid, restriction),
+        QueryKind::TopK => run_topk(graph, r, params, tid, restriction, deadline, stats),
+        QueryKind::Range => run_range(graph, r, params, tid, restriction, stats),
         QueryKind::SimilarityJoin => run_join(graph, r, params, tid),
         QueryKind::GraphOnly => run_graph_only(graph, r, params, tid),
     }
@@ -346,6 +384,7 @@ fn run_topk(
     tid: Tid,
     restriction: Option<&VertexSet>,
     deadline: Deadline,
+    stats: &mut SearchStats,
 ) -> TvResult<QueryOutput> {
     let (target_node, attr_id) = r.target.expect("topk target");
     let k = limit_of(r, params)?;
@@ -362,7 +401,6 @@ fn run_topk(
         }
     }
     let ef = graph.embeddings().config().default_ef.max(k);
-    let mut stats = SearchStats::default();
     let hits = graph.vector_search_deadline(
         &[attr_id],
         qv,
@@ -371,7 +409,7 @@ fn run_topk(
         filter_set.as_ref(),
         tid,
         deadline,
-        &mut stats,
+        stats,
     )?;
     Ok(QueryOutput::Vertices(
         hits.into_iter()
@@ -390,6 +428,7 @@ fn run_range(
     params: &Params,
     tid: Tid,
     restriction: Option<&VertexSet>,
+    stats: &mut SearchStats,
 ) -> TvResult<QueryOutput> {
     let (target_node, attr_id) = r.target.expect("range target");
     let threshold = eval_const(r.range_threshold.as_ref().expect("threshold"), params)?
@@ -407,7 +446,7 @@ fn run_range(
         }
     }
     let ef = graph.embeddings().config().default_ef;
-    let (hits, _stats) = graph.vector_range_search(
+    let (hits, range_stats) = graph.vector_range_search(
         &[attr_id],
         qv,
         threshold as f32,
@@ -415,6 +454,7 @@ fn run_range(
         filter_set.as_ref(),
         tid,
     )?;
+    stats.merge(&range_stats);
     Ok(QueryOutput::Vertices(
         hits.into_iter()
             .map(|tn| ResultRow {
@@ -701,7 +741,7 @@ mod tests {
         let graph = Graph::with_config(
             SegmentLayout::with_capacity(8),
             ServiceConfig {
-                brute_force_threshold: 2,
+                planner: tv_common::PlannerConfig::default().with_brute_threshold(2),
                 query_threads: 1,
                 default_ef: 64,
             },

@@ -157,7 +157,7 @@ mod tests {
         let g = Graph::with_config(
             SegmentLayout::with_capacity(8),
             ServiceConfig {
-                brute_force_threshold: 2,
+                planner: tv_common::PlannerConfig::default().with_brute_threshold(2),
                 query_threads: 1,
                 default_ef: 64,
             },

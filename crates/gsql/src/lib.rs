@@ -47,7 +47,10 @@ pub mod sema;
 pub mod token;
 
 pub use ast::{Query, Value};
-pub use exec::{execute, execute_as, execute_at, execute_at_as, Params, QueryOutput, ResultRow};
+pub use exec::{
+    execute, execute_as, execute_at, execute_at_as, execute_at_as_stats, Params, QueryOutput,
+    ResultRow,
+};
 pub use func::{community_topk, vector_search, vector_search_with_stats, VectorSearchOptions};
 pub use parser::parse;
 pub use plan::{explain, Plan};

@@ -15,6 +15,7 @@
 //! rebuild path compacts them away.
 
 use crate::config::HnswConfig;
+use crate::planner::{self, PlanChoice, PlanInputs};
 use crate::select::{select_neighbors, Scored};
 use crate::stats::SearchStats;
 use serde::{Deserialize, Serialize};
@@ -24,8 +25,8 @@ use std::collections::HashMap;
 use tv_common::bitmap::Filter;
 use tv_common::kernels::{self, cosine_from_parts};
 use tv_common::{
-    DistanceMetric, Neighbor, PreparedQuery, QuantSpec, SplitMix64, StorageTier, Tid, TvError,
-    TvResult, VertexId,
+    Bitmap, DistanceMetric, Neighbor, PlannerConfig, PreparedQuery, QuantSpec, SplitMix64,
+    StorageTier, Tid, TvError, TvResult, VertexId,
 };
 use tv_quant::{Codec, QuantQuery, QuantizedCodec};
 
@@ -318,6 +319,12 @@ pub struct HnswIndex {
     /// Tombstones.
     deleted: Vec<bool>,
     deleted_count: usize,
+    /// Live occupancy by *local id* (the key space the caller's filter
+    /// bitmaps address): bit set ⇔ a live slot carries that local id. The
+    /// planner intersects this with the filter bitmap to get the true
+    /// valid-live cardinality — raw `bitmap.count_ones()` also counts bits
+    /// on deleted and never-inserted ids and overestimates selectivity.
+    live_mask: Bitmap,
     /// Entry slot and the highest level in the graph.
     entry: Option<(u32, u8)>,
     /// Quantized storage tier, if attached via [`HnswIndex::quantize`].
@@ -345,6 +352,7 @@ impl HnswIndex {
             levels: Vec::new(),
             deleted: Vec::new(),
             deleted_count: 0,
+            live_mask: Bitmap::new(0),
             entry: None,
             quant: None,
             rng,
@@ -398,7 +406,14 @@ impl HnswIndex {
                 .sum::<usize>();
         let slot_of_bytes =
             self.slot_of.len() * (size_of::<VertexId>() + size_of::<u32>()) * 13 / 10;
-        vec_bytes + key_bytes + level_bytes + deleted_bytes + link_bytes + slot_of_bytes
+        let live_mask_bytes = self.live_mask.len().div_ceil(64) * size_of::<u64>();
+        vec_bytes
+            + key_bytes
+            + level_bytes
+            + deleted_bytes
+            + link_bytes
+            + slot_of_bytes
+            + live_mask_bytes
     }
 
     /// Bytes of the vector *payload* only (f32 arena + norm cache, plus
@@ -626,6 +641,9 @@ impl HnswIndex {
         self.links
             .push((0..=level).map(|_| Vec::new()).collect::<Vec<_>>());
         self.slot_of.insert(key, slot);
+        let local = key.local().0 as usize;
+        self.live_mask.grow(local + 1);
+        self.live_mask.set(local, true);
 
         let Some((mut cur, top)) = self.entry else {
             self.entry = Some((slot, level));
@@ -776,6 +794,10 @@ impl HnswIndex {
                 self.deleted[slot as usize] = true;
                 self.deleted_count += 1;
                 self.slot_of.remove(&key);
+                let local = key.local().0 as usize;
+                if local < self.live_mask.len() {
+                    self.live_mask.set(local, false);
+                }
                 return true;
             }
         }
@@ -919,9 +941,19 @@ impl HnswIndex {
         let mut batch: Vec<u32> = Vec::new();
         let mut dists: Vec<f32> = Vec::new();
 
-        let accepts = |slot: u32| -> bool {
-            !self.deleted[slot as usize]
-                && filter.accepts(self.keys[slot as usize].local().0 as usize)
+        // Deleted slots and filter rejections are counted separately: the
+        // planner's selectivity feedback needs filter pressure, not
+        // tombstone density (which `live_fraction` already tracks).
+        let accepts = |slot: u32, stats: &mut SearchStats| -> bool {
+            if self.deleted[slot as usize] {
+                stats.deleted_skipped += 1;
+                return false;
+            }
+            if !filter.accepts(self.keys[slot as usize].local().0 as usize) {
+                stats.filtered_out += 1;
+                return false;
+            }
+            true
         };
 
         for &e in entries {
@@ -934,13 +966,11 @@ impl HnswIndex {
         stats.distance_computations += batch.len() as u64;
         for (&e, &de) in batch.iter().zip(&dists) {
             frontier.push(Reverse((OrdF32(de), e)));
-            if accepts(e) {
+            if accepts(e, stats) {
                 best.push((OrdF32(de), e));
                 if best.len() > ef {
                     best.pop();
                 }
-            } else {
-                stats.filtered_out += 1;
             }
         }
 
@@ -963,13 +993,11 @@ impl HnswIndex {
                 let bound = best.peek().map_or(f32::INFINITY, |&(OrdF32(b), _)| b);
                 if nd < bound || best.len() < ef {
                     frontier.push(Reverse((OrdF32(nd), nb)));
-                    if accepts(nb) {
+                    if accepts(nb, stats) {
                         best.push((OrdF32(nd), nb));
                         if best.len() > ef {
                             best.pop();
                         }
-                    } else {
-                        stats.filtered_out += 1;
                     }
                 }
             }
@@ -1054,6 +1082,7 @@ impl HnswIndex {
         let mut accepted: Vec<u32> = Vec::new();
         for (slot, &key) in self.keys.iter().enumerate() {
             if self.deleted[slot] {
+                stats.deleted_skipped += 1;
                 continue;
             }
             if !filter.accepts(key.local().0 as usize) {
@@ -1090,6 +1119,192 @@ impl HnswIndex {
             1.0
         } else {
             1.0 - self.deleted_count as f64 / self.keys.len() as f64
+        }
+    }
+
+    /// True cardinality of the valid set under `filter`: live points whose
+    /// local id the filter accepts (filter bitmap ∩ live occupancy). This is
+    /// the planner's selectivity input; unlike the filter bitmap's raw
+    /// popcount it excludes deleted and never-inserted ids.
+    #[must_use]
+    pub fn valid_live_count(&self, filter: Filter<'_>) -> usize {
+        match filter {
+            Filter::All => self.len(),
+            Filter::Valid(b) => self.live_mask.intersection_count(b),
+        }
+    }
+
+    /// Post-filter strategy: run an *unfiltered* layer-0 beam widened to
+    /// `fetch_ef`, then drop results the filter rejects. Cheaper than
+    /// in-traversal filtering when most points are valid — the beam skips
+    /// the per-candidate bitmap probe and the enlargement stays small.
+    pub fn post_filter_top_k(
+        &self,
+        query: &[f32],
+        k: usize,
+        fetch_ef: usize,
+        filter: Filter<'_>,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let mut stats = SearchStats::default();
+        if k == 0 || query.len() != self.cfg.dim {
+            return (Vec::new(), stats);
+        }
+        let Some((entry, top)) = self.entry else {
+            return (Vec::new(), stats);
+        };
+        let fetch = self.fetch_count(k);
+        let beam = fetch_ef.max(fetch);
+        let sc = self.scorer(query);
+        let mut cur = entry;
+        for lvl in (1..=top).rev() {
+            cur = self.greedy_closest(&sc, cur, lvl, &mut stats);
+        }
+        let found = self.search_layer0_filtered(&sc, &[cur], beam, Filter::All, &mut stats);
+        let mut valid: Vec<Scored> = Vec::with_capacity(found.len());
+        for (d, slot) in found {
+            if filter.accepts(self.keys[slot as usize].local().0 as usize) {
+                valid.push((d, slot));
+            } else {
+                stats.filtered_out += 1;
+            }
+        }
+        valid.truncate(fetch);
+        let out = self.rerank_and_take(query, valid, k, &mut stats);
+        (out, stats)
+    }
+
+    /// Planner-routed filtered top-k (the per-query cost-based routing of
+    /// the NaviX-style planner; see [`crate::planner`]):
+    ///
+    /// 1. estimate the true valid-live cardinality under `filter`;
+    /// 2. choose brute force / in-traversal filtering / post-filter with
+    ///    enlarged `ef`;
+    /// 3. if a graph strategy returns fewer than `min(k, valid_live)`
+    ///    results (a starved beam, *not* set exhaustion), escalate: double
+    ///    `ef` up to `cfg.max_ef`, then fall back to an exact scan.
+    ///
+    /// The starvation fallback makes the result count exact: the search
+    /// returns `min(k, valid_live)` results whenever any exist, so a short
+    /// result honestly signals an exhausted valid set.
+    pub fn search_planned(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        filter: Filter<'_>,
+        cfg: &PlannerConfig,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let mut stats = SearchStats::default();
+        if k == 0 || query.len() != self.cfg.dim {
+            return (Vec::new(), stats);
+        }
+        let valid_live = self.valid_live_count(filter);
+        let plan = planner::choose(
+            cfg,
+            PlanInputs {
+                valid_live,
+                live_total: self.len(),
+                k,
+                ef,
+            },
+        );
+        let (mut results, mut used_ef) = match plan {
+            PlanChoice::Empty => return (Vec::new(), stats),
+            PlanChoice::BruteForce => {
+                stats.plans_brute += 1;
+                let (r, s) = self.brute_force_top_k(query, k, filter);
+                stats.merge(&s);
+                return (r, stats);
+            }
+            PlanChoice::InTraversal { ef } => {
+                stats.plans_in_traversal += 1;
+                let (r, s) = self.top_k(query, k, ef, filter);
+                stats.merge(&s);
+                (r, ef)
+            }
+            PlanChoice::PostFilter { fetch_ef } => {
+                stats.plans_post_filter += 1;
+                let (r, s) = self.post_filter_top_k(query, k, fetch_ef, filter);
+                stats.merge(&s);
+                (r, fetch_ef)
+            }
+        };
+        let target = k.min(valid_live);
+        if results.len() >= target || !cfg.enabled {
+            return (results, stats);
+        }
+        // Starved beam: valid points exist that the graph search did not
+        // surface. Escalate with a widening in-traversal beam, then give up
+        // on the graph entirely (disconnected or unreachable valid points).
+        while used_ef < cfg.max_ef {
+            used_ef = used_ef.saturating_mul(2).min(cfg.max_ef);
+            stats.ef_escalations += 1;
+            let (r, s) = self.top_k(query, k, used_ef, filter);
+            stats.merge(&s);
+            results = r;
+            if results.len() >= target {
+                return (results, stats);
+            }
+        }
+        stats.brute_fallbacks += 1;
+        let (r, s) = self.brute_force_top_k(query, k, filter);
+        stats.merge(&s);
+        (r, stats)
+    }
+
+    /// Planner-routed range search. Fixes the starvation bug in the naive
+    /// doubling loop: a filtered beam returning fewer than `k` results is a
+    /// *starved beam*, not proof the valid set is exhausted — treating it as
+    /// exhaustion silently drops in-range points under selective filters.
+    /// Exhaustion is instead detected against the true valid-live count, and
+    /// once the doubling `k` covers the whole valid set the scan finishes
+    /// exactly.
+    pub fn range_search_planned(
+        &self,
+        query: &[f32],
+        threshold: f32,
+        ef: usize,
+        filter: Filter<'_>,
+        cfg: &PlannerConfig,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let mut stats = SearchStats::default();
+        if query.len() != self.cfg.dim {
+            return (Vec::new(), stats);
+        }
+        let valid_live = self.valid_live_count(filter);
+        if valid_live == 0 {
+            return (Vec::new(), stats);
+        }
+        let mut k = 16usize;
+        loop {
+            if k >= valid_live {
+                // The doubling k now covers every valid point: finish with
+                // an exact scan instead of trusting a possibly-starved beam.
+                let (results, s) = self.brute_force_top_k(query, valid_live, filter);
+                stats.merge(&s);
+                let out = results
+                    .into_iter()
+                    .filter(|n| n.dist <= threshold)
+                    .collect();
+                return (out, stats);
+            }
+            let (results, s) = self.search_planned(query, k, ef.max(k), filter, cfg);
+            stats.merge(&s);
+            let median = if results.is_empty() {
+                f32::NEG_INFINITY
+            } else {
+                results[results.len() / 2].dist
+            };
+            // At least half the beam already lies outside the range: the
+            // in-range set is fully covered (DiskANN's stopping rule).
+            if !results.is_empty() && threshold < median {
+                let out = results
+                    .into_iter()
+                    .filter(|n| n.dist <= threshold)
+                    .collect();
+                return (out, stats);
+            }
+            k = k.saturating_mul(2);
         }
     }
 }
@@ -1157,31 +1372,10 @@ impl VectorIndex for HnswIndex {
         // DiskANN-style adaptation (§4.4): repeat TopKSearch with doubling k
         // until the threshold is smaller than the median returned distance
         // (i.e. at least half the beam already lies outside the range) or
-        // the whole valid set has been fetched.
-        let mut stats = SearchStats::default();
-        let live = match filter {
-            Filter::All => self.len(),
-            Filter::Valid(b) => self.len().min(b.count_ones()),
-        };
-        let mut k = 16usize;
-        loop {
-            let (results, s) = self.top_k(query, k, ef.max(k), filter);
-            stats.merge(&s);
-            let exhausted = results.len() < k || results.len() >= live;
-            let median = if results.is_empty() {
-                f32::INFINITY
-            } else {
-                results[results.len() / 2].dist
-            };
-            if exhausted || threshold < median {
-                let out = results
-                    .into_iter()
-                    .filter(|n| n.dist <= threshold)
-                    .collect();
-                return (out, stats);
-            }
-            k *= 2;
-        }
+        // the whole valid set has been fetched. Routed through the planner
+        // so a starved filtered beam is escalated instead of being mistaken
+        // for set exhaustion.
+        self.range_search_planned(query, threshold, ef, filter, &PlannerConfig::default())
     }
 
     fn update_items(&mut self, records: &[DeltaRecord]) -> TvResult<usize> {
@@ -1307,11 +1501,15 @@ impl HnswIndex {
         }
         let mut slot_of = HashMap::with_capacity(n);
         let mut deleted_count = 0;
+        let mut live_mask = Bitmap::new(0);
         for (slot, (&key, &dead)) in keys.iter().zip(&deleted).enumerate() {
             if dead {
                 deleted_count += 1;
             } else {
                 slot_of.insert(key, slot as u32);
+                let local = key.local().0 as usize;
+                live_mask.grow(local + 1);
+                live_mask.set(local, true);
             }
         }
         let rng = SplitMix64::new(cfg.seed ^ n as u64);
@@ -1336,6 +1534,7 @@ impl HnswIndex {
             levels,
             deleted,
             deleted_count,
+            live_mask,
             entry,
             rng,
             quant,

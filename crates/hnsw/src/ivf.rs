@@ -483,6 +483,7 @@ impl VectorIndex for IvfFlatIndex {
             accepted.clear();
             for &slot in &self.lists[c] {
                 if self.deleted[slot as usize] {
+                    stats.deleted_skipped += 1;
                     continue;
                 }
                 let key = self.keys[slot as usize];

@@ -23,6 +23,7 @@ pub mod brute;
 pub mod config;
 pub mod index;
 pub mod ivf;
+pub mod planner;
 pub mod select;
 pub mod snapshot;
 pub mod stats;
@@ -31,6 +32,7 @@ pub use brute::BruteForceIndex;
 pub use config::HnswConfig;
 pub use index::{DeltaRecord, HnswIndex, VectorIndex};
 pub use ivf::{IvfConfig, IvfFlatIndex};
+pub use planner::{PlanChoice, PlanInputs};
 pub use stats::SearchStats;
 
 // Property tests need the external `proptest` crate, unavailable in the

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tv_common::LatencyHistogram;
+use tv_hnsw::SearchStats;
 
 /// Counters and latency for one tenant.
 #[derive(Default)]
@@ -26,6 +27,11 @@ pub struct TenantMetrics {
     cluster_retries: AtomicU64,
     cluster_hedges: AtomicU64,
     degraded: AtomicU64,
+    plans_brute: AtomicU64,
+    plans_in_traversal: AtomicU64,
+    plans_post_filter: AtomicU64,
+    ef_escalations: AtomicU64,
+    brute_fallbacks: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -142,6 +148,51 @@ impl TenantMetrics {
         &self.latency
     }
 
+    /// Accumulate the filtered-search planner's routing counters from one
+    /// query's [`SearchStats`] (one count per segment search routed).
+    pub fn record_plans(&self, stats: &SearchStats) {
+        self.plans_brute
+            .fetch_add(stats.plans_brute, Ordering::Relaxed);
+        self.plans_in_traversal
+            .fetch_add(stats.plans_in_traversal, Ordering::Relaxed);
+        self.plans_post_filter
+            .fetch_add(stats.plans_post_filter, Ordering::Relaxed);
+        self.ef_escalations
+            .fetch_add(stats.ef_escalations, Ordering::Relaxed);
+        self.brute_fallbacks
+            .fetch_add(stats.brute_fallbacks, Ordering::Relaxed);
+    }
+
+    /// Segment searches the planner routed to an exact scan.
+    #[must_use]
+    pub fn plans_brute(&self) -> u64 {
+        self.plans_brute.load(Ordering::Relaxed)
+    }
+
+    /// Segment searches the planner routed to in-traversal filtering.
+    #[must_use]
+    pub fn plans_in_traversal(&self) -> u64 {
+        self.plans_in_traversal.load(Ordering::Relaxed)
+    }
+
+    /// Segment searches the planner routed to beam + post-filter.
+    #[must_use]
+    pub fn plans_post_filter(&self) -> u64 {
+        self.plans_post_filter.load(Ordering::Relaxed)
+    }
+
+    /// Starvation escalations (doubled `ef` and retried).
+    #[must_use]
+    pub fn ef_escalations(&self) -> u64 {
+        self.ef_escalations.load(Ordering::Relaxed)
+    }
+
+    /// Starvation escalations that fell back to an exact scan.
+    #[must_use]
+    pub fn brute_fallbacks(&self) -> u64 {
+        self.brute_fallbacks.load(Ordering::Relaxed)
+    }
+
     /// Flat JSON object for this tenant.
     #[must_use]
     pub fn snapshot(&self) -> serde_json::Value {
@@ -168,6 +219,14 @@ impl TenantMetrics {
         m.insert("latency_p95_ms".into(), ms(p95).into());
         m.insert("latency_p99_ms".into(), ms(p99).into());
         m.insert("max_queue_depth".into(), self.max_queue_depth().into());
+        m.insert("plans_brute".into(), self.plans_brute().into());
+        m.insert(
+            "plans_in_traversal".into(),
+            self.plans_in_traversal().into(),
+        );
+        m.insert("plans_post_filter".into(), self.plans_post_filter().into());
+        m.insert("plan_ef_escalations".into(), self.ef_escalations().into());
+        m.insert("plan_brute_fallbacks".into(), self.brute_fallbacks().into());
         m.insert("rate_limited".into(), self.rate_limited().into());
         m.insert("rejected".into(), self.rejected().into());
         m.insert("timeouts".into(), self.timeouts().into());

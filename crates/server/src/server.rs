@@ -198,7 +198,8 @@ impl Server {
         let deadline = self.deadline_for(session);
         let start = Instant::now();
         let permit = self.admit(session, &tenant, deadline)?;
-        let result = tv_gsql::execute_at_as(
+        let mut stats = SearchStats::default();
+        let result = tv_gsql::execute_at_as_stats(
             &self.graph,
             &self.acl,
             &session.user,
@@ -206,7 +207,9 @@ impl Server {
             params,
             self.graph.read_tid(),
             deadline,
+            &mut stats,
         );
+        tenant.record_plans(&stats);
         drop(permit);
         self.record_outcome(&tenant, start, &result);
         result
@@ -247,7 +250,7 @@ impl Server {
         let result = match restriction {
             Some(set) => {
                 let mut stats = SearchStats::default();
-                self.graph.vector_search_deadline(
+                let r = self.graph.vector_search_deadline(
                     attr_ids,
                     &query,
                     k,
@@ -256,7 +259,9 @@ impl Server {
                     tid,
                     deadline,
                     &mut stats,
-                )
+                );
+                tenant.record_plans(&stats);
+                r
             }
             None => {
                 let key = BatchKey {
@@ -266,6 +271,7 @@ impl Server {
                     tid,
                 };
                 let graph = Arc::clone(&self.graph);
+                let batch_tenant = Arc::clone(&tenant);
                 let out = self.batcher.submit(&key, query, move |queries| {
                     let batch: Vec<BatchQuery> = queries
                         .iter()
@@ -276,9 +282,11 @@ impl Server {
                         })
                         .collect();
                     let mut stats = SearchStats::default();
-                    graph
+                    let r = graph
                         .embeddings()
-                        .top_k_many(attr_ids, &batch, tid, None, deadline, &mut stats)
+                        .top_k_many(attr_ids, &batch, tid, None, deadline, &mut stats);
+                    batch_tenant.record_plans(&stats);
+                    r
                 });
                 tenant.record_batched(out.batch_size);
                 out.result

@@ -26,7 +26,7 @@ fn serving_fixture() -> (Arc<Graph>, Arc<AccessControl>, Vec<VertexId>, Vec<Vec<
     let graph = Graph::with_config(
         SegmentLayout::with_capacity(8),
         ServiceConfig {
-            brute_force_threshold: 4,
+            planner: tv_common::PlannerConfig::default().with_brute_threshold(4),
             query_threads: 2,
             default_ef: 32,
         },
@@ -227,7 +227,7 @@ fn serving_cluster(degraded_mode: bool) -> (Arc<ClusterRuntime>, Vec<Vec<f32>>) 
     let runtime = ClusterRuntime::start(RuntimeConfig {
         servers: 4,
         replication: 2,
-        brute_force_threshold: 4,
+        planner: tv_common::PlannerConfig::default().with_brute_threshold(4),
         retry: RetryPolicy {
             max_retries: 2,
             attempt_timeout: Duration::from_millis(100),
@@ -391,7 +391,7 @@ fn server_checkpoint_and_recovery_serving_continuity() {
     let _ = std::fs::remove_dir_all(&dir);
     let layout = SegmentLayout::with_capacity(8);
     let cfg = ServiceConfig {
-        brute_force_threshold: 1024, // exact search → comparable results
+        planner: tv_common::PlannerConfig::default().with_brute_threshold(1024), // exact search → comparable results
         query_threads: 1,
         default_ef: 32,
     };

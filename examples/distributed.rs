@@ -22,7 +22,7 @@ fn main() {
     let runtime = ClusterRuntime::start(RuntimeConfig {
         servers,
         replication: 2,
-        brute_force_threshold: 64,
+        planner: tv_common::PlannerConfig::default(),
         retry: RetryPolicy {
             max_retries: 2,
             attempt_timeout: Duration::from_millis(100),

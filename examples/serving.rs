@@ -19,7 +19,7 @@ fn main() {
     let graph = Graph::with_config(
         SegmentLayout::with_capacity(64),
         ServiceConfig {
-            brute_force_threshold: 16,
+            planner: tv_common::PlannerConfig::default().with_brute_threshold(16),
             query_threads: 2,
             default_ef: 64,
         },

@@ -21,7 +21,7 @@ fn searches_stay_correct_under_background_vacuum_and_writes() {
     let g = Arc::new(Graph::with_config(
         layout,
         ServiceConfig {
-            brute_force_threshold: 8,
+            planner: tv_common::PlannerConfig::default().with_brute_threshold(8),
             query_threads: 1,
             default_ef: 64,
         },
@@ -120,7 +120,7 @@ fn searches_stay_correct_under_background_vacuum_and_writes() {
 #[test]
 fn pinned_readers_survive_index_merges() {
     let svc = Arc::new(EmbeddingService::new(ServiceConfig {
-        brute_force_threshold: 4,
+        planner: tv_common::PlannerConfig::default().with_brute_threshold(4),
         query_threads: 1,
         default_ef: 32,
     }));

@@ -20,7 +20,7 @@ fn config() -> (SegmentLayout, ServiceConfig) {
     (
         SegmentLayout::with_capacity(16),
         ServiceConfig {
-            brute_force_threshold: 4,
+            planner: tv_common::PlannerConfig::default().with_brute_threshold(4),
             query_threads: 1,
             default_ef: 32,
         },

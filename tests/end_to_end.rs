@@ -13,7 +13,7 @@ fn social_graph() -> (Graph, Vec<tigervector::common::VertexId>, Vec<Vec<f32>>) 
     let g = Graph::with_config(
         SegmentLayout::with_capacity(32),
         ServiceConfig {
-            brute_force_threshold: 8,
+            planner: tv_common::PlannerConfig::default().with_brute_threshold(8),
             query_threads: 2,
             default_ef: 64,
         },

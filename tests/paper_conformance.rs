@@ -29,7 +29,7 @@ fn snb() -> Snb {
     let g = Graph::with_config(
         SegmentLayout::with_capacity(16),
         ServiceConfig {
-            brute_force_threshold: 4,
+            planner: tv_common::PlannerConfig::default().with_brute_threshold(4),
             query_threads: 1,
             default_ef: 64,
         },

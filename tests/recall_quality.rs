@@ -120,7 +120,7 @@ fn embedding_service_matches_flat_system_recall() {
 
     let (ds, data, gt, layout) = setup(DatasetShape::Sift);
     let svc = EmbeddingService::new(ServiceConfig {
-        brute_force_threshold: 16,
+        planner: tv_common::PlannerConfig::default().with_brute_threshold(16),
         query_threads: 2,
         default_ef: 128,
     });
