@@ -1,8 +1,8 @@
 # Development shortcuts; `make verify` mirrors the CI pipeline exactly.
 
-.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load chaos-smoke kernel-smoke recovery-smoke quant-smoke planner-smoke
+.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load chaos-smoke kernel-smoke recovery-smoke quant-smoke planner-smoke build-smoke
 
-verify: fmt-check build clippy test test-all kernel-smoke chaos-smoke recovery-smoke quant-smoke planner-smoke
+verify: fmt-check build clippy test test-all kernel-smoke chaos-smoke recovery-smoke quant-smoke planner-smoke build-smoke
 
 build:
 	cargo build --release
@@ -76,3 +76,13 @@ planner-smoke:
 	cargo test --release -p tv-hnsw --test planner_prop -q
 	cargo run --release -p tv-bench --bin planner_sweep -- --n 8000 --q 20
 	TV_QPS_TOLERANCE=$(TV_QPS_TOLERANCE) cargo run --release -p tv-bench --bin check_regression -- --only planner_sweep
+
+# Parallel-build gate: the build-throughput sweep (threads 1/2/4/8; the
+# binary itself asserts recall@10 within 0.005 of the sequential build at
+# every thread count, and >= 3x speedup at 8 threads on hosts with >= 8
+# cores), then the regression checker against the committed baseline. The
+# sweep parameters must match the committed baseline
+# (bench_results/baseline/build_bench.json).
+build-smoke:
+	cargo run --release -p tv-bench --bin build_bench -- --n 8000 --q 50
+	TV_QPS_TOLERANCE=$(TV_QPS_TOLERANCE) cargo run --release -p tv-bench --bin check_regression -- --only build_bench

@@ -26,7 +26,9 @@ type Rows = HashMap<String, (Option<f64>, Option<f64>)>;
 /// Identity of a row inside its array: every scalar field that names rather
 /// than measures (system/tier/ef/op/dim/...), joined deterministically.
 fn row_key(path: &str, obj: &serde_json::Map) -> String {
-    const ID_FIELDS: [&str; 7] = ["system", "tier", "ef", "op", "dim", "shape", "nodes"];
+    const ID_FIELDS: [&str; 8] = [
+        "system", "tier", "ef", "op", "dim", "shape", "nodes", "threads",
+    ];
     let mut parts = vec![path.to_string()];
     for f in ID_FIELDS {
         if let Some(v) = obj.get(f) {

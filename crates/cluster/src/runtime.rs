@@ -1,11 +1,12 @@
 //! The coordinator/worker message-passing runtime (Fig. 5).
 //!
-//! One thread per server; crossbeam channels play the network. The
-//! coordinator puts per-server top-k requests in the send queue, workers
-//! search their local embedding segments and push per-segment `(id,
-//! distance)` lists into the response pool, and the coordinator performs
-//! the global merge. A coordinator can also function as a worker (the paper
-//! notes this); in the runtime the coordinator is just the caller's thread.
+//! Server work runs on a shared [`WorkerPool`] sized to the server count;
+//! crossbeam channels play the network. The coordinator scatters per-server
+//! top-k requests as pool jobs, workers search their local embedding
+//! segments and push per-segment `(id, distance)` lists into the response
+//! pool, and the coordinator performs the global merge. A coordinator can
+//! also function as a worker (the paper notes this); in the runtime the
+//! coordinator is just the caller's thread.
 //!
 //! ## Failure model
 //!
@@ -31,13 +32,14 @@
 use crate::fault::FaultPlan;
 use crate::filter::{FilterSet, SegmentFilter};
 use crate::placement::Placement;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tv_common::{
     merge_topk, Deadline, Neighbor, PlannerConfig, RetryPolicy, SegmentId, Tid, TvError, TvResult,
+    WorkerPool,
 };
 use tv_embedding::EmbeddingSegment;
 use tv_hnsw::SearchStats;
@@ -57,6 +59,9 @@ pub struct RuntimeConfig {
     /// [`Coverage`]) instead of failing it. `false` (default): keep the
     /// strict behavior — unroutable segments and expired deadlines error.
     pub degraded_mode: bool,
+    /// Threads per segment index build in [`ClusterRuntime::index_merge_all`]
+    /// (1 = sequential, bit-deterministic; see `TuningDefaults`).
+    pub build_threads: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -67,6 +72,7 @@ impl Default for RuntimeConfig {
             planner: tv_common::TuningDefaults::default().planner,
             retry: RetryPolicy::default(),
             degraded_mode: false,
+            build_threads: 1,
         }
     }
 }
@@ -124,23 +130,22 @@ pub struct ClusterResponse {
     pub unsearched: Vec<SegmentId>,
 }
 
-enum Request {
-    TopK {
-        query: Arc<Vec<f32>>,
-        k: usize,
-        ef: usize,
-        tid: Tid,
-        /// Segments this server must search for this query (failover and
-        /// retry waves shift segments between holders).
-        segments: Vec<SegmentId>,
-        /// Per-segment filter policy (explicit default for absent segments).
-        filters: Arc<FilterSet>,
-        /// Abandon the scatter-gather mid-flight once this expires (checked
-        /// at every segment-search boundary in the worker loop).
-        deadline: Deadline,
-        reply: Sender<WorkerReply>,
-    },
-    Shutdown,
+/// One per-server request, executed as a pool job (failover and retry
+/// waves shift segments between holders).
+struct Request {
+    server: usize,
+    query: Arc<Vec<f32>>,
+    k: usize,
+    ef: usize,
+    tid: Tid,
+    /// Segments this server must search for this query.
+    segments: Vec<SegmentId>,
+    /// Per-segment filter policy (explicit default for absent segments).
+    filters: Arc<FilterSet>,
+    /// Abandon the scatter-gather mid-flight once this expires (checked
+    /// at every segment-search boundary in the worker loop).
+    deadline: Deadline,
+    reply: Sender<WorkerReply>,
 }
 
 /// One worker's answer: per-segment result lists so the coordinator can
@@ -153,120 +158,121 @@ struct WorkerReply {
     timed_out: bool,
 }
 
-struct ServerHandle {
-    tx: Sender<Request>,
-    join: Option<std::thread::JoinHandle<()>>,
-}
-
-/// A running cluster: server threads owning embedding segments.
+/// A running cluster: a worker pool serving embedding segments.
 pub struct ClusterRuntime {
     /// The configuration the runtime was started with.
     pub config: RuntimeConfig,
     placement: Placement,
-    /// Segment stores shared with server threads (server i serves the
+    /// Segment stores shared with worker jobs (server i serves the
     /// segments placement assigns it).
     segments: Arc<RwLock<HashMap<SegmentId, Arc<EmbeddingSegment>>>>,
-    servers: Vec<ServerHandle>,
+    /// Shared execution pool: one warm worker per server, so a delayed or
+    /// faulted request occupies one slot without starving the others. This
+    /// runtime owns its pool (rather than using the process-global one) so
+    /// injected fault delays cannot stall unrelated query fan-out.
+    pool: Arc<WorkerPool>,
     down: RwLock<Vec<usize>>,
     faults: Arc<FaultPlan>,
 }
 
 impl ClusterRuntime {
-    /// Spin up server threads.
+    /// Spin up the server worker pool.
     #[must_use]
     pub fn start(config: RuntimeConfig) -> Self {
         let placement = Placement::new(config.servers, config.replication);
         let segments: Arc<RwLock<HashMap<SegmentId, Arc<EmbeddingSegment>>>> =
             Arc::new(RwLock::new(HashMap::new()));
         let faults = Arc::new(FaultPlan::new());
-        let mut servers = Vec::with_capacity(config.servers);
-        for server_id in 0..config.servers {
-            let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
-            let segs = Arc::clone(&segments);
-            let plan = Arc::clone(&faults);
-            let planner = config.planner;
-            let join = std::thread::spawn(move || {
-                while let Ok(req) = rx.recv() {
-                    match req {
-                        Request::TopK {
-                            query,
-                            k,
-                            ef,
-                            tid,
-                            segments,
-                            filters,
-                            deadline,
-                            reply,
-                        } => {
-                            let action = plan.on_receive(server_id);
-                            if action.crash {
-                                // Crash-on-recv: the request is swallowed;
-                                // the coordinator's attempt timeout detects
-                                // the silence.
-                                continue;
-                            }
-                            if !action.delay.is_zero() {
-                                std::thread::sleep(action.delay);
-                            }
-                            let started = Instant::now();
-                            let mut results: Vec<(SegmentId, Vec<Neighbor>)> = Vec::new();
-                            let mut stats = SearchStats::default();
-                            let mut timed_out = false;
-                            let map = segs.read();
-                            for seg_id in segments {
-                                if deadline.expired() {
-                                    timed_out = true;
-                                    break;
-                                }
-                                let filter = match filters.effective(seg_id) {
-                                    SegmentFilter::Excluded => {
-                                        // Excluded by policy: the empty set
-                                        // is this segment's exact answer.
-                                        results.push((seg_id, Vec::new()));
-                                        continue;
-                                    }
-                                    SegmentFilter::Restricted(b) => Some(b),
-                                    SegmentFilter::Unfiltered => None,
-                                };
-                                if let Some(seg) = map.get(&seg_id) {
-                                    let (r, s) = seg.search(&query, k, ef, filter, tid, &planner);
-                                    stats.merge(&s);
-                                    results.push((seg_id, r));
-                                }
-                            }
-                            drop(map);
-                            if action.drop_reply {
-                                // The work happened; the answer is lost on
-                                // the wire.
-                                continue;
-                            }
-                            // Response pool: per-segment ids + distances
-                            // back to the coordinator.
-                            let _ = reply.send(WorkerReply {
-                                server: server_id,
-                                results,
-                                stats,
-                                took: started.elapsed(),
-                                timed_out,
-                            });
-                        }
-                        Request::Shutdown => break,
-                    }
-                }
-            });
-            servers.push(ServerHandle {
-                tx,
-                join: Some(join),
-            });
-        }
+        let pool = Arc::new(WorkerPool::new(config.servers.max(1)));
         ClusterRuntime {
             config,
             placement,
             segments,
-            servers,
+            pool,
             down: RwLock::new(Vec::new()),
             faults,
         }
+    }
+
+    /// Dispatch one per-server request to the pool. The job applies the
+    /// server's fault schedule (crash-on-recv swallows the request,
+    /// delay sleeps, drop-reply does the work but loses the answer) and
+    /// pushes a [`WorkerReply`] into the response channel otherwise.
+    fn dispatch(&self, req: Request) {
+        let segs = Arc::clone(&self.segments);
+        let plan = Arc::clone(&self.faults);
+        let planner = self.config.planner;
+        self.pool.spawn(move || {
+            let action = plan.on_receive(req.server);
+            if action.crash {
+                // Crash-on-recv: the request is swallowed; the
+                // coordinator's attempt timeout detects the silence.
+                return;
+            }
+            if !action.delay.is_zero() {
+                std::thread::sleep(action.delay);
+            }
+            let started = Instant::now();
+            let mut results: Vec<(SegmentId, Vec<Neighbor>)> = Vec::new();
+            let mut stats = SearchStats::default();
+            let mut timed_out = false;
+            let map = segs.read();
+            for seg_id in req.segments {
+                if req.deadline.expired() {
+                    timed_out = true;
+                    break;
+                }
+                let filter = match req.filters.effective(seg_id) {
+                    SegmentFilter::Excluded => {
+                        // Excluded by policy: the empty set is this
+                        // segment's exact answer.
+                        results.push((seg_id, Vec::new()));
+                        continue;
+                    }
+                    SegmentFilter::Restricted(b) => Some(b),
+                    SegmentFilter::Unfiltered => None,
+                };
+                if let Some(seg) = map.get(&seg_id) {
+                    let (r, s) = seg.search(&req.query, req.k, req.ef, filter, req.tid, &planner);
+                    stats.merge(&s);
+                    results.push((seg_id, r));
+                }
+            }
+            drop(map);
+            if action.drop_reply {
+                // The work happened; the answer is lost on the wire.
+                return;
+            }
+            // Response pool: per-segment ids + distances back to the
+            // coordinator.
+            let _ = req.reply.send(WorkerReply {
+                server: req.server,
+                results,
+                stats,
+                took: started.elapsed(),
+                timed_out,
+            });
+        });
+    }
+
+    /// Rebuild the vector index of every registered segment up to `up_to`,
+    /// fanned out over the runtime's pool with `config.build_threads`
+    /// forwarded to each segment's intra-index build. Returns the per-
+    /// segment merge results keyed by segment id, sorted.
+    pub fn index_merge_all(&self, up_to: Tid) -> TvResult<Vec<(SegmentId, Option<Tid>)>> {
+        let segs: Vec<Arc<EmbeddingSegment>> = {
+            let map = self.segments.read();
+            let mut v: Vec<_> = map.values().cloned().collect();
+            v.sort_unstable_by_key(|s| s.segment_id);
+            v
+        };
+        let build_threads = self.config.build_threads;
+        let width = self.pool.width();
+        let out = self.pool.run(segs, width, |seg| {
+            let merged = seg.index_merge_with(up_to, build_threads)?;
+            Ok::<_, TvError>((seg.segment_id, merged))
+        });
+        out.into_iter().collect()
     }
 
     /// Register an embedding segment with the cluster (the owner is derived
@@ -423,7 +429,8 @@ impl ClusterRuntime {
             let mut outstanding: HashSet<usize> = HashSet::new();
             let mut wave_assignment: HashMap<usize, Vec<SegmentId>> = HashMap::new();
             for (server, segments) in assignment {
-                let sent = self.servers[server].tx.send(Request::TopK {
+                self.dispatch(Request {
+                    server,
                     query: Arc::clone(&query),
                     k,
                     ef,
@@ -433,21 +440,11 @@ impl ClusterRuntime {
                     deadline,
                     reply: reply_tx.clone(),
                 });
-                match sent {
-                    Ok(()) => {
-                        if wave > 0 {
-                            retries += 1;
-                        }
-                        outstanding.insert(server);
-                        wave_assignment.insert(server, segments);
-                    }
-                    Err(_) if degraded => {
-                        suspects.insert(server);
-                    }
-                    Err(_) => {
-                        return Err(TvError::Cluster(format!("server {server} unreachable")));
-                    }
+                if wave > 0 {
+                    retries += 1;
                 }
+                outstanding.insert(server);
+                wave_assignment.insert(server, segments);
             }
 
             // Gather: accept replies per segment (late and hedged replies
@@ -629,7 +626,8 @@ impl ClusterRuntime {
         }
         let mut sent = 0u64;
         for (alt, segments) in per_alt {
-            let ok = self.servers[alt].tx.send(Request::TopK {
+            self.dispatch(Request {
+                server: alt,
                 query: Arc::clone(query),
                 k,
                 ef,
@@ -639,25 +637,10 @@ impl ClusterRuntime {
                 deadline,
                 reply: reply_tx.clone(),
             });
-            if ok.is_ok() {
-                outstanding.insert(alt);
-                sent += 1;
-            }
+            outstanding.insert(alt);
+            sent += 1;
         }
         sent
-    }
-}
-
-impl Drop for ClusterRuntime {
-    fn drop(&mut self) {
-        for s in &self.servers {
-            let _ = s.tx.send(Request::Shutdown);
-        }
-        for s in &mut self.servers {
-            if let Some(j) = s.join.take() {
-                let _ = j.join();
-            }
-        }
     }
 }
 
@@ -720,6 +703,7 @@ mod tests {
                 planner: PlannerConfig::default().with_brute_threshold(4),
                 retry: fast_retry(),
                 degraded_mode: false,
+                build_threads: 1,
             },
             segments,
             per_segment,
@@ -831,6 +815,7 @@ mod tests {
                 planner: PlannerConfig::default().with_brute_threshold(4),
                 retry: fast_retry(),
                 degraded_mode: true,
+                build_threads: 1,
             },
             8,
             25,
@@ -869,6 +854,7 @@ mod tests {
                     hedge_after: None,
                 },
                 degraded_mode: true,
+                build_threads: 1,
             },
             8,
             25,
@@ -898,6 +884,7 @@ mod tests {
                     hedge_after: Some(Duration::from_millis(10)),
                 },
                 degraded_mode: false,
+                build_threads: 1,
             },
             8,
             30,
@@ -931,6 +918,7 @@ mod tests {
                     hedge_after: None,
                 },
                 degraded_mode: true,
+                build_threads: 1,
             },
             8,
             25,
@@ -1046,5 +1034,43 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn index_merge_all_folds_every_segment_through_the_pool() {
+        let (runtime, all) = loaded_cluster(3, 1, 6, 25);
+        // Append a second delta wave the initial load did not index, then
+        // flush it so index_merge_all has delta files to fold.
+        let def = EmbeddingTypeDef::new("e", 8, "M", DistanceMetric::L2);
+        let _ = def;
+        let mut tid = 6 * 25;
+        let mut extra = Vec::new();
+        {
+            let segs = runtime.segments.read();
+            for s in 0..6u32 {
+                let seg = &segs[&SegmentId(s)];
+                let mut recs = Vec::new();
+                for l in 25..30u32 {
+                    tid += 1;
+                    let v: Vec<f32> = (0..8).map(|d| (d + l + s * 100) as f32).collect();
+                    let id = VertexId::new(SegmentId(s), LocalId(l));
+                    recs.push(DeltaRecord::upsert(id, Tid(tid), v.clone()));
+                    extra.push((id, v));
+                }
+                seg.append_deltas(&recs).unwrap();
+                seg.delta_merge(Tid(tid)).unwrap();
+            }
+        }
+        let merged = runtime.index_merge_all(Tid(tid)).unwrap();
+        assert_eq!(merged.len(), 6);
+        assert!(
+            merged.iter().all(|(_, m)| m.is_some()),
+            "every segment had deltas to fold: {merged:?}"
+        );
+        // The freshly merged vectors are now served from the indexes.
+        let (id, v) = &extra[7];
+        let r = runtime.top_k(v, 1, 64, Tid::MAX, None).unwrap();
+        assert_eq!(r.neighbors[0].id, *id);
+        let _ = all;
     }
 }

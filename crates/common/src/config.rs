@@ -20,6 +20,14 @@ pub struct TuningDefaults {
     pub planner: PlannerConfig,
     /// Default `ef` (search beam width) when the caller does not specify.
     pub default_ef: usize,
+    /// Worker threads for intra-segment index builds (`index_merge`,
+    /// `rebuild`, bulk load). `1` (the default) keeps builds sequential and
+    /// bit-deterministic — required wherever byte-identical recovery or
+    /// snapshot comparisons are asserted; `> 1` enables the hnswlib-style
+    /// locked parallel build, which preserves the deterministic per-key
+    /// level assignment but lets link sets vary with interleaving (recall
+    /// parity is the contract, not byte identity).
+    pub build_threads: usize,
 }
 
 impl Default for TuningDefaults {
@@ -27,6 +35,7 @@ impl Default for TuningDefaults {
         TuningDefaults {
             planner: PlannerConfig::default(),
             default_ef: 64,
+            build_threads: 1,
         }
     }
 }

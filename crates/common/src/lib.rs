@@ -18,6 +18,7 @@ pub mod histogram;
 pub mod ids;
 pub mod kernels;
 pub mod metric;
+pub mod pool;
 pub mod rng;
 pub mod topk;
 
@@ -33,5 +34,6 @@ pub use histogram::LatencyHistogram;
 pub use ids::{GlobalId, LocalId, SegmentId, Tid, VertexId, SEGMENT_CAPACITY};
 pub use kernels::{KernelTier, Kernels, PreparedQuery};
 pub use metric::{distance, DistanceMetric};
+pub use pool::WorkerPool;
 pub use rng::SplitMix64;
 pub use topk::{merge_topk, Neighbor, NeighborHeap};

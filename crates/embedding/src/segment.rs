@@ -394,6 +394,15 @@ impl EmbeddingSegment {
     /// paper decouples from the delta merge. Returns the new snapshot TID,
     /// or `None` if no flushed deltas qualified.
     pub fn index_merge(&self, up_to: Tid) -> TvResult<Option<Tid>> {
+        self.index_merge_with(up_to, 1)
+    }
+
+    /// [`Self::index_merge`] with `build_threads` workers folding the
+    /// qualifying records into the index copy. `1` is the sequential,
+    /// bit-deterministic path; `> 1` parallelizes insertion of fresh keys
+    /// (deletes and in-place updates stay sequential, preserving §4.4's
+    /// per-id record order).
+    pub fn index_merge_with(&self, up_to: Tid, build_threads: usize) -> TvResult<Option<Tid>> {
         let base = self.newest_snapshot();
         let records: Vec<DeltaRecord> = {
             let files = self.delta_files.read();
@@ -409,7 +418,7 @@ impl EmbeddingSegment {
         }
         let new_tid = records.last().expect("non-empty").tid;
         let mut index = base.index.clone();
-        index.update_items(&records)?;
+        index.update_items_with(&records, build_threads)?;
         self.apply_quant(&mut index)?;
         let snap = Arc::new(IndexSnapshot {
             up_to: new_tid,
@@ -423,20 +432,30 @@ impl EmbeddingSegment {
     /// publish it — the alternative Fig. 11 compares incremental merging
     /// against, which wins once >~20% of vectors changed.
     pub fn rebuild(&self, read_tid: Tid) -> TvResult<Tid> {
+        self.rebuild_with(read_tid, 1)
+    }
+
+    /// [`Self::rebuild`] with `build_threads` insertion workers. `1` is the
+    /// sequential, bit-deterministic path; `> 1` runs the locked parallel
+    /// build (same deterministic levels, link sets may vary — recall parity
+    /// is the contract).
+    pub fn rebuild_with(&self, read_tid: Tid, build_threads: usize) -> TvResult<Tid> {
         let snap = self.snapshot_for(read_tid);
         let overlay = self.overlay(snap.up_to, read_tid);
         let mut index = HnswIndex::new(*snap.index.config());
+        let mut items: Vec<(VertexId, Vec<f32>)> = Vec::new();
         for (id, vector) in snap.index.scan() {
             match overlay.get(&id) {
                 Some(_) => {} // superseded; handled below
-                None => index.insert(id, &vector)?,
+                None => items.push((id, vector)),
             }
         }
         for (id, action) in &overlay {
             if let Some(v) = action {
-                index.insert(*id, v)?;
+                items.push((*id, v.clone()));
             }
         }
+        index.insert_batch(&items, build_threads)?;
         self.apply_quant(&mut index)?;
         let up_to = read_tid.max(snap.up_to);
         self.snapshots
@@ -887,5 +906,70 @@ mod tests {
         assert!(fresh
             .restore_checkpoint(Tid(9), HnswIndex::new(cfg), &[])
             .is_err());
+    }
+
+    /// Pooled search scratch survives vacuum steps: repeated searches on
+    /// the same segment (reusing epoch-stamped buffers) stay bit-identical
+    /// to a cold segment rebuilt from the same deltas, before and after
+    /// delta-merge, index-merge, and a post-vacuum delete wave.
+    #[test]
+    fn pooled_scratch_stays_bit_identical_across_vacuum() {
+        let (seg, vecs) = seeded_segment(80);
+        let probes = [0usize, 13, 42, 77];
+        let assert_matches_cold = |stage: &str| {
+            // Cold oracle: a fresh segment fed the same deltas, searched
+            // once per probe on never-reused scratch buffers.
+            let (cold, _) = seeded_segment(80);
+            for &p in &probes {
+                let (want, _) = cold.search(&vecs[p], 5, 64, None, Tid(80), &plan0());
+                // Warm path: search the long-lived segment twice so the
+                // second run reuses the pooled scratch (bumped epoch).
+                seg.search(&vecs[p], 5, 64, None, Tid(80), &plan0());
+                let (got, _) = seg.search(&vecs[p], 5, 64, None, Tid(80), &plan0());
+                assert_eq!(got.len(), want.len(), "{stage}: probe {p} length");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.id, w.id, "{stage}: probe {p} id");
+                    assert_eq!(
+                        g.dist.to_bits(),
+                        w.dist.to_bits(),
+                        "{stage}: probe {p} distance bits"
+                    );
+                }
+            }
+        };
+        assert_matches_cold("mem-only");
+        seg.delta_merge(Tid(80)).unwrap();
+        assert_matches_cold("after delta-merge");
+        seg.index_merge(Tid(80)).unwrap();
+        assert_matches_cold("after index-merge");
+    }
+
+    /// `index_merge_with`/`rebuild_with` at `threads > 1` serve the same
+    /// live set as the sequential build; search still finds every vector.
+    #[test]
+    fn parallel_index_merge_and_rebuild_preserve_live_set() {
+        let (seg, vecs) = seeded_segment(120);
+        seg.delta_merge(Tid(120)).unwrap();
+        let merged = seg.index_merge_with(Tid(120), 4).unwrap();
+        assert_eq!(merged, Some(Tid(120)));
+        assert_eq!(seg.live_count(Tid(120)), 120);
+        for probe in [0usize, 31, 64, 119] {
+            let (r, _) = seg.search(&vecs[probe], 1, 64, None, Tid(120), &plan0());
+            assert_eq!(r[0].id, vid(probe as u32), "index_merge_with probe {probe}");
+        }
+        // Tombstone a third, then rebuild in parallel: the compacted index
+        // must hold exactly the survivors.
+        let dels: Vec<DeltaRecord> = (0..40)
+            .map(|i| DeltaRecord::delete(vid(i * 3), Tid(121 + u64::from(i))))
+            .collect();
+        seg.append_deltas(&dels).unwrap();
+        seg.delta_merge(Tid(160)).unwrap();
+        let tid = seg.rebuild_with(Tid(160), 4).unwrap();
+        assert_eq!(tid, Tid(160));
+        assert_eq!(seg.live_count(Tid(160)), 80);
+        let (gone, _) = seg.search(&vecs[0], 1, 64, None, Tid(160), &plan0());
+        assert_ne!(gone[0].id, vid(0), "deleted vector must not come back");
+        let (kept, _) = seg.search(&vecs[1], 1, 64, None, Tid(160), &plan0());
+        assert_eq!(kept[0].id, vid(1));
     }
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use tv_common::ids::SegmentLayout;
 use tv_common::{
     crash_hook, Bitmap, CrashPlan, CrashPoint, Deadline, Neighbor, NeighborHeap, PlannerConfig,
-    SegmentId, Tid, TvError, TvResult,
+    SegmentId, Tid, TvError, TvResult, WorkerPool,
 };
 use tv_hnsw::{DeltaRecord, HnswIndex, SearchStats};
 
@@ -26,6 +26,10 @@ pub struct ServiceConfig {
     pub query_threads: usize,
     /// Default `ef` when the caller does not specify one.
     pub default_ef: usize,
+    /// Worker threads for intra-segment index builds (`index_merge` /
+    /// `rebuild`). `1` keeps builds sequential and bit-deterministic; `> 1`
+    /// enables the locked parallel build (recall parity, not byte identity).
+    pub build_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -42,8 +46,9 @@ impl ServiceConfig {
     pub fn from_tuning(tuning: tv_common::TuningDefaults) -> Self {
         ServiceConfig {
             planner: tuning.planner,
-            query_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            query_threads: tv_common::pool::default_width(),
             default_ef: tuning.default_ef,
+            build_threads: tuning.build_threads,
         }
     }
 }
@@ -151,19 +156,29 @@ pub struct BatchQuery {
 /// The embedding service.
 pub struct EmbeddingService {
     config: ServiceConfig,
+    pool: Arc<WorkerPool>,
     attrs: RwLock<Vec<Arc<EmbeddingAttr>>>,
     crash_plan: RwLock<Option<Arc<CrashPlan>>>,
 }
 
 impl EmbeddingService {
-    /// New service.
+    /// New service on the process-wide worker pool.
     #[must_use]
     pub fn new(config: ServiceConfig) -> Self {
         EmbeddingService {
             config,
+            pool: tv_common::pool::global(),
             attrs: RwLock::new(Vec::new()),
             crash_plan: RwLock::new(None),
         }
+    }
+
+    /// Run fan-outs on an injected pool instead of the global one (tests and
+    /// embedders that want isolated widths).
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Arm deterministic crash injection for the vacuum pipeline (tests
@@ -292,7 +307,7 @@ impl EmbeddingService {
         let attrs = self.check_search(attr_ids, query)?;
         let tasks = self.collect_tasks(&attrs, filters);
         let planner = self.config.planner;
-        let results = run_tasks(
+        let results = self.pool.run(
             tasks,
             self.config.query_threads,
             move |(attr, seg, bitmap)| {
@@ -357,25 +372,27 @@ impl EmbeddingService {
         let expired = AtomicBool::new(false);
         let tasks_ref = &tasks;
         let expired_ref = &expired;
-        let results = run_tasks(units, self.config.query_threads, move |(ti, qi)| {
-            if deadline.expired() {
-                expired_ref.store(true, Ordering::Relaxed);
-                return None;
-            }
-            let (attr, seg, bitmap) = &tasks_ref[ti];
-            let q = &queries[qi];
-            let (neighbors, stats) =
-                seg.search(&q.query, q.k, q.ef, bitmap.as_ref(), read_tid, &planner);
-            let typed = neighbors
-                .into_iter()
-                .map(|n| TypedNeighbor {
-                    attr_id: attr.attr_id,
-                    vertex_type: attr.vertex_type,
-                    neighbor: n,
-                })
-                .collect::<Vec<_>>();
-            Some((qi, typed, stats))
-        });
+        let results = self
+            .pool
+            .run(units, self.config.query_threads, move |(ti, qi)| {
+                if deadline.expired() {
+                    expired_ref.store(true, Ordering::Relaxed);
+                    return None;
+                }
+                let (attr, seg, bitmap) = &tasks_ref[ti];
+                let q = &queries[qi];
+                let (neighbors, stats) =
+                    seg.search(&q.query, q.k, q.ef, bitmap.as_ref(), read_tid, &planner);
+                let typed = neighbors
+                    .into_iter()
+                    .map(|n| TypedNeighbor {
+                        attr_id: attr.attr_id,
+                        vertex_type: attr.vertex_type,
+                        neighbor: n,
+                    })
+                    .collect::<Vec<_>>();
+                Some((qi, typed, stats))
+            });
         let mut per_query: Vec<Vec<(Vec<TypedNeighbor>, SearchStats)>> =
             (0..queries.len()).map(|_| Vec::new()).collect();
         for r in results.into_iter().flatten() {
@@ -415,7 +432,7 @@ impl EmbeddingService {
         let attrs = self.check_search(attr_ids, query)?;
         let tasks = self.collect_tasks(&attrs, filters);
         let planner = self.config.planner;
-        let results = run_tasks(
+        let results = self.pool.run(
             tasks,
             self.config.query_threads,
             move |(attr, seg, bitmap)| {
@@ -505,13 +522,15 @@ impl EmbeddingService {
         let attr = self.attr(attr_id)?;
         let segments = attr.all_segments();
         let plan = self.crash_plan.read().clone();
-        let merged: Vec<TvResult<Option<Tid>>> = run_tasks(segments, threads.max(1), move |seg| {
-            // Crash point: a merge worker dies between per-segment merges —
-            // some segments carry the new snapshot, others don't. Recovery
-            // must work from that mixed state.
-            crash_hook(plan.as_deref(), CrashPoint::VacuumMidIndexMerge)?;
-            seg.index_merge(up_to)
-        });
+        let build_threads = self.config.build_threads;
+        let merged: Vec<TvResult<Option<Tid>>> =
+            self.pool.run(segments, threads.max(1), move |seg| {
+                // Crash point: a merge worker dies between per-segment merges —
+                // some segments carry the new snapshot, others don't. Recovery
+                // must work from that mixed state.
+                crash_hook(plan.as_deref(), CrashPoint::VacuumMidIndexMerge)?;
+                seg.index_merge_with(up_to, build_threads)
+            });
         let mut count = 0;
         for m in merged {
             if m?.is_some() {
@@ -542,8 +561,10 @@ impl EmbeddingService {
     pub fn rebuild(&self, attr_id: u32, read_tid: Tid, threads: usize) -> TvResult<usize> {
         let attr = self.attr(attr_id)?;
         let segments = attr.all_segments();
-        let results: Vec<TvResult<Tid>> =
-            run_tasks(segments, threads.max(1), |seg| seg.rebuild(read_tid));
+        let build_threads = self.config.build_threads;
+        let results: Vec<TvResult<Tid>> = self.pool.run(segments, threads.max(1), |seg| {
+            seg.rebuild_with(read_tid, build_threads)
+        });
         let mut n = 0;
         for r in results {
             r?;
@@ -589,42 +610,6 @@ impl EmbeddingService {
 }
 
 type SearchTask = (Arc<EmbeddingAttr>, Arc<EmbeddingSegment>, Option<Bitmap>);
-
-/// Fan a task list out over up to `threads` workers and collect results in
-/// task order. Falls back to a sequential loop for one worker or one task.
-fn run_tasks<T: Send, R: Send>(tasks: Vec<T>, threads: usize, f: impl Fn(T) -> R + Sync) -> Vec<R> {
-    if threads <= 1 || tasks.len() <= 1 {
-        return tasks.into_iter().map(f).collect();
-    }
-    let n = tasks.len();
-    let workers = threads.min(n);
-    let chunk = n.div_ceil(workers);
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let tasks: Vec<Option<T>> = tasks.into_iter().map(Some).collect();
-    let f = &f;
-    std::thread::scope(|scope| {
-        let mut rest_slots = &mut slots[..];
-        let mut rest_tasks = tasks;
-        for _ in 0..workers {
-            let take = chunk.min(rest_tasks.len());
-            if take == 0 {
-                break;
-            }
-            let batch: Vec<Option<T>> = rest_tasks.drain(..take).collect();
-            let (head, tail) = rest_slots.split_at_mut(take);
-            rest_slots = tail;
-            scope.spawn(move || {
-                for (slot, task) in head.iter_mut().zip(batch) {
-                    *slot = Some(f(task.expect("task present")));
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("worker filled slot"))
-        .collect()
-}
 
 /// Global merge of per-segment typed results into the final top-k.
 fn merge_typed(
@@ -683,6 +668,7 @@ mod tests {
             planner: PlannerConfig::default().with_brute_threshold(8),
             query_threads: 2,
             default_ef: 64,
+            build_threads: 1,
         })
     }
 

@@ -535,6 +535,7 @@ mod tests {
                 planner: tv_common::PlannerConfig::default().with_brute_threshold(4),
                 query_threads: 1,
                 default_ef: 32,
+                build_threads: 1,
             },
         )
     }
@@ -729,6 +730,7 @@ mod tests {
             planner: tv_common::PlannerConfig::default().with_brute_threshold(4),
             query_threads: 1,
             default_ef: 32,
+            build_threads: 1,
         };
         let (post, emb, id);
         {

@@ -744,6 +744,7 @@ mod tests {
                 planner: tv_common::PlannerConfig::default().with_brute_threshold(2),
                 query_threads: 1,
                 default_ef: 64,
+                build_threads: 1,
             },
         );
         graph

@@ -298,6 +298,87 @@ pub(crate) enum Scorer<'q> {
     Quant(QuantQuery),
 }
 
+/// Reusable per-search scratch: epoch-stamped visited marks plus the
+/// batched-scoring buffers. A slot is "visited" iff `marks[slot] == epoch`,
+/// so clearing between searches is one epoch bump instead of an O(n)
+/// memset — the `vec![false; n]` the beam searches used to allocate (and
+/// zero) on every call.
+#[derive(Default)]
+pub(crate) struct SearchScratch {
+    epoch: u32,
+    marks: Vec<u32>,
+    batch: Vec<u32>,
+    dists: Vec<f32>,
+}
+
+impl SearchScratch {
+    /// Start a fresh visited set covering `n` slots. Epochs wrap at
+    /// `u32::MAX` by resetting the marks once — amortized O(1).
+    fn begin(&mut self, n: usize) {
+        if self.marks.len() < n {
+            self.marks.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            for m in &mut self.marks {
+                *m = 0;
+            }
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Mark `slot` visited; true iff this is its first visit this epoch.
+    #[inline]
+    fn visit(&mut self, slot: u32) -> bool {
+        let m = &mut self.marks[slot as usize];
+        if *m == self.epoch {
+            false
+        } else {
+            *m = self.epoch;
+            true
+        }
+    }
+}
+
+/// Per-index pool of [`SearchScratch`] buffers, one per in-flight search.
+/// Concurrent searches each take their own buffer; returning it keeps the
+/// warmed allocation (and its epoch) for the next search.
+#[derive(Default)]
+pub(crate) struct ScratchPool(std::sync::Mutex<Vec<SearchScratch>>);
+
+/// Bound on pooled buffers: enough for any realistic fan-out width while
+/// capping worst-case retained memory at `64 × 4n` bytes per index.
+const MAX_POOLED_SCRATCH: usize = 64;
+
+impl ScratchPool {
+    fn take(&self) -> SearchScratch {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put(&self, scratch: SearchScratch) {
+        let mut pool = self
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if pool.len() < MAX_POOLED_SCRATCH {
+            pool.push(scratch);
+        }
+    }
+}
+
+impl Clone for ScratchPool {
+    /// Cloned indexes start an empty pool: scratch holds no index state
+    /// (results are bit-identical with or without pooled buffers), so
+    /// sharing would only contend the lock.
+    fn clone(&self) -> Self {
+        ScratchPool::default()
+    }
+}
+
 /// Hierarchical Navigable Small World index over one embedding segment.
 #[derive(Clone)]
 pub struct HnswIndex {
@@ -331,7 +412,8 @@ pub struct HnswIndex {
     /// When `spec.keep_f32` is false, `vectors` and `norms` are empty and
     /// all scoring runs against codes.
     quant: Option<QuantState>,
-    rng: SplitMix64,
+    /// Pooled search scratch (visited epochs + batch-scoring buffers).
+    scratch: ScratchPool,
 }
 
 impl HnswIndex {
@@ -341,7 +423,6 @@ impl HnswIndex {
         if let Err(e) = cfg.validate() {
             panic!("invalid HNSW config: {e}");
         }
-        let rng = SplitMix64::new(cfg.seed);
         HnswIndex {
             cfg,
             vectors: Vec::new(),
@@ -355,7 +436,7 @@ impl HnswIndex {
             live_mask: Bitmap::new(0),
             entry: None,
             quant: None,
-            rng,
+            scratch: ScratchPool::default(),
         }
     }
 
@@ -597,9 +678,17 @@ impl HnswIndex {
         }
     }
 
-    fn sample_level(&mut self) -> u8 {
-        let ml = self.cfg.level_norm();
-        let lvl = (self.rng.next_exp() * ml).floor();
+    /// Deterministic per-key level sample: the key (mixed with the config
+    /// seed) seeds a [`SplitMix64`] stream whose first exponential draw
+    /// picks the level. Replaces the old shared-mutable build RNG — levels
+    /// no longer depend on insertion order, so parallel build interleaving
+    /// cannot perturb them, a key re-inserted after deletion lands on the
+    /// same level, and `fig11_update` runs are reproducible. Persisted
+    /// snapshots are unaffected (levels are stored).
+    fn level_for_key(&self, key: VertexId) -> u8 {
+        let raw = (u64::from(key.segment().0) << 32) | u64::from(key.local().0);
+        let mut rng = SplitMix64::new(self.cfg.seed ^ raw);
+        let lvl = (rng.next_exp() * self.cfg.level_norm()).floor();
         // Cap pathological samples; 32 levels covers > 10^14 points at M=16.
         lvl.min(32.0) as u8
     }
@@ -624,7 +713,7 @@ impl HnswIndex {
         }
 
         let slot = self.keys.len() as u32;
-        let level = self.sample_level();
+        let level = self.level_for_key(key);
         let metric = self.cfg.metric;
         // Quantized tiers encode with the frozen codec; the f32 arena is
         // maintained only when the spec retains it.
@@ -662,8 +751,9 @@ impl HnswIndex {
         };
         // Greedy descent through layers above the new node's level.
         let mut stats = SearchStats::default();
+        let mut scratch = self.scratch.take();
         for lvl in ((level + 1)..=top).rev() {
-            cur = self.greedy_closest(&sc, cur, lvl, &mut stats);
+            cur = self.greedy_closest(&sc, cur, lvl, &mut stats, &mut scratch);
         }
 
         // Connect on each layer from min(level, top) down to 0.
@@ -675,6 +765,7 @@ impl HnswIndex {
                 self.cfg.ef_construction,
                 lvl,
                 &mut stats,
+                &mut scratch,
             );
             let max_deg = if lvl == 0 { self.cfg.m0 } else { self.cfg.m };
             let chosen =
@@ -689,6 +780,7 @@ impl HnswIndex {
                 entry_points = vec![cur];
             }
         }
+        self.scratch.put(scratch);
 
         if level > top {
             self.entry = Some((slot, level));
@@ -718,7 +810,8 @@ impl HnswIndex {
         let level = self.levels[slot as usize];
 
         // Phase 1: repair old neighbors' lists from their 2-hop pools.
-        let mut dists: Vec<f32> = Vec::new();
+        let mut scratch = self.scratch.take();
+        let mut dists: Vec<f32> = std::mem::take(&mut scratch.dists);
         for lvl in 0..=level.min(top) {
             let old_neighbors = self.links[slot as usize][lvl as usize].clone();
             if old_neighbors.is_empty() {
@@ -744,6 +837,7 @@ impl HnswIndex {
                 self.links[nb as usize][lvl as usize] = kept;
             }
         }
+        scratch.dists = dists;
 
         // Phase 2: re-link the moved node like a fresh insert.
         let sc = match &self.quant {
@@ -757,7 +851,7 @@ impl HnswIndex {
         let mut stats = SearchStats::default();
         let mut cur = entry;
         for lvl in ((level + 1)..=top).rev() {
-            cur = self.greedy_closest(&sc, cur, lvl, &mut stats);
+            cur = self.greedy_closest(&sc, cur, lvl, &mut stats, &mut scratch);
         }
         let mut entry_points = vec![cur];
         for lvl in (0..=level.min(top)).rev() {
@@ -767,6 +861,7 @@ impl HnswIndex {
                 self.cfg.ef_construction,
                 lvl,
                 &mut stats,
+                &mut scratch,
             );
             found.retain(|&(_, s)| s != slot);
             let max_deg = if lvl == 0 { self.cfg.m0 } else { self.cfg.m };
@@ -784,6 +879,7 @@ impl HnswIndex {
                 entry_points = vec![cur];
             }
         }
+        self.scratch.put(scratch);
     }
 
     /// Mark the vector for `key` deleted. Returns true if a live entry was
@@ -822,21 +918,460 @@ impl HnswIndex {
         self.links[node as usize][lvl as usize] = kept;
     }
 
+    /// Bulk insert with optional parallel graph construction.
+    ///
+    /// `threads <= 1` (or a batch of one) runs the plain sequential insert
+    /// loop and is **bit-identical** to calling [`HnswIndex::insert`] per
+    /// item. With more threads, items whose key repeats within the batch or
+    /// is already live are applied sequentially first (in batch order, so
+    /// upsert semantics are preserved), and the remaining fresh appends are
+    /// linked concurrently under per-node locks. Levels come from the
+    /// deterministic per-key sampler, so the node set and level assignment
+    /// are identical across thread counts; only link sets may differ
+    /// (hnswlib-style construction races), preserving recall parity rather
+    /// than byte identity.
+    pub fn insert_batch(&mut self, items: &[(VertexId, Vec<f32>)], threads: usize) -> TvResult<()> {
+        if threads <= 1 || items.len() <= 1 {
+            for (key, vector) in items {
+                self.insert(*key, vector)?;
+            }
+            return Ok(());
+        }
+        for (_, vector) in items {
+            if vector.len() != self.cfg.dim {
+                return Err(TvError::DimensionMismatch {
+                    expected: self.cfg.dim,
+                    got: vector.len(),
+                });
+            }
+        }
+        let mut count: HashMap<VertexId, usize> = HashMap::with_capacity(items.len());
+        for (key, _) in items {
+            *count.entry(*key).or_insert(0) += 1;
+        }
+        let mut fresh: Vec<(VertexId, &[f32])> = Vec::with_capacity(items.len());
+        for (key, vector) in items {
+            if count[key] == 1 && !self.slot_of.contains_key(key) {
+                fresh.push((*key, vector.as_slice()));
+            } else {
+                self.insert(*key, vector)?;
+            }
+        }
+        self.parallel_insert_fresh(&fresh, threads);
+        Ok(())
+    }
+
+    /// Append `items` (all fresh keys, dimension-checked by the caller) and
+    /// link them concurrently. Phase A appends every slot sequentially —
+    /// arena, norms, codes, keys, levels, tombstones, key map, live mask —
+    /// so the shared state is immutable during linking. Phase B moves the
+    /// adjacency lists into per-node mutexes and the entry point into an
+    /// `RwLock`, then fans the link work out over the shared pool; scoring
+    /// reads only the (now frozen) arena/codes, and neighbor lists are
+    /// touched one lock at a time, so no lock ordering issues arise.
+    fn parallel_insert_fresh(&mut self, items: &[(VertexId, &[f32])], threads: usize) {
+        use std::sync::{Mutex, PoisonError, RwLock};
+        let first = self.keys.len() as u32;
+        let metric = self.cfg.metric;
+        for (key, vector) in items {
+            let slot = self.keys.len() as u32;
+            let level = self.level_for_key(*key);
+            if let Some(q) = &mut self.quant {
+                q.push(metric, vector);
+            }
+            if self.quant.as_ref().is_none_or(|q| q.spec.keep_f32) {
+                self.vectors.extend_from_slice(vector);
+                self.norms.push(kernels::active().norm_sq(vector).sqrt());
+            }
+            self.keys.push(*key);
+            self.levels.push(level);
+            self.deleted.push(false);
+            self.links
+                .push((0..=level).map(|_| Vec::new()).collect::<Vec<_>>());
+            self.slot_of.insert(*key, slot);
+            let local = key.local().0 as usize;
+            self.live_mask.grow(local + 1);
+            self.live_mask.set(local, true);
+        }
+        let mut work: Vec<u32> = (first..self.keys.len() as u32).collect();
+        if self.entry.is_none() {
+            if work.is_empty() {
+                return;
+            }
+            // Bootstrap like the sequential path: the first node becomes the
+            // entry with no out-links; later nodes back-link into it.
+            let boot = work.remove(0);
+            self.entry = Some((boot, self.levels[boot as usize]));
+        }
+        if work.is_empty() {
+            return;
+        }
+        let locked: Vec<Mutex<Vec<Vec<u32>>>> = std::mem::take(&mut self.links)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let entry_lock = RwLock::new(self.entry.expect("entry bootstrapped above"));
+        let this = &*self;
+        let pool = tv_common::pool::global();
+        pool.run(work.clone(), threads, |slot| {
+            this.link_one_locked(slot, &locked, &entry_lock);
+        });
+        // Refinement pass: two nodes linked concurrently are blind to each
+        // other (neither had links when the other's beam ran), which costs
+        // a fraction of a percent of recall versus sequential build. One
+        // level-0 re-search per fresh node over the now-complete graph
+        // recovers those missed mutual links and restores recall parity.
+        pool.run(work, threads, |slot| {
+            this.refine_one_locked(slot, &locked, &entry_lock);
+        });
+        self.links = locked
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        self.entry = Some(*entry_lock.read().unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Link one pre-appended node into the locked graph: greedy descent
+    /// above its level, beam search + diversity selection per layer, own
+    /// list written under its own lock, back-links pushed (and shrunk) under
+    /// each neighbor's lock.
+    fn link_one_locked(
+        &self,
+        slot: u32,
+        links: &[std::sync::Mutex<Vec<Vec<u32>>>],
+        entry: &std::sync::RwLock<(u32, u8)>,
+    ) {
+        use std::sync::PoisonError;
+        let level = self.levels[slot as usize];
+        let sc = self.slot_scorer(slot);
+        let mut scratch = self.scratch.take();
+        let mut stats = SearchStats::default();
+        let (mut cur, top) = *entry.read().unwrap_or_else(PoisonError::into_inner);
+        for lvl in ((level + 1)..=top).rev() {
+            cur = self.greedy_closest_locked(&sc, cur, lvl, links, &mut scratch);
+        }
+        let mut entry_points = vec![cur];
+        for lvl in (0..=level.min(top)).rev() {
+            let mut found = self.search_layer_locked(
+                &sc,
+                &entry_points,
+                self.cfg.ef_construction,
+                lvl,
+                links,
+                &mut stats,
+                &mut scratch,
+            );
+            // The node is reachable once a concurrent peer back-links it;
+            // never link a node to itself.
+            found.retain(|&(_, s)| s != slot);
+            let max_deg = if lvl == 0 { self.cfg.m0 } else { self.cfg.m };
+            let chosen =
+                select_neighbors(&found, self.cfg.m, true, |a, b| self.pair_distance(a, b));
+            {
+                let mut own = links[slot as usize]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                own[lvl as usize] = chosen.clone();
+            }
+            for &nb in &chosen {
+                let mut guard = links[nb as usize]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let list = &mut guard[lvl as usize];
+                if !list.contains(&slot) {
+                    list.push(slot);
+                    if list.len() > max_deg {
+                        let mut dists: Vec<f32> = Vec::new();
+                        let sc_nb = self.slot_scorer(nb);
+                        self.score_slots(&sc_nb, list, &mut dists);
+                        let mut scored: Vec<Scored> =
+                            list.iter().zip(&dists).map(|(&c, &dc)| (dc, c)).collect();
+                        scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                        *list = select_neighbors(&scored, max_deg, true, |a, b| {
+                            self.pair_distance(a, b)
+                        });
+                    }
+                }
+            }
+            entry_points = found.iter().map(|&(_, s)| s).collect();
+            if entry_points.is_empty() {
+                entry_points = vec![cur];
+            }
+        }
+        self.scratch.put(scratch);
+        if level > top {
+            let mut e = entry.write().unwrap_or_else(PoisonError::into_inner);
+            if level > e.1 {
+                *e = (slot, level);
+            }
+        }
+    }
+
+    /// Second-pass link refinement for one node (parallel build only):
+    /// re-run the level-0 beam on the completed locked graph, merge the
+    /// candidates with the node's current list through the diversity
+    /// heuristic, and back-link any newly chosen neighbors.
+    fn refine_one_locked(
+        &self,
+        slot: u32,
+        links: &[std::sync::Mutex<Vec<Vec<u32>>>],
+        entry: &std::sync::RwLock<(u32, u8)>,
+    ) {
+        use std::sync::PoisonError;
+        let sc = self.slot_scorer(slot);
+        let mut scratch = self.scratch.take();
+        let mut stats = SearchStats::default();
+        let (mut cur, top) = *entry.read().unwrap_or_else(PoisonError::into_inner);
+        for lvl in (1..=top).rev() {
+            cur = self.greedy_closest_locked(&sc, cur, lvl, links, &mut scratch);
+        }
+        let mut found = self.search_layer_locked(
+            &sc,
+            &[cur],
+            self.cfg.ef_construction,
+            0,
+            links,
+            &mut stats,
+            &mut scratch,
+        );
+        self.scratch.put(scratch);
+        found.retain(|&(_, s)| s != slot);
+        if found.is_empty() {
+            return;
+        }
+        let own: Vec<u32> = links[slot as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)[0]
+            .clone();
+        let mut dists: Vec<f32> = Vec::new();
+        self.score_slots(&sc, &own, &mut dists);
+        for (&nb, &nd) in own.iter().zip(&dists) {
+            if !found.iter().any(|&(_, s)| s == nb) {
+                found.push((nd, nb));
+            }
+        }
+        found.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let chosen = select_neighbors(&found, self.cfg.m, true, |a, b| self.pair_distance(a, b));
+        let added: Vec<u32> = chosen
+            .iter()
+            .copied()
+            .filter(|nb| !own.contains(nb))
+            .collect();
+        {
+            let mut guard = links[slot as usize]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            guard[0] = chosen;
+        }
+        let max_deg = self.cfg.m0;
+        for nb in added {
+            let mut guard = links[nb as usize]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let list = &mut guard[0];
+            if !list.contains(&slot) {
+                list.push(slot);
+                if list.len() > max_deg {
+                    let mut dists: Vec<f32> = Vec::new();
+                    let sc_nb = self.slot_scorer(nb);
+                    self.score_slots(&sc_nb, list, &mut dists);
+                    let mut scored: Vec<Scored> =
+                        list.iter().zip(&dists).map(|(&c, &dc)| (dc, c)).collect();
+                    scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                    *list =
+                        select_neighbors(&scored, max_deg, true, |a, b| self.pair_distance(a, b));
+                }
+            }
+        }
+    }
+
+    /// [`HnswIndex::greedy_closest`] against per-node-locked adjacency:
+    /// each hop copies the current node's list out under its lock (one lock
+    /// held at a time), then scores the copy lock-free.
+    fn greedy_closest_locked(
+        &self,
+        sc: &Scorer<'_>,
+        start: u32,
+        lvl: u8,
+        links: &[std::sync::Mutex<Vec<Vec<u32>>>],
+        scratch: &mut SearchScratch,
+    ) -> u32 {
+        use std::sync::PoisonError;
+        let mut nbs: Vec<u32> = Vec::new();
+        let mut cur = start;
+        let mut cur_dist = self.score_slot(sc, cur);
+        loop {
+            {
+                let guard = links[cur as usize]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                nbs.clear();
+                if let Some(l) = guard.get(lvl as usize) {
+                    nbs.extend_from_slice(l);
+                }
+            }
+            self.score_slots(sc, &nbs, &mut scratch.dists);
+            let mut improved = false;
+            for (&nb, &nd) in nbs.iter().zip(&scratch.dists) {
+                if nd < cur_dist {
+                    cur = nb;
+                    cur_dist = nd;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// [`HnswIndex::search_layer`] against per-node-locked adjacency; same
+    /// beam/admission logic, neighbor lists copied out under their lock.
+    #[allow(clippy::too_many_arguments)]
+    fn search_layer_locked(
+        &self,
+        sc: &Scorer<'_>,
+        entries: &[u32],
+        ef: usize,
+        lvl: u8,
+        links: &[std::sync::Mutex<Vec<Vec<u32>>>],
+        stats: &mut SearchStats,
+        scratch: &mut SearchScratch,
+    ) -> Vec<Scored> {
+        use std::sync::PoisonError;
+        scratch.begin(self.keys.len());
+        let mut frontier: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
+        let mut best: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
+        let mut nbs: Vec<u32> = Vec::new();
+
+        scratch.batch.clear();
+        for &e in entries {
+            if scratch.visit(e) {
+                scratch.batch.push(e);
+            }
+        }
+        self.score_slots(sc, &scratch.batch, &mut scratch.dists);
+        stats.distance_computations += scratch.batch.len() as u64;
+        for (&e, &de) in scratch.batch.iter().zip(&scratch.dists) {
+            frontier.push(Reverse((OrdF32(de), e)));
+            best.push((OrdF32(de), e));
+            if best.len() > ef {
+                best.pop();
+            }
+        }
+
+        while let Some(Reverse((OrdF32(d), node))) = frontier.pop() {
+            let bound = best.peek().map_or(f32::INFINITY, |&(OrdF32(b), _)| b);
+            if d > bound && best.len() >= ef {
+                break;
+            }
+            {
+                let guard = links[node as usize]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                nbs.clear();
+                if let Some(l) = guard.get(lvl as usize) {
+                    nbs.extend_from_slice(l);
+                }
+            }
+            scratch.batch.clear();
+            for &nb in &nbs {
+                if scratch.visit(nb) {
+                    scratch.batch.push(nb);
+                }
+            }
+            self.score_slots(sc, &scratch.batch, &mut scratch.dists);
+            stats.hops += scratch.batch.len() as u64;
+            stats.distance_computations += scratch.batch.len() as u64;
+            for (&nb, &nd) in scratch.batch.iter().zip(&scratch.dists) {
+                let bound = best.peek().map_or(f32::INFINITY, |&(OrdF32(b), _)| b);
+                if nd < bound || best.len() < ef {
+                    frontier.push(Reverse((OrdF32(nd), nb)));
+                    best.push((OrdF32(nd), nb));
+                    if best.len() > ef {
+                        best.pop();
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<Scored> = best.into_iter().map(|(OrdF32(d), s)| (d, s)).collect();
+        out.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        out
+    }
+
+    /// [`VectorIndex::update_items`] with optional parallel linking of the
+    /// fresh appends. Duplicate-key records, deletes, and upserts of live
+    /// keys apply sequentially first (in record order); single-occurrence
+    /// upserts of fresh keys then link concurrently. `threads <= 1` is the
+    /// plain sequential path, bit-identical to [`VectorIndex::update_items`].
+    pub fn update_items_with(
+        &mut self,
+        records: &[DeltaRecord],
+        threads: usize,
+    ) -> TvResult<usize> {
+        if threads <= 1 || records.len() <= 1 {
+            return self.update_items(records);
+        }
+        for rec in records {
+            if rec.action == DeltaAction::Upsert && rec.vector.len() != self.cfg.dim {
+                return Err(TvError::DimensionMismatch {
+                    expected: self.cfg.dim,
+                    got: rec.vector.len(),
+                });
+            }
+        }
+        let mut count: HashMap<VertexId, usize> = HashMap::with_capacity(records.len());
+        for rec in records {
+            *count.entry(rec.id).or_insert(0) += 1;
+        }
+        let mut fresh: Vec<(VertexId, &[f32])> = Vec::new();
+        let mut applied = 0;
+        for rec in records {
+            let is_fresh = rec.action == DeltaAction::Upsert
+                && count[&rec.id] == 1
+                && !self.slot_of.contains_key(&rec.id);
+            if is_fresh {
+                fresh.push((rec.id, rec.vector.as_slice()));
+                continue;
+            }
+            match rec.action {
+                DeltaAction::Upsert => {
+                    self.insert(rec.id, &rec.vector)?;
+                    applied += 1;
+                }
+                DeltaAction::Delete => {
+                    self.remove(rec.id);
+                    applied += 1;
+                }
+            }
+        }
+        applied += fresh.len();
+        self.parallel_insert_fresh(&fresh, threads);
+        Ok(applied)
+    }
+
     /// Greedy walk to the locally-closest node on one layer (the ef=1 upper-
     /// layer descent of the HNSW search). Each hop scores the node's whole
     /// neighbor list in one batched kernel call.
-    fn greedy_closest(&self, sc: &Scorer<'_>, start: u32, lvl: u8, stats: &mut SearchStats) -> u32 {
-        let mut dists: Vec<f32> = Vec::new();
+    fn greedy_closest(
+        &self,
+        sc: &Scorer<'_>,
+        start: u32,
+        lvl: u8,
+        stats: &mut SearchStats,
+        scratch: &mut SearchScratch,
+    ) -> u32 {
         let mut cur = start;
         let mut cur_dist = self.score_slot(sc, cur);
         stats.distance_computations += 1;
         loop {
             let nbs = &self.links[cur as usize][lvl as usize];
-            self.score_slots(sc, nbs, &mut dists);
+            self.score_slots(sc, nbs, &mut scratch.dists);
             stats.distance_computations += nbs.len() as u64;
             stats.hops += nbs.len() as u64;
             let mut improved = false;
-            for (&nb, &nd) in nbs.iter().zip(&dists) {
+            for (&nb, &nd) in nbs.iter().zip(&scratch.dists) {
                 if nd < cur_dist {
                     cur = nb;
                     cur_dist = nd;
@@ -860,29 +1395,30 @@ impl HnswIndex {
         ef: usize,
         lvl: u8,
         stats: &mut SearchStats,
+        scratch: &mut SearchScratch,
     ) -> Vec<Scored> {
-        let n = self.keys.len();
-        let mut visited = vec![false; n];
+        // Pooled visited set: one epoch bump instead of an O(n) alloc +
+        // memset per call. Visit order and admission logic are unchanged,
+        // so results are bit-identical to the fresh-alloc path.
+        scratch.begin(self.keys.len());
         // Min-heap of frontier candidates; max-heap (via NeighborHeap-like
         // bound) of the best `ef` found.
         let mut frontier: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
         let mut best: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
-        // Scratch for batched scoring: the unvisited neighbors of one node,
-        // scored in a single kernel call. Distances don't depend on heap
-        // state, so admission order — and therefore results — match the
-        // one-at-a-time loop exactly.
-        let mut batch: Vec<u32> = Vec::new();
-        let mut dists: Vec<f32> = Vec::new();
 
+        // Batched scoring: the unvisited neighbors of one node, scored in a
+        // single kernel call. Distances don't depend on heap state, so
+        // admission order — and therefore results — match the
+        // one-at-a-time loop exactly.
+        scratch.batch.clear();
         for &e in entries {
-            if !visited[e as usize] {
-                visited[e as usize] = true;
-                batch.push(e);
+            if scratch.visit(e) {
+                scratch.batch.push(e);
             }
         }
-        self.score_slots(sc, &batch, &mut dists);
-        stats.distance_computations += batch.len() as u64;
-        for (&e, &de) in batch.iter().zip(&dists) {
+        self.score_slots(sc, &scratch.batch, &mut scratch.dists);
+        stats.distance_computations += scratch.batch.len() as u64;
+        for (&e, &de) in scratch.batch.iter().zip(&scratch.dists) {
             frontier.push(Reverse((OrdF32(de), e)));
             best.push((OrdF32(de), e));
             if best.len() > ef {
@@ -895,17 +1431,16 @@ impl HnswIndex {
             if d > bound && best.len() >= ef {
                 break;
             }
-            batch.clear();
+            scratch.batch.clear();
             for &nb in &self.links[node as usize][lvl as usize] {
-                if !visited[nb as usize] {
-                    visited[nb as usize] = true;
-                    batch.push(nb);
+                if scratch.visit(nb) {
+                    scratch.batch.push(nb);
                 }
             }
-            self.score_slots(sc, &batch, &mut dists);
-            stats.hops += batch.len() as u64;
-            stats.distance_computations += batch.len() as u64;
-            for (&nb, &nd) in batch.iter().zip(&dists) {
+            self.score_slots(sc, &scratch.batch, &mut scratch.dists);
+            stats.hops += scratch.batch.len() as u64;
+            stats.distance_computations += scratch.batch.len() as u64;
+            for (&nb, &nd) in scratch.batch.iter().zip(&scratch.dists) {
                 let bound = best.peek().map_or(f32::INFINITY, |&(OrdF32(b), _)| b);
                 if nd < bound || best.len() < ef {
                     frontier.push(Reverse((OrdF32(nd), nb)));
@@ -933,13 +1468,11 @@ impl HnswIndex {
         ef: usize,
         filter: Filter<'_>,
         stats: &mut SearchStats,
+        scratch: &mut SearchScratch,
     ) -> Vec<Scored> {
-        let n = self.keys.len();
-        let mut visited = vec![false; n];
+        scratch.begin(self.keys.len());
         let mut frontier: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
         let mut best: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
-        let mut batch: Vec<u32> = Vec::new();
-        let mut dists: Vec<f32> = Vec::new();
 
         // Deleted slots and filter rejections are counted separately: the
         // planner's selectivity feedback needs filter pressure, not
@@ -956,15 +1489,15 @@ impl HnswIndex {
             true
         };
 
+        scratch.batch.clear();
         for &e in entries {
-            if !visited[e as usize] {
-                visited[e as usize] = true;
-                batch.push(e);
+            if scratch.visit(e) {
+                scratch.batch.push(e);
             }
         }
-        self.score_slots(sc, &batch, &mut dists);
-        stats.distance_computations += batch.len() as u64;
-        for (&e, &de) in batch.iter().zip(&dists) {
+        self.score_slots(sc, &scratch.batch, &mut scratch.dists);
+        stats.distance_computations += scratch.batch.len() as u64;
+        for (&e, &de) in scratch.batch.iter().zip(&scratch.dists) {
             frontier.push(Reverse((OrdF32(de), e)));
             if accepts(e, stats) {
                 best.push((OrdF32(de), e));
@@ -979,17 +1512,16 @@ impl HnswIndex {
             if d > bound && best.len() >= ef {
                 break;
             }
-            batch.clear();
+            scratch.batch.clear();
             for &nb in &self.links[node as usize][0] {
-                if !visited[nb as usize] {
-                    visited[nb as usize] = true;
-                    batch.push(nb);
+                if scratch.visit(nb) {
+                    scratch.batch.push(nb);
                 }
             }
-            self.score_slots(sc, &batch, &mut dists);
-            stats.hops += batch.len() as u64;
-            stats.distance_computations += batch.len() as u64;
-            for (&nb, &nd) in batch.iter().zip(&dists) {
+            self.score_slots(sc, &scratch.batch, &mut scratch.dists);
+            stats.hops += scratch.batch.len() as u64;
+            stats.distance_computations += scratch.batch.len() as u64;
+            for (&nb, &nd) in scratch.batch.iter().zip(&scratch.dists) {
                 let bound = best.peek().map_or(f32::INFINITY, |&(OrdF32(b), _)| b);
                 if nd < bound || best.len() < ef {
                     frontier.push(Reverse((OrdF32(nd), nb)));
@@ -1155,11 +1687,14 @@ impl HnswIndex {
         let fetch = self.fetch_count(k);
         let beam = fetch_ef.max(fetch);
         let sc = self.scorer(query);
+        let mut scratch = self.scratch.take();
         let mut cur = entry;
         for lvl in (1..=top).rev() {
-            cur = self.greedy_closest(&sc, cur, lvl, &mut stats);
+            cur = self.greedy_closest(&sc, cur, lvl, &mut stats, &mut scratch);
         }
-        let found = self.search_layer0_filtered(&sc, &[cur], beam, Filter::All, &mut stats);
+        let found =
+            self.search_layer0_filtered(&sc, &[cur], beam, Filter::All, &mut stats, &mut scratch);
+        self.scratch.put(scratch);
         let mut valid: Vec<Scored> = Vec::with_capacity(found.len());
         for (d, slot) in found {
             if filter.accepts(self.keys[slot as usize].local().0 as usize) {
@@ -1352,11 +1887,14 @@ impl VectorIndex for HnswIndex {
         // One norm pass (f32) or one LUT build (quantized) for the whole
         // search; every candidate after this scores against cached state.
         let sc = self.scorer(query);
+        let mut scratch = self.scratch.take();
         let mut cur = entry;
         for lvl in (1..=top).rev() {
-            cur = self.greedy_closest(&sc, cur, lvl, &mut stats);
+            cur = self.greedy_closest(&sc, cur, lvl, &mut stats, &mut scratch);
         }
-        let mut found = self.search_layer0_filtered(&sc, &[cur], ef, filter, &mut stats);
+        let mut found =
+            self.search_layer0_filtered(&sc, &[cur], ef, filter, &mut stats, &mut scratch);
+        self.scratch.put(scratch);
         found.truncate(fetch);
         let out = self.rerank_and_take(query, found, k, &mut stats);
         (out, stats)
@@ -1512,7 +2050,6 @@ impl HnswIndex {
                 live_mask.set(local, true);
             }
         }
-        let rng = SplitMix64::new(cfg.seed ^ n as u64);
         // The snapshot format carries no norms; rebuild the cache in one
         // pass over the arena (cheaper than persisting and keeps old
         // snapshots readable). Codes-only tiers keep no arena norms.
@@ -1536,7 +2073,7 @@ impl HnswIndex {
             deleted_count,
             live_mask,
             entry,
-            rng,
+            scratch: ScratchPool::default(),
             quant,
         })
     }
@@ -2067,5 +2604,209 @@ mod tests {
         );
         // The code arena (1 byte/dim/slot) must be visible in the total.
         assert!(after >= idx.slot_count() * 8);
+    }
+
+    /// Bit-level comparison of result lists: same ids, same distance bits.
+    fn assert_bit_identical(a: &[Neighbor], b: &[Neighbor], ctx: &str) {
+        assert_eq!(a.len(), b.len(), "{ctx}: length mismatch");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.id, y.id, "{ctx}: id mismatch");
+            assert_eq!(
+                x.dist.to_bits(),
+                y.dist.to_bits(),
+                "{ctx}: distance bits mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_scratch_searches_bit_identical_to_fresh_pool() {
+        let vecs = make_vectors(400, 16, 91);
+        let mut idx = build_index(&vecs);
+        // Tombstones give the filtered path deleted slots to skip.
+        for i in 0..40 {
+            idx.remove(key(i * 7));
+        }
+        let mut bm = Bitmap::new(400);
+        for i in 0..400 {
+            bm.set(i, i % 3 != 0);
+        }
+        // A clone starts with an empty scratch pool: its first search runs
+        // on freshly allocated buffers, exactly like the pre-pooling code.
+        let fresh = idx.clone();
+        let queries = make_vectors(25, 16, 17);
+        for (qi, q) in queries.iter().enumerate() {
+            // Warm the pool, then reuse it: both passes must match the
+            // fresh-buffer oracle bit for bit.
+            let (warm, _) = idx.top_k(q, 10, 64, Filter::All);
+            let (reused, _) = idx.top_k(q, 10, 64, Filter::All);
+            let (oracle, _) = fresh.top_k(q, 10, 64, Filter::All);
+            assert_bit_identical(&warm, &oracle, &format!("top_k q{qi} warm"));
+            assert_bit_identical(&reused, &oracle, &format!("top_k q{qi} reused"));
+
+            let (filt, _) = idx.top_k(q, 10, 64, Filter::Valid(&bm));
+            let (filt_oracle, _) = fresh.top_k(q, 10, 64, Filter::Valid(&bm));
+            assert_bit_identical(&filt, &filt_oracle, &format!("filtered q{qi}"));
+
+            let (rng_res, _) = idx.range_search(q, 30.0, 64, Filter::All);
+            let (rng_oracle, _) = fresh.range_search(q, 30.0, 64, Filter::All);
+            assert_bit_identical(&rng_res, &rng_oracle, &format!("range q{qi}"));
+        }
+    }
+
+    #[test]
+    fn scratch_epoch_wrap_resets_visit_marks() {
+        let mut s = SearchScratch::default();
+        s.begin(8);
+        assert!(s.visit(3));
+        assert!(!s.visit(3));
+        // Force the wrap: the next begin() must zero the marks once and
+        // restart epochs, so slot 3 reads unvisited again.
+        s.epoch = u32::MAX;
+        s.begin(8);
+        assert_eq!(s.epoch, 1);
+        assert!(s.visit(3), "post-wrap visit must start clean");
+        assert!(!s.visit(3));
+        // A stale mark from the pre-wrap era can never alias the new epoch.
+        assert!(s.marks.iter().all(|&m| m <= 1));
+    }
+
+    #[test]
+    fn insert_batch_single_thread_is_bit_identical_to_sequential() {
+        let vecs = make_vectors(300, 8, 23);
+        let items: Vec<(VertexId, Vec<f32>)> = vecs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (key(i as u32), v.clone()))
+            .collect();
+        let seq = build_index(&vecs);
+        let mut batched = HnswIndex::new(HnswConfig::new(8, DistanceMetric::L2));
+        batched.insert_batch(&items, 1).unwrap();
+        assert_eq!(
+            crate::snapshot::to_bytes(&seq),
+            crate::snapshot::to_bytes(&batched),
+            "threads=1 insert_batch must reproduce the sequential build byte for byte"
+        );
+    }
+
+    #[test]
+    fn parallel_build_keeps_recall_and_loses_no_keys() {
+        let n = 600usize;
+        let vecs = make_vectors(n, 16, 41);
+        let items: Vec<(VertexId, Vec<f32>)> = vecs
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (key(i as u32), v.clone()))
+            .collect();
+        let queries = make_vectors(30, 16, 77);
+        let mut seq = HnswIndex::new(HnswConfig::new(16, DistanceMetric::L2));
+        seq.insert_batch(&items, 1).unwrap();
+        let seq_recall = recall_against_exact(&seq, &vecs, &queries);
+        for threads in [2usize, 4, 8] {
+            let mut idx = HnswIndex::new(HnswConfig::new(16, DistanceMetric::L2));
+            idx.insert_batch(&items, threads).unwrap();
+            // No lost or duplicated keys: every key maps to exactly one
+            // live slot and the scan returns each exactly once.
+            assert_eq!(idx.len(), n, "threads={threads}: live count");
+            let mut seen: Vec<u32> = idx.scan().map(|(id, _)| id.local().0).collect();
+            seen.sort_unstable();
+            assert_eq!(seen.len(), n, "threads={threads}: scan count");
+            seen.dedup();
+            assert_eq!(seen.len(), n, "threads={threads}: duplicate keys");
+            // Deterministic levels: identical node levels regardless of
+            // thread count (only link sets may differ).
+            assert_eq!(idx.levels, seq.levels, "threads={threads}: levels");
+            let recall = recall_against_exact(&idx, &vecs, &queries);
+            assert!(
+                recall >= seq_recall - 0.005,
+                "threads={threads}: recall {recall} vs sequential {seq_recall}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_batch_routes_duplicates_and_live_keys_sequentially() {
+        let vecs = make_vectors(120, 8, 67);
+        let mut idx = build_index(&vecs[..100]);
+        idx.remove(key(5));
+        // Batch mixing: a live-key upsert (update-in-place path), a key
+        // repeated within the batch (last write must win), a re-insert of a
+        // tombstoned key, and fresh appends.
+        let items: Vec<(VertexId, Vec<f32>)> = vec![
+            (key(3), vecs[100].clone()),
+            (key(200), vecs[101].clone()),
+            (key(200), vecs[102].clone()),
+            (key(5), vecs[103].clone()),
+            (key(201), vecs[104].clone()),
+            (key(202), vecs[105].clone()),
+        ];
+        let mut oracle = idx.clone();
+        for (k, v) in &items {
+            oracle.insert(*k, v).unwrap();
+        }
+        idx.insert_batch(&items, 4).unwrap();
+        assert_eq!(idx.len(), oracle.len());
+        let mut got: Vec<(u32, Vec<f32>)> = idx.scan().map(|(id, v)| (id.local().0, v)).collect();
+        let mut want: Vec<(u32, Vec<f32>)> =
+            oracle.scan().map(|(id, v)| (id.local().0, v)).collect();
+        got.sort_by_key(|(l, _)| *l);
+        want.sort_by_key(|(l, _)| *l);
+        assert_eq!(got, want, "live key→vector mapping must match sequential");
+    }
+
+    #[test]
+    fn update_items_with_parallel_matches_sequential_membership() {
+        let vecs = make_vectors(260, 8, 53);
+        let mut idx = build_index(&vecs[..200]);
+        let mut recs = Vec::new();
+        for i in 0..30 {
+            // Fresh appends (parallel-eligible).
+            recs.push(DeltaRecord::upsert(
+                key(300 + i),
+                Tid(u64::from(i) + 1),
+                vecs[200 + i as usize].clone(),
+            ));
+        }
+        // Live-key upsert, delete, and a duplicate fresh key — all must
+        // take the sequential path without disturbing the parallel set.
+        recs.push(DeltaRecord::upsert(key(7), Tid(40), vecs[230].clone()));
+        recs.push(DeltaRecord::delete(key(11), Tid(41)));
+        recs.push(DeltaRecord::upsert(key(400), Tid(42), vecs[231].clone()));
+        recs.push(DeltaRecord::upsert(key(400), Tid(43), vecs[232].clone()));
+        let mut oracle = idx.clone();
+        let want_applied = oracle.update_items(&recs).unwrap();
+        let got_applied = idx.update_items_with(&recs, 4).unwrap();
+        assert_eq!(got_applied, want_applied);
+        assert_eq!(idx.len(), oracle.len());
+        let mut got: Vec<(u32, Vec<f32>)> = idx.scan().map(|(id, v)| (id.local().0, v)).collect();
+        let mut want: Vec<(u32, Vec<f32>)> =
+            oracle.scan().map(|(id, v)| (id.local().0, v)).collect();
+        got.sort_by_key(|(l, _)| *l);
+        want.sort_by_key(|(l, _)| *l);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn level_assignment_is_independent_of_insertion_order() {
+        let vecs = make_vectors(100, 8, 29);
+        let forward = build_index(&vecs);
+        let mut reversed = HnswIndex::new(HnswConfig::new(8, DistanceMetric::L2));
+        for (i, v) in vecs.iter().enumerate().rev() {
+            reversed.insert(key(i as u32), v).unwrap();
+        }
+        for i in 0..100u32 {
+            let fs = forward.slot_of[&key(i)] as usize;
+            let rs = reversed.slot_of[&key(i)] as usize;
+            assert_eq!(
+                forward.levels[fs], reversed.levels[rs],
+                "key {i}: level must depend only on the key and seed"
+            );
+        }
+        // Re-insert after delete lands on the same level.
+        let mut idx = forward.clone();
+        let before = idx.levels[idx.slot_of[&key(42)] as usize];
+        idx.remove(key(42));
+        idx.insert(key(42), &vecs[42]).unwrap();
+        assert_eq!(idx.levels[idx.slot_of[&key(42)] as usize], before);
     }
 }

@@ -29,6 +29,7 @@ fn serving_fixture() -> (Arc<Graph>, Arc<AccessControl>, Vec<VertexId>, Vec<Vec<
             planner: tv_common::PlannerConfig::default().with_brute_threshold(4),
             query_threads: 2,
             default_ef: 32,
+            build_threads: 1,
         },
     );
     graph
@@ -235,6 +236,7 @@ fn serving_cluster(degraded_mode: bool) -> (Arc<ClusterRuntime>, Vec<Vec<f32>>) 
             hedge_after: None,
         },
         degraded_mode,
+        build_threads: 1,
     });
     let def = EmbeddingTypeDef::new("e", DIM, "M", DistanceMetric::L2);
     let mut rng = SplitMix64::new(11);
@@ -394,6 +396,7 @@ fn server_checkpoint_and_recovery_serving_continuity() {
         planner: tv_common::PlannerConfig::default().with_brute_threshold(1024), // exact search → comparable results
         query_threads: 1,
         default_ef: 32,
+        build_threads: 1,
     };
     let setup = |g: &Graph| {
         g.create_vertex_type("Doc", &[("classification", AttrType::Str)])

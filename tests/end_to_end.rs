@@ -16,6 +16,7 @@ fn social_graph() -> (Graph, Vec<tigervector::common::VertexId>, Vec<Vec<f32>>) 
             planner: tv_common::PlannerConfig::default().with_brute_threshold(8),
             query_threads: 2,
             default_ef: 64,
+            build_threads: 1,
         },
     );
     g.create_vertex_type("Person", &[("firstName", AttrType::Str)])
