@@ -1,8 +1,8 @@
 # Development shortcuts; `make verify` mirrors the CI pipeline exactly.
 
-.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load chaos-smoke kernel-smoke recovery-smoke quant-smoke planner-smoke build-smoke
+.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load chaos-smoke kernel-smoke recovery-smoke quant-smoke planner-smoke build-smoke migrate-smoke
 
-verify: fmt-check build clippy test test-all kernel-smoke chaos-smoke recovery-smoke quant-smoke planner-smoke build-smoke
+verify: fmt-check build clippy test test-all kernel-smoke chaos-smoke recovery-smoke quant-smoke planner-smoke build-smoke migrate-smoke
 
 build:
 	cargo build --release
@@ -86,3 +86,14 @@ planner-smoke:
 build-smoke:
 	cargo run --release -p tv-bench --bin build_bench -- --n 8000 --q 50
 	TV_QPS_TOLERANCE=$(TV_QPS_TOLERANCE) cargo run --release -p tv-bench --bin check_regression -- --only build_bench
+
+# Elastic-cluster gate: the migration chaos suite (every migration crash
+# point must abort cleanly or complete idempotently, with concurrent
+# queries/appends bit-identical to a never-migrated oracle), then the
+# before/during/after migration benchmark — the binary itself panics if a
+# pinned-TID query's recall leaves 1.0 in any phase — and the regression
+# checker against the committed baseline.
+migrate-smoke:
+	cargo test --release -p tv-cluster --test migration_chaos -q
+	cargo run --release -p tv-bench --bin migration_bench
+	TV_QPS_TOLERANCE=$(TV_QPS_TOLERANCE) cargo run --release -p tv-bench --bin check_regression -- --only migration_bench

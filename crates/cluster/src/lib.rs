@@ -27,15 +27,25 @@
 //! unfiltered fallback), and degraded mode returns partial results with an
 //! honest [`Coverage`] instead of discarding finished work. DESIGN.md
 //! ("Failure model") documents the guarantees.
+//!
+//! The cluster is also *elastic*: [`placement`] carries a
+//! generation-versioned [`PlacementTable`] (queries pin the table they
+//! scattered with; flips swap it atomically) with a minimal-move
+//! [`PlacementTable::rebalance_plan`] planner, and [`migrate`] executes
+//! [`MigrationPlan`]s live — snapshot-ship via the `durafile` container,
+//! delta-tail catch-up while the source keeps serving, and a gated atomic
+//! flip — with every phase crash-instrumented and abort/retry-safe.
 
 pub mod fault;
 pub mod filter;
+pub mod migrate;
 pub mod model;
 pub mod placement;
 pub mod runtime;
 
 pub use fault::{FaultAction, FaultKind, FaultPlan};
 pub use filter::{FilterDefault, FilterSet, SegmentFilter};
+pub use migrate::{MigrationErrors, MigrationPhase, MigrationReport, Migrator};
 pub use model::{ClusterModel, NetworkModel, QueryWork};
-pub use placement::Placement;
+pub use placement::{MigrationPlan, Placement, PlacementTable};
 pub use runtime::{ClusterResponse, ClusterRuntime, Coverage, RuntimeConfig};

@@ -1,0 +1,571 @@
+//! Coordinator-driven live segment migration.
+//!
+//! A [`Migrator`] moves one segment copy between servers while the cluster
+//! keeps serving queries and accepting delta appends, in five phases:
+//!
+//! 1. **Ship** — snapshot the source's newest index into the `durafile`
+//!    checkpoint container (CRC32-verified, temp+rename atomic) in the
+//!    staging directory. The source stays fully authoritative.
+//! 2. **Install** — read the container back (a truncated or corrupt
+//!    transfer fails the CRC here, not at query time), decode the index,
+//!    and register an independent destination copy. Not yet routed to:
+//!    the placement table still lists only the old holders.
+//! 3. **Catch up** — replay the source's delta tail (`(snapshot_tid, ∞)`)
+//!    onto the destination in bounded batches until the remaining tail is
+//!    short enough to drain inside the flip, or the round budget runs out.
+//! 4. **Flip** — under the segment's append gate: drain the final tail,
+//!    then atomically publish the moved placement table (generation + 1).
+//!    In-flight queries keep the table they pinned at scatter; requests
+//!    that still reach the drained source get a typed
+//!    [`tv_common::TvError::Moved`] redirect.
+//! 5. **Release** — drop the source's copy (no longer a table holder) and
+//!    the staging file.
+//!
+//! Every phase is instrumented with a migration [`CrashPoint`]. A crash in
+//! phases 1–4 aborts cleanly: the placement table is untouched, the source
+//! still serves, and the orphaned destination state (store entry + staging
+//! file) is garbage-collected. A crash after the flip committed leaves the
+//! migration *complete*; re-running the same plan recognizes that and
+//! finishes the release idempotently. Aborts are recorded in the runtime's
+//! [`MigrationErrors`] log, never silently swallowed.
+
+use crate::placement::MigrationPlan;
+use crate::runtime::ClusterRuntime;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tv_common::crash::{crash_hook, CrashPlan, CrashPoint};
+use tv_common::{
+    durafile, DistanceMetric, MigrationConfig, QuantSpec, SegmentId, StorageTier, Tid, TvError,
+    TvResult,
+};
+use tv_embedding::{EmbeddingSegment, EmbeddingTypeDef};
+use tv_hnsw::snapshot;
+
+/// `durafile` kind tag of a shipped migration segment ("MIGS").
+pub const KIND_MIGRATE_SEG: u32 = 0x4D49_4753;
+const FORMAT_VERSION: u32 = 1;
+
+/// The migration state-machine phase an error was raised in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MigrationPhase {
+    /// Snapshot-shipping the source index into the staging container.
+    Ship,
+    /// Decoding + registering the destination copy.
+    Install,
+    /// Background delta-tail replay onto the destination.
+    CatchUp,
+    /// The gated final-tail drain + placement table swap.
+    Flip,
+    /// Post-flip source-copy release and staging cleanup.
+    Release,
+}
+
+impl fmt::Display for MigrationPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MigrationPhase::Ship => "ship",
+            MigrationPhase::Install => "install",
+            MigrationPhase::CatchUp => "catch-up",
+            MigrationPhase::Flip => "flip",
+            MigrationPhase::Release => "release",
+        })
+    }
+}
+
+/// Migration failure log — the `VacuumErrors` pattern: a lock-free counter
+/// for cheap "did anything fail" checks plus a detailed (phase, segment,
+/// error) entry list behind a mutex.
+#[derive(Default)]
+pub struct MigrationErrors {
+    count: AtomicU64,
+    log: parking_lot::Mutex<Vec<(MigrationPhase, SegmentId, String)>>,
+}
+
+impl MigrationErrors {
+    /// Record one aborted migration.
+    pub fn record(&self, phase: MigrationPhase, segment: SegmentId, error: &TvError) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.log.lock().push((phase, segment, error.to_string()));
+    }
+
+    /// Total aborts recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The most recent abort, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<(MigrationPhase, SegmentId, String)> {
+        self.log.lock().last().cloned()
+    }
+
+    /// Every recorded abort, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(MigrationPhase, SegmentId, String)> {
+        self.log.lock().clone()
+    }
+}
+
+/// What a completed (or recognized-as-already-complete) migration did.
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// The executed plan's segment.
+    pub segment: SegmentId,
+    /// Source server.
+    pub from: usize,
+    /// Destination server.
+    pub to: usize,
+    /// Placement generation after the flip.
+    pub generation: u64,
+    /// Bytes of snapshot payload shipped through the staging container.
+    pub shipped_bytes: u64,
+    /// Background catch-up rounds run before the flip.
+    pub catchup_rounds: u64,
+    /// Delta records replayed onto the destination (catch-up + final
+    /// drain).
+    pub catchup_records: u64,
+    /// How long the flip held the segment's append gate (the only window
+    /// in which writers to this segment wait).
+    pub flip_pause: Duration,
+    /// Wall-clock for the whole migration.
+    pub total: Duration,
+    /// `true` when the plan was already committed by a previous attempt
+    /// (crash after flip) and this run only finished the release.
+    pub already_complete: bool,
+}
+
+/// Executes [`MigrationPlan`]s against a [`ClusterRuntime`].
+pub struct Migrator {
+    runtime: Arc<ClusterRuntime>,
+    staging: PathBuf,
+    crash: Option<Arc<CrashPlan>>,
+    config: MigrationConfig,
+}
+
+impl Migrator {
+    /// A migrator staging shipped snapshots under `staging`.
+    #[must_use]
+    pub fn new(runtime: Arc<ClusterRuntime>, staging: PathBuf) -> Self {
+        Migrator {
+            runtime,
+            staging,
+            crash: None,
+            config: MigrationConfig::default(),
+        }
+    }
+
+    /// Arm deterministic crash injection (tests only).
+    #[must_use]
+    pub fn with_crash_plan(mut self, plan: Arc<CrashPlan>) -> Self {
+        self.crash = Some(plan);
+        self
+    }
+
+    /// Override the catch-up/flip knobs.
+    #[must_use]
+    pub fn with_config(mut self, config: MigrationConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    fn ship_path(&self, plan: MigrationPlan) -> PathBuf {
+        self.staging.join(format!(
+            "migrate-seg{}-{}to{}.tvm",
+            plan.segment.0, plan.from, plan.to
+        ))
+    }
+
+    /// Run `plan` to completion. On error the migration has been cleanly
+    /// aborted (placement untouched, source authoritative, destination
+    /// state garbage-collected) — unless the flip had already committed, in
+    /// which case re-running the identical plan completes idempotently.
+    pub fn run(&self, plan: MigrationPlan) -> TvResult<MigrationReport> {
+        let started = Instant::now();
+        let table = self.runtime.placement();
+
+        // Idempotent retry: a previous attempt that died after the flip
+        // left the table already moved; only the release is outstanding.
+        if !table.holds(plan.segment, plan.from) && table.holds(plan.segment, plan.to) {
+            self.release(plan);
+            return Ok(MigrationReport {
+                segment: plan.segment,
+                from: plan.from,
+                to: plan.to,
+                generation: table.generation(),
+                shipped_bytes: 0,
+                catchup_rounds: 0,
+                catchup_records: 0,
+                flip_pause: Duration::ZERO,
+                total: started.elapsed(),
+                already_complete: true,
+            });
+        }
+
+        if plan.to >= self.runtime.config.servers {
+            return Err(TvError::InvalidArgument(format!(
+                "migration destination {} outside cluster of {} servers",
+                plan.to, self.runtime.config.servers
+            )));
+        }
+        if !table.holds(plan.segment, plan.from) {
+            return Err(TvError::InvalidArgument(format!(
+                "server {} does not hold segment {}",
+                plan.from, plan.segment.0
+            )));
+        }
+        if table.holds(plan.segment, plan.to) {
+            return Err(TvError::InvalidArgument(format!(
+                "server {} already holds segment {}",
+                plan.to, plan.segment.0
+            )));
+        }
+
+        match self.execute(plan, started) {
+            Ok(report) => Ok(report),
+            Err((phase, e)) => {
+                self.abort(plan);
+                self.runtime
+                    .migration_errors()
+                    .record(phase, plan.segment, &e);
+                Err(e)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn execute(
+        &self,
+        plan: MigrationPlan,
+        started: Instant,
+    ) -> Result<MigrationReport, (MigrationPhase, TvError)> {
+        use MigrationPhase as P;
+        let seg_id = plan.segment;
+        let crash = self.crash.as_deref();
+        let path = self.ship_path(plan);
+
+        // --- Phase 1: Ship -------------------------------------------------
+        let src = self
+            .runtime
+            .store(plan.from)
+            .read()
+            .get(&seg_id)
+            .cloned()
+            .ok_or_else(|| {
+                (
+                    P::Ship,
+                    TvError::Cluster(format!(
+                        "source server {} has no local copy of segment {}",
+                        plan.from, seg_id.0
+                    )),
+                )
+            })?;
+        crash_hook(crash, CrashPoint::MigrateMidShip).map_err(|e| (P::Ship, e))?;
+        let snap = src.newest_snapshot();
+        let snap_tid = snap.up_to;
+        let payload = encode_shipped_segment(&src, snap_tid, &snap.index);
+        let shipped_bytes = payload.len() as u64;
+        std::fs::create_dir_all(&self.staging)
+            .map_err(|e| (P::Ship, TvError::Storage(format!("staging dir: {e}"))))?;
+        durafile::write_atomic(&path, KIND_MIGRATE_SEG, FORMAT_VERSION, &payload)
+            .map_err(|e| (P::Ship, e))?;
+        if crash_hook(crash, CrashPoint::MigrateShipTruncate).is_err() {
+            // The injected "crash" models a transfer cut mid-stream: chop
+            // the shipped container and carry on — the install phase's CRC
+            // verification must catch it and abort the migration.
+            truncate_file(&path).map_err(|e| (P::Ship, e))?;
+        }
+
+        // --- Phase 2: Install ----------------------------------------------
+        let (_, read_back) =
+            durafile::read(&path, KIND_MIGRATE_SEG).map_err(|e| (P::Install, e))?;
+        let dest = decode_shipped_segment(&read_back).map_err(|e| (P::Install, e))?;
+        crash_hook(crash, CrashPoint::MigrateMidInstall).map_err(|e| (P::Install, e))?;
+        let dest = Arc::new(dest);
+        self.runtime
+            .store(plan.to)
+            .write()
+            .insert(seg_id, Arc::clone(&dest));
+
+        // --- Phase 3: Catch up ---------------------------------------------
+        let mut cursor = snap_tid;
+        let mut catchup_rounds = 0u64;
+        let mut catchup_records = 0u64;
+        loop {
+            let tail = src.delta_tail(cursor, Tid::MAX);
+            if tail.len() <= self.config.flip_threshold
+                || catchup_rounds >= self.config.max_catchup_rounds as u64
+            {
+                break;
+            }
+            crash_hook(crash, CrashPoint::MigrateMidCatchup).map_err(|e| (P::CatchUp, e))?;
+            let batch = &tail[..tail.len().min(self.config.catchup_batch)];
+            dest.append_deltas(batch).map_err(|e| (P::CatchUp, e))?;
+            cursor = batch.last().expect("non-empty batch").tid;
+            catchup_records += batch.len() as u64;
+            catchup_rounds += 1;
+        }
+
+        // --- Phase 4: Flip --------------------------------------------------
+        // Under the append gate: no writer can slip a record between the
+        // final-tail drain and the table swap.
+        let gate = self.runtime.write_gate(seg_id);
+        let flip_started = Instant::now();
+        let generation;
+        {
+            let _guard = gate.lock();
+            crash_hook(crash, CrashPoint::MigrateAtFlip).map_err(|e| (P::Flip, e))?;
+            let tail = src.delta_tail(cursor, Tid::MAX);
+            if !tail.is_empty() {
+                dest.append_deltas(&tail).map_err(|e| (P::Flip, e))?;
+                catchup_records += tail.len() as u64;
+            }
+            generation = self
+                .runtime
+                .commit_flip(seg_id, plan.from, plan.to)
+                .map_err(|e| (P::Flip, e))?;
+        }
+        let flip_pause = flip_started.elapsed();
+
+        // --- Phase 5: Release ----------------------------------------------
+        crash_hook(crash, CrashPoint::MigratePostFlipPreRelease).map_err(|e| (P::Release, e))?;
+        self.release(plan);
+
+        Ok(MigrationReport {
+            segment: seg_id,
+            from: plan.from,
+            to: plan.to,
+            generation,
+            shipped_bytes,
+            catchup_rounds,
+            catchup_records,
+            flip_pause,
+            total: started.elapsed(),
+            already_complete: false,
+        })
+    }
+
+    /// Post-flip cleanup: drop the source's copy (it is no longer a table
+    /// holder) and the staging file. Idempotent.
+    fn release(&self, plan: MigrationPlan) {
+        let table = self.runtime.placement();
+        if !table.holds(plan.segment, plan.from) {
+            self.runtime.store(plan.from).write().remove(&plan.segment);
+        }
+        let _ = std::fs::remove_file(self.ship_path(plan));
+    }
+
+    /// Pre-flip cleanup: garbage-collect the orphaned destination state.
+    /// Guarded by the table so an abort can never remove a copy that a
+    /// committed flip made authoritative. Idempotent.
+    fn abort(&self, plan: MigrationPlan) {
+        let table = self.runtime.placement();
+        if !table.holds(plan.segment, plan.to) {
+            self.runtime.store(plan.to).write().remove(&plan.segment);
+        }
+        let _ = std::fs::remove_file(self.ship_path(plan));
+    }
+}
+
+/// Chop the tail off a staged container (the partial-transfer fault).
+fn truncate_file(path: &Path) -> TvResult<()> {
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| TvError::Storage(format!("truncate open: {e}")))?;
+    let len = f
+        .metadata()
+        .map_err(|e| TvError::Storage(format!("truncate stat: {e}")))?
+        .len();
+    f.set_len(len * 2 / 3)
+        .map_err(|e| TvError::Storage(format!("truncate: {e}")))?;
+    Ok(())
+}
+
+/// Shipped-segment payload: everything the destination needs to rebuild an
+/// independent, byte-identical serving copy.
+///
+/// ```text
+/// seg u32 | up_to u64 | capacity u64 | dim u64 | metric u8 |
+/// tier u8 | pq_m u64 | keep_f32 u8 | rerank u64 |
+/// index_len u64 | index bytes (tv-hnsw snapshot container)
+/// ```
+fn encode_shipped_segment(
+    src: &EmbeddingSegment,
+    up_to: Tid,
+    index: &tv_hnsw::HnswIndex,
+) -> Vec<u8> {
+    let index_bytes = snapshot::to_bytes(index);
+    let quant = src.quant_spec();
+    let cfg = index.config();
+    let mut out = Vec::with_capacity(index_bytes.len() + 64);
+    out.extend_from_slice(&src.segment_id.0.to_le_bytes());
+    out.extend_from_slice(&up_to.0.to_le_bytes());
+    out.extend_from_slice(&(src.capacity() as u64).to_le_bytes());
+    out.extend_from_slice(&(cfg.dim as u64).to_le_bytes());
+    out.push(match cfg.metric {
+        DistanceMetric::L2 => 0,
+        DistanceMetric::Cosine => 1,
+        DistanceMetric::InnerProduct => 2,
+    });
+    let (tier, pq_m) = match quant.tier {
+        StorageTier::F32 => (0u8, 0u64),
+        StorageTier::Sq8 => (1, 0),
+        StorageTier::Pq { m } => (2, m as u64),
+    };
+    out.push(tier);
+    out.extend_from_slice(&pq_m.to_le_bytes());
+    out.push(u8::from(quant.keep_f32));
+    out.extend_from_slice(&(quant.rerank_factor as u64).to_le_bytes());
+    out.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(&index_bytes);
+    out
+}
+
+/// Decode a shipped segment into a fresh destination copy (a pristine
+/// segment with the shipped index installed as its newest snapshot).
+fn decode_shipped_segment(payload: &[u8]) -> TvResult<EmbeddingSegment> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> TvResult<&[u8]> {
+        let end = pos.checked_add(n).filter(|&e| e <= payload.len());
+        let Some(end) = end else {
+            return Err(TvError::Storage("shipped segment truncated".into()));
+        };
+        let s = &payload[*pos..end];
+        *pos = end;
+        Ok(s)
+    };
+    let take_u32 = |pos: &mut usize| -> TvResult<u32> {
+        Ok(u32::from_le_bytes(
+            take(pos, 4)?.try_into().expect("4 bytes"),
+        ))
+    };
+    let take_u64 = |pos: &mut usize| -> TvResult<u64> {
+        Ok(u64::from_le_bytes(
+            take(pos, 8)?.try_into().expect("8 bytes"),
+        ))
+    };
+    let take_u8 = |pos: &mut usize| -> TvResult<u8> { Ok(take(pos, 1)?[0]) };
+
+    let seg_id = SegmentId(take_u32(&mut pos)?);
+    let up_to = Tid(take_u64(&mut pos)?);
+    let capacity = usize::try_from(take_u64(&mut pos)?)
+        .map_err(|_| TvError::Storage("shipped capacity overflow".into()))?;
+    let dim = usize::try_from(take_u64(&mut pos)?)
+        .map_err(|_| TvError::Storage("shipped dim overflow".into()))?;
+    let metric = match take_u8(&mut pos)? {
+        0 => DistanceMetric::L2,
+        1 => DistanceMetric::Cosine,
+        2 => DistanceMetric::InnerProduct,
+        m => return Err(TvError::Storage(format!("unknown shipped metric {m}"))),
+    };
+    let tier = take_u8(&mut pos)?;
+    let pq_m = take_u64(&mut pos)? as usize;
+    let keep_f32 = take_u8(&mut pos)? != 0;
+    let rerank_factor = take_u64(&mut pos)? as usize;
+    let quant = QuantSpec {
+        tier: match tier {
+            0 => StorageTier::F32,
+            1 => StorageTier::Sq8,
+            2 => StorageTier::Pq { m: pq_m },
+            t => return Err(TvError::Storage(format!("unknown shipped tier {t}"))),
+        },
+        keep_f32,
+        rerank_factor,
+    };
+    let index_len = usize::try_from(take_u64(&mut pos)?)
+        .map_err(|_| TvError::Storage("shipped index length overflow".into()))?;
+    let index = snapshot::from_bytes(take(&mut pos, index_len)?)?;
+
+    let def = EmbeddingTypeDef::new("migrated", dim, "migrated", metric).with_quant(quant);
+    let dest = EmbeddingSegment::new(seg_id, &def, capacity);
+    dest.restore_checkpoint(up_to, index, &[])?;
+    Ok(dest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tv_common::ids::{LocalId, VertexId};
+    use tv_common::SplitMix64;
+    use tv_hnsw::DeltaRecord;
+
+    fn shipped_roundtrip(quant: QuantSpec) {
+        let def = EmbeddingTypeDef::new("e", 8, "M", DistanceMetric::Cosine).with_quant(quant);
+        let src = EmbeddingSegment::new(SegmentId(7), &def, 256);
+        let mut rng = SplitMix64::new(5);
+        let recs: Vec<DeltaRecord> = (0..40)
+            .map(|i| {
+                let v: Vec<f32> = (0..8).map(|_| rng.next_f32()).collect();
+                DeltaRecord::upsert(
+                    VertexId::new(SegmentId(7), LocalId(i)),
+                    Tid(u64::from(i) + 1),
+                    v,
+                )
+            })
+            .collect();
+        src.append_deltas(&recs).unwrap();
+        src.delta_merge(Tid(40)).unwrap();
+        src.index_merge(Tid(40)).unwrap();
+
+        let snap = src.newest_snapshot();
+        let payload = encode_shipped_segment(&src, snap.up_to, &snap.index);
+        let dest = decode_shipped_segment(&payload).unwrap();
+        assert_eq!(dest.segment_id, SegmentId(7));
+        assert_eq!(dest.capacity(), 256);
+        assert_eq!(dest.quant_spec(), quant);
+        // The installed snapshot serializes byte-identically to the source's.
+        let dsnap = dest.newest_snapshot();
+        assert_eq!(dsnap.up_to, snap.up_to);
+        assert_eq!(
+            snapshot::to_bytes(&dsnap.index),
+            snapshot::to_bytes(&snap.index)
+        );
+    }
+
+    #[test]
+    fn shipped_segment_roundtrips_byte_identically() {
+        shipped_roundtrip(QuantSpec::f32());
+        shipped_roundtrip(QuantSpec::sq8());
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected_loudly() {
+        let def = EmbeddingTypeDef::new("e", 8, "M", DistanceMetric::L2);
+        let src = EmbeddingSegment::new(SegmentId(0), &def, 64);
+        let snap = src.newest_snapshot();
+        let payload = encode_shipped_segment(&src, snap.up_to, &snap.index);
+        for cut in [0, 5, payload.len() / 2, payload.len() - 1] {
+            assert!(
+                decode_shipped_segment(&payload[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn migration_errors_log_records_and_counts() {
+        let errs = MigrationErrors::default();
+        assert_eq!(errs.count(), 0);
+        assert!(errs.last().is_none());
+        errs.record(
+            MigrationPhase::Install,
+            SegmentId(3),
+            &TvError::Storage("crc mismatch".into()),
+        );
+        errs.record(
+            MigrationPhase::Flip,
+            SegmentId(4),
+            &TvError::Injected("migrate/at-flip".into()),
+        );
+        assert_eq!(errs.count(), 2);
+        let (phase, seg, msg) = errs.last().unwrap();
+        assert_eq!(phase, MigrationPhase::Flip);
+        assert_eq!(seg, SegmentId(4));
+        assert!(msg.contains("at-flip"));
+        assert_eq!(errs.entries().len(), 2);
+    }
+}

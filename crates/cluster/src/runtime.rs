@@ -31,9 +31,10 @@
 
 use crate::fault::FaultPlan;
 use crate::filter::{FilterSet, SegmentFilter};
-use crate::placement::Placement;
+use crate::migrate::MigrationErrors;
+use crate::placement::{Placement, PlacementTable};
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,7 +43,13 @@ use tv_common::{
     WorkerPool,
 };
 use tv_embedding::EmbeddingSegment;
-use tv_hnsw::SearchStats;
+use tv_hnsw::{DeltaRecord, SearchStats};
+
+/// One server's local segment store. Replicas registered through
+/// [`ClusterRuntime::add_segment`] share a single [`EmbeddingSegment`]
+/// `Arc`; a migrated-in copy is an independent instance kept convergent by
+/// delta-tail replay.
+type SegmentStore = Arc<RwLock<HashMap<SegmentId, Arc<EmbeddingSegment>>>>;
 
 /// Runtime configuration.
 #[derive(Debug, Clone, Copy)]
@@ -126,6 +133,10 @@ pub struct ClusterResponse {
     pub retries: u64,
     /// Hedged (duplicate) requests sent to replicas of slow servers.
     pub hedges: u64,
+    /// Segments re-routed mid-query because the addressed server had
+    /// migrated them away (the query pinned an older placement generation
+    /// at scatter; the coordinator re-resolved against the fresh table).
+    pub moved_redirects: u64,
     /// Segments that contributed nothing (sorted; empty when complete).
     pub unsearched: Vec<SegmentId>,
 }
@@ -153,6 +164,10 @@ struct Request {
 struct WorkerReply {
     server: usize,
     results: Vec<(SegmentId, Vec<Neighbor>)>,
+    /// Segments the coordinator asked for that this server's store no
+    /// longer holds — migrated away after the query pinned its placement.
+    /// The coordinator re-routes them against the fresh table.
+    moved: Vec<SegmentId>,
     stats: SearchStats,
     took: Duration,
     timed_out: bool,
@@ -162,10 +177,24 @@ struct WorkerReply {
 pub struct ClusterRuntime {
     /// The configuration the runtime was started with.
     pub config: RuntimeConfig,
-    placement: Placement,
-    /// Segment stores shared with worker jobs (server i serves the
-    /// segments placement assigns it).
-    segments: Arc<RwLock<HashMap<SegmentId, Arc<EmbeddingSegment>>>>,
+    /// Placement *policy*: where a newly registered segment's replicas land.
+    policy: Placement,
+    /// Placement *authority*: the generation-versioned routing table.
+    /// Swapped atomically (behind `Arc`) at migration flips; queries clone
+    /// the `Arc` once at scatter and keep that exact view to completion.
+    table: RwLock<Arc<PlacementTable>>,
+    /// Per-server segment stores (server `i` owns `stores[i]`). A worker
+    /// only ever sees its own store, so a drained server answers `Moved`
+    /// rather than silently serving a stale copy.
+    stores: Vec<SegmentStore>,
+    /// Per-segment append gates: [`ClusterRuntime::append_deltas`] holds a
+    /// segment's gate for the duration of the append, and the migration
+    /// flip holds it across final-tail drain + table swap, so no committed
+    /// record can fall between the source and destination copies.
+    write_gates: Mutex<HashMap<SegmentId, Arc<Mutex<()>>>>,
+    /// Migration failure log (phase, segment, error) — the `VacuumErrors`
+    /// pattern: aborts are recorded, never silently swallowed.
+    migration_errors: Arc<MigrationErrors>,
     /// Shared execution pool: one warm worker per server, so a delayed or
     /// faulted request occupies one slot without starving the others. This
     /// runtime owns its pool (rather than using the process-global one) so
@@ -179,15 +208,19 @@ impl ClusterRuntime {
     /// Spin up the server worker pool.
     #[must_use]
     pub fn start(config: RuntimeConfig) -> Self {
-        let placement = Placement::new(config.servers, config.replication);
-        let segments: Arc<RwLock<HashMap<SegmentId, Arc<EmbeddingSegment>>>> =
-            Arc::new(RwLock::new(HashMap::new()));
+        let policy = Placement::new(config.servers, config.replication);
+        let stores = (0..config.servers)
+            .map(|_| Arc::new(RwLock::new(HashMap::new())))
+            .collect();
         let faults = Arc::new(FaultPlan::new());
         let pool = Arc::new(WorkerPool::new(config.servers.max(1)));
         ClusterRuntime {
+            table: RwLock::new(Arc::new(PlacementTable::new(config.servers))),
             config,
-            placement,
-            segments,
+            policy,
+            stores,
+            write_gates: Mutex::new(HashMap::new()),
+            migration_errors: Arc::new(MigrationErrors::default()),
             pool,
             down: RwLock::new(Vec::new()),
             faults,
@@ -199,7 +232,7 @@ impl ClusterRuntime {
     /// delay sleeps, drop-reply does the work but loses the answer) and
     /// pushes a [`WorkerReply`] into the response channel otherwise.
     fn dispatch(&self, req: Request) {
-        let segs = Arc::clone(&self.segments);
+        let store = Arc::clone(&self.stores[req.server]);
         let plan = Arc::clone(&self.faults);
         let planner = self.config.planner;
         self.pool.spawn(move || {
@@ -214,9 +247,10 @@ impl ClusterRuntime {
             }
             let started = Instant::now();
             let mut results: Vec<(SegmentId, Vec<Neighbor>)> = Vec::new();
+            let mut moved: Vec<SegmentId> = Vec::new();
             let mut stats = SearchStats::default();
             let mut timed_out = false;
-            let map = segs.read();
+            let map = store.read();
             for seg_id in req.segments {
                 if req.deadline.expired() {
                     timed_out = true;
@@ -236,6 +270,11 @@ impl ClusterRuntime {
                     let (r, s) = seg.search(&req.query, req.k, req.ef, filter, req.tid, &planner);
                     stats.merge(&s);
                     results.push((seg_id, r));
+                } else {
+                    // This server no longer (or never) holds the segment —
+                    // the coordinator routed against a pre-flip table.
+                    // Report it as moved rather than inventing an answer.
+                    moved.push(seg_id);
                 }
             }
             drop(map);
@@ -248,6 +287,7 @@ impl ClusterRuntime {
             let _ = req.reply.send(WorkerReply {
                 server: req.server,
                 results,
+                moved,
                 stats,
                 took: started.elapsed(),
                 timed_out,
@@ -260,45 +300,184 @@ impl ClusterRuntime {
     /// forwarded to each segment's intra-index build. Returns the per-
     /// segment merge results keyed by segment id, sorted.
     pub fn index_merge_all(&self, up_to: Tid) -> TvResult<Vec<(SegmentId, Option<Tid>)>> {
-        let segs: Vec<Arc<EmbeddingSegment>> = {
-            let map = self.segments.read();
-            let mut v: Vec<_> = map.values().cloned().collect();
-            v.sort_unstable_by_key(|s| s.segment_id);
-            v
-        };
+        // Every *distinct* copy per segment is merged: replicas registered
+        // through `add_segment` share one instance, but a mid-migration
+        // destination copy is independent and must not be left behind.
+        let table = self.table.read().clone();
+        let mut jobs: Vec<(SegmentId, Arc<EmbeddingSegment>)> = Vec::new();
+        for id in table.segment_ids() {
+            let mut seen: Vec<*const EmbeddingSegment> = Vec::new();
+            for &h in table.holders(id) {
+                if let Some(seg) = self.stores[h].read().get(&id) {
+                    if !seen.contains(&Arc::as_ptr(seg)) {
+                        seen.push(Arc::as_ptr(seg));
+                        jobs.push((id, Arc::clone(seg)));
+                    }
+                }
+            }
+        }
         let build_threads = self.config.build_threads;
         let width = self.pool.width();
-        let out = self.pool.run(segs, width, |seg| {
+        let out = self.pool.run(jobs, width, |(id, seg)| {
             let merged = seg.index_merge_with(up_to, build_threads)?;
-            Ok::<_, TvError>((seg.segment_id, merged))
+            Ok::<_, TvError>((id, merged))
         });
-        out.into_iter().collect()
+        let merged: Vec<(SegmentId, Option<Tid>)> = out.into_iter().collect::<TvResult<_>>()?;
+        // One row per segment: copies fold the same record set to the same
+        // tid, so the first (jobs are segment-ordered) speaks for all.
+        let mut per_seg: Vec<(SegmentId, Option<Tid>)> = Vec::new();
+        for (id, m) in merged {
+            if per_seg.last().map(|&(last, _)| last) != Some(id) {
+                per_seg.push((id, m));
+            }
+        }
+        Ok(per_seg)
     }
 
-    /// Register an embedding segment with the cluster (the owner is derived
-    /// from the placement).
+    /// Register an embedding segment with the cluster. The holders come
+    /// from the round-robin [`Placement`] policy; all replicas share this
+    /// one instance. Registration does not bump the placement generation —
+    /// it cannot invalidate any in-flight route.
     pub fn add_segment(&self, segment: Arc<EmbeddingSegment>) {
-        self.segments.write().insert(segment.segment_id, segment);
+        let id = segment.segment_id;
+        let holders = self.policy.holders(id);
+        for &h in &holders {
+            self.stores[h].write().insert(id, Arc::clone(&segment));
+        }
+        let mut table = self.table.write();
+        *table = Arc::new(table.assign(id, holders));
     }
 
     /// Number of registered segments.
     #[must_use]
     pub fn segment_count(&self) -> usize {
-        self.segments.read().len()
+        self.table.read().len()
     }
 
     /// Registered segment ids, sorted.
     #[must_use]
     pub fn segment_ids(&self) -> Vec<SegmentId> {
-        let mut ids: Vec<SegmentId> = self.segments.read().keys().copied().collect();
-        ids.sort_unstable();
-        ids
+        self.table.read().segment_ids()
     }
 
-    /// The placement map.
+    /// The currently serving copy of `seg` (the first live table holder's),
+    /// or `None` if unknown everywhere.
     #[must_use]
-    pub fn placement(&self) -> &Placement {
-        &self.placement
+    pub fn segment(&self, seg: SegmentId) -> Option<Arc<EmbeddingSegment>> {
+        let table = self.table.read().clone();
+        for &h in table.holders(seg) {
+            if let Some(s) = self.stores[h].read().get(&seg) {
+                return Some(Arc::clone(s));
+            }
+        }
+        None
+    }
+
+    /// The current placement table. Queries clone this `Arc` once at
+    /// scatter and route against that exact view to completion; a flip
+    /// committed mid-query swaps the runtime's table without touching any
+    /// pinned clone.
+    #[must_use]
+    pub fn placement(&self) -> Arc<PlacementTable> {
+        self.table.read().clone()
+    }
+
+    /// The current placement generation (bumped once per committed
+    /// migration flip).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.table.read().generation()
+    }
+
+    /// Append committed delta records to every distinct copy of `seg`,
+    /// under the segment's append gate. During a live migration the gate
+    /// serializes appends against the flip critical section: a record
+    /// either lands on the source in time for the final-tail drain or on
+    /// the destination after the flip — never in the gap between.
+    pub fn append_deltas(&self, seg: SegmentId, records: &[DeltaRecord]) -> TvResult<()> {
+        let gate = self.write_gate(seg);
+        let _guard = gate.lock();
+        let table = self.table.read().clone();
+        let holders = table.holders(seg);
+        if holders.is_empty() {
+            return Err(TvError::NotFound(format!(
+                "segment {} not registered with the cluster",
+                seg.0
+            )));
+        }
+        let mut targets: Vec<Arc<EmbeddingSegment>> = Vec::new();
+        for &h in holders {
+            if let Some(s) = self.stores[h].read().get(&seg) {
+                if !targets.iter().any(|t| Arc::ptr_eq(t, s)) {
+                    targets.push(Arc::clone(s));
+                }
+            }
+        }
+        if targets.is_empty() {
+            return Err(TvError::Cluster(format!(
+                "no holder of segment {} has a local copy",
+                seg.0
+            )));
+        }
+        for t in targets {
+            t.append_deltas(records)?;
+        }
+        Ok(())
+    }
+
+    /// Search `seg` directly on `server` — the per-server request surface.
+    /// A server that does not hold the segment answers with the typed
+    /// [`TvError::Moved`] redirect (carrying the current generation) rather
+    /// than an empty result that could be mistaken for a real answer.
+    pub fn search_on(
+        &self,
+        server: usize,
+        seg: SegmentId,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        tid: Tid,
+    ) -> TvResult<Vec<Neighbor>> {
+        let store = self.stores.get(server).ok_or_else(|| {
+            TvError::InvalidArgument(format!("server {server} outside the cluster"))
+        })?;
+        let Some(segment) = store.read().get(&seg).cloned() else {
+            return Err(TvError::Moved {
+                segment: seg,
+                generation: self.generation(),
+            });
+        };
+        let (r, _) = segment.search(query, k, ef, None, tid, &self.config.planner);
+        Ok(r)
+    }
+
+    /// The migration failure log (phase, segment, error per abort).
+    #[must_use]
+    pub fn migration_errors(&self) -> &MigrationErrors {
+        &self.migration_errors
+    }
+
+    /// Server `s`'s local segment store (migration installs/releases copies
+    /// here).
+    pub(crate) fn store(&self, server: usize) -> &SegmentStore {
+        &self.stores[server]
+    }
+
+    /// The append gate for `seg` (created on first use).
+    pub(crate) fn write_gate(&self, seg: SegmentId) -> Arc<Mutex<()>> {
+        Arc::clone(self.write_gates.lock().entry(seg).or_default())
+    }
+
+    /// Atomically publish the placement move `seg: from -> to`, returning
+    /// the new generation. Validation (source holds, destination does not)
+    /// lives in [`PlacementTable::with_move`]. Callers must hold the
+    /// segment's append gate.
+    pub(crate) fn commit_flip(&self, seg: SegmentId, from: usize, to: usize) -> TvResult<u64> {
+        let mut table = self.table.write();
+        let next = table.with_move(seg, from, to)?;
+        let generation = next.generation();
+        *table = Arc::new(next);
+        Ok(generation)
     }
 
     /// The fault-injection schedule workers consult on every request.
@@ -339,10 +518,11 @@ impl ClusterRuntime {
         self.top_k_deadline(query, k, ef, tid, filters, Deadline::none())
     }
 
-    /// Route each pending segment to a live, non-suspect holder. Returns
-    /// the per-server assignment and the segments with no holder left.
+    /// Route each pending segment to a live, non-suspect holder of the
+    /// given (query-pinned) placement table. Returns the per-server
+    /// assignment and the segments with no holder left.
     fn route(
-        &self,
+        table: &PlacementTable,
         pending: &HashSet<SegmentId>,
         down: &[usize],
         suspects: &HashSet<usize>,
@@ -351,7 +531,7 @@ impl ClusterRuntime {
         let mut assignment: HashMap<usize, Vec<SegmentId>> = HashMap::new();
         let mut unroutable = Vec::new();
         for &seg in pending {
-            match self.placement.serving_excluding(seg, down, &excluded) {
+            match table.serving_excluding(seg, down, &excluded) {
                 Some(s) => assignment.entry(s).or_default().push(seg),
                 None => unroutable.push(seg),
             }
@@ -384,9 +564,15 @@ impl ClusterRuntime {
         let down = self.down.read().clone();
         let filters = Arc::new(filters.cloned().unwrap_or_default());
 
+        // Pin the placement: this query routes against exactly this view
+        // even if a migration flip swaps the runtime's table mid-flight. A
+        // server drained after the pin answers `moved`, which re-resolves
+        // against the fresh table below.
+        let table = self.table.read().clone();
+
         // Resolve the filter policy at the coordinator: excluded segments
         // are covered (their answer is empty by policy), never scattered.
-        let all_segments = self.segment_ids();
+        let all_segments = table.segment_ids();
         let segments_total = all_segments.len();
         let mut covered_by_policy = 0usize;
         let mut pending: HashSet<SegmentId> = HashSet::new();
@@ -408,11 +594,16 @@ impl ClusterRuntime {
         let mut suspects: HashSet<usize> = HashSet::new();
         let mut retries = 0u64;
         let mut hedges = 0u64;
+        let mut moved_redirects = 0u64;
+        // Per-segment redirect budget: a livelock guard against a segment
+        // bouncing between stale views (one flip moves a segment once, so
+        // real migrations need exactly one redirect).
+        let mut redirect_budget: HashMap<SegmentId, u32> = HashMap::new();
         let mut worker_deadline_hit = false;
         let mut wave = 0usize;
 
         'waves: while !pending.is_empty() {
-            let (assignment, unroutable) = self.route(&pending, &down, &suspects);
+            let (assignment, unroutable) = Self::route(&table, &pending, &down, &suspects);
             if !degraded && !unroutable.is_empty() {
                 let seg = unroutable[0];
                 return Err(TvError::Cluster(if wave == 0 {
@@ -462,6 +653,7 @@ impl ClusterRuntime {
                     if !hedged_this_wave {
                         if elapsed >= h {
                             hedges += self.send_hedges(
+                                &table,
                                 &wave_assignment,
                                 &pending,
                                 &down,
@@ -496,6 +688,37 @@ impl ClusterRuntime {
                                 gathered.push((seg, list));
                             }
                         }
+                        for seg in reply.moved {
+                            if !pending.contains(&seg) {
+                                continue;
+                            }
+                            let budget = redirect_budget.entry(seg).or_insert(0);
+                            if *budget >= 3 {
+                                continue;
+                            }
+                            *budget += 1;
+                            // Typed redirect: re-resolve against the
+                            // *fresh* table — the pinned view is what sent
+                            // us to the drained server in the first place.
+                            let fresh = self.table.read().clone();
+                            let excluded: Vec<usize> = suspects.iter().copied().collect();
+                            if let Some(target) = fresh.serving_excluding(seg, &down, &excluded) {
+                                moved_redirects += 1;
+                                self.dispatch(Request {
+                                    server: target,
+                                    query: Arc::clone(&query),
+                                    k,
+                                    ef,
+                                    tid,
+                                    segments: vec![seg],
+                                    filters: Arc::clone(&filters),
+                                    deadline,
+                                    reply: reply_tx.clone(),
+                                });
+                                outstanding.insert(target);
+                                wave_assignment.entry(target).or_default().push(seg);
+                            }
+                        }
                     }
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => break,
@@ -527,7 +750,7 @@ impl ClusterRuntime {
         // unsearched segment failed this query just as surely as a timeout.
         let mut failed = suspects;
         for &seg in &pending {
-            for holder in self.placement.holders(seg) {
+            for &holder in table.holders(seg) {
                 if down.contains(&holder) {
                     failed.insert(holder);
                 }
@@ -562,6 +785,7 @@ impl ClusterRuntime {
             coverage,
             retries,
             hedges,
+            moved_redirects,
             unsearched,
         })
     }
@@ -572,6 +796,7 @@ impl ClusterRuntime {
     #[allow(clippy::too_many_arguments)]
     fn send_hedges(
         &self,
+        table: &PlacementTable,
         wave_assignment: &HashMap<usize, Vec<SegmentId>>,
         pending: &HashSet<SegmentId>,
         down: &[usize],
@@ -620,7 +845,7 @@ impl ClusterRuntime {
         }
         let mut per_alt: HashMap<usize, Vec<SegmentId>> = HashMap::new();
         for seg in segs {
-            if let Some(alt) = self.placement.serving_excluding(seg, down, &avoid) {
+            if let Some(alt) = table.serving_excluding(seg, down, &avoid) {
                 per_alt.entry(alt).or_default().push(seg);
             }
         }
@@ -1045,21 +1270,18 @@ mod tests {
         let _ = def;
         let mut tid = 6 * 25;
         let mut extra = Vec::new();
-        {
-            let segs = runtime.segments.read();
-            for s in 0..6u32 {
-                let seg = &segs[&SegmentId(s)];
-                let mut recs = Vec::new();
-                for l in 25..30u32 {
-                    tid += 1;
-                    let v: Vec<f32> = (0..8).map(|d| (d + l + s * 100) as f32).collect();
-                    let id = VertexId::new(SegmentId(s), LocalId(l));
-                    recs.push(DeltaRecord::upsert(id, Tid(tid), v.clone()));
-                    extra.push((id, v));
-                }
-                seg.append_deltas(&recs).unwrap();
-                seg.delta_merge(Tid(tid)).unwrap();
+        for s in 0..6u32 {
+            let seg = runtime.segment(SegmentId(s)).unwrap();
+            let mut recs = Vec::new();
+            for l in 25..30u32 {
+                tid += 1;
+                let v: Vec<f32> = (0..8).map(|d| (d + l + s * 100) as f32).collect();
+                let id = VertexId::new(SegmentId(s), LocalId(l));
+                recs.push(DeltaRecord::upsert(id, Tid(tid), v.clone()));
+                extra.push((id, v));
             }
+            runtime.append_deltas(SegmentId(s), &recs).unwrap();
+            seg.delta_merge(Tid(tid)).unwrap();
         }
         let merged = runtime.index_merge_all(Tid(tid)).unwrap();
         assert_eq!(merged.len(), 6);
@@ -1072,5 +1294,67 @@ mod tests {
         let r = runtime.top_k(v, 1, 64, Tid::MAX, None).unwrap();
         assert_eq!(r.neighbors[0].id, *id);
         let _ = all;
+    }
+
+    #[test]
+    fn search_on_a_non_holder_is_a_typed_moved_redirect() {
+        let (runtime, all) = loaded_cluster(3, 1, 6, 20);
+        // Segment 1 lives on server 1; server 2 does not hold it.
+        let ok = runtime
+            .search_on(1, SegmentId(1), &all[25].1, 3, 32, Tid::MAX)
+            .unwrap();
+        assert!(!ok.is_empty());
+        let err = runtime
+            .search_on(2, SegmentId(1), &all[25].1, 3, 32, Tid::MAX)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TvError::Moved {
+                    segment: SegmentId(1),
+                    generation: 0,
+                }
+            ),
+            "got {err:?}"
+        );
+        assert!(err.is_retryable());
+        assert!(runtime
+            .search_on(99, SegmentId(1), &all[25].1, 3, 32, Tid::MAX)
+            .is_err());
+    }
+
+    #[test]
+    fn add_segment_registers_every_replica_with_one_shared_copy() {
+        let (runtime, _all) = loaded_cluster(4, 2, 8, 10);
+        let table = runtime.placement();
+        assert_eq!(table.generation(), 0);
+        for s in 0..8u32 {
+            let seg = SegmentId(s);
+            let holders = table.holders(seg);
+            assert_eq!(holders.len(), 2);
+            let copies: Vec<_> = holders
+                .iter()
+                .map(|&h| runtime.store(h).read().get(&seg).cloned().unwrap())
+                .collect();
+            assert!(
+                Arc::ptr_eq(&copies[0], &copies[1]),
+                "replicas share one copy"
+            );
+            // Non-holders have nothing.
+            for server in 0..4 {
+                if !holders.contains(&server) {
+                    assert!(runtime.store(server).read().get(&seg).is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn append_deltas_requires_a_registered_segment() {
+        let (runtime, _all) = loaded_cluster(2, 1, 2, 10);
+        let v: Vec<f32> = vec![0.0; 8];
+        let rec = DeltaRecord::upsert(VertexId::new(SegmentId(9), LocalId(0)), Tid(1000), v);
+        let err = runtime.append_deltas(SegmentId(9), &[rec]).unwrap_err();
+        assert!(matches!(err, TvError::NotFound(_)), "got {err:?}");
     }
 }

@@ -165,6 +165,38 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Knobs for coordinator-driven live segment migration (snapshot-ship +
+/// delta-tail catch-up + atomic placement flip). The defaults bound how
+/// long the flip critical section can get: catch-up keeps replaying the
+/// source's delta tail in the background until the remaining tail is at
+/// most `flip_threshold` records, then the flip drains that residue while
+/// appends to the segment are briefly gated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationConfig {
+    /// Maximum delta-tail length carried into the flip critical section.
+    /// Catch-up loops until the tail is at or below this many records (or
+    /// `max_catchup_rounds` is exhausted); whatever remains is replayed
+    /// under the append gate during the flip.
+    pub flip_threshold: usize,
+    /// Maximum delta records shipped per catch-up round. Smaller batches
+    /// yield the append path more often; larger batches converge faster.
+    pub catchup_batch: usize,
+    /// Hard cap on catch-up rounds before the migration flips anyway —
+    /// bounds the race against a writer that appends faster than the
+    /// coordinator ships (the flip gate then drains the rest exactly once).
+    pub max_catchup_rounds: usize,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            flip_threshold: 32,
+            catchup_batch: 512,
+            max_catchup_rounds: 64,
+        }
+    }
+}
+
 /// How an index stores the vectors it scores during traversal (the
 /// quantized storage tier). `F32` is the uncompressed seed behavior; the
 /// compressed tiers trade per-candidate precision for memory, recovering
@@ -417,6 +449,13 @@ mod tests {
         assert_eq!(p.tier, StorageTier::Pq { m: 16 });
         assert!(p.keep_f32);
         assert_eq!(p.rerank_factor, 8);
+    }
+
+    #[test]
+    fn migration_defaults_bound_the_flip() {
+        let m = MigrationConfig::default();
+        assert!(m.flip_threshold < m.catchup_batch);
+        assert!(m.max_catchup_rounds >= 1);
     }
 
     #[test]

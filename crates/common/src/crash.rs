@@ -39,17 +39,67 @@ pub enum CrashPoint {
     /// per-segment index rebuilds — only in-memory acceleration state is
     /// lost; durable state is untouched.
     VacuumMidIndexMerge,
+    /// The migration source dies before the shipped snapshot file exists —
+    /// nothing reached the destination; the source stays authoritative.
+    MigrateMidShip,
+    /// The transfer is cut mid-stream: the shipped container is truncated
+    /// after the ship step. The destination's CRC verification must reject
+    /// the partial file at install and the migration must abort cleanly.
+    MigrateShipTruncate,
+    /// The destination dies after decoding the shipped snapshot but before
+    /// its copy is registered in the destination store — the staged state
+    /// is orphaned and must be garbage-collected on abort.
+    MigrateMidInstall,
+    /// The coordinator dies between delta-tail catch-up rounds: the
+    /// destination holds a behind copy that is not yet routed to. Abort
+    /// must remove it; the source keeps serving.
+    MigrateMidCatchup,
+    /// The coordinator dies inside the flip critical section *before* the
+    /// placement generation is bumped — appends are momentarily gated but
+    /// the old placement is still authoritative; abort, don't flip.
+    MigrateAtFlip,
+    /// The coordinator dies after the placement flip committed but before
+    /// the source copy was released — the migration IS complete; a retry
+    /// must recognize that and finish the release idempotently.
+    MigratePostFlipPreRelease,
 }
 
 impl CrashPoint {
-    /// All registered crash points, in pipeline order. The torture test
-    /// iterates this to guarantee coverage of every point.
-    pub const ALL: [CrashPoint; 5] = [
+    /// Crash points of the durability pipelines (commit / checkpoint /
+    /// vacuum). The graph crash-torture suite iterates exactly these.
+    pub const DURABILITY: [CrashPoint; 5] = [
         CrashPoint::CommitMidWalAppend,
         CrashPoint::CommitPostWalPreApply,
         CrashPoint::CheckpointMidWrite,
         CrashPoint::CheckpointPostManifestPreTruncate,
         CrashPoint::VacuumMidIndexMerge,
+    ];
+
+    /// Crash points of the live segment-migration pipeline, in phase
+    /// order. The migration chaos suite iterates exactly these.
+    pub const MIGRATION: [CrashPoint; 6] = [
+        CrashPoint::MigrateMidShip,
+        CrashPoint::MigrateShipTruncate,
+        CrashPoint::MigrateMidInstall,
+        CrashPoint::MigrateMidCatchup,
+        CrashPoint::MigrateAtFlip,
+        CrashPoint::MigratePostFlipPreRelease,
+    ];
+
+    /// All registered crash points, in pipeline order ([`Self::DURABILITY`]
+    /// then [`Self::MIGRATION`]).
+    pub const ALL: [CrashPoint; 11] = [
+        CrashPoint::CommitMidWalAppend,
+        CrashPoint::CommitPostWalPreApply,
+        CrashPoint::CheckpointMidWrite,
+        CrashPoint::CheckpointPostManifestPreTruncate,
+        CrashPoint::VacuumMidIndexMerge,
+        CrashPoint::MigrateMidShip,
+        CrashPoint::MigrateShipTruncate,
+        CrashPoint::MigrateMidInstall,
+        CrashPoint::MigrateMidCatchup,
+        CrashPoint::MigrateAtFlip,
+        CrashPoint::MigratePostFlipPreRelease,
     ];
 }
 
@@ -63,6 +113,12 @@ impl fmt::Display for CrashPoint {
                 "checkpoint/post-manifest-pre-truncate"
             }
             CrashPoint::VacuumMidIndexMerge => "vacuum/mid-index-merge",
+            CrashPoint::MigrateMidShip => "migrate/mid-ship",
+            CrashPoint::MigrateShipTruncate => "migrate/ship-truncate",
+            CrashPoint::MigrateMidInstall => "migrate/mid-install",
+            CrashPoint::MigrateMidCatchup => "migrate/mid-catchup",
+            CrashPoint::MigrateAtFlip => "migrate/at-flip",
+            CrashPoint::MigratePostFlipPreRelease => "migrate/post-flip-pre-release",
         };
         f.write_str(name)
     }
@@ -195,5 +251,12 @@ mod tests {
     #[test]
     fn injected_error_is_not_retryable() {
         assert!(!TvError::Injected("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn all_is_durability_then_migration() {
+        let mut expected = CrashPoint::DURABILITY.to_vec();
+        expected.extend(CrashPoint::MIGRATION);
+        assert_eq!(expected, CrashPoint::ALL.to_vec());
     }
 }

@@ -55,6 +55,15 @@ pub enum TvError {
     /// A deterministic test-injected failure (crash-point or fault plan).
     /// Never produced in production; carries the injection site name.
     Injected(String),
+    /// The addressed server no longer holds the segment: a migration flip
+    /// moved it. Carries the placement generation that committed the move so
+    /// the coordinator can re-route against a fresh placement table.
+    Moved {
+        /// The segment that was migrated away.
+        segment: crate::ids::SegmentId,
+        /// The placement generation at the answering server.
+        generation: u64,
+    },
 }
 
 impl TvError {
@@ -65,7 +74,10 @@ impl TvError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            TvError::Overloaded(_) | TvError::Timeout(_) | TvError::Cluster(_)
+            TvError::Overloaded(_)
+                | TvError::Timeout(_)
+                | TvError::Cluster(_)
+                | TvError::Moved { .. }
         )
     }
 }
@@ -94,6 +106,16 @@ impl fmt::Display for TvError {
             TvError::Timeout(m) => write!(f, "deadline exceeded: {m}"),
             TvError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
             TvError::Injected(m) => write!(f, "injected crash: {m}"),
+            TvError::Moved {
+                segment,
+                generation,
+            } => {
+                write!(
+                    f,
+                    "segment {} moved: placement generation {generation}",
+                    segment.0
+                )
+            }
         }
     }
 }
@@ -125,6 +147,11 @@ mod tests {
         assert!(TvError::Overloaded("queue full".into()).is_retryable());
         assert!(TvError::Timeout("deadline".into()).is_retryable());
         assert!(TvError::Cluster("server 2 unreachable".into()).is_retryable());
+        assert!(TvError::Moved {
+            segment: crate::ids::SegmentId(3),
+            generation: 7,
+        }
+        .is_retryable());
         assert!(!TvError::Schema("dup".into()).is_retryable());
         assert!(!TvError::PermissionDenied("no grant".into()).is_retryable());
         assert!(!TvError::InvalidArgument("k=0".into()).is_retryable());

@@ -24,7 +24,8 @@ pub mod topk;
 
 pub use bitmap::Bitmap;
 pub use config::{
-    KernelPolicy, PlannerConfig, QuantSpec, RetryPolicy, StorageTier, TuningDefaults,
+    KernelPolicy, MigrationConfig, PlannerConfig, QuantSpec, RetryPolicy, StorageTier,
+    TuningDefaults,
 };
 pub use crash::{crash_hook, CrashPlan, CrashPoint};
 pub use deadline::Deadline;

@@ -370,6 +370,75 @@ fn install_checkpoint(graph: &Graph, ck: LoadedCheckpoint) -> TvResult<()> {
     Ok(())
 }
 
+/// Export one embedding segment's durable state at `up_to` — the newest
+/// index snapshot visible at that TID plus the vector-delta tail beyond
+/// it — in the same payload layout as a checkpoint `emb-*.vec` file.
+///
+/// This is the unit a live segment migration ships: the destination
+/// installs it with [`install_embedding_segment`], then catches up from the
+/// source's delta tail while the source keeps serving.
+pub fn export_embedding_segment(
+    graph: &Graph,
+    attr_id: u32,
+    seg: SegmentId,
+    up_to: Tid,
+) -> TvResult<Vec<u8>> {
+    let attr = graph.embeddings().attr(attr_id)?;
+    let segment = attr
+        .segment(seg)
+        .ok_or_else(|| TvError::NotFound(format!("embedding segment {}", seg.0)))?;
+    let (snap, tail) = segment.checkpoint_state(up_to);
+    let hnsw = tv_hnsw::snapshot::to_bytes(&snap.index);
+    let tagged: Vec<(u32, DeltaRecord)> = tail.into_iter().map(|r| (attr_id, r)).collect();
+    let deltas = if tagged.is_empty() {
+        Vec::new()
+    } else {
+        encode_vector_deltas(&tagged)
+    };
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&attr_id.to_le_bytes());
+    payload.extend_from_slice(&seg.0.to_le_bytes());
+    payload.extend_from_slice(&snap.up_to.0.to_le_bytes());
+    payload.extend_from_slice(&(hnsw.len() as u64).to_le_bytes());
+    payload.extend_from_slice(&hnsw);
+    payload.extend_from_slice(&deltas);
+    Ok(payload)
+}
+
+/// Install a segment exported by [`export_embedding_segment`] into `graph`,
+/// verifying it targets `attr_id`. Decodes exactly like checkpoint
+/// recovery, so corruption is a loud error and nothing is half-installed.
+pub fn install_embedding_segment(graph: &Graph, attr_id: u32, payload: &[u8]) -> TvResult<()> {
+    let mut buf = payload;
+    let got_attr = take_u32(&mut buf)?;
+    if got_attr != attr_id {
+        return Err(TvError::InvalidArgument(format!(
+            "shipped segment targets attribute {got_attr}, expected {attr_id}"
+        )));
+    }
+    let seg = SegmentId(take_u32(&mut buf)?);
+    let up_to = Tid(take_u64(&mut buf)?);
+    let hnsw_len = take_u64(&mut buf)? as usize;
+    if hnsw_len > buf.len() {
+        return Err(TvError::Storage(
+            "shipped segment: index length exceeds payload".into(),
+        ));
+    }
+    let index = tv_hnsw::snapshot::from_bytes(&buf[..hnsw_len])?;
+    let rest = &buf[hnsw_len..];
+    let deltas: Vec<DeltaRecord> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        decode_vector_deltas(rest)?
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()
+    };
+    graph
+        .embeddings()
+        .restore_segment(attr_id, seg, up_to, index, &deltas)
+}
+
 /// Enumerate `ckpt-<tid>` subdirectories (unparseable names are ignored).
 fn list_checkpoints(root: &Path) -> Vec<(Tid, PathBuf)> {
     let mut out = Vec::new();
@@ -507,5 +576,102 @@ mod tests {
         let files = vec![("../../etc/passwd".to_string(), 1, 2)];
         let bytes = encode_manifest(Tid(1), &[], &files);
         assert!(decode_manifest(&bytes).is_err());
+    }
+
+    mod segment_export {
+        use super::super::*;
+        use tg_storage::{AttrType, AttrValue};
+        use tv_common::ids::SegmentLayout;
+        use tv_common::{DistanceMetric, SplitMix64};
+        use tv_embedding::{EmbeddingTypeDef, ServiceConfig};
+
+        const DIM: usize = 4;
+        const EMB: u32 = 0;
+
+        fn fresh_graph() -> Graph {
+            let config = ServiceConfig {
+                // Exact scans: results comparable bit-for-bit regardless of
+                // how (or whether) the HNSW index was built.
+                planner: tv_common::PlannerConfig::default().with_brute_threshold(1024),
+                query_threads: 1,
+                default_ef: 64,
+                build_threads: 1,
+            };
+            let g = Graph::with_config(SegmentLayout::with_capacity(8), config);
+            g.create_vertex_type("Doc", &[("title", AttrType::Str)])
+                .unwrap();
+            g.add_embedding_attribute(
+                "Doc",
+                EmbeddingTypeDef::new("emb", DIM, "model", DistanceMetric::L2),
+            )
+            .unwrap();
+            g
+        }
+
+        fn populated_graph() -> Graph {
+            let g = fresh_graph();
+            let layout = SegmentLayout::with_capacity(8);
+            let mut rng = SplitMix64::new(0x5E61_E897);
+            for v in 0..20usize {
+                let vector: Vec<f32> = (0..DIM).map(|_| rng.next_f32()).collect();
+                g.txn()
+                    .upsert_vertex(
+                        0,
+                        layout.vertex_id(v),
+                        vec![AttrValue::Str(format!("d{v}"))],
+                    )
+                    .set_vector(EMB, layout.vertex_id(v), vector)
+                    .commit()
+                    .unwrap();
+            }
+            g
+        }
+
+        #[test]
+        fn exported_segment_installs_with_identical_results() {
+            let src = populated_graph();
+            let up_to = src.read_tid();
+            let seg = SegmentId(1);
+            let payload = export_embedding_segment(&src, EMB, seg, up_to).unwrap();
+
+            let dst = fresh_graph();
+            install_embedding_segment(&dst, EMB, &payload).unwrap();
+
+            let src_seg = src.embeddings().attr(EMB).unwrap().segment(seg).unwrap();
+            let dst_seg = dst.embeddings().attr(EMB).unwrap().segment(seg).unwrap();
+            let planner = tv_common::PlannerConfig::default().with_brute_threshold(1024);
+            let query = vec![0.3f32; DIM];
+            let (want, _) = src_seg.search(&query, 5, 64, None, up_to, &planner);
+            let (got, _) = dst_seg.search(&query, 5, 64, None, up_to, &planner);
+            assert!(!want.is_empty(), "segment 1 must hold vectors");
+            let bits = |ns: &[tv_common::Neighbor]| -> Vec<(u64, u32)> {
+                ns.iter().map(|n| (n.id.0, n.dist.to_bits())).collect()
+            };
+            assert_eq!(bits(&want), bits(&got));
+        }
+
+        #[test]
+        fn install_rejects_attribute_mismatch_and_truncation() {
+            let src = populated_graph();
+            let payload =
+                export_embedding_segment(&src, EMB, SegmentId(0), src.read_tid()).unwrap();
+
+            let dst = fresh_graph();
+            let err = install_embedding_segment(&dst, EMB + 1, &payload).unwrap_err();
+            assert!(matches!(err, TvError::InvalidArgument(_)), "{err}");
+
+            // Header and mid-index truncations must fail loudly, not
+            // half-install. (Whole-payload integrity is the durafile
+            // container's CRC; this guards the decoder itself.)
+            for cut in [4usize, 12, 20, 24, 40] {
+                assert!(
+                    install_embedding_segment(&dst, EMB, &payload[..cut]).is_err(),
+                    "cut at {cut} must be rejected"
+                );
+            }
+
+            let missing = export_embedding_segment(&src, EMB, SegmentId(99), src.read_tid());
+            assert!(matches!(missing, Err(TvError::NotFound(_))));
+        }
     }
 }

@@ -42,6 +42,6 @@ pub mod session;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmitInfo, Permit, RateLimitConfig};
 pub use batch::{BatchKey, BatchOutcome, Batcher};
-pub use metrics::{MetricsRegistry, TenantMetrics};
+pub use metrics::{ClusterMetrics, MetricsRegistry, TenantMetrics};
 pub use server::{Server, ServerConfig};
 pub use session::{Session, SessionManager};

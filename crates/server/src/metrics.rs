@@ -5,11 +5,12 @@
 //! registry renders a JSON snapshot with one object per tenant — the shape
 //! documented in `DESIGN.md` under "Serving layer".
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use tv_cluster::MigrationReport;
 use tv_common::LatencyHistogram;
 use tv_hnsw::SearchStats;
 
@@ -311,12 +312,117 @@ impl DurabilityMetrics {
     }
 }
 
+/// System-wide elastic-cluster counters (segment migrations are admin
+/// work, not tenant work).
+#[derive(Default)]
+pub struct ClusterMetrics {
+    migrations_completed: AtomicU64,
+    migrations_aborted: AtomicU64,
+    shipped_bytes: AtomicU64,
+    catchup_records: AtomicU64,
+    last_flip_pause_us: AtomicU64,
+    placement_generation: AtomicU64,
+    migration_errors: AtomicU64,
+    last_error: Mutex<Option<String>>,
+}
+
+impl ClusterMetrics {
+    /// A migration completed (or was found already complete on retry).
+    pub fn record_completed(&self, report: &MigrationReport) {
+        self.migrations_completed.fetch_add(1, Ordering::Relaxed);
+        self.shipped_bytes
+            .fetch_add(report.shipped_bytes, Ordering::Relaxed);
+        self.catchup_records
+            .fetch_add(report.catchup_records, Ordering::Relaxed);
+        self.last_flip_pause_us
+            .store(report.flip_pause.as_micros() as u64, Ordering::Relaxed);
+        self.placement_generation
+            .fetch_max(report.generation, Ordering::Relaxed);
+    }
+
+    /// A migration aborted cleanly; `detail` names the plan and error.
+    pub fn record_aborted(&self, detail: String) {
+        self.migrations_aborted.fetch_add(1, Ordering::Relaxed);
+        *self.last_error.lock() = Some(detail);
+    }
+
+    /// Sync the error count from the runtime's migration-error log.
+    pub fn set_migration_errors(&self, count: u64) {
+        self.migration_errors.store(count, Ordering::Relaxed);
+    }
+
+    /// Completed migrations.
+    #[must_use]
+    pub fn migrations_completed(&self) -> u64 {
+        self.migrations_completed.load(Ordering::Relaxed)
+    }
+
+    /// Cleanly-aborted migrations.
+    #[must_use]
+    pub fn migrations_aborted(&self) -> u64 {
+        self.migrations_aborted.load(Ordering::Relaxed)
+    }
+
+    /// Newest placement generation any completed migration produced.
+    #[must_use]
+    pub fn placement_generation(&self) -> u64 {
+        self.placement_generation.load(Ordering::Relaxed)
+    }
+
+    /// Most recent abort detail, if any migration has failed.
+    #[must_use]
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error.lock().clone()
+    }
+
+    /// Flat JSON object for the elastic-cluster subsystem.
+    #[must_use]
+    pub fn snapshot(&self) -> serde_json::Value {
+        let mut m = serde_json::Map::new();
+        m.insert(
+            "migrations_completed".into(),
+            self.migrations_completed().into(),
+        );
+        m.insert(
+            "migrations_aborted".into(),
+            self.migrations_aborted().into(),
+        );
+        m.insert(
+            "shipped_bytes".into(),
+            self.shipped_bytes.load(Ordering::Relaxed).into(),
+        );
+        m.insert(
+            "catchup_records".into(),
+            self.catchup_records.load(Ordering::Relaxed).into(),
+        );
+        m.insert(
+            "last_flip_pause_us".into(),
+            self.last_flip_pause_us.load(Ordering::Relaxed).into(),
+        );
+        m.insert(
+            "placement_generation".into(),
+            self.placement_generation().into(),
+        );
+        m.insert(
+            "migration_errors".into(),
+            self.migration_errors.load(Ordering::Relaxed).into(),
+        );
+        m.insert(
+            "last_error".into(),
+            self.last_error()
+                .map_or(serde_json::Value::Null, Into::into),
+        );
+        serde_json::Value::Object(m)
+    }
+}
+
 /// Registry of per-tenant metrics, get-or-create by tenant name, plus the
 /// system-wide durability counters.
 #[derive(Default)]
 pub struct MetricsRegistry {
     tenants: RwLock<HashMap<String, Arc<TenantMetrics>>>,
     durability: DurabilityMetrics,
+    cluster: ClusterMetrics,
 }
 
 impl MetricsRegistry {
@@ -341,8 +447,15 @@ impl MetricsRegistry {
         &self.durability
     }
 
-    /// JSON snapshot: one object per tenant, keyed by tenant name, plus a
-    /// `__durability__` object for the checkpoint subsystem.
+    /// The elastic-cluster (segment migration) counters.
+    #[must_use]
+    pub fn cluster(&self) -> &ClusterMetrics {
+        &self.cluster
+    }
+
+    /// JSON snapshot: one object per tenant, keyed by tenant name, plus
+    /// `__durability__` (checkpoint subsystem) and `__cluster__` (segment
+    /// migration) objects.
     #[must_use]
     pub fn snapshot(&self) -> serde_json::Value {
         let tenants = self.tenants.read();
@@ -351,6 +464,7 @@ impl MetricsRegistry {
             m.insert(name.clone(), metrics.snapshot());
         }
         m.insert("__durability__".into(), self.durability.snapshot());
+        m.insert("__cluster__".into(), self.cluster.snapshot());
         serde_json::Value::Object(m)
     }
 }

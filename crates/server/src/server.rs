@@ -5,10 +5,11 @@ use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::batch::{BatchKey, Batcher};
 use crate::metrics::{MetricsRegistry, TenantMetrics};
 use crate::session::{Session, SessionManager};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tg_graph::{AccessControl, Graph};
-use tv_cluster::{ClusterResponse, ClusterRuntime};
+use tv_cluster::{ClusterResponse, ClusterRuntime, MigrationPlan, MigrationReport, Migrator};
 use tv_common::{Deadline, Tid, TvError, TvResult};
 use tv_embedding::{BatchQuery, TypedNeighbor};
 use tv_gsql::{Params, QueryOutput};
@@ -328,5 +329,35 @@ impl Server {
         }
         self.record_outcome(&tenant, start, &result);
         result
+    }
+
+    /// Execute a live segment migration on the attached cluster runtime
+    /// (admin operation — it bypasses tenant admission). `staging` is the
+    /// scratch directory the snapshot ships through. Both outcomes land in
+    /// the `__cluster__` metrics: completion records shipped bytes,
+    /// catch-up volume, flip pause, and the new placement generation; a
+    /// clean abort records the plan and error.
+    pub fn migrate_segment(
+        &self,
+        plan: MigrationPlan,
+        staging: &Path,
+    ) -> TvResult<MigrationReport> {
+        let runtime = self.cluster.as_ref().ok_or_else(|| {
+            TvError::InvalidArgument("no cluster runtime attached to this server".into())
+        })?;
+        let migrator = Migrator::new(Arc::clone(runtime), staging.to_path_buf());
+        let cluster = self.metrics.cluster();
+        let result = migrator.run(plan);
+        cluster.set_migration_errors(runtime.migration_errors().count());
+        match result {
+            Ok(report) => {
+                cluster.record_completed(&report);
+                Ok(report)
+            }
+            Err(e) => {
+                cluster.record_aborted(format!("{plan}: {e}"));
+                Err(e)
+            }
+        }
     }
 }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use tg_graph::{AccessControl, Graph, Role};
 use tg_storage::{AttrType, AttrValue};
-use tv_cluster::{ClusterRuntime, FaultKind, RuntimeConfig};
+use tv_cluster::{ClusterRuntime, FaultKind, MigrationPlan, RuntimeConfig};
 use tv_common::ids::{LocalId, SegmentLayout};
 use tv_common::{
     Deadline, DistanceMetric, RetryPolicy, SegmentId, SplitMix64, Tid, TvError, VertexId,
@@ -469,4 +469,75 @@ fn server_checkpoint_and_recovery_serving_continuity() {
     assert!(mem_server.checkpoint().is_err());
     assert_eq!(mem_server.metrics().durability().checkpoint_failures(), 1);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn migrate_segment_is_admin_triggered_and_lands_in_cluster_metrics() {
+    let (graph, acl, _ids, _vecs) = serving_fixture();
+    let (cluster, cvecs) = serving_cluster(false);
+    let server =
+        Server::new(graph, acl, ServerConfig::default()).with_cluster(Arc::clone(&cluster));
+    let session = server.open_session("acme", "u-acme");
+    let staging = std::env::temp_dir().join(format!("tv-migrate-serving-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&staging);
+
+    let before = server
+        .cluster_top_k(&session, &cvecs[3], 5, 64, Tid::MAX)
+        .unwrap();
+    assert!(before.coverage.is_complete());
+
+    // Admin-trigger a legal move: any holder of segment 0 to any
+    // non-holder.
+    let table = cluster.placement();
+    let seg = SegmentId(0);
+    let from = table.holders(seg)[0];
+    let to = (0..4).find(|s| !table.holds(seg, *s)).unwrap();
+    let report = server
+        .migrate_segment(
+            MigrationPlan {
+                segment: seg,
+                from,
+                to,
+            },
+            &staging,
+        )
+        .unwrap();
+    assert!(!report.already_complete);
+    assert!(report.shipped_bytes > 0);
+    assert_eq!(report.generation, cluster.generation());
+    assert!(report.generation > 0);
+
+    // Serving continues across the flip with identical answers.
+    let after = server
+        .cluster_top_k(&session, &cvecs[3], 5, 64, Tid::MAX)
+        .unwrap();
+    assert!(after.coverage.is_complete());
+    assert_eq!(before.neighbors, after.neighbors);
+
+    // An illegal plan (destination already holds the segment) aborts
+    // cleanly and is recorded alongside the completion.
+    let bad_to = cluster.placement().holders(seg)[0];
+    let err = server
+        .migrate_segment(
+            MigrationPlan {
+                segment: seg,
+                from: bad_to,
+                to: bad_to,
+            },
+            &staging,
+        )
+        .unwrap_err();
+    assert!(matches!(err, TvError::InvalidArgument(_)), "{err}");
+
+    let snap = server.metrics_json();
+    let cm = snap.get("__cluster__").unwrap();
+    assert_eq!(cm.get("migrations_completed").unwrap().as_u64(), Some(1));
+    assert_eq!(cm.get("migrations_aborted").unwrap().as_u64(), Some(1));
+    assert!(cm.get("shipped_bytes").unwrap().as_u64().unwrap() > 0);
+    assert_eq!(
+        cm.get("placement_generation").unwrap().as_u64(),
+        Some(report.generation)
+    );
+    assert!(cm.get("last_error").unwrap().as_str().is_some());
+    let _ = std::fs::remove_dir_all(&staging);
 }
