@@ -1,8 +1,8 @@
 # Development shortcuts; `make verify` mirrors the CI pipeline exactly.
 
-.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load chaos-smoke kernel-smoke recovery-smoke quant-smoke planner-smoke build-smoke migrate-smoke
+.PHONY: verify build test test-all clippy fmt fmt-check bench serve-load chaos-smoke kernel-smoke recovery-smoke quant-smoke planner-smoke build-smoke migrate-smoke layout-smoke
 
-verify: fmt-check build clippy test test-all kernel-smoke chaos-smoke recovery-smoke quant-smoke planner-smoke build-smoke migrate-smoke
+verify: fmt-check build clippy test test-all kernel-smoke chaos-smoke recovery-smoke quant-smoke planner-smoke build-smoke migrate-smoke layout-smoke
 
 build:
 	cargo build --release
@@ -97,3 +97,20 @@ migrate-smoke:
 	cargo test --release -p tv-cluster --test migration_chaos -q
 	cargo run --release -p tv-bench --bin migration_bench
 	TV_QPS_TOLERANCE=$(TV_QPS_TOLERANCE) cargo run --release -p tv-bench --bin check_regression -- --only migration_bench
+
+# Graph-layout gate: the packed-vs-pointer oracle identity suite, then the
+# paired layout sweep — the binary itself exits 1 if recall drifts beyond
+# ±0.0001 between layouts, if the work counters (distance computations,
+# hops) differ, or if packed+prefetch misses TV_LAYOUT_MIN_SPEEDUP × the
+# pointer-layout QPS — and the regression checker against the committed
+# baseline. The speedup floor defaults to the paper target 1.3x; the smoke
+# run relaxes it to 1.1x because even paired median-of-ratios measurement
+# keeps ~±0.15 run-to-run spread on shared hosts (override:
+# TV_LAYOUT_MIN_SPEEDUP=1.3 make layout-smoke on a quiet machine). The
+# sweep parameters must match the committed baseline
+# (bench_results/baseline/layout_bench.json).
+TV_LAYOUT_MIN_SPEEDUP ?= 1.1
+layout-smoke:
+	cargo test --release -p tv-hnsw --test layout_oracle -q
+	TV_LAYOUT_MIN_SPEEDUP=$(TV_LAYOUT_MIN_SPEEDUP) cargo run --release -p tv-bench --bin layout_bench
+	TV_QPS_TOLERANCE=$(TV_QPS_TOLERANCE) cargo run --release -p tv-bench --bin check_regression -- --only layout_bench

@@ -26,8 +26,8 @@ type Rows = HashMap<String, (Option<f64>, Option<f64>)>;
 /// Identity of a row inside its array: every scalar field that names rather
 /// than measures (system/tier/ef/op/dim/...), joined deterministically.
 fn row_key(path: &str, obj: &serde_json::Map) -> String {
-    const ID_FIELDS: [&str; 8] = [
-        "system", "tier", "ef", "op", "dim", "shape", "nodes", "threads",
+    const ID_FIELDS: [&str; 9] = [
+        "system", "tier", "ef", "op", "dim", "shape", "nodes", "threads", "layout",
     ];
     let mut parts = vec![path.to_string()];
     for f in ID_FIELDS {
@@ -57,7 +57,11 @@ fn collect(value: &serde_json::Value, path: &str, out: &mut Rows) {
         }
         serde_json::Value::Object(map) => {
             for (k, v) in map.iter() {
-                if k == "kernel_info" || k == "storage_info" || k == "planner_info" {
+                if k == "kernel_info"
+                    || k == "storage_info"
+                    || k == "planner_info"
+                    || k == "layout_info"
+                {
                     continue;
                 }
                 collect(v, &format!("{path}/{k}"), out);

@@ -182,6 +182,7 @@ pub fn kernel_info() -> serde_json::Value {
 
 static STORAGE_INFO: std::sync::Mutex<Option<serde_json::Value>> = std::sync::Mutex::new(None);
 static PLANNER_INFO: std::sync::Mutex<Option<serde_json::Value>> = std::sync::Mutex::new(None);
+static LAYOUT_INFO: std::sync::Mutex<Option<serde_json::Value>> = std::sync::Mutex::new(None);
 
 /// Record the filtered-search planner knobs used by this process's bench
 /// JSONs. Benches that search through the planner call this before
@@ -210,6 +211,31 @@ pub fn planner_info() -> serde_json::Value {
         .unwrap()
         .clone()
         .unwrap_or_else(|| planner_json(&tv_common::PlannerConfig::default()))
+}
+
+/// Record the graph-layout provenance block for this process's bench JSONs:
+/// which adjacency representation searches ran against (mutable pointer
+/// forest vs. frozen CSR, with or without software prefetch) and its exact
+/// link footprint. Benches that search a real index call this before
+/// [`save_json`]; benches without one get the configured-default stamp.
+pub fn set_layout_info(layout: tv_common::GraphLayout, link_bytes: usize) {
+    *LAYOUT_INFO.lock().unwrap() = Some(serde_json::json!({
+        "layout": layout.name(),
+        "link_bytes": link_bytes,
+    }));
+}
+
+/// The layout provenance block recorded next to [`kernel_info`] in every
+/// bench JSON (single-thread QPS moves ≥1.3x between layouts, so numbers
+/// are not comparable without it).
+#[must_use]
+pub fn layout_info() -> serde_json::Value {
+    LAYOUT_INFO.lock().unwrap().clone().unwrap_or_else(|| {
+        serde_json::json!({
+            "layout": tv_common::GraphLayout::default().name(),
+            "link_bytes": serde_json::Value::Null,
+        })
+    })
 }
 
 /// Record the storage-tier provenance block for this process's bench JSONs:
@@ -247,12 +273,14 @@ pub fn save_json(name: &str, value: &serde_json::Value) {
             map.insert("kernel_info".to_string(), kernel_info());
             map.insert("storage_info".to_string(), storage_info());
             map.insert("planner_info".to_string(), planner_info());
+            map.insert("layout_info".to_string(), layout_info());
             serde_json::Value::Object(map)
         }
         other => serde_json::json!({
             "kernel_info": kernel_info(),
             "storage_info": storage_info(),
             "planner_info": planner_info(),
+            "layout_info": layout_info(),
             "rows": other.clone(),
         }),
     };

@@ -24,7 +24,7 @@ pub mod topk;
 
 pub use bitmap::Bitmap;
 pub use config::{
-    KernelPolicy, MigrationConfig, PlannerConfig, QuantSpec, RetryPolicy, StorageTier,
+    GraphLayout, KernelPolicy, MigrationConfig, PlannerConfig, QuantSpec, RetryPolicy, StorageTier,
     TuningDefaults,
 };
 pub use crash::{crash_hook, CrashPlan, CrashPoint};

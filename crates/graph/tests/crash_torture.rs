@@ -406,6 +406,82 @@ fn quantized_segment_checkpoint_recovery_is_byte_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Layout and serialized image of each segment's snapshot visible at the
+/// vacuum TID. The default attribute declares the packed+prefetch layout,
+/// so the index merge at TID 15 compiles the frozen CSR form and the
+/// checkpoint persists it (snapshot v3 carries the layout tag).
+fn compiled_snapshot_state(g: &Graph) -> Vec<(tv_common::GraphLayout, Vec<u8>)> {
+    g.embeddings()
+        .attr(EMB)
+        .unwrap()
+        .all_segments()
+        .iter()
+        .map(|s| {
+            let index = &s.snapshot_for(Tid(15)).index;
+            (index.layout(), tv_hnsw::snapshot::to_bytes(index))
+        })
+        .collect()
+}
+
+/// A segment with the default (packed+prefetch) layout compiles its frozen
+/// CSR form at the script's index merge; the checkpoint persists the
+/// compiled snapshot and recovery restores it **byte-identically** — both
+/// via the checkpoint restore path (no recompile: the layout tag and BFS
+/// permutation ride in the snapshot bytes) and via a mid-checkpoint crash
+/// whose replay path recompiles from scratch.
+#[test]
+fn compiled_segment_checkpoint_recovery_is_byte_identical() {
+    let dir = test_dir("layout");
+    let (want, want_state) = {
+        let g = open(&dir, None);
+        run_from(&g, 1, N_TXNS).unwrap();
+        let state = compiled_snapshot_state(&g);
+        assert!(
+            state.iter().any(|(l, _)| l.is_packed()),
+            "index merge at TID 15 should have compiled the packed layout"
+        );
+        (fingerprint(&g), state)
+    }; // process death
+
+    // Recovery path 1: restore the checkpoint (TID 20) + replay the tail.
+    let g = open(&dir, None);
+    g.recover().unwrap();
+    assert_eq!(
+        compiled_snapshot_state(&g),
+        want_state,
+        "compiled snapshot diverged across checkpoint recovery"
+    );
+    run_from(&g, g.read_tid().0 + 1, N_TXNS).unwrap();
+    assert_eq!(fingerprint(&g), want);
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Recovery path 2: crash *inside* the TID-20 checkpoint write. Recovery
+    // falls back to the TID-10 checkpoint (pre-compile), so the resumed
+    // script re-runs the TID-15 index merge and recompiles — the BFS
+    // reordering is deterministic, so it must reproduce the same bytes.
+    let dir = test_dir("layout-midckpt");
+    let plan = Arc::new(CrashPlan::new());
+    plan.arm(CrashPoint::CheckpointMidWrite, 2);
+    let g = open(&dir, Some(Arc::clone(&plan)));
+    g.recover().unwrap();
+    let err = run_from(&g, 1, N_TXNS).expect_err("armed mid-checkpoint crash must trip");
+    assert!(matches!(err, TvError::Injected(_)));
+    drop(g);
+
+    let g = open(&dir, None);
+    g.recover().unwrap();
+    run_from(&g, g.read_tid().0 + 1, N_TXNS).unwrap();
+    assert_eq!(
+        compiled_snapshot_state(&g),
+        want_state,
+        "recompile after mid-checkpoint crash did not reproduce the compiled bytes"
+    );
+    assert_eq!(fingerprint(&g), want);
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Vertex-id allocation watermarks survive checkpoint + recovery: fresh ids
 /// never collide with pre-crash ids.
 #[test]

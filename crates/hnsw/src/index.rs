@@ -15,6 +15,7 @@
 //! rebuild path compacts them away.
 
 use crate::config::HnswConfig;
+use crate::packed::{self, PackedGraph};
 use crate::planner::{self, PlanChoice, PlanInputs};
 use crate::select::{select_neighbors, Scored};
 use crate::stats::SearchStats;
@@ -25,10 +26,10 @@ use std::collections::HashMap;
 use tv_common::bitmap::Filter;
 use tv_common::kernels::{self, cosine_from_parts};
 use tv_common::{
-    Bitmap, DistanceMetric, Neighbor, PlannerConfig, PreparedQuery, QuantSpec, SplitMix64,
-    StorageTier, Tid, TvError, TvResult, VertexId,
+    Bitmap, DistanceMetric, GraphLayout, Kernels, Neighbor, PlannerConfig, PreparedQuery,
+    QuantSpec, SplitMix64, StorageTier, Tid, TvError, TvResult, VertexId,
 };
-use tv_quant::{Codec, QuantQuery, QuantizedCodec};
+use tv_quant::{permute_code_rows, Codec, QuantQuery, QuantizedCodec};
 
 /// Upsert/delete action flag of a vector delta (§4.3: the delta schema is
 /// `Action Flag, ID, TID, Vector Value`).
@@ -248,6 +249,24 @@ impl QuantState {
             .reconstruct_into(&self.codes[slot * cl..(slot + 1) * cl], out);
     }
 
+    /// Reorder every slot-indexed arena by `perm[old] = new` (layout
+    /// compilation; see [`crate::packed`]): codes, reconstruction norms,
+    /// and the rerank side store move together with the vectors.
+    pub(crate) fn apply_permutation(&mut self, perm: &[u32]) {
+        let cl = self.codec.code_len();
+        self.codes = permute_code_rows(&self.codes, cl, perm);
+        if !self.recon_norms.is_empty() {
+            self.recon_norms = permuted(&self.recon_norms, perm);
+        }
+        if let Some(r) = &mut self.rerank {
+            let rcl = r.codec.code_len();
+            r.codes = permute_code_rows(&r.codes, rcl, perm);
+            if !r.recon_norms.is_empty() {
+                r.recon_norms = permuted(&r.recon_norms, perm);
+            }
+        }
+    }
+
     /// Resident bytes of codes, norm caches, and codec parameters.
     pub(crate) fn bytes(&self) -> usize {
         let mut b = self.codes.len()
@@ -260,6 +279,16 @@ impl QuantState {
         }
         b
     }
+}
+
+/// Reorder a per-slot array by `perm[old] = new` (layout compilation).
+fn permuted<T: Clone>(src: &[T], perm: &[u32]) -> Vec<T> {
+    debug_assert_eq!(src.len(), perm.len());
+    let mut out = src.to_vec();
+    for (old, item) in src.iter().enumerate() {
+        out[perm[old] as usize] = item.clone();
+    }
+    out
 }
 
 /// Encode a whole slot-major arena; returns `(codes, recon_norms)` with
@@ -309,6 +338,13 @@ pub(crate) struct SearchScratch {
     marks: Vec<u32>,
     batch: Vec<u32>,
     dists: Vec<f32>,
+    /// Repair-path staging (`update_in_place`/`shrink_links`): the moved
+    /// node's old neighborhood, the 2-hop candidate pool / list copy, and
+    /// the scored pairs — pooled here so the graph-repair loops reuse one
+    /// warmed allocation instead of cloning per neighbor per level.
+    nbrs: Vec<u32>,
+    pool: Vec<u32>,
+    scored: Vec<Scored>,
 }
 
 impl SearchScratch {
@@ -412,6 +448,11 @@ pub struct HnswIndex {
     /// When `spec.keep_f32` is false, `vectors` and `norms` are empty and
     /// all scoring runs against codes.
     quant: Option<QuantState>,
+    /// Compiled cache-conscious adjacency (see [`crate::packed`]). When
+    /// present, `links` is empty and searches read the CSR slabs; mutation
+    /// paths thaw back to the forest first. Slots are renumbered in BFS
+    /// order at compile time, so the two forms are never mixed.
+    packed: Option<PackedGraph>,
     /// Pooled search scratch (visited epochs + batch-scoring buffers).
     scratch: ScratchPool,
 }
@@ -436,6 +477,7 @@ impl HnswIndex {
             live_mask: Bitmap::new(0),
             entry: None,
             quant: None,
+            packed: None,
             scratch: ScratchPool::default(),
         }
     }
@@ -463,9 +505,9 @@ impl HnswIndex {
 
     /// Approximate resident bytes across **all** resident structures:
     /// vector payload (f32 arena + norm cache and/or quantized codes, norm
-    /// caches, and codec parameters), adjacency lists (including their
-    /// `Vec` headers), keys, levels, tombstone flags, and the key→slot hash
-    /// map (entries plus ~30% open-addressing slack).
+    /// caches, and codec parameters), adjacency (the resident form from
+    /// [`Self::link_memory_bytes`]), keys, levels, tombstone flags, and the
+    /// key→slot hash map (entries plus ~30% open-addressing slack).
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
@@ -473,18 +515,12 @@ impl HnswIndex {
         let key_bytes = self.keys.len() * size_of::<VertexId>();
         let level_bytes = self.levels.len() * size_of::<u8>();
         let deleted_bytes = self.deleted.len() * size_of::<bool>();
-        let link_bytes: usize = self.links.len() * size_of::<Vec<Vec<u32>>>()
-            + self
-                .links
-                .iter()
-                .map(|per_node| {
-                    per_node.len() * size_of::<Vec<u32>>()
-                        + per_node
-                            .iter()
-                            .map(|l| l.len() * size_of::<u32>())
-                            .sum::<usize>()
-                })
-                .sum::<usize>();
+        let (pointer_links, packed_links) = self.link_memory_bytes();
+        let link_bytes = if self.packed.is_some() {
+            packed_links
+        } else {
+            pointer_links
+        };
         let slot_of_bytes =
             self.slot_of.len() * (size_of::<VertexId>() + size_of::<u32>()) * 13 / 10;
         let live_mask_bytes = self.live_mask.len().div_ceil(64) * size_of::<u64>();
@@ -495,6 +531,165 @@ impl HnswIndex {
             + link_bytes
             + slot_of_bytes
             + live_mask_bytes
+    }
+
+    /// Adjacency footprint in both representations, as
+    /// `(pointer_form_bytes, packed_form_bytes)`. The resident form is
+    /// exact: **capacity**-based for the pointer forest — the old len-based
+    /// accounting missed both the growth slack of every per-level list and
+    /// the slack of the per-node header arrays, which for push-grown `Vec`s
+    /// is nearly half the heap footprint — and slab-sized for the CSR
+    /// (built once at final size). The non-resident form is the len-based
+    /// cost the index *would* pay after converting: neighbor payload plus
+    /// per-node and per-level `Vec` headers for the forest; neighbor slabs
+    /// plus prefix tables for the CSR.
+    #[must_use]
+    pub fn link_memory_bytes(&self) -> (usize, usize) {
+        use std::mem::size_of;
+        let n = self.keys.len();
+        match &self.packed {
+            Some(p) => {
+                let nbrs = p.neighbor_count();
+                let rows = p.upper_row_count();
+                let pointer = n * size_of::<Vec<Vec<u32>>>()
+                    + (n + rows) * size_of::<Vec<u32>>()
+                    + nbrs * size_of::<u32>();
+                (pointer, p.memory_bytes())
+            }
+            None => {
+                let mut pointer = self.links.capacity() * size_of::<Vec<Vec<u32>>>();
+                let mut nbrs = 0usize;
+                let mut rows = 0usize;
+                for per_node in &self.links {
+                    pointer += per_node.capacity() * size_of::<Vec<u32>>();
+                    rows += per_node.len().saturating_sub(1);
+                    for l in per_node {
+                        pointer += l.capacity() * size_of::<u32>();
+                        nbrs += l.len();
+                    }
+                }
+                // CSR cost: l0_off (n+1) + upper_base (n+1) + upper_row_off
+                // (rows+1) + both neighbor slabs.
+                let packed = (2 * (n + 1) + rows + 1 + nbrs) * size_of::<u32>();
+                (pointer, packed)
+            }
+        }
+    }
+
+    /// The adjacency representation currently resident: `Pointer` until
+    /// [`Self::compile_layout`] freezes the graph, then `Packed` or
+    /// `PackedPrefetch` until the next mutation thaws it.
+    #[must_use]
+    pub fn layout(&self) -> GraphLayout {
+        match &self.packed {
+            None => GraphLayout::Pointer,
+            Some(p) if p.prefetch => GraphLayout::PackedPrefetch,
+            Some(_) => GraphLayout::Packed,
+        }
+    }
+
+    /// Compile the frozen, cache-conscious search layout: renumber slots in
+    /// BFS order from the entry point (applied to every slot-indexed
+    /// structure — vectors, norms, keys, levels, tombstones, links, entry,
+    /// quantized code slabs; the live mask is keyed by local id and is
+    /// unaffected), then freeze the adjacency into CSR slabs
+    /// ([`crate::packed`]). `Pointer` thaws instead. Returns true iff the
+    /// index is compiled afterwards; empty indexes stay uncompiled.
+    ///
+    /// Search results are bit-identical across layouts (modulo the slot
+    /// renumbering, which is invisible through the key-based API).
+    /// Mutations transparently thaw back to the pointer form; the
+    /// vacuum/index-merge policy recompiles, so correctness never depends
+    /// on layout freshness.
+    pub fn compile_layout(&mut self, layout: GraphLayout) -> bool {
+        if !layout.is_packed() {
+            self.ensure_mutable();
+            return false;
+        }
+        if let Some(p) = &mut self.packed {
+            // Already frozen — mutations thaw, so the graph cannot have
+            // changed since compilation; only the prefetch policy can.
+            p.prefetch = layout.prefetch_enabled();
+            return true;
+        }
+        let Some((entry, _)) = self.entry else {
+            return false;
+        };
+        let perm = packed::bfs_order(&self.links, entry);
+        if !packed::is_identity(&perm) {
+            self.apply_permutation(&perm);
+        }
+        let pg = PackedGraph::build(&self.links, layout.prefetch_enabled());
+        self.links = Vec::new();
+        self.packed = Some(pg);
+        true
+    }
+
+    /// Thaw the compiled layout back into the mutable forest. Called at
+    /// the top of every mutation path. The BFS slot renumbering is kept
+    /// (it is just as valid for a mutable graph); only the storage form
+    /// reverts, so results do not change.
+    fn ensure_mutable(&mut self) {
+        if let Some(p) = self.packed.take() {
+            self.links = p.to_links();
+        }
+    }
+
+    /// Freeze the CSR directly from already-BFS-ordered links (snapshot
+    /// load). The stored slot order *is* the compiled order, so no
+    /// re-permutation runs — which keeps `to_bytes(from_bytes(b)) == b`
+    /// for compiled snapshots.
+    pub(crate) fn compile_from_stored(&mut self, prefetch: bool) {
+        if self.keys.is_empty() {
+            return;
+        }
+        let pg = PackedGraph::build(&self.links, prefetch);
+        self.links = Vec::new();
+        self.packed = Some(pg);
+    }
+
+    /// Compiled-form accessor (snapshot writer).
+    pub(crate) fn packed(&self) -> Option<&PackedGraph> {
+        self.packed.as_ref()
+    }
+
+    /// Reorder every slot-indexed structure by `perm[old_slot] = new_slot`.
+    /// Neighbor ids are remapped but list *order* is preserved, so
+    /// traversal visit order — and therefore results — are unchanged.
+    fn apply_permutation(&mut self, perm: &[u32]) {
+        let n = self.keys.len();
+        debug_assert_eq!(perm.len(), n);
+        let d = self.cfg.dim;
+        if !self.vectors.is_empty() {
+            let mut nv = vec![0.0f32; self.vectors.len()];
+            for (old, &p) in perm.iter().enumerate() {
+                let new = p as usize;
+                nv[new * d..(new + 1) * d].copy_from_slice(&self.vectors[old * d..(old + 1) * d]);
+            }
+            self.vectors = nv;
+            self.norms = permuted(&self.norms, perm);
+        }
+        self.keys = permuted(&self.keys, perm);
+        self.levels = permuted(&self.levels, perm);
+        self.deleted = permuted(&self.deleted, perm);
+        let mut new_links: Vec<Vec<Vec<u32>>> = vec![Vec::new(); n];
+        for (old, per_node) in std::mem::take(&mut self.links).into_iter().enumerate() {
+            new_links[perm[old] as usize] = per_node
+                .into_iter()
+                .map(|l| l.into_iter().map(|nb| perm[nb as usize]).collect())
+                .collect();
+        }
+        self.links = new_links;
+        for slot in self.slot_of.values_mut() {
+            *slot = perm[*slot as usize];
+        }
+        if let Some((e, top)) = self.entry {
+            self.entry = Some((perm[e as usize], top));
+        }
+        if let Some(q) = &mut self.quant {
+            q.apply_permutation(perm);
+        }
+        // `live_mask` is keyed by local id, not slot — unaffected.
     }
 
     /// Bytes of the vector *payload* only (f32 arena + norm cache, plus
@@ -637,13 +832,62 @@ impl HnswIndex {
     /// Batch-score `slots` against a scorer; distances land in `out` (one
     /// entry per slot, same order).
     fn score_slots(&self, sc: &Scorer<'_>, slots: &[u32], out: &mut Vec<f32>) {
+        self.score_slots_pf(sc, slots, out, false);
+    }
+
+    /// [`Self::score_slots`] with an opt-in interleaved prefetch schedule:
+    /// while one slot's row is scored, the head of the next slot's row is
+    /// requested. Only the search loops of a `packed+prefetch` index pass
+    /// `true`; the admission logic sees identical distances either way.
+    fn score_slots_pf(&self, sc: &Scorer<'_>, slots: &[u32], out: &mut Vec<f32>, prefetch: bool) {
         match sc {
+            Scorer::F32(pq) if prefetch => {
+                pq.distance_slots_prefetch(&self.vectors, self.cfg.dim, &self.norms, slots, out);
+            }
             Scorer::F32(pq) => {
                 pq.distance_slots(&self.vectors, self.cfg.dim, &self.norms, slots, out);
             }
             Scorer::Quant(qq) => {
                 let q = self.quant.as_ref().expect("quant scorer without codes");
                 qq.score_slots(&q.codes, &q.recon_norms, slots, out);
+            }
+        }
+    }
+
+    /// The neighbor list of `slot` on `lvl`, from whichever adjacency form
+    /// is resident: one offset lookup into the CSR slabs when compiled,
+    /// the pointer forest otherwise.
+    #[inline]
+    fn neighbors(&self, slot: u32, lvl: u8) -> &[u32] {
+        match &self.packed {
+            Some(p) => p.neighbors(slot, lvl),
+            None => &self.links[slot as usize][lvl as usize],
+        }
+    }
+
+    /// Issue an advisory prefetch for `slot`'s scoring row — the quantized
+    /// code row when a quantized tier is attached (traversal scores codes),
+    /// the f32 arena row otherwise. Called while the batch is still being
+    /// collected, so the loads overlap the preceding scoring work. `deep`
+    /// warms up to 32 lines instead of 2: the scorer's own interleaved
+    /// schedule starts two rows in, so only the batch's first rows need
+    /// their full depth requested ahead of time.
+    #[inline]
+    fn prefetch_slot(&self, k: &Kernels, slot: u32, deep: bool) {
+        let s = slot as usize;
+        if let Some(q) = &self.quant {
+            let cl = q.codec.code_len();
+            k.prefetch(q.codes.as_ptr().wrapping_add(s * cl));
+        } else {
+            let p = self
+                .vectors
+                .as_ptr()
+                .wrapping_add(s * self.cfg.dim)
+                .cast::<u8>();
+            let row_lines = (self.cfg.dim * std::mem::size_of::<f32>()).div_ceil(64);
+            let lines = row_lines.min(if deep { 32 } else { 2 });
+            for l in 0..lines {
+                k.prefetch(p.wrapping_add(l * 64));
             }
         }
     }
@@ -702,6 +946,10 @@ impl HnswIndex {
                 got: vector.len(),
             });
         }
+        // Writes run against the mutable forest; a compiled index thaws
+        // here (the BFS renumbering is kept — only the storage form
+        // reverts, so search results are unchanged).
+        self.ensure_mutable();
         // Upsert of a live key: in-place update with neighborhood repair
         // (hnswlib's updatePoint) — the expensive path whose cost Fig. 11
         // compares against a full rebuild.
@@ -773,7 +1021,7 @@ impl HnswIndex {
             for &nb in &chosen {
                 self.links[slot as usize][lvl as usize].push(nb);
                 self.links[nb as usize][lvl as usize].push(slot);
-                self.shrink_links(nb, lvl, max_deg);
+                self.shrink_links(nb, lvl, max_deg, &mut scratch);
             }
             entry_points = found.iter().map(|&(_, s)| s).collect();
             if entry_points.is_empty() {
@@ -809,11 +1057,18 @@ impl HnswIndex {
         };
         let level = self.levels[slot as usize];
 
-        // Phase 1: repair old neighbors' lists from their 2-hop pools.
+        // Phase 1: repair old neighbors' lists from their 2-hop pools. The
+        // neighborhood copies and scored pairs stage through the pooled
+        // scratch buffers — the per-neighbor-per-level `clone()`s this loop
+        // used to allocate dominated the repair path's allocator traffic.
         let mut scratch = self.scratch.take();
         let mut dists: Vec<f32> = std::mem::take(&mut scratch.dists);
+        let mut old_neighbors: Vec<u32> = std::mem::take(&mut scratch.nbrs);
+        let mut pool: Vec<u32> = std::mem::take(&mut scratch.pool);
+        let mut scored: Vec<Scored> = std::mem::take(&mut scratch.scored);
         for lvl in 0..=level.min(top) {
-            let old_neighbors = self.links[slot as usize][lvl as usize].clone();
+            old_neighbors.clear();
+            old_neighbors.extend_from_slice(&self.links[slot as usize][lvl as usize]);
             if old_neighbors.is_empty() {
                 continue;
             }
@@ -821,16 +1076,17 @@ impl HnswIndex {
             for &nb in &old_neighbors {
                 // Candidate pool for this neighbor: its own links plus the
                 // moved node's old neighborhood (hnswlib's repair set).
-                let mut pool: Vec<u32> = self.links[nb as usize][lvl as usize].clone();
-                pool.extend(old_neighbors.iter().copied());
+                pool.clear();
+                pool.extend_from_slice(&self.links[nb as usize][lvl as usize]);
+                pool.extend_from_slice(&old_neighbors);
                 pool.sort_unstable();
                 pool.dedup();
                 pool.retain(|&c| c != nb);
                 // Batch-score the whole pool against nb in one kernel call.
                 let sc_nb = self.slot_scorer(nb);
                 self.score_slots(&sc_nb, &pool, &mut dists);
-                let mut scored: Vec<Scored> =
-                    pool.iter().zip(&dists).map(|(&c, &dc)| (dc, c)).collect();
+                scored.clear();
+                scored.extend(pool.iter().zip(&dists).map(|(&c, &dc)| (dc, c)));
                 scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
                 let kept =
                     select_neighbors(&scored, max_deg, true, |a, b| self.pair_distance(a, b));
@@ -838,6 +1094,9 @@ impl HnswIndex {
             }
         }
         scratch.dists = dists;
+        scratch.nbrs = old_neighbors;
+        scratch.pool = pool;
+        scratch.scored = scored;
 
         // Phase 2: re-link the moved node like a fresh insert.
         let sc = match &self.quant {
@@ -871,7 +1130,7 @@ impl HnswIndex {
             for &nb in &chosen {
                 if !self.links[nb as usize][lvl as usize].contains(&slot) {
                     self.links[nb as usize][lvl as usize].push(slot);
-                    self.shrink_links(nb, lvl, max_deg);
+                    self.shrink_links(nb, lvl, max_deg, &mut scratch);
                 }
             }
             entry_points = found.iter().map(|&(_, s)| s).collect();
@@ -901,21 +1160,28 @@ impl HnswIndex {
     }
 
     /// Prune a node's neighbor list back to `max_deg` using the diversity
-    /// heuristic.
-    fn shrink_links(&mut self, node: u32, lvl: u8, max_deg: usize) {
-        let list = &self.links[node as usize][lvl as usize];
-        if list.len() <= max_deg {
+    /// heuristic. Distance and scored buffers stage through the pooled
+    /// scratch (no per-call allocations).
+    fn shrink_links(&mut self, node: u32, lvl: u8, max_deg: usize, scratch: &mut SearchScratch) {
+        if self.links[node as usize][lvl as usize].len() <= max_deg {
             return;
         }
         // Batch-score the full neighbor list against the node in one call.
-        let mut dists: Vec<f32> = Vec::new();
+        let mut dists = std::mem::take(&mut scratch.dists);
+        let mut list = std::mem::take(&mut scratch.pool);
+        let mut scored = std::mem::take(&mut scratch.scored);
+        list.clear();
+        list.extend_from_slice(&self.links[node as usize][lvl as usize]);
         let sc = self.slot_scorer(node);
-        let list = &self.links[node as usize][lvl as usize];
-        self.score_slots(&sc, list, &mut dists);
-        let mut scored: Vec<Scored> = list.iter().zip(&dists).map(|(&nb, &dn)| (dn, nb)).collect();
+        self.score_slots(&sc, &list, &mut dists);
+        scored.clear();
+        scored.extend(list.iter().zip(&dists).map(|(&nb, &dn)| (dn, nb)));
         scored.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
         let kept = select_neighbors(&scored, max_deg, true, |a, b| self.pair_distance(a, b));
         self.links[node as usize][lvl as usize] = kept;
+        scratch.dists = dists;
+        scratch.pool = list;
+        scratch.scored = scored;
     }
 
     /// Bulk insert with optional parallel graph construction.
@@ -931,6 +1197,7 @@ impl HnswIndex {
     /// (hnswlib-style construction races), preserving recall parity rather
     /// than byte identity.
     pub fn insert_batch(&mut self, items: &[(VertexId, Vec<f32>)], threads: usize) -> TvResult<()> {
+        self.ensure_mutable();
         if threads <= 1 || items.len() <= 1 {
             for (key, vector) in items {
                 self.insert(*key, vector)?;
@@ -1310,6 +1577,7 @@ impl HnswIndex {
         records: &[DeltaRecord],
         threads: usize,
     ) -> TvResult<usize> {
+        self.ensure_mutable();
         if threads <= 1 || records.len() <= 1 {
             return self.update_items(records);
         }
@@ -1362,12 +1630,21 @@ impl HnswIndex {
         stats: &mut SearchStats,
         scratch: &mut SearchScratch,
     ) -> u32 {
+        let prefetch = self.packed.as_ref().is_some_and(|p| p.prefetch);
+        let k = kernels::active();
         let mut cur = start;
         let mut cur_dist = self.score_slot(sc, cur);
         stats.distance_computations += 1;
         loop {
-            let nbs = &self.links[cur as usize][lvl as usize];
-            self.score_slots(sc, nbs, &mut scratch.dists);
+            let nbs = self.neighbors(cur, lvl);
+            if prefetch {
+                // Warm the hop's leading rows in full; the scorer's own
+                // schedule requests the rest two rows ahead of use.
+                for (i, &nb) in nbs.iter().enumerate() {
+                    self.prefetch_slot(k, nb, i < 2);
+                }
+            }
+            self.score_slots_pf(sc, nbs, &mut scratch.dists, prefetch);
             stats.distance_computations += nbs.len() as u64;
             stats.hops += nbs.len() as u64;
             let mut improved = false;
@@ -1401,6 +1678,8 @@ impl HnswIndex {
         // memset per call. Visit order and admission logic are unchanged,
         // so results are bit-identical to the fresh-alloc path.
         scratch.begin(self.keys.len());
+        let pf_graph = self.packed.as_ref().filter(|p| p.prefetch);
+        let kern = kernels::active();
         // Min-heap of frontier candidates; max-heap (via NeighborHeap-like
         // bound) of the best `ef` found.
         let mut frontier: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
@@ -1416,7 +1695,7 @@ impl HnswIndex {
                 scratch.batch.push(e);
             }
         }
-        self.score_slots(sc, &scratch.batch, &mut scratch.dists);
+        self.score_slots_pf(sc, &scratch.batch, &mut scratch.dists, pf_graph.is_some());
         stats.distance_computations += scratch.batch.len() as u64;
         for (&e, &de) in scratch.batch.iter().zip(&scratch.dists) {
             frontier.push(Reverse((OrdF32(de), e)));
@@ -1432,12 +1711,22 @@ impl HnswIndex {
                 break;
             }
             scratch.batch.clear();
-            for &nb in &self.links[node as usize][lvl as usize] {
+            for &nb in self.neighbors(node, lvl) {
                 if scratch.visit(nb) {
+                    // Warm the batch's first rows in full — the scorer hits
+                    // them before its own two-ahead schedule ramps up — and
+                    // later rows' heads, plus (on the base layer) the
+                    // candidate's adjacency row.
+                    if let Some(p) = pf_graph {
+                        self.prefetch_slot(kern, nb, scratch.batch.len() < 2);
+                        if lvl == 0 {
+                            p.prefetch_l0_row(kern, nb);
+                        }
+                    }
                     scratch.batch.push(nb);
                 }
             }
-            self.score_slots(sc, &scratch.batch, &mut scratch.dists);
+            self.score_slots_pf(sc, &scratch.batch, &mut scratch.dists, pf_graph.is_some());
             stats.hops += scratch.batch.len() as u64;
             stats.distance_computations += scratch.batch.len() as u64;
             for (&nb, &nd) in scratch.batch.iter().zip(&scratch.dists) {
@@ -1471,6 +1760,8 @@ impl HnswIndex {
         scratch: &mut SearchScratch,
     ) -> Vec<Scored> {
         scratch.begin(self.keys.len());
+        let pf_graph = self.packed.as_ref().filter(|p| p.prefetch);
+        let kern = kernels::active();
         let mut frontier: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
         let mut best: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
 
@@ -1495,7 +1786,7 @@ impl HnswIndex {
                 scratch.batch.push(e);
             }
         }
-        self.score_slots(sc, &scratch.batch, &mut scratch.dists);
+        self.score_slots_pf(sc, &scratch.batch, &mut scratch.dists, pf_graph.is_some());
         stats.distance_computations += scratch.batch.len() as u64;
         for (&e, &de) in scratch.batch.iter().zip(&scratch.dists) {
             frontier.push(Reverse((OrdF32(de), e)));
@@ -1513,12 +1804,16 @@ impl HnswIndex {
                 break;
             }
             scratch.batch.clear();
-            for &nb in &self.links[node as usize][0] {
+            for &nb in self.neighbors(node, 0) {
                 if scratch.visit(nb) {
+                    if let Some(p) = pf_graph {
+                        self.prefetch_slot(kern, nb, scratch.batch.len() < 2);
+                        p.prefetch_l0_row(kern, nb);
+                    }
                     scratch.batch.push(nb);
                 }
             }
-            self.score_slots(sc, &scratch.batch, &mut scratch.dists);
+            self.score_slots_pf(sc, &scratch.batch, &mut scratch.dists, pf_graph.is_some());
             stats.hops += scratch.batch.len() as u64;
             stats.distance_computations += scratch.batch.len() as u64;
             for (&nb, &nd) in scratch.batch.iter().zip(&scratch.dists) {
@@ -1686,6 +1981,9 @@ impl HnswIndex {
         };
         let fetch = self.fetch_count(k);
         let beam = fetch_ef.max(fetch);
+        if self.packed.is_some() {
+            stats.packed_searches += 1;
+        }
         let sc = self.scorer(query);
         let mut scratch = self.scratch.take();
         let mut cur = entry;
@@ -1884,6 +2182,9 @@ impl VectorIndex for HnswIndex {
         // stage (rerank_factor × k on quantized tiers).
         let fetch = self.fetch_count(k);
         let ef = ef.max(fetch);
+        if self.packed.is_some() {
+            stats.packed_searches += 1;
+        }
         // One norm pass (f32) or one LUT build (quantized) for the whole
         // search; every candidate after this scores against cached state.
         let sc = self.scorer(query);
@@ -2073,6 +2374,7 @@ impl HnswIndex {
             deleted_count,
             live_mask,
             entry,
+            packed: None,
             scratch: ScratchPool::default(),
             quant,
         })

@@ -23,6 +23,7 @@ pub mod brute;
 pub mod config;
 pub mod index;
 pub mod ivf;
+pub(crate) mod packed;
 pub mod planner;
 pub mod select;
 pub mod snapshot;

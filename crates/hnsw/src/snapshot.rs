@@ -17,6 +17,15 @@ const MAGIC: &[u8; 8] = b"TVHNSW01";
 /// optional). Unquantized indexes still serialize as v1 byte-for-byte, so
 /// every pre-existing snapshot and checkpoint stays readable and stable.
 const MAGIC2: &[u8; 8] = b"TVHNSW02";
+/// Version 3 marks a **compiled** (CSR-packed, BFS-reordered) index: a
+/// layout tag and a quant-presence flag, followed by exactly the v1/v2
+/// payload. The stored slot order *is* the compiled order, so loading
+/// rebuilds the CSR without re-permuting and re-serialization reproduces
+/// the image byte-for-byte. Uncompiled indexes keep writing v1/v2.
+const MAGIC3: &[u8; 8] = b"TVHNSW03";
+
+const LAYOUT_PACKED: u8 = 1;
+const LAYOUT_PACKED_PREFETCH: u8 = 2;
 
 const TIER_SQ8: u8 = 1;
 const TIER_PQ: u8 = 2;
@@ -26,19 +35,40 @@ const TIER_PQ: u8 = 2;
 pub fn to_bytes(index: &HnswIndex) -> Vec<u8> {
     let (cfg, vectors, keys, links, levels, deleted, entry) = index.parts();
     let quant = index.quant();
+    // A compiled index keeps no pointer forest; materialize one for the
+    // stable on-disk shape (slot order is already the BFS order).
+    let thawed;
+    let (links, layout_tag) = match index.packed() {
+        Some(p) => {
+            thawed = p.to_links();
+            let tag = if p.prefetch {
+                LAYOUT_PACKED_PREFETCH
+            } else {
+                LAYOUT_PACKED
+            };
+            (thawed.as_slice(), Some(tag))
+        }
+        None => (links, None),
+    };
     let mut buf = Vec::with_capacity(64 + vectors.len() * 4 + keys.len() * 16);
+    match layout_tag {
+        Some(tag) => {
+            buf.extend_from_slice(MAGIC3);
+            buf.push(tag);
+            buf.push(u8::from(quant.is_some()));
+        }
+        None if quant.is_some() => buf.extend_from_slice(MAGIC2),
+        None => buf.extend_from_slice(MAGIC),
+    }
+    write_header(&mut buf, cfg, keys.len());
     if let Some(q) = quant {
-        buf.extend_from_slice(MAGIC2);
-        write_header(&mut buf, cfg, keys.len());
         // Whether the f32 arena follows (codes-only tiers drop it).
         buf.push(u8::from(!vectors.is_empty()));
         write_body(&mut buf, vectors, keys, links, levels, deleted, entry);
         write_quant(&mut buf, q);
-        return buf;
+    } else {
+        write_body(&mut buf, vectors, keys, links, levels, deleted, entry);
     }
-    buf.extend_from_slice(MAGIC);
-    write_header(&mut buf, cfg, keys.len());
-    write_body(&mut buf, vectors, keys, links, levels, deleted, entry);
     buf
 }
 
@@ -137,9 +167,30 @@ pub fn from_bytes(data: &[u8]) -> TvResult<HnswIndex> {
     let mut r = Reader { data, pos: 0 };
     let magic = r.take(8)?;
     let v2 = magic == MAGIC2;
-    if magic != MAGIC && !v2 {
+    let v3 = magic == MAGIC3;
+    if magic != MAGIC && !v2 && !v3 {
         return Err(TvError::Storage("bad snapshot magic".into()));
     }
+    // v3 prefixes a compiled-layout tag and a quant-presence flag before
+    // the common payload.
+    let layout_prefetch = if v3 {
+        match r.u8()? {
+            LAYOUT_PACKED => Some(false),
+            LAYOUT_PACKED_PREFETCH => Some(true),
+            _ => return Err(TvError::Storage("corrupt snapshot: layout tag".into())),
+        }
+    } else {
+        None
+    };
+    let has_quant = if v3 {
+        match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(TvError::Storage("corrupt snapshot: quant flag".into())),
+        }
+    } else {
+        v2
+    };
     let dim = r.u64()? as usize;
     let metric = metric_from_tag(r.u8()?)?;
     let m = r.u64()? as usize;
@@ -160,9 +211,9 @@ pub fn from_bytes(data: &[u8]) -> TvResult<HnswIndex> {
     if n > (u32::MAX as usize) {
         return Err(TvError::Storage("snapshot too large".into()));
     }
-    // v2 carries an explicit "arena present" flag (codes-only tiers drop
-    // the f32 vectors); v1 always has the arena.
-    let vectors_present = if v2 { r.u8()? != 0 } else { true };
+    // Quantized snapshots carry an explicit "arena present" flag
+    // (codes-only tiers drop the f32 vectors); others always have it.
+    let vectors_present = if has_quant { r.u8()? != 0 } else { true };
     // Every node occupies at least 8 (key) + 1 (level) + 1 (tombstone) +
     // 4*dim (vector, when present) + 4 (link count) bytes. Clamp the
     // declared count against the bytes actually present BEFORE any
@@ -245,7 +296,7 @@ pub fn from_bytes(data: &[u8]) -> TvResult<HnswIndex> {
         }
         _ => return Err(TvError::Storage("corrupt snapshot: entry tag".into())),
     };
-    let quant = if v2 {
+    let quant = if has_quant {
         Some(read_quant(&mut r, n, !vectors.is_empty())?)
     } else {
         None
@@ -256,7 +307,12 @@ pub fn from_bytes(data: &[u8]) -> TvResult<HnswIndex> {
             r.remaining()
         )));
     }
-    HnswIndex::from_parts(cfg, vectors, keys, links, levels, deleted, entry, quant)
+    let mut index =
+        HnswIndex::from_parts(cfg, vectors, keys, links, levels, deleted, entry, quant)?;
+    if let Some(prefetch) = layout_prefetch {
+        index.compile_from_stored(prefetch);
+    }
+    Ok(index)
 }
 
 fn read_quant(r: &mut Reader<'_>, n: usize, arena_present: bool) -> TvResult<QuantState> {
@@ -620,5 +676,131 @@ mod tests {
             mutated[pos] ^= 1 << bit;
             let _ = from_bytes(&mutated);
         }
+    }
+
+    use tv_common::GraphLayout;
+
+    #[test]
+    fn v3_roundtrip_is_bit_identical_and_stays_compiled() {
+        for layout in [GraphLayout::Packed, GraphLayout::PackedPrefetch] {
+            let mut idx = sample_index(150);
+            idx.remove(key(7));
+            assert!(idx.compile_layout(layout));
+            let bytes = to_bytes(&idx);
+            assert_eq!(&bytes[..8], MAGIC3);
+            let restored = from_bytes(&bytes).unwrap();
+            assert_eq!(restored.layout(), layout, "layout survives the trip");
+            // Re-serialization reproduces the exact image: the stored slot
+            // order is the BFS order, so the load-time CSR rebuild runs no
+            // re-permutation.
+            assert_eq!(bytes, to_bytes(&restored), "layout {layout}");
+
+            let q: Vec<f32> = vec![0.5; 8];
+            let (before, s1) = idx.top_k(&q, 10, 64, Filter::All);
+            let (after, s2) = restored.top_k(&q, 10, 64, Filter::All);
+            assert_eq!(before, after);
+            assert_eq!(s1.packed_searches, 1);
+            assert_eq!(s2.packed_searches, 1);
+        }
+    }
+
+    #[test]
+    fn v3_quantized_roundtrip_is_bit_identical() {
+        for spec in [QuantSpec::sq8(), QuantSpec::pq(4).with_keep_f32(true)] {
+            let mut idx = quantized_sample(120, spec);
+            assert!(idx.compile_layout(GraphLayout::PackedPrefetch));
+            let bytes = to_bytes(&idx);
+            assert_eq!(&bytes[..8], MAGIC3);
+            let restored = from_bytes(&bytes).unwrap();
+            assert_eq!(bytes, to_bytes(&restored), "spec {spec:?}");
+            assert_eq!(restored.quant_spec(), Some(spec));
+            let q: Vec<f32> = vec![0.5; 8];
+            let (before, _) = idx.top_k(&q, 10, 64, Filter::All);
+            let (after, _) = restored.top_k(&q, 10, 64, Filter::All);
+            assert_eq!(before, after);
+        }
+    }
+
+    #[test]
+    fn v3_layout_and_quant_tags_validated() {
+        let mut idx = sample_index(20);
+        idx.compile_layout(GraphLayout::Packed);
+        let bytes = to_bytes(&idx);
+        // Byte 8 is the layout tag, byte 9 the quant flag.
+        let mut bad_layout = bytes.clone();
+        bad_layout[8] = 7;
+        assert!(from_bytes(&bad_layout).is_err());
+        let mut bad_quant = bytes.clone();
+        bad_quant[9] = 3;
+        assert!(from_bytes(&bad_quant).is_err());
+        // A quant flag claiming a block that is not there must fail on the
+        // (now misaligned) payload, not panic.
+        let mut lying_quant = bytes;
+        lying_quant[9] = 1;
+        assert!(from_bytes(&lying_quant).is_err());
+    }
+
+    #[test]
+    fn v3_truncation_fuzz_always_errs_never_panics() {
+        let mut idx = quantized_sample(30, QuantSpec::sq8());
+        idx.compile_layout(GraphLayout::PackedPrefetch);
+        let bytes = to_bytes(&idx);
+        for cut in 0..bytes.len() {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "prefix of {cut} bytes");
+        }
+    }
+
+    #[test]
+    fn v3_byte_flip_fuzz_never_panics_or_overallocates() {
+        let mut idx = sample_index(40);
+        idx.compile_layout(GraphLayout::Packed);
+        let bytes = to_bytes(&idx);
+        let mut rng = SplitMix64::new(0xC511);
+        for trial in 0..500 {
+            let mut mutated = bytes.clone();
+            let pos = (rng.next_u64() as usize) % mutated.len();
+            let bit = (rng.next_u64() % 8) as u32;
+            mutated[pos] ^= 1 << bit;
+            let _ = from_bytes(&mutated);
+            if trial % 5 == 0 {
+                let pos2 = (rng.next_u64() as usize) % mutated.len();
+                mutated[pos2] = rng.next_u64() as u8;
+                let _ = from_bytes(&mutated);
+            }
+        }
+    }
+
+    #[test]
+    fn v3_huge_declared_count_rejected_cheaply() {
+        // A v3 header claiming ~2^62 nodes in a tiny file must fail on the
+        // size clamp before any allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC3);
+        bytes.push(LAYOUT_PACKED); // layout tag
+        bytes.push(0); // no quant
+        put_u64(&mut bytes, 8); // dim
+        bytes.push(0); // metric
+        put_u64(&mut bytes, 16); // m
+        put_u64(&mut bytes, 32); // m0
+        put_u64(&mut bytes, 100); // ef_construction
+        put_f64(&mut bytes, f64::NAN); // ml
+        put_u64(&mut bytes, 42); // seed
+        put_u64(&mut bytes, 1 << 62); // node count
+        assert!(bytes.len() < 80);
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn v3_restored_index_thaws_on_mutation() {
+        let mut idx = sample_index(50);
+        idx.compile_layout(GraphLayout::PackedPrefetch);
+        let mut restored = from_bytes(&to_bytes(&idx)).unwrap();
+        restored.insert(key(1000), &[0.1; 8]).unwrap();
+        assert_eq!(restored.layout(), GraphLayout::Pointer);
+        assert_eq!(restored.len(), 51);
+        let (r, _) = restored.top_k(&[0.1; 8], 1, 32, Filter::All);
+        assert_eq!(r[0].id, key(1000));
+        // And a thawed index serializes back to the uncompiled format.
+        assert_eq!(&to_bytes(&restored)[..8], MAGIC);
     }
 }

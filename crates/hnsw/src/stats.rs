@@ -42,6 +42,10 @@ pub struct SearchStats {
     /// Starvation escalations that exhausted `max_ef` and fell back to an
     /// exact scan.
     pub brute_fallbacks: u64,
+    /// Graph searches served from the compiled (CSR-packed, BFS-reordered)
+    /// layout rather than the mutable pointer forest. Lets benchmarks and
+    /// the planner's telemetry attribute throughput to layout freshness.
+    pub packed_searches: u64,
 }
 
 impl SearchStats {
@@ -60,6 +64,7 @@ impl SearchStats {
         self.plans_post_filter += other.plans_post_filter;
         self.ef_escalations += other.ef_escalations;
         self.brute_fallbacks += other.brute_fallbacks;
+        self.packed_searches += other.packed_searches;
     }
 
     /// Total segment searches the planner routed (one count per plan).
@@ -88,6 +93,7 @@ mod tests {
             plans_post_filter: 2,
             ef_escalations: 1,
             brute_fallbacks: 0,
+            packed_searches: 2,
         };
         let b = SearchStats {
             distance_computations: 7,
@@ -102,6 +108,7 @@ mod tests {
             plans_post_filter: 0,
             ef_escalations: 0,
             brute_fallbacks: 1,
+            packed_searches: 1,
         };
         a.merge(&b);
         assert_eq!(a.distance_computations, 17);
@@ -114,5 +121,6 @@ mod tests {
         assert_eq!(a.plans_total(), 4);
         assert_eq!(a.ef_escalations, 1);
         assert_eq!(a.brute_fallbacks, 1);
+        assert_eq!(a.packed_searches, 3);
     }
 }

@@ -31,7 +31,7 @@ mod pq;
 mod query;
 mod sq8;
 
-pub use codec::{Codec, QuantizedCodec};
+pub use codec::{permute_code_rows, Codec, QuantizedCodec};
 pub use pq::PqCodec;
 pub use query::QuantQuery;
 pub use sq8::Sq8Codec;
